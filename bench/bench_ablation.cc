@@ -1,0 +1,137 @@
+// bench_ablation — ablations of the design choices DESIGN.md calls out:
+//
+//   1. synchronized vs. staggered sender starts (the paper's synchronized-
+//      feedback assumption, relaxed on the packet simulator);
+//   2. droptail vs. RED at the bottleneck;
+//   3. estimator tail-fraction sensitivity;
+//   4. Robust-AIMD's eps sweep (robustness vs. friendliness trade).
+//
+// Usage: bench_ablation [--duration=20] [--steps=3000]
+#include <cstdio>
+#include <exception>
+
+#include "cc/presets.h"
+#include "cc/robust_aimd.h"
+#include "core/evaluator.h"
+#include "core/metrics.h"
+#include "sim/dumbbell.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace axiomcc;
+
+namespace {
+
+sim::DumbbellConfig base_dumbbell(double duration) {
+  sim::DumbbellConfig cfg;
+  cfg.bottleneck_mbps = 20.0;
+  cfg.rtt_ms = 42.0;
+  cfg.buffer_packets = 100;
+  cfg.duration_seconds = duration;
+  return cfg;
+}
+
+void ablate_synchronization(double duration) {
+  std::printf("--- ablation 1: synchronized vs staggered starts (2x Reno, "
+              "packet sim) ---\n");
+  TextTable table;
+  table.set_header({"start offsets", "fairness", "convergence", "efficiency"});
+  for (double stagger : {0.0, 0.25, 1.0, 3.0}) {
+    sim::DumbbellExperiment exp(base_dumbbell(duration));
+    exp.add_flow(cc::presets::reno(), 0.0);
+    exp.add_flow(cc::presets::reno(), stagger);
+    exp.run();
+    const core::EstimatorConfig est{0.5};
+    table.add_row({TextTable::num(stagger, 2) + "s",
+                   TextTable::num(core::measure_fairness(exp.trace(), est), 3),
+                   TextTable::num(core::measure_convergence(exp.trace(), est), 3),
+                   TextTable::num(core::measure_efficiency(exp.trace(), est), 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void ablate_queue_discipline(double duration) {
+  std::printf("--- ablation 2: droptail vs RED (1x Reno, deep buffer) ---\n");
+  TextTable table;
+  table.set_header({"queue", "avg rtt (ms)", "loss", "throughput (Mbps)"});
+  for (bool use_red : {false, true}) {
+    sim::DumbbellConfig cfg = base_dumbbell(duration);
+    cfg.use_red = use_red;
+    cfg.red.min_threshold = 15.0;
+    cfg.red.max_threshold = 60.0;
+    cfg.red.max_drop_probability = 0.1;
+    sim::DumbbellExperiment exp(cfg);
+    exp.add_flow(cc::presets::reno());
+    exp.run();
+    const auto report = exp.flow_reports()[0];
+    table.add_row({use_red ? "RED" : "droptail",
+                   TextTable::num(report.avg_rtt_ms, 1),
+                   TextTable::num(report.loss_rate, 4),
+                   TextTable::num(report.throughput_mbps, 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void ablate_tail_fraction(long steps) {
+  std::printf("--- ablation 3: estimator tail-fraction sensitivity "
+              "(AIMD(1,0.5), fluid) ---\n");
+  core::EvalConfig cfg;
+  cfg.steps = steps;
+  const auto reno = cc::presets::reno();
+  const fluid::Trace trace = core::run_shared_link(*reno, cfg);
+
+  TextTable table;
+  table.set_header({"tail fraction", "efficiency", "convergence", "loss"});
+  for (double tail : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    const core::EstimatorConfig est{tail};
+    table.add_row({TextTable::num(tail, 2),
+                   TextTable::num(core::measure_efficiency(trace, est), 4),
+                   TextTable::num(core::measure_convergence(trace, est), 4),
+                   TextTable::num(core::measure_loss_avoidance(trace, est), 4)});
+  }
+  std::printf("%s(scores must stabilize once the transient is excluded)\n\n",
+              table.render().c_str());
+}
+
+void ablate_robust_eps(long steps) {
+  std::printf("--- ablation 4: Robust-AIMD eps sweep (robustness vs "
+              "friendliness) ---\n");
+  core::EvalConfig cfg;
+  cfg.steps = steps;
+
+  TextTable table;
+  table.set_header({"eps", "robustness", "tcp-friendliness", "efficiency"});
+  for (double eps : {0.005, 0.007, 0.01, 0.02, 0.05}) {
+    const cc::RobustAimd proto(1.0, 0.8, eps);
+    const double robustness = core::measure_robustness_score(proto, cfg);
+    const double friendliness =
+        core::measure_tcp_friendliness_score(proto, cfg);
+    const fluid::Trace t = core::run_shared_link(proto, cfg);
+    table.add_row({TextTable::num(eps, 3), TextTable::num(robustness, 4),
+                   TextTable::num(friendliness, 4),
+                   TextTable::num(core::measure_efficiency(t, cfg.estimator()), 3)});
+  }
+  std::printf("%s(the paper's Pareto story: each eps buys robustness at a "
+              "friendliness cost)\n",
+              table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    const double duration = args.get_double("duration", 20.0);
+    const long steps = args.get_int("steps", 3000);
+
+    std::printf("=== ablation benches (DESIGN.md section 5) ===\n\n");
+    ablate_synchronization(duration);
+    ablate_queue_discipline(duration);
+    ablate_tail_fraction(steps);
+    ablate_robust_eps(steps);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,157 @@
+// bench_micro — google-benchmark microbenchmarks of the two simulation
+// substrates: fluid steps/s and packet-level events/s, plus the metric
+// estimators. These are performance benches for the library itself (not a
+// paper experiment).
+#include <benchmark/benchmark.h>
+
+#include "cc/aimd.h"
+#include "cc/presets.h"
+#include "core/evaluator.h"
+#include "core/metrics.h"
+#include "fluid/sim.h"
+#include "sim/dumbbell.h"
+#include "fluid/network.h"
+#include "sim/event.h"
+#include "sim/network.h"
+#include "sim/queue.h"
+
+using namespace axiomcc;
+
+namespace {
+
+void BM_FluidSimulationSteps(benchmark::State& state) {
+  const long steps = state.range(0);
+  const auto link = fluid::make_link_mbps(30.0, 42.0, 100.0);
+  for (auto _ : state) {
+    fluid::SimOptions opt;
+    opt.steps = steps;
+    fluid::FluidSimulation sim(link, opt);
+    sim.add_sender(cc::Aimd(1.0, 0.5), 1.0);
+    sim.add_sender(cc::Aimd(1.0, 0.5), 50.0);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * steps);
+}
+BENCHMARK(BM_FluidSimulationSteps)->Arg(1000)->Arg(10000);
+
+void BM_EventKernelChurn(benchmark::State& state) {
+  // Schedule/execute a self-rescheduling chain: the kernel's hot loop.
+  const int chain = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = chain;
+    std::function<void()> hop = [&] {
+      if (--remaining > 0) sim.schedule_in(SimTime(1000), hop);
+    };
+    sim.schedule_in(SimTime(1000), hop);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * chain);
+}
+BENCHMARK(BM_EventKernelChurn)->Arg(10000);
+
+void BM_PacketSimulation(benchmark::State& state) {
+  const double seconds = static_cast<double>(state.range(0));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    sim::DumbbellConfig cfg;
+    cfg.bottleneck_mbps = 20.0;
+    cfg.rtt_ms = 42.0;
+    cfg.buffer_packets = 100;
+    cfg.duration_seconds = seconds;
+    sim::DumbbellExperiment exp(cfg);
+    exp.add_flow(cc::presets::reno());
+    exp.add_flow(cc::presets::cubic_linux());
+    exp.run();
+    events += exp.simulator().events_processed();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PacketSimulation)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_MetricEstimators(benchmark::State& state) {
+  core::EvalConfig cfg;
+  cfg.steps = 4000;
+  const auto reno = cc::presets::reno();
+  const fluid::Trace trace = core::run_shared_link(*reno, cfg);
+  for (auto _ : state) {
+    const core::EstimatorConfig est{0.5};
+    benchmark::DoNotOptimize(core::measure_efficiency(trace, est));
+    benchmark::DoNotOptimize(core::measure_fairness(trace, est));
+    benchmark::DoNotOptimize(core::measure_convergence(trace, est));
+    benchmark::DoNotOptimize(core::measure_loss_avoidance(trace, est));
+    benchmark::DoNotOptimize(core::measure_latency_avoidance(trace, est));
+  }
+}
+BENCHMARK(BM_MetricEstimators);
+
+void BM_MultiHopPacketSimulation(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    sim::MultiHopNetwork::Config cfg;
+    cfg.duration_seconds = 5.0;
+    sim::PacketParkingLot lot = sim::make_packet_parking_lot(
+        10.0, 10.0, 25, hops, *cc::presets::reno(), cfg);
+    lot.network->run();
+    events += lot.network->simulator().events_processed();
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MultiHopPacketSimulation)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
+
+void BM_RedQueueDiscipline(benchmark::State& state) {
+  // Enqueue/dequeue churn through RED's EWMA + drop logic.
+  sim::REDQueue::Params params;
+  params.capacity_packets = 128;
+  params.min_threshold = 30.0;
+  params.max_threshold = 90.0;
+  sim::REDQueue queue(params);
+  sim::Packet packet;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    packet.seq = seq++;
+    if (queue.enqueue(packet)) {
+      if (queue.size_packets() > 64) benchmark::DoNotOptimize(queue.dequeue());
+    } else {
+      benchmark::DoNotOptimize(queue.dequeue());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedQueueDiscipline);
+
+void BM_FluidNetworkParkingLot(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    fluid::NetworkOptions opt;
+    opt.steps = 2000;
+    fluid::ParkingLot lot = fluid::make_parking_lot(
+        fluid::make_link_mbps(20.0, 40.0, 20.0), hops, cc::Aimd(1.0, 0.5),
+        opt);
+    benchmark::DoNotOptimize(lot.network.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_FluidNetworkParkingLot)->Arg(3);
+
+void BM_FullProtocolEvaluation(benchmark::State& state) {
+  core::EvalConfig cfg;
+  cfg.steps = 2000;
+  cfg.fast_utilization_steps = 1000;
+  cfg.robustness_steps = 1000;
+  const cc::Aimd reno(1.0, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate_protocol(reno, cfg));
+  }
+  state.SetLabel("all 8 metrics incl. robustness binary search");
+}
+BENCHMARK(BM_FullProtocolEvaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// bench_theorems — empirical verification of Claim 1 and Theorems 1-5
+// (paper Section 4), printed as measured-vs-bound rows.
+//
+// Usage: bench_theorems [--steps=3000]
+#include <cstdio>
+#include <exception>
+#include <vector>
+
+#include "exp/theorems.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace axiomcc;
+
+namespace {
+
+int print_checks(const char* title, const std::vector<exp::TheoremCheck>& checks) {
+  std::printf("--- %s ---\n", title);
+  TextTable table;
+  table.set_header({"check", "measured", "bound", "holds"});
+  int failures = 0;
+  for (const auto& c : checks) {
+    table.add_row({c.description, TextTable::num(c.measured, 4),
+                   TextTable::num(c.bound, 4), c.holds ? "yes" : "NO"});
+    if (!c.holds) ++failures;
+  }
+  std::printf("%s\n", table.render().c_str());
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    core::EvalConfig cfg;
+    cfg.steps = args.get_int("steps", 3000);
+
+    std::printf("=== Section 4: axiomatic derivations, checked empirically "
+                "===\n\n");
+    int failures = 0;
+
+    {
+      const auto r = exp::check_claim1(cfg);
+      std::printf("--- Claim 1: 0-loss loss-based protocols are not "
+                  "fast-utilizing ---\n");
+      std::printf("CautiousProbe tail loss:            %.6f (must be 0)\n",
+                  r.tail_loss);
+      std::printf("CautiousProbe growth coefficient:   %.6f (horizon H)\n",
+                  r.fast_utilization);
+      std::printf("CautiousProbe growth coefficient:   %.6f (horizon 2H — "
+                  "must not grow)\n",
+                  r.fast_utilization_half);
+      std::printf("holds: %s\n\n", r.holds ? "yes" : "NO");
+      if (!r.holds) ++failures;
+    }
+
+    failures += print_checks(
+        "Theorem 1: efficiency >= conv/(2-conv) (AIMD grid)",
+        exp::check_theorem1(cfg));
+    failures += print_checks(
+        "Theorem 2: TCP-friendliness <= 3(1-b)/(a(1+b)) (tight for AIMD)",
+        exp::check_theorem2(cfg));
+    failures += print_checks(
+        "Theorem 3: robustness tightens the friendliness bound",
+        exp::check_theorem3(cfg));
+    failures += print_checks(
+        "Theorem 4: friendliness transfers to more-aggressive protocols",
+        exp::check_theorem4(cfg));
+    failures += print_checks(
+        "Theorem 5: loss-based protocols starve latency-avoiders",
+        exp::check_theorem5(cfg));
+
+    std::printf("=== %d failing check(s) ===\n", failures);
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,102 @@
+#include "analysis/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::analysis {
+
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x'};
+
+/// Resamples `values` to `width` columns by averaging each bin.
+std::vector<double> resample(const std::vector<double>& values, int width) {
+  std::vector<double> out(static_cast<std::size_t>(width), 0.0);
+  const std::size_t n = values.size();
+  for (int c = 0; c < width; ++c) {
+    const std::size_t lo = n * static_cast<std::size_t>(c) / width;
+    std::size_t hi = n * static_cast<std::size_t>(c + 1) / width;
+    hi = std::max(hi, lo + 1);
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi && i < n; ++i) sum += values[i];
+    out[c] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string plot(const std::vector<Series>& series, const PlotOptions& options) {
+  AXIOMCC_EXPECTS(!series.empty());
+  AXIOMCC_EXPECTS(options.width >= 10 && options.height >= 4);
+  for (const Series& s : series) {
+    AXIOMCC_EXPECTS_MSG(!s.values.empty(), "series must be non-empty");
+  }
+
+  double lo = options.y_axis_from_zero
+                  ? 0.0
+                  : std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Series& s : series) {
+    for (double v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  const int width = options.width;
+  const int height = options.height;
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto sampled = resample(series[si].values, width);
+    for (int c = 0; c < width; ++c) {
+      const double fraction = (sampled[c] - lo) / (hi - lo);
+      int row = static_cast<int>(std::lround(fraction * (height - 1)));
+      row = std::clamp(row, 0, height - 1);
+      canvas[static_cast<std::size_t>(height - 1 - row)]
+            [static_cast<std::size_t>(c)] = glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  char label[64];
+  std::snprintf(label, sizeof(label), "%10.2f |", hi);
+  os << label << canvas.front() << '\n';
+  for (int r = 1; r + 1 < height; ++r) {
+    os << "           |" << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  std::snprintf(label, sizeof(label), "%10.2f |", lo);
+  os << label << canvas.back() << '\n';
+  os << "           +" << std::string(static_cast<std::size_t>(width), '-')
+     << '\n';
+
+  os << "            ";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (si > 0) os << "   ";
+    os << kGlyphs[si % sizeof(kGlyphs)] << " = " << series[si].label;
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::string plot_windows(const fluid::Trace& trace, const PlotOptions& options) {
+  std::vector<Series> series;
+  for (int i = 0; i < trace.num_senders(); ++i) {
+    Series s;
+    s.label = "sender " + std::to_string(i);
+    s.values.assign(trace.windows(i).begin(), trace.windows(i).end());
+    series.push_back(std::move(s));
+  }
+  return plot(series, options);
+}
+
+}  // namespace axiomcc::analysis

@@ -1,0 +1,37 @@
+// ascii_plot.h — terminal time-series plots.
+//
+// Enough plotting to see a sawtooth, a slow-start ramp, or two flows
+// converging without leaving the terminal: multiple series share one canvas,
+// values are linearly binned into rows, each series draws with its own glyph.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fluid/trace.h"
+
+namespace axiomcc::analysis {
+
+struct PlotOptions {
+  int width = 78;    ///< canvas columns (series are resampled to fit)
+  int height = 16;   ///< canvas rows
+  bool y_axis_from_zero = true;
+  std::string title;
+};
+
+/// One named series.
+struct Series {
+  std::string label;
+  std::vector<double> values;
+};
+
+/// Renders the series onto a shared canvas with axis annotations. Series
+/// glyphs cycle through '*', '+', 'o', 'x'. Returns a multi-line string.
+[[nodiscard]] std::string plot(const std::vector<Series>& series,
+                               const PlotOptions& options = {});
+
+/// Convenience: plots every sender's window from a trace.
+[[nodiscard]] std::string plot_windows(const fluid::Trace& trace,
+                                       const PlotOptions& options = {});
+
+}  // namespace axiomcc::analysis

@@ -1,0 +1,141 @@
+#include "analysis/dynamics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace axiomcc::analysis {
+
+std::vector<std::size_t> find_peaks(std::span<const double> xs,
+                                    double min_prominence) {
+  AXIOMCC_EXPECTS(min_prominence >= 0.0);
+  std::vector<std::size_t> peaks;
+  if (xs.size() < 3) return peaks;
+
+  // A peak is a point strictly higher than its neighbours whose drop to the
+  // following trough exceeds min_prominence × peak.
+  for (std::size_t i = 1; i + 1 < xs.size(); ++i) {
+    if (!(xs[i] >= xs[i - 1] && xs[i] > xs[i + 1])) continue;
+
+    // Walk forward to the local trough before the next rise.
+    double trough = xs[i];
+    for (std::size_t j = i + 1; j < xs.size(); ++j) {
+      trough = std::min(trough, xs[j]);
+      if (xs[j] > xs[j - 1]) break;  // rising again
+    }
+    if (xs[i] - trough >= min_prominence * xs[i]) {
+      peaks.push_back(i);
+    }
+  }
+  return peaks;
+}
+
+std::vector<Cycle> extract_cycles(std::span<const double> xs,
+                                  double min_prominence) {
+  const auto peaks = find_peaks(xs, min_prominence);
+  std::vector<Cycle> cycles;
+  for (std::size_t p = 0; p + 1 < peaks.size(); ++p) {
+    Cycle c;
+    c.peak_index = peaks[p];
+    c.peak_value = xs[peaks[p]];
+    c.length = peaks[p + 1] - peaks[p];
+    double trough = c.peak_value;
+    for (std::size_t j = peaks[p] + 1; j <= peaks[p + 1]; ++j) {
+      trough = std::min(trough, xs[j]);
+    }
+    c.trough_value = trough;
+    cycles.push_back(c);
+  }
+  return cycles;
+}
+
+CycleStats analyze_cycles(std::span<const double> xs, double min_prominence) {
+  const auto cycles = extract_cycles(xs, min_prominence);
+  CycleStats stats;
+  if (cycles.empty()) return stats;
+
+  RunningStats periods;
+  RunningStats peaks;
+  RunningStats troughs;
+  RunningStats ratios;
+  for (const Cycle& c : cycles) {
+    periods.add(static_cast<double>(c.length));
+    peaks.add(c.peak_value);
+    troughs.add(c.trough_value);
+    if (c.peak_value > 0.0) ratios.add(c.trough_value / c.peak_value);
+  }
+  stats.cycles = cycles.size();
+  stats.mean_period = periods.mean();
+  stats.stddev_period = periods.stddev();
+  stats.mean_peak = peaks.mean();
+  stats.mean_trough = troughs.mean();
+  stats.mean_decrease_ratio = ratios.mean();
+  return stats;
+}
+
+std::size_t dominant_period(std::span<const double> xs, std::size_t min_lag,
+                            std::size_t max_lag, double min_correlation) {
+  AXIOMCC_EXPECTS(min_lag >= 1);
+  AXIOMCC_EXPECTS(max_lag >= min_lag);
+  const std::size_t n = xs.size();
+  if (n < 2 * min_lag + 1) return 0;
+
+  const double mean = mean_of(xs);
+  double variance = 0.0;
+  for (double x : xs) variance += (x - mean) * (x - mean);
+  if (variance <= 0.0) return 0;
+
+  // Smooth signals correlate trivially at tiny lags, so the fundamental is
+  // NOT the first lag above the threshold. Standard recipe: walk the
+  // autocorrelation out past its first negative dip, then take the argmax —
+  // the first full cycle back in phase.
+  const std::size_t limit = std::min(max_lag, n / 2);
+  const auto acf_at = [&](std::size_t lag) {
+    double corr = 0.0;
+    for (std::size_t t = 0; t + lag < n; ++t) {
+      corr += (xs[t] - mean) * (xs[t + lag] - mean);
+    }
+    return corr / variance;
+  };
+
+  std::size_t first_dip = 0;
+  for (std::size_t lag = min_lag; lag <= limit; ++lag) {
+    if (acf_at(lag) < 0.0) {
+      first_dip = lag;
+      break;
+    }
+  }
+  if (first_dip == 0) return 0;  // never decorrelates: no cycle in range
+
+  std::size_t best_lag = 0;
+  double best_corr = min_correlation;
+  for (std::size_t lag = first_dip + 1; lag <= limit; ++lag) {
+    const double corr = acf_at(lag);
+    if (corr > best_corr) {
+      best_corr = corr;
+      best_lag = lag;
+    }
+  }
+  if (best_lag == 0) return 0;
+
+  // Non-integer periods can align better at a harmonic (lag ≈ 2P lines up
+  // when P itself drifts half a step per cycle). Prefer a sub-multiple that
+  // correlates nearly as well — the pitch-detection octave correction.
+  for (std::size_t divisor : {3u, 2u}) {
+    const std::size_t candidate = best_lag / divisor;
+    if (candidate < min_lag || candidate <= first_dip) continue;
+    // Scan a ±1 neighbourhood to absorb the rounding of best_lag/divisor.
+    for (std::size_t lag = candidate > 0 ? candidate - 1 : candidate;
+         lag <= candidate + 1; ++lag) {
+      if (lag < min_lag) continue;
+      if (acf_at(lag) >= 0.8 * best_corr) {
+        return lag;
+      }
+    }
+  }
+  return best_lag;
+}
+
+}  // namespace axiomcc::analysis

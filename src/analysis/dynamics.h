@@ -1,0 +1,57 @@
+// dynamics.h — structural analysis of window dynamics.
+//
+// The metric estimators reduce a trace to scalar scores; this module
+// extracts the STRUCTURE the theory reasons about: the sawtooth's peaks and
+// troughs, the limit-cycle period, and amplitude statistics. docs/THEORY.md
+// derives what these should be (e.g. AIMD's period ≈ (1−b)(C+τ)/n steps,
+// trough/peak = b); the tests check the measured cycle against the algebra.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace axiomcc::analysis {
+
+/// One detected oscillation cycle: trough → peak → next trough.
+struct Cycle {
+  std::size_t peak_index = 0;
+  double peak_value = 0.0;
+  double trough_value = 0.0;  ///< trough following the peak
+  std::size_t length = 0;     ///< steps from this peak to the next
+};
+
+/// Summary of a series' limit-cycle behaviour.
+struct CycleStats {
+  std::size_t cycles = 0;
+  double mean_period = 0.0;    ///< steps between successive peaks
+  double stddev_period = 0.0;
+  double mean_peak = 0.0;
+  double mean_trough = 0.0;
+  /// mean trough/peak ratio — AIMD theory says this is b.
+  double mean_decrease_ratio = 0.0;
+};
+
+/// Finds local maxima that dominate their neighbourhood by more than
+/// `min_prominence` (relative to the peak value). Returns peak indices in
+/// order. Flat or monotone series yield none.
+[[nodiscard]] std::vector<std::size_t> find_peaks(std::span<const double> xs,
+                                                  double min_prominence = 0.05);
+
+/// Extracts the cycles between successive detected peaks.
+[[nodiscard]] std::vector<Cycle> extract_cycles(std::span<const double> xs,
+                                                double min_prominence = 0.05);
+
+/// Reduces a series' cycles to summary statistics. Zero-initialized result
+/// when fewer than 2 peaks exist.
+[[nodiscard]] CycleStats analyze_cycles(std::span<const double> xs,
+                                        double min_prominence = 0.05);
+
+/// Estimates the dominant period (in steps) by autocorrelation over lags
+/// [min_lag, max_lag]; 0 when no lag beats the correlation threshold.
+[[nodiscard]] std::size_t dominant_period(std::span<const double> xs,
+                                          std::size_t min_lag = 2,
+                                          std::size_t max_lag = 1000,
+                                          double min_correlation = 0.5);
+
+}  // namespace axiomcc::analysis

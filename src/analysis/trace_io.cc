@@ -1,0 +1,94 @@
+#include "analysis/trace_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace axiomcc::analysis {
+
+void write_trace_csv(const fluid::Trace& trace, std::ostream& out) {
+  out << "step,rtt_seconds,congestion_loss";
+  for (int i = 0; i < trace.num_senders(); ++i) {
+    out << ",w" << i << ",loss" << i;
+  }
+  out << '\n';
+
+  for (std::size_t t = 0; t < trace.num_steps(); ++t) {
+    out << t << ',' << trace.rtt_seconds()[t] << ','
+        << trace.congestion_loss()[t];
+    for (int i = 0; i < trace.num_senders(); ++i) {
+      out << ',' << trace.windows(i)[t] << ',' << trace.observed_loss(i)[t];
+    }
+    out << '\n';
+  }
+}
+
+void write_trace_csv_file(const fluid::Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path);
+  }
+  write_trace_csv(trace, out);
+  if (!out) {
+    throw std::runtime_error("write failed: " + path);
+  }
+}
+
+TraceSummary summarize(const fluid::Trace& trace, double transient_fraction) {
+  AXIOMCC_EXPECTS(trace.num_steps() > 0);
+
+  TraceSummary summary;
+  for (int i = 0; i < trace.num_senders(); ++i) {
+    const auto windows = tail_view(trace.windows(i), transient_fraction);
+    const auto losses = tail_view(trace.observed_loss(i), transient_fraction);
+    RunningStats stats;
+    for (double w : windows) stats.add(w);
+
+    SenderSummary s;
+    s.mean_window = stats.mean();
+    s.stddev_window = stats.stddev();
+    s.min_window = stats.min();
+    s.max_window = stats.max();
+    s.mean_observed_loss = mean_of(losses);
+    summary.senders.push_back(s);
+  }
+
+  const auto rtts = tail_view(trace.rtt_seconds(), transient_fraction);
+  summary.mean_rtt_seconds = mean_of(rtts);
+  summary.p95_rtt_seconds =
+      percentile(std::vector<double>(rtts.begin(), rtts.end()), 95.0);
+  const auto totals = tail_view(trace.total_window(), transient_fraction);
+  summary.mean_total_window = mean_of(totals);
+  summary.mean_utilization =
+      std::min(1.0, summary.mean_total_window / trace.link_capacity_mss());
+  return summary;
+}
+
+std::string render_summary(const TraceSummary& summary) {
+  TextTable table;
+  table.set_header({"sender", "mean w", "std w", "min w", "max w",
+                    "mean loss"});
+  for (std::size_t i = 0; i < summary.senders.size(); ++i) {
+    const SenderSummary& s = summary.senders[i];
+    table.add_row({std::to_string(i), TextTable::num(s.mean_window, 2),
+                   TextTable::num(s.stddev_window, 2),
+                   TextTable::num(s.min_window, 2),
+                   TextTable::num(s.max_window, 2),
+                   TextTable::num(s.mean_observed_loss, 4)});
+  }
+
+  std::ostringstream os;
+  os << table.render();
+  os << "mean RTT: " << summary.mean_rtt_seconds * 1e3
+     << " ms, p95 RTT: " << summary.p95_rtt_seconds * 1e3
+     << " ms, mean utilization: " << summary.mean_utilization << '\n';
+  return os.str();
+}
+
+}  // namespace axiomcc::analysis

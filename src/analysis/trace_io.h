@@ -1,0 +1,48 @@
+// trace_io.h — trace export and summarization.
+//
+// Simulation traces become plots and post-processing inputs: this module
+// writes a fluid::Trace as tidy CSV (one row per step, one column per
+// series) and reduces traces to per-sender summary statistics for reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "fluid/trace.h"
+
+namespace axiomcc::analysis {
+
+/// Writes `trace` as CSV: header
+///   step,rtt_seconds,congestion_loss,w0,loss0,w1,loss1,...
+/// followed by one row per step.
+void write_trace_csv(const fluid::Trace& trace, std::ostream& out);
+
+/// Convenience: writes to `path`; throws std::runtime_error on I/O failure.
+void write_trace_csv_file(const fluid::Trace& trace, const std::string& path);
+
+/// Per-sender reduction of a trace's tail.
+struct SenderSummary {
+  double mean_window = 0.0;
+  double stddev_window = 0.0;
+  double min_window = 0.0;
+  double max_window = 0.0;
+  double mean_observed_loss = 0.0;
+};
+
+struct TraceSummary {
+  std::vector<SenderSummary> senders;
+  double mean_rtt_seconds = 0.0;
+  double p95_rtt_seconds = 0.0;
+  double mean_total_window = 0.0;
+  double mean_utilization = 0.0;  ///< mean total window / capacity, cap 1.
+};
+
+/// Reduces the tail (after discarding `transient_fraction`) of a trace.
+[[nodiscard]] TraceSummary summarize(const fluid::Trace& trace,
+                                     double transient_fraction = 0.5);
+
+/// Renders a summary as an aligned text table.
+[[nodiscard]] std::string render_summary(const TraceSummary& summary);
+
+}  // namespace axiomcc::analysis

@@ -1,0 +1,29 @@
+#include "cc/aimd.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+Aimd::Aimd(double a, double b) : a_(a), b_(b) {
+  AXIOMCC_EXPECTS_MSG(a > 0.0, "AIMD additive increase must be positive");
+  AXIOMCC_EXPECTS_MSG(b > 0.0 && b < 1.0, "AIMD decrease factor must be in (0,1)");
+}
+
+double Aimd::next_window(const Observation& obs) {
+  if (obs.loss_rate > 0.0) return obs.window * b_;
+  return obs.window + a_;
+}
+
+std::string Aimd::name() const {
+  std::ostringstream os;
+  os << "AIMD(" << a_ << "," << b_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> Aimd::clone() const {
+  return std::make_unique<Aimd>(a_, b_);
+}
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,34 @@
+// aimd.h — Additive-Increase Multiplicative-Decrease, AIMD(a, b).
+//
+// Increases the window by `a` MSS when the last step saw no loss; multiplies
+// it by `b` on loss (paper Section 2; Chiu & Jain). TCP Reno in
+// congestion-avoidance mode is AIMD(1, 0.5).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class Aimd final : public Protocol {
+ public:
+  /// Requires a > 0 and 0 < b < 1.
+  Aimd(double a, double b);
+
+  double next_window(const Observation& obs) override;
+  [[nodiscard]] bool loss_based() const override { return true; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override {}
+
+  [[nodiscard]] double increase() const { return a_; }
+  [[nodiscard]] double decrease() const { return b_; }
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace axiomcc::cc

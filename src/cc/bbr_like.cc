@@ -1,0 +1,91 @@
+#include "cc/bbr_like.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+namespace {
+/// BBR's ProbeBW pacing-gain cycle.
+constexpr double kGainCycle[] = {1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+constexpr std::size_t kCycleLength = 8;
+/// STARTUP exits when the delivery rate stops growing by at least this
+/// factor per step.
+constexpr double kStartupGrowthThreshold = 1.10;
+constexpr double kStartupGain = 2.0;
+/// Always keep a few segments in flight so estimation never stalls.
+constexpr double kMinWindow = 4.0;
+}  // namespace
+
+BbrLike::BbrLike(std::size_t bw_window, std::size_t rtt_window)
+    : bw_window_(bw_window), rtt_window_(rtt_window) {
+  AXIOMCC_EXPECTS(bw_window >= 1);
+  AXIOMCC_EXPECTS(rtt_window >= 1);
+}
+
+void BbrLike::push_sample(std::deque<double>& window, double value,
+                          std::size_t capacity) {
+  window.push_back(value);
+  while (window.size() > capacity) window.pop_front();
+}
+
+double BbrLike::bandwidth_estimate() const {
+  if (bw_samples_.empty()) return 0.0;
+  return *std::max_element(bw_samples_.begin(), bw_samples_.end());
+}
+
+double BbrLike::min_rtt_estimate() const {
+  if (rtt_samples_.empty()) return 0.0;
+  return *std::min_element(rtt_samples_.begin(), rtt_samples_.end());
+}
+
+double BbrLike::next_window(const Observation& obs) {
+  if (obs.rtt_seconds <= 0.0) {
+    return std::max(obs.window * kStartupGain, kMinWindow);
+  }
+
+  const double delivery_rate =
+      obs.window * (1.0 - obs.loss_rate) / obs.rtt_seconds;
+  push_sample(bw_samples_, delivery_rate, bw_window_);
+  push_sample(rtt_samples_, obs.rtt_seconds, rtt_window_);
+
+  if (startup_) {
+    const bool still_growing =
+        last_delivery_rate_ <= 0.0 ||
+        delivery_rate >= last_delivery_rate_ * kStartupGrowthThreshold;
+    last_delivery_rate_ = delivery_rate;
+    if (still_growing) {
+      return std::max(obs.window * kStartupGain, kMinWindow);
+    }
+    startup_ = false;  // pipe filled: drain into ProbeBW
+    cycle_index_ = 1;  // start at the 0.75 drain phase
+  }
+
+  const double gain = kGainCycle[cycle_index_ % kCycleLength];
+  cycle_index_ = (cycle_index_ + 1) % kCycleLength;
+
+  const double bdp = bandwidth_estimate() * min_rtt_estimate();
+  return std::max(gain * bdp, kMinWindow);
+}
+
+std::string BbrLike::name() const {
+  std::ostringstream os;
+  os << "BBR-like(bw_win=" << bw_window_ << ",rtt_win=" << rtt_window_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> BbrLike::clone() const {
+  return std::make_unique<BbrLike>(bw_window_, rtt_window_);
+}
+
+void BbrLike::reset() {
+  bw_samples_.clear();
+  rtt_samples_.clear();
+  startup_ = true;
+  last_delivery_rate_ = 0.0;
+  cycle_index_ = 0;
+}
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,61 @@
+// bbr_like.h — a BBR-flavoured model-based protocol (paper future work).
+//
+// Section 6 asks for the model to cover "recently proposed" pacing-based
+// designs such as BBR. This is a window-model adaptation of BBR's core loop
+// (Cardwell et al., 2016):
+//
+//   * estimate the bottleneck bandwidth as a windowed MAX of the observed
+//     delivery rate  (window·(1−loss)/RTT),
+//   * estimate the propagation RTT as a windowed MIN of observed RTTs,
+//   * in STARTUP, double the window each step while the delivery rate keeps
+//     growing ≥ kStartupGrowthThreshold per step,
+//   * afterwards, pace the window around the estimated BDP with the gain
+//     cycle {1.25, 0.75, 1, 1, 1, 1, 1, 1} (probe up, drain, cruise).
+//
+// Like real BBR it is NOT loss-based (it reacts to rates and delays, not to
+// loss), which makes it robust to non-congestion loss (Metric VI) while
+// keeping queues near-empty most of the cycle (Metric VIII).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class BbrLike final : public Protocol {
+ public:
+  /// `bw_window`: steps over which the max-filter remembers delivery-rate
+  /// samples. `rtt_window`: same for the min-RTT filter.
+  explicit BbrLike(std::size_t bw_window = 10, std::size_t rtt_window = 100);
+
+  double next_window(const Observation& obs) override;
+  [[nodiscard]] bool loss_based() const override { return false; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override;
+
+  /// Current bottleneck-bandwidth estimate in MSS/s (0 before any sample).
+  [[nodiscard]] double bandwidth_estimate() const;
+  /// Current propagation-RTT estimate in seconds (0 before any sample).
+  [[nodiscard]] double min_rtt_estimate() const;
+  [[nodiscard]] bool in_startup() const { return startup_; }
+
+ private:
+  void push_sample(std::deque<double>& window, double value,
+                   std::size_t capacity);
+
+  std::size_t bw_window_;
+  std::size_t rtt_window_;
+
+  std::deque<double> bw_samples_;   // delivery rates, MSS/s
+  std::deque<double> rtt_samples_;  // RTTs, seconds
+  bool startup_ = true;
+  double last_delivery_rate_ = 0.0;
+  std::size_t cycle_index_ = 0;
+};
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,38 @@
+#include "cc/binomial.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+Binomial::Binomial(double a, double b, double k, double l)
+    : a_(a), b_(b), k_(k), l_(l) {
+  AXIOMCC_EXPECTS_MSG(a > 0.0, "BIN increase numerator must be positive");
+  AXIOMCC_EXPECTS_MSG(b > 0.0 && b <= 1.0, "BIN decrease scale must be in (0,1]");
+  AXIOMCC_EXPECTS_MSG(k >= 0.0, "BIN increase exponent must be non-negative");
+  AXIOMCC_EXPECTS_MSG(l >= 0.0 && l <= 1.0, "BIN decrease exponent must be in [0,1]");
+}
+
+double Binomial::next_window(const Observation& obs) {
+  // The simulator guarantees obs.window >= min_window > 0, so x^{-k} is
+  // well defined; guard anyway to keep the update total.
+  const double x = std::max(obs.window, 1e-9);
+  if (obs.loss_rate > 0.0) {
+    return x - b_ * std::pow(x, l_);
+  }
+  return x + a_ / std::pow(x, k_);
+}
+
+std::string Binomial::name() const {
+  std::ostringstream os;
+  os << "BIN(" << a_ << "," << b_ << "," << k_ << "," << l_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> Binomial::clone() const {
+  return std::make_unique<Binomial>(a_, b_, k_, l_);
+}
+
+}  // namespace axiomcc::cc

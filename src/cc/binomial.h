@@ -1,0 +1,40 @@
+// binomial.h — Binomial congestion control, BIN(a, b, k, l).
+//
+// Bansal & Balakrishnan's family (paper Section 2):
+//   no loss:  x <- x + a / x^k
+//   loss:     x <- x - b * x^l
+// AIMD is BIN(a, b', 0, 1) (with b' = 1-b in AIMD's parameterization);
+// IIAD is k=1, l=0; SQRT is k=l=1/2.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class Binomial final : public Protocol {
+ public:
+  /// Requires a > 0, 0 < b <= 1, k >= 0, l in [0, 1].
+  Binomial(double a, double b, double k, double l);
+
+  double next_window(const Observation& obs) override;
+  [[nodiscard]] bool loss_based() const override { return true; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override {}
+
+  [[nodiscard]] double a() const { return a_; }
+  [[nodiscard]] double b() const { return b_; }
+  [[nodiscard]] double k() const { return k_; }
+  [[nodiscard]] double l() const { return l_; }
+
+ private:
+  double a_;
+  double b_;
+  double k_;
+  double l_;
+};
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,40 @@
+#include "cc/cautious_probe.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+CautiousProbe::CautiousProbe(double probe_step, double backoff)
+    : probe_step_(probe_step), backoff_(backoff) {
+  AXIOMCC_EXPECTS_MSG(probe_step > 0.0, "probe step must be positive");
+  AXIOMCC_EXPECTS_MSG(backoff > 0.0 && backoff < 1.0, "backoff must be in (0,1)");
+}
+
+double CautiousProbe::next_window(const Observation& obs) {
+  if (frozen_) return frozen_window_;
+  if (obs.loss_rate > 0.0) {
+    frozen_ = true;
+    frozen_window_ = obs.window * backoff_;
+    return frozen_window_;
+  }
+  return obs.window + probe_step_;
+}
+
+std::string CautiousProbe::name() const {
+  std::ostringstream os;
+  os << "CautiousProbe(" << probe_step_ << "," << backoff_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> CautiousProbe::clone() const {
+  return std::make_unique<CautiousProbe>(probe_step_, backoff_);
+}
+
+void CautiousProbe::reset() {
+  frozen_ = false;
+  frozen_window_ = 0.0;
+}
+
+}  // namespace axiomcc::cc

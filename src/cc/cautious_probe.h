@@ -1,0 +1,40 @@
+// cautious_probe.h — the Claim 1 witness protocol.
+//
+// Claim 1 observes that a loss-based protocol CAN be 0-loss (from some point
+// onwards it never incurs loss) while almost fully utilizing the link — but
+// then it cannot be alpha-fast-utilizing for any alpha > 0. CautiousProbe is
+// exactly the protocol sketched there: it slowly increases its window until
+// it encounters loss for the first time, then backs off slightly below the
+// last loss-free level and freezes forever.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class CautiousProbe final : public Protocol {
+ public:
+  /// `probe_step`: additive probe increment (MSS) while still searching.
+  /// `backoff`: multiplicative safety factor applied to the window that first
+  /// experienced loss (must be in (0,1)).
+  explicit CautiousProbe(double probe_step = 1.0, double backoff = 0.9);
+
+  double next_window(const Observation& obs) override;
+  [[nodiscard]] bool loss_based() const override { return true; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override;
+
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
+ private:
+  double probe_step_;
+  double backoff_;
+  bool frozen_ = false;
+  double frozen_window_ = 0.0;
+};
+
+}  // namespace axiomcc::cc

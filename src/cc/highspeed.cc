@@ -1,0 +1,59 @@
+#include "cc/highspeed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+HighSpeed::HighSpeed(double low_window, double high_window,
+                     double high_decrease)
+    : low_window_(low_window),
+      high_window_(high_window),
+      high_decrease_(high_decrease) {
+  AXIOMCC_EXPECTS_MSG(low_window >= 1.0, "HighSpeed low window must be >= 1");
+  AXIOMCC_EXPECTS_MSG(high_window > low_window,
+                      "HighSpeed high window must exceed the low window");
+  AXIOMCC_EXPECTS_MSG(high_decrease > 0.0 && high_decrease <= 0.5,
+                      "HighSpeed high-window decrease must be in (0, 0.5]");
+}
+
+double HighSpeed::decrease_fraction(double window) const {
+  if (window <= low_window_) return 0.5;  // Reno regime
+  const double w = std::min(window, high_window_);
+  const double span = std::log(high_window_) - std::log(low_window_);
+  const double position = std::log(high_window_) - std::log(w);
+  return high_decrease_ + (0.5 - high_decrease_) * position / span;
+}
+
+double HighSpeed::additive_increase(double window) const {
+  if (window <= low_window_) return 1.0;  // Reno regime
+  const double w = std::min(window, high_window_);
+  // RFC 3649's target response function.
+  const double p = 0.078 / std::pow(w, 1.2);
+  const double b = decrease_fraction(w);
+  return std::max(1.0, w * w * p * 2.0 * b / (2.0 - b));
+}
+
+double HighSpeed::next_window(const Observation& obs) {
+  if (obs.loss_rate > 0.0) {
+    return obs.window * (1.0 - decrease_fraction(obs.window));
+  }
+  return obs.window + additive_increase(obs.window);
+}
+
+std::string HighSpeed::name() const {
+  std::ostringstream os;
+  os << "HighSpeed(" << low_window_ << "," << high_window_ << ","
+     << high_decrease_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> HighSpeed::clone() const {
+  return std::make_unique<HighSpeed>(low_window_, high_window_,
+                                     high_decrease_);
+}
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,74 @@
+#include "cc/illinois.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+Illinois::Illinois(const Params& params) : params_(params) {
+  AXIOMCC_EXPECTS(params.a_min > 0.0);
+  AXIOMCC_EXPECTS(params.a_max > params.a_min);
+  AXIOMCC_EXPECTS(params.b_min > 0.0);
+  AXIOMCC_EXPECTS(params.b_max > params.b_min && params.b_max < 1.0);
+  AXIOMCC_EXPECTS(params.d1 > 0.0 && params.d1 < params.d2);
+  AXIOMCC_EXPECTS(params.d2 < params.d3 && params.d3 <= 1.0);
+}
+
+double Illinois::increase_at(double d, double d_max) const {
+  if (d_max <= 0.0) return params_.a_max;  // no queueing ever observed
+  const double d1_abs = params_.d1 * d_max;
+  if (d <= d1_abs) return params_.a_max;
+  // Concave interpolation a(d) = kappa1 / (kappa2 + d) with a(d1) = a_max
+  // and a(d_max) = a_min (the Illinois paper's curve).
+  const double kappa1 = (d_max - d1_abs) * params_.a_min * params_.a_max /
+                        (params_.a_max - params_.a_min);
+  const double kappa2 = kappa1 / params_.a_max - d1_abs;
+  return std::clamp(kappa1 / (kappa2 + d), params_.a_min, params_.a_max);
+}
+
+double Illinois::decrease_at(double d, double d_max) const {
+  if (d_max <= 0.0) return params_.b_min;
+  const double d2_abs = params_.d2 * d_max;
+  const double d3_abs = params_.d3 * d_max;
+  if (d <= d2_abs) return params_.b_min;
+  if (d >= d3_abs) return params_.b_max;
+  const double fraction = (d - d2_abs) / (d3_abs - d2_abs);
+  return params_.b_min + (params_.b_max - params_.b_min) * fraction;
+}
+
+double Illinois::next_window(const Observation& obs) {
+  if (obs.rtt_seconds > 0.0) {
+    if (min_rtt_ <= 0.0 || obs.rtt_seconds < min_rtt_) {
+      min_rtt_ = obs.rtt_seconds;
+    }
+    max_rtt_ = std::max(max_rtt_, obs.rtt_seconds);
+  }
+  const double d = min_rtt_ > 0.0 ? std::max(0.0, obs.rtt_seconds - min_rtt_)
+                                  : 0.0;
+  const double d_max = min_rtt_ > 0.0 ? max_rtt_ - min_rtt_ : 0.0;
+
+  if (obs.loss_rate > 0.0) {
+    return obs.window * (1.0 - decrease_at(d, d_max));
+  }
+  return obs.window + increase_at(d, d_max);
+}
+
+std::string Illinois::name() const {
+  std::ostringstream os;
+  os << "Illinois(a=" << params_.a_min << ".." << params_.a_max
+     << ",b=" << params_.b_min << ".." << params_.b_max << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> Illinois::clone() const {
+  return std::make_unique<Illinois>(params_);
+}
+
+void Illinois::reset() {
+  min_rtt_ = 0.0;
+  max_rtt_ = 0.0;
+}
+
+}  // namespace axiomcc::cc

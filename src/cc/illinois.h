@@ -1,0 +1,58 @@
+// illinois.h — a TCP-Illinois-like delay-modulated AIMD.
+//
+// Liu, Başar & Srikant (2008): keep AIMD's loss-triggered structure, but let
+// the queueing-delay estimate d = RTT − RTT_min steer the parameters —
+// aggressive additive increase (a_max) while the queue is empty, gentle
+// (a_min) as delay approaches its observed maximum; mirror for the decrease
+// fraction (b_min when delay is low → the loss was probably not congestion,
+// b_max when high). A concave curve a(d) = kappa1/(kappa2 + d) interpolates.
+//
+// Axiomatically interesting: a loss-based protocol whose POSITION in the
+// metric space shifts with the latency regime — high fast-utilization on
+// empty queues, Reno-like friendliness near saturation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+struct IllinoisParams {
+  double a_min = 0.3;   ///< additive increase at max delay
+  double a_max = 10.0;  ///< additive increase on an empty queue
+  double b_min = 0.125; ///< decrease fraction at low delay
+  double b_max = 0.5;   ///< decrease fraction at high delay
+  /// Delay thresholds as fractions of the observed max queueing delay.
+  double d1 = 0.01;  ///< below: a = a_max
+  double d2 = 0.1;   ///< below: b = b_min
+  double d3 = 0.8;   ///< above: b = b_max
+};
+
+class Illinois final : public Protocol {
+ public:
+  using Params = IllinoisParams;
+
+  explicit Illinois(const Params& params = {});
+
+  double next_window(const Observation& obs) override;
+  /// Delay-modulated: NOT loss-based in the paper's sense.
+  [[nodiscard]] bool loss_based() const override { return false; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override;
+
+  /// The additive increase at queueing delay `d` given max delay `d_max`
+  /// (exposed for tests).
+  [[nodiscard]] double increase_at(double d, double d_max) const;
+  /// The decrease fraction at queueing delay `d` given max delay `d_max`.
+  [[nodiscard]] double decrease_at(double d, double d_max) const;
+
+ private:
+  Params params_;
+  double min_rtt_ = 0.0;  // seconds; 0 = unset
+  double max_rtt_ = 0.0;
+};
+
+}  // namespace axiomcc::cc

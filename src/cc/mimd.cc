@@ -1,0 +1,29 @@
+#include "cc/mimd.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+Mimd::Mimd(double a, double b) : a_(a), b_(b) {
+  AXIOMCC_EXPECTS_MSG(a > 1.0, "MIMD increase factor must exceed 1");
+  AXIOMCC_EXPECTS_MSG(b > 0.0 && b < 1.0, "MIMD decrease factor must be in (0,1)");
+}
+
+double Mimd::next_window(const Observation& obs) {
+  if (obs.loss_rate > 0.0) return obs.window * b_;
+  return obs.window * a_;
+}
+
+std::string Mimd::name() const {
+  std::ostringstream os;
+  os << "MIMD(" << a_ << "," << b_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> Mimd::clone() const {
+  return std::make_unique<Mimd>(a_, b_);
+}
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,34 @@
+// mimd.h — Multiplicative-Increase Multiplicative-Decrease, MIMD(a, b).
+//
+// Multiplies the window by `a > 1` when the last step saw no loss and by
+// `b < 1` on loss (paper Section 2; Altman et al.). TCP Scalable behaves as
+// MIMD(1.01, 0.875).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class Mimd final : public Protocol {
+ public:
+  /// Requires a > 1 and 0 < b < 1.
+  Mimd(double a, double b);
+
+  double next_window(const Observation& obs) override;
+  [[nodiscard]] bool loss_based() const override { return true; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override {}
+
+  [[nodiscard]] double increase() const { return a_; }
+  [[nodiscard]] double decrease() const { return b_; }
+
+ private:
+  double a_;
+  double b_;
+};
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,22 @@
+// observation.h — what a sender learns about the network in one time step.
+//
+// The paper (Section 2) defines a congestion-control protocol as a
+// deterministic map from the history of the sender's own windows, RTTs, and
+// loss rates to the next window. One Observation carries the per-step slice
+// of that history; protocols keep whatever summarized state they need.
+#pragma once
+
+namespace axiomcc::cc {
+
+/// Per-time-step feedback delivered to a sender at the end of a step.
+struct Observation {
+  /// The window (MSS) the sender used during the step that just ended.
+  double window = 0.0;
+  /// Loss rate experienced during the step, in [0, 1]. Includes both
+  /// congestion loss and injected non-congestion loss.
+  double loss_rate = 0.0;
+  /// Duration of the step (the RTT), in seconds.
+  double rtt_seconds = 0.0;
+};
+
+}  // namespace axiomcc::cc

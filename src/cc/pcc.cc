@@ -1,0 +1,98 @@
+#include "cc/pcc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+namespace {
+constexpr double kSigmoidCoef = 100.0;
+constexpr double kMinWindow = 1.0;
+}  // namespace
+
+PccAllegro::PccAllegro(double eps, double loss_threshold)
+    : eps_(eps), loss_threshold_(loss_threshold) {
+  AXIOMCC_EXPECTS_MSG(eps > 0.0 && eps < 0.5, "PCC probe eps must be in (0,0.5)");
+  AXIOMCC_EXPECTS_MSG(loss_threshold > 0.0 && loss_threshold < 1.0,
+                      "PCC loss threshold must be in (0,1)");
+}
+
+double PccAllegro::utility(double window, double loss_rate) const {
+  const double throughput = window * (1.0 - loss_rate);
+  const double sigmoid =
+      1.0 / (1.0 + std::exp(kSigmoidCoef * (loss_rate - loss_threshold_)));
+  return throughput * sigmoid - window * loss_rate;
+}
+
+double PccAllegro::next_window(const Observation& obs) {
+  const double u = utility(obs.window, obs.loss_rate);
+
+  switch (state_) {
+    case State::kStarting: {
+      if (!seen_first_step_ || u > prev_utility_) {
+        seen_first_step_ = true;
+        prev_utility_ = u;
+        return obs.window * 2.0;
+      }
+      // Utility dropped: revert to the pre-doubling window and start probing.
+      base_window_ = std::max(obs.window / 2.0, kMinWindow);
+      state_ = State::kProbeUp;
+      return base_window_ * (1.0 + eps_);
+    }
+
+    case State::kProbeUp: {
+      utility_up_ = u;
+      state_ = State::kProbeDown;
+      return base_window_ * (1.0 - eps_);
+    }
+
+    case State::kProbeDown: {
+      const double utility_down = u;
+      direction_ = utility_up_ >= utility_down ? +1 : -1;
+      stride_ = 1;
+      prev_utility_ = std::max(utility_up_, utility_down);
+      state_ = State::kMoving;
+      return base_window_ * (1.0 + direction_ * stride_ * eps_);
+    }
+
+    case State::kMoving: {
+      if (u >= prev_utility_) {
+        prev_utility_ = u;
+        base_window_ = obs.window;
+        ++stride_;
+        return std::max(obs.window * (1.0 + direction_ * stride_ * eps_),
+                        kMinWindow);
+      }
+      // The last move hurt: re-anchor at the last good window and re-probe.
+      state_ = State::kProbeUp;
+      return base_window_ * (1.0 + eps_);
+    }
+  }
+  AXIOMCC_ENSURES(false);  // unreachable
+  return obs.window;
+}
+
+std::string PccAllegro::name() const {
+  std::ostringstream os;
+  os << "PCC-Allegro(eps=" << eps_ << ",thr=" << loss_threshold_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> PccAllegro::clone() const {
+  return std::make_unique<PccAllegro>(eps_, loss_threshold_);
+}
+
+void PccAllegro::reset() {
+  state_ = State::kStarting;
+  seen_first_step_ = false;
+  prev_utility_ = 0.0;
+  base_window_ = 0.0;
+  utility_up_ = 0.0;
+  direction_ = +1;
+  stride_ = 1;
+}
+
+}  // namespace axiomcc::cc

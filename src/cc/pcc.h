@@ -1,0 +1,60 @@
+// pcc.h — a PCC-Allegro-like utility-probing protocol.
+//
+// The paper compares Robust-AIMD against PCC [Dong et al., NSDI'15] in
+// Table 2 and notes PCC's behaviour is strictly more aggressive than
+// MIMD(1.01, 0.99). We implement the Allegro control loop adapted to the
+// per-RTT-step window model:
+//
+//  * utility of a step:  u(w, L) = w(1-L) * sigmoid(L) - w * L, with
+//    sigmoid(L) = 1 / (1 + exp(coef * (L - threshold))); the published
+//    Allegro constants are threshold = 0.05, coef = 100 — loss below 5% is
+//    essentially ignored, which is exactly what makes PCC aggressive.
+//  * STARTING: double the window every step while utility keeps rising.
+//  * PROBING: try w(1+eps) for one step then w(1-eps) for one step and move
+//    in the direction of higher utility.
+//  * MOVING: keep moving in that direction with a linearly growing stride
+//    (1*eps, 2*eps, 3*eps, ...) while utility keeps improving; fall back to
+//    PROBING when it stops improving.
+//
+// The published Allegro randomizes the order of the two probe trials; we fix
+// the order (up, then down) so runs are deterministic (DESIGN.md, Section 2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class PccAllegro final : public Protocol {
+ public:
+  /// `eps`: probe granularity (published Allegro uses 0.01–0.05).
+  /// `loss_threshold`: the utility sigmoid's loss knee (published: 0.05).
+  explicit PccAllegro(double eps = 0.05, double loss_threshold = 0.05);
+
+  double next_window(const Observation& obs) override;
+  [[nodiscard]] bool loss_based() const override { return true; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override;
+
+  /// The Allegro utility of a step; exposed for tests.
+  [[nodiscard]] double utility(double window, double loss_rate) const;
+
+ private:
+  enum class State { kStarting, kProbeUp, kProbeDown, kMoving };
+
+  double eps_;
+  double loss_threshold_;
+
+  State state_ = State::kStarting;
+  bool seen_first_step_ = false;
+  double prev_utility_ = 0.0;
+  double base_window_ = 0.0;  ///< anchor window for the current experiment.
+  double utility_up_ = 0.0;
+  int direction_ = +1;
+  int stride_ = 1;
+};
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,55 @@
+// presets.h — the concrete protocol instances the paper experiments with.
+//
+// Section 5.1 evaluates the Linux-kernel protocols TCP Reno (= AIMD(1,0.5)),
+// TCP Cubic (= CUBIC(0.4,0.8)), and TCP Scalable (= MIMD(1.01,0.875); the
+// paper notes some environments fall back to AIMD(1,0.875)). Section 5.2
+// evaluates Robust-AIMD(1, 0.8, eps) for eps in {0.005, 0.007, 0.01}.
+#pragma once
+
+#include <memory>
+
+#include "cc/aimd.h"
+#include "cc/cubic.h"
+#include "cc/mimd.h"
+#include "cc/pcc.h"
+#include "cc/protocol.h"
+#include "cc/robust_aimd.h"
+
+namespace axiomcc::cc::presets {
+
+/// TCP Reno congestion avoidance: AIMD(1, 0.5).
+[[nodiscard]] inline std::unique_ptr<Protocol> reno() {
+  return std::make_unique<Aimd>(1.0, 0.5);
+}
+
+/// TCP Scalable: MIMD(1.01, 0.875).
+[[nodiscard]] inline std::unique_ptr<Protocol> scalable() {
+  return std::make_unique<Mimd>(1.01, 0.875);
+}
+
+/// TCP Scalable's AIMD fallback observed in some environments: AIMD(1, 0.875).
+[[nodiscard]] inline std::unique_ptr<Protocol> scalable_aimd_fallback() {
+  return std::make_unique<Aimd>(1.0, 0.875);
+}
+
+/// TCP Cubic with (approximately) Linux constants: CUBIC(0.4, 0.8).
+[[nodiscard]] inline std::unique_ptr<Protocol> cubic_linux() {
+  return std::make_unique<Cubic>(0.4, 0.8);
+}
+
+/// The Robust-AIMD configuration of Table 2: Robust-AIMD(1, 0.8, 0.01).
+[[nodiscard]] inline std::unique_ptr<Protocol> robust_aimd_table2() {
+  return std::make_unique<RobustAimd>(1.0, 0.8, 0.01);
+}
+
+/// PCC with published Allegro constants.
+[[nodiscard]] inline std::unique_ptr<Protocol> pcc() {
+  return std::make_unique<PccAllegro>();
+}
+
+/// The paper's aggressiveness proxy for PCC: MIMD(1.01, 0.99).
+[[nodiscard]] inline std::unique_ptr<Protocol> pcc_mimd_proxy() {
+  return std::make_unique<Mimd>(1.01, 0.99);
+}
+
+}  // namespace axiomcc::cc::presets

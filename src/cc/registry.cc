@@ -1,0 +1,188 @@
+#include "cc/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "cc/aimd.h"
+#include "cc/bbr_like.h"
+#include "cc/binomial.h"
+#include "cc/cautious_probe.h"
+#include "cc/cubic.h"
+#include "cc/highspeed.h"
+#include "cc/illinois.h"
+#include "cc/mimd.h"
+#include "cc/pcc.h"
+#include "cc/presets.h"
+#include "cc/robust_aimd.h"
+#include "cc/vegas.h"
+#include "cc/veno.h"
+#include "cc/westwood.h"
+
+namespace axiomcc::cc {
+
+namespace {
+
+struct ParsedSpec {
+  std::string name;
+  std::vector<double> args;
+};
+
+[[nodiscard]] std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[nodiscard]] std::string strip(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+[[nodiscard]] ParsedSpec parse_spec(const std::string& spec) {
+  const std::string trimmed = strip(spec);
+  if (trimmed.empty()) throw std::invalid_argument("empty protocol spec");
+
+  const auto open = trimmed.find('(');
+  if (open == std::string::npos) {
+    return {to_lower(trimmed), {}};
+  }
+  if (trimmed.back() != ')') {
+    throw std::invalid_argument("protocol spec missing ')': " + spec);
+  }
+
+  ParsedSpec out;
+  out.name = to_lower(strip(trimmed.substr(0, open)));
+  std::string args = trimmed.substr(open + 1, trimmed.size() - open - 2);
+  if (!strip(args).empty()) {
+    std::size_t start = 0;
+    while (start <= args.size()) {
+      const auto comma = args.find(',', start);
+      const std::string token =
+          strip(args.substr(start, comma == std::string::npos
+                                       ? std::string::npos
+                                       : comma - start));
+      if (token.empty()) {
+        throw std::invalid_argument("empty argument in protocol spec: " + spec);
+      }
+      std::size_t pos = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(token, &pos);
+      } catch (const std::exception&) {
+        throw std::invalid_argument("malformed number '" + token +
+                                    "' in protocol spec: " + spec);
+      }
+      if (pos != token.size()) {
+        throw std::invalid_argument("malformed number '" + token +
+                                    "' in protocol spec: " + spec);
+      }
+      out.args.push_back(value);
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  return out;
+}
+
+void require_arity(const ParsedSpec& s, std::size_t arity) {
+  if (s.args.size() != arity) {
+    throw std::invalid_argument("protocol '" + s.name + "' expects " +
+                                std::to_string(arity) + " argument(s), got " +
+                                std::to_string(s.args.size()));
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Protocol> make_protocol(const std::string& spec) {
+  const ParsedSpec s = parse_spec(spec);
+
+  // Presets (no arguments).
+  if (s.name == "reno") {
+    require_arity(s, 0);
+    return presets::reno();
+  }
+  if (s.name == "scalable") {
+    require_arity(s, 0);
+    return presets::scalable();
+  }
+  if (s.name == "cubic-linux") {
+    require_arity(s, 0);
+    return presets::cubic_linux();
+  }
+
+  // Parameterized families.
+  if (s.name == "aimd") {
+    require_arity(s, 2);
+    return std::make_unique<Aimd>(s.args[0], s.args[1]);
+  }
+  if (s.name == "mimd") {
+    require_arity(s, 2);
+    return std::make_unique<Mimd>(s.args[0], s.args[1]);
+  }
+  if (s.name == "bin") {
+    require_arity(s, 4);
+    return std::make_unique<Binomial>(s.args[0], s.args[1], s.args[2], s.args[3]);
+  }
+  if (s.name == "cubic") {
+    require_arity(s, 2);
+    return std::make_unique<Cubic>(s.args[0], s.args[1]);
+  }
+  if (s.name == "robust_aimd" || s.name == "robust-aimd") {
+    require_arity(s, 3);
+    return std::make_unique<RobustAimd>(s.args[0], s.args[1], s.args[2]);
+  }
+  if (s.name == "vegas") {
+    require_arity(s, 2);
+    return std::make_unique<VegasLike>(s.args[0], s.args[1]);
+  }
+  if (s.name == "pcc") {
+    if (s.args.empty()) return std::make_unique<PccAllegro>();
+    require_arity(s, 2);
+    return std::make_unique<PccAllegro>(s.args[0], s.args[1]);
+  }
+  if (s.name == "illinois") {
+    require_arity(s, 0);
+    return std::make_unique<Illinois>();
+  }
+  if (s.name == "veno") {
+    if (s.args.empty()) return std::make_unique<VenoLike>();
+    require_arity(s, 2);
+    return std::make_unique<VenoLike>(s.args[0], s.args[1]);
+  }
+  if (s.name == "highspeed") {
+    if (s.args.empty()) return std::make_unique<HighSpeed>();
+    require_arity(s, 3);
+    return std::make_unique<HighSpeed>(s.args[0], s.args[1], s.args[2]);
+  }
+  if (s.name == "westwood") {
+    if (s.args.empty()) return std::make_unique<WestwoodLike>();
+    require_arity(s, 2);
+    return std::make_unique<WestwoodLike>(s.args[0], s.args[1]);
+  }
+  if (s.name == "bbr") {
+    if (s.args.empty()) return std::make_unique<BbrLike>();
+    require_arity(s, 2);
+    return std::make_unique<BbrLike>(static_cast<std::size_t>(s.args[0]),
+                                     static_cast<std::size_t>(s.args[1]));
+  }
+  if (s.name == "cautious") {
+    if (s.args.empty()) return std::make_unique<CautiousProbe>();
+    require_arity(s, 2);
+    return std::make_unique<CautiousProbe>(s.args[0], s.args[1]);
+  }
+
+  throw std::invalid_argument("unknown protocol name: " + s.name);
+}
+
+std::vector<std::string> known_protocol_names() {
+  return {"aimd",     "mimd",      "bin",      "cubic",    "robust_aimd",
+          "vegas",    "pcc",       "bbr",      "cautious", "highspeed",
+          "westwood", "illinois",  "veno",     "reno",     "scalable",
+          "cubic-linux"};
+}
+
+}  // namespace axiomcc::cc

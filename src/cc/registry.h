@@ -1,0 +1,31 @@
+// registry.h — construct protocols from textual specs.
+//
+// Examples and bench binaries accept protocols on the command line as spec
+// strings; the grammar is
+//
+//   spec     := name | name '(' args ')'
+//   args     := number (',' number)*
+//   name     := "aimd" | "mimd" | "bin" | "cubic" | "robust_aimd" | "vegas"
+//            | "pcc" | "cautious" | "reno" | "scalable" | "cubic-linux"
+//
+// e.g. "aimd(1,0.5)", "robust_aimd(1,0.8,0.01)", "reno". Names are
+// case-insensitive; presets take no arguments.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+/// Parses `spec` and constructs the protocol it denotes.
+/// Throws std::invalid_argument on an unknown name, wrong arity, malformed
+/// number, or out-of-domain parameter values.
+[[nodiscard]] std::unique_ptr<Protocol> make_protocol(const std::string& spec);
+
+/// The list of spec names make_protocol accepts (for --help text).
+[[nodiscard]] std::vector<std::string> known_protocol_names();
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,33 @@
+#include "cc/robust_aimd.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+RobustAimd::RobustAimd(double a, double b, double eps)
+    : a_(a), b_(b), eps_(eps) {
+  AXIOMCC_EXPECTS_MSG(a > 0.0, "Robust-AIMD additive increase must be positive");
+  AXIOMCC_EXPECTS_MSG(b > 0.0 && b < 1.0,
+                      "Robust-AIMD decrease factor must be in (0,1)");
+  AXIOMCC_EXPECTS_MSG(eps > 0.0 && eps < 1.0,
+                      "Robust-AIMD loss tolerance must be in (0,1)");
+}
+
+double RobustAimd::next_window(const Observation& obs) {
+  if (obs.loss_rate >= eps_) return obs.window * b_;
+  return obs.window + a_;
+}
+
+std::string RobustAimd::name() const {
+  std::ostringstream os;
+  os << "Robust-AIMD(" << a_ << "," << b_ << "," << eps_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> RobustAimd::clone() const {
+  return std::make_unique<RobustAimd>(a_, b_, eps_);
+}
+
+}  // namespace axiomcc::cc

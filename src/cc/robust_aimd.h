@@ -1,0 +1,39 @@
+// robust_aimd.h — the paper's proposed Robust-AIMD(a, b, eps) protocol.
+//
+// Section 5.2: an AIMD/PCC hybrid. The sender measures the loss rate over
+// each monitor interval (one time step in the model) and
+//   additively increases by `a` when the loss rate is below eps,
+//   multiplicatively decreases by `b` when the loss rate is >= eps.
+// Tolerating loss below eps is what makes it eps-robust to non-congestion
+// loss (Metric VI) while staying far friendlier to TCP than PCC.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class RobustAimd final : public Protocol {
+ public:
+  /// Requires a > 0, 0 < b < 1, eps in (0, 1).
+  RobustAimd(double a, double b, double eps);
+
+  double next_window(const Observation& obs) override;
+  [[nodiscard]] bool loss_based() const override { return true; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override {}
+
+  [[nodiscard]] double increase() const { return a_; }
+  [[nodiscard]] double decrease() const { return b_; }
+  [[nodiscard]] double loss_tolerance() const { return eps_; }
+
+ private:
+  double a_;
+  double b_;
+  double eps_;
+};
+
+}  // namespace axiomcc::cc

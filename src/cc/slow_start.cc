@@ -1,0 +1,50 @@
+#include "cc/slow_start.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+SlowStartWrapper::SlowStartWrapper(std::unique_ptr<Protocol> inner,
+                                   double ssthresh)
+    : inner_(std::move(inner)), ssthresh_(ssthresh) {
+  AXIOMCC_EXPECTS(inner_ != nullptr);
+  AXIOMCC_EXPECTS_MSG(ssthresh > 1.0, "ssthresh must exceed one segment");
+}
+
+double SlowStartWrapper::next_window(const Observation& obs) {
+  if (in_slow_start_) {
+    if (obs.loss_rate > 0.0) {
+      // Exit on loss; the wrapped protocol reacts to it (and anchors any
+      // internal state, e.g. CUBIC's x_max) from the current window.
+      in_slow_start_ = false;
+      return inner_->next_window(obs);
+    }
+    const double doubled = obs.window * 2.0;
+    if (doubled >= ssthresh_) {
+      in_slow_start_ = false;
+      return std::min(doubled, ssthresh_);
+    }
+    return doubled;
+  }
+  return inner_->next_window(obs);
+}
+
+bool SlowStartWrapper::loss_based() const { return inner_->loss_based(); }
+
+std::string SlowStartWrapper::name() const {
+  return "SlowStart+" + inner_->name();
+}
+
+std::unique_ptr<Protocol> SlowStartWrapper::clone() const {
+  return std::make_unique<SlowStartWrapper>(inner_->clone(), ssthresh_);
+}
+
+void SlowStartWrapper::reset() {
+  inner_->reset();
+  in_slow_start_ = true;
+}
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,42 @@
+// slow_start.h — a decorator adding TCP slow start to any protocol in the
+// fluid model.
+//
+// The paper's model starts senders directly in congestion avoidance; real
+// connections begin with an exponential probe. Wrapping a protocol with
+// SlowStartWrapper doubles the window each loss-free step until the first
+// loss (or a threshold), then hands every subsequent decision to the wrapped
+// protocol — letting experiments quantify how much of a protocol's metric
+// scores depend on the assumed starting regime. (The packet-level sender has
+// its own transport-layer slow start; this decorator brings the same
+// behaviour to the fluid substrate.)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class SlowStartWrapper final : public Protocol {
+ public:
+  /// Wraps `inner`. Slow start ends at the first lossy observation or when
+  /// the window reaches `ssthresh`.
+  SlowStartWrapper(std::unique_ptr<Protocol> inner, double ssthresh = 1e9);
+
+  double next_window(const Observation& obs) override;
+  [[nodiscard]] bool loss_based() const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override;
+
+  [[nodiscard]] bool in_slow_start() const { return in_slow_start_; }
+  [[nodiscard]] const Protocol& inner() const { return *inner_; }
+
+ private:
+  std::unique_ptr<Protocol> inner_;
+  double ssthresh_;
+  bool in_slow_start_ = true;
+};
+
+}  // namespace axiomcc::cc

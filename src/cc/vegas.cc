@@ -1,0 +1,46 @@
+#include "cc/vegas.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+VegasLike::VegasLike(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  AXIOMCC_EXPECTS_MSG(alpha >= 0.0 && alpha < beta,
+                      "Vegas needs 0 <= alpha < beta");
+}
+
+double VegasLike::next_window(const Observation& obs) {
+  if (base_rtt_seconds_ <= 0.0 || obs.rtt_seconds < base_rtt_seconds_) {
+    base_rtt_seconds_ = obs.rtt_seconds;
+  }
+
+  if (obs.loss_rate > 0.0) return obs.window * 0.5;
+
+  if (obs.rtt_seconds <= 0.0 || base_rtt_seconds_ <= 0.0) {
+    return obs.window + 1.0;  // no RTT signal yet: probe like slow AIMD
+  }
+
+  // Estimated number of this sender's packets sitting in the queue.
+  const double queued =
+      obs.window * (obs.rtt_seconds - base_rtt_seconds_) / obs.rtt_seconds;
+  if (queued < alpha_) return obs.window + 1.0;
+  if (queued > beta_) return std::max(obs.window - 1.0, 1.0);
+  return obs.window;
+}
+
+std::string VegasLike::name() const {
+  std::ostringstream os;
+  os << "Vegas(" << alpha_ << "," << beta_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> VegasLike::clone() const {
+  return std::make_unique<VegasLike>(alpha_, beta_);
+}
+
+void VegasLike::reset() { base_rtt_seconds_ = 0.0; }
+
+}  // namespace axiomcc::cc

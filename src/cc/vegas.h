@@ -1,0 +1,41 @@
+// vegas.h — a TCP-Vegas-like latency-avoiding protocol.
+//
+// Not characterized in the paper's Table 1, but required by Theorem 5: any
+// efficient loss-based protocol is maximally unfriendly toward ANY
+// latency-avoiding protocol. VegasLike is our representative of that class.
+//
+// Mechanism (Brakmo & Peterson, adapted to the per-RTT step model): track the
+// minimum RTT ever observed as the propagation baseline; estimate the queue
+// the sender itself occupies as  q = w * (rtt - base) / rtt  packets; keep q
+// between `alpha` and `beta` by +1 / -1 window moves; halve on loss.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class VegasLike final : public Protocol {
+ public:
+  /// Requires 0 <= alpha < beta (in packets of estimated self-queue).
+  VegasLike(double alpha, double beta);
+
+  double next_window(const Observation& obs) override;
+  /// Vegas reacts to RTT, so it is NOT loss-based in the paper's sense.
+  [[nodiscard]] bool loss_based() const override { return false; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] double beta() const { return beta_; }
+
+ private:
+  double alpha_;
+  double beta_;
+  double base_rtt_seconds_ = 0.0;  ///< min RTT seen; 0 = not yet observed.
+};
+
+}  // namespace axiomcc::cc

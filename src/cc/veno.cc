@@ -1,0 +1,50 @@
+#include "cc/veno.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+VenoLike::VenoLike(double beta, double gentle_decrease)
+    : beta_(beta), gentle_decrease_(gentle_decrease) {
+  AXIOMCC_EXPECTS_MSG(beta > 0.0, "Veno backlog threshold must be positive");
+  AXIOMCC_EXPECTS_MSG(gentle_decrease > 0.5 && gentle_decrease < 1.0,
+                      "Veno gentle decrease must be in (0.5, 1)");
+}
+
+double VenoLike::backlog(double window, double rtt_seconds) const {
+  if (min_rtt_ <= 0.0 || rtt_seconds <= 0.0) return 0.0;
+  return window * (rtt_seconds - min_rtt_) / rtt_seconds;
+}
+
+double VenoLike::next_window(const Observation& obs) {
+  if (obs.rtt_seconds > 0.0 &&
+      (min_rtt_ <= 0.0 || obs.rtt_seconds < min_rtt_)) {
+    min_rtt_ = obs.rtt_seconds;
+  }
+  const double n = backlog(obs.window, obs.rtt_seconds);
+
+  if (obs.loss_rate > 0.0) {
+    // Short queue at loss time → probably random loss → gentle back-off;
+    // long queue → congestion → Reno's halving.
+    return obs.window * (n < beta_ ? gentle_decrease_ : 0.5);
+  }
+  // Below the backlog threshold grow like Reno; above it, half-speed.
+  return obs.window + (n < beta_ ? 1.0 : 0.5);
+}
+
+std::string VenoLike::name() const {
+  std::ostringstream os;
+  os << "Veno(" << beta_ << "," << gentle_decrease_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> VenoLike::clone() const {
+  return std::make_unique<VenoLike>(beta_, gentle_decrease_);
+}
+
+void VenoLike::reset() { min_rtt_ = 0.0; }
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,42 @@
+// veno.h — a TCP-Veno-like protocol: Vegas's backlog estimate steering
+// Reno's loss response.
+//
+// Fu & Liew (2003): estimate the sender's queue backlog N = w·(RTT −
+// RTT_min)/RTT. On loss, if N < beta the loss was probably random (the queue
+// was short), so back off gently (×0.8); otherwise it is congestion, halve
+// as Reno would. While loss-free, grow by 1 MSS per RTT below the backlog
+// threshold and by 1/2 MSS above it.
+//
+// A third route to non-congestion-loss robustness (Metric VI), distinct
+// from Robust-AIMD's loss-rate threshold and Westwood's rate-based reset.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class VenoLike final : public Protocol {
+ public:
+  /// `beta`: backlog threshold in packets (Veno's default is 3).
+  /// `gentle_decrease`: multiplicative decrease used for random loss.
+  explicit VenoLike(double beta = 3.0, double gentle_decrease = 0.8);
+
+  double next_window(const Observation& obs) override;
+  [[nodiscard]] bool loss_based() const override { return false; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override;
+
+  /// Current backlog estimate for a hypothetical (window, rtt) pair.
+  [[nodiscard]] double backlog(double window, double rtt_seconds) const;
+
+ private:
+  double beta_;
+  double gentle_decrease_;
+  double min_rtt_ = 0.0;  // 0 = unset
+};
+
+}  // namespace axiomcc::cc

@@ -1,0 +1,52 @@
+#include "cc/westwood.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+
+WestwoodLike::WestwoodLike(double a, double ewma) : a_(a), ewma_(ewma) {
+  AXIOMCC_EXPECTS_MSG(a > 0.0, "Westwood additive increase must be positive");
+  AXIOMCC_EXPECTS_MSG(ewma > 0.0 && ewma <= 1.0,
+                      "Westwood EWMA weight must be in (0, 1]");
+}
+
+double WestwoodLike::next_window(const Observation& obs) {
+  if (obs.rtt_seconds > 0.0) {
+    if (min_rtt_ <= 0.0 || obs.rtt_seconds < min_rtt_) {
+      min_rtt_ = obs.rtt_seconds;
+    }
+    const double sample = obs.window * (1.0 - obs.loss_rate) / obs.rtt_seconds;
+    bw_estimate_ = bw_estimate_ <= 0.0
+                       ? sample
+                       : (1.0 - ewma_) * bw_estimate_ + ewma_ * sample;
+  }
+
+  if (obs.loss_rate > 0.0) {
+    // Faster-than-blind recovery: resume from the estimated BDP. Random loss
+    // leaves the achieved rate (and hence the estimate) nearly intact.
+    const double bdp = bw_estimate_ * min_rtt_;
+    if (bdp > 0.0) return std::max(1.0, std::min(bdp, obs.window));
+    return obs.window * 0.5;  // no estimate yet: Reno fallback
+  }
+  return obs.window + a_;
+}
+
+std::string WestwoodLike::name() const {
+  std::ostringstream os;
+  os << "Westwood(" << a_ << "," << ewma_ << ")";
+  return os.str();
+}
+
+std::unique_ptr<Protocol> WestwoodLike::clone() const {
+  return std::make_unique<WestwoodLike>(a_, ewma_);
+}
+
+void WestwoodLike::reset() {
+  bw_estimate_ = 0.0;
+  min_rtt_ = 0.0;
+}
+
+}  // namespace axiomcc::cc

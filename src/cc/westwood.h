@@ -1,0 +1,44 @@
+// westwood.h — a TCP-Westwood-like protocol: AIMD increase, but the decrease
+// sets the window to the estimated bandwidth-delay product instead of a
+// blind fraction.
+//
+// Westwood (Mascolo et al. 2001) was designed for lossy wireless paths:
+// after a loss it resumes from  bw_estimate × min_rtt, so random
+// (non-congestion) loss — which doesn't lower the achieved rate — barely
+// dents the window, while genuine congestion (queue built up, rate below
+// window/RTT) produces a real back-off. In the axiomatic space it trades
+// a little TCP-friendliness for robustness without a tuned loss threshold,
+// complementing Robust-AIMD's approach.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cc/protocol.h"
+
+namespace axiomcc::cc {
+
+class WestwoodLike final : public Protocol {
+ public:
+  /// `a`: additive increase per step. `ewma`: weight of the newest delivery
+  /// rate sample in the bandwidth filter.
+  explicit WestwoodLike(double a = 1.0, double ewma = 0.25);
+
+  double next_window(const Observation& obs) override;
+  /// Uses RTT (for the BDP estimate), so not loss-based in the paper's sense.
+  [[nodiscard]] bool loss_based() const override { return false; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
+  void reset() override;
+
+  [[nodiscard]] double bandwidth_estimate() const { return bw_estimate_; }
+  [[nodiscard]] double min_rtt_estimate() const { return min_rtt_; }
+
+ private:
+  double a_;
+  double ewma_;
+  double bw_estimate_ = 0.0;  // MSS/s
+  double min_rtt_ = 0.0;      // seconds; 0 = unset
+};
+
+}  // namespace axiomcc::cc

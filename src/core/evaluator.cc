@@ -1,0 +1,187 @@
+#include "core/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "cc/presets.h"
+#include "fluid/loss_model.h"
+#include "util/check.h"
+
+namespace axiomcc::core {
+
+namespace {
+
+/// A link so large a lone sender never congests it within a run.
+fluid::LinkParams infinite_link(const fluid::LinkParams& base) {
+  fluid::LinkParams huge = base;
+  huge.bandwidth = Bandwidth::from_mss_per_sec(1e15);
+  huge.buffer_mss = 1e15;
+  return huge;
+}
+
+fluid::SimOptions sim_options(long steps) {
+  fluid::SimOptions opt;
+  opt.steps = steps;
+  return opt;
+}
+
+}  // namespace
+
+fluid::Trace run_shared_link(const cc::Protocol& prototype,
+                             const EvalConfig& cfg) {
+  AXIOMCC_EXPECTS(cfg.num_senders > 0);
+  fluid::FluidSimulation sim(cfg.link, sim_options(cfg.steps));
+  const double capacity = sim.link().capacity_mss();
+  for (int i = 0; i < cfg.num_senders; ++i) {
+    // Spread-out starts (sender i begins with an i-proportional share) so the
+    // run exercises the "for any initial configuration" quantifier.
+    const double initial =
+        1.0 + capacity * static_cast<double>(i) /
+                  (2.0 * static_cast<double>(cfg.num_senders));
+    sim.add_sender(prototype, initial);
+  }
+  return sim.run();
+}
+
+double measure_fast_utilization_score(const cc::Protocol& prototype,
+                                      const EvalConfig& cfg) {
+  const fluid::SimOptions options = sim_options(cfg.fast_utilization_steps);
+  fluid::FluidSimulation sim(infinite_link(cfg.link), options);
+  sim.add_sender(prototype, 1.0);
+  const fluid::Trace trace = sim.run();
+
+  // Protocols with multiplicative growth (PCC's STARTING phase doubles every
+  // step) hit the window cap within the run; past that point the series is
+  // flat and would mask the growth that happened. Truncate at saturation.
+  auto windows = trace.windows(0);
+  const double cap = 0.99 * options.max_window_mss;
+  std::size_t truncated = windows.size();
+  for (std::size_t t = 0; t < windows.size(); ++t) {
+    if (windows[t] >= cap) {
+      truncated = t;
+      break;
+    }
+  }
+  const std::size_t min_samples =
+      static_cast<std::size_t>(cfg.fast_utilization_warmup) + 16;
+  truncated = std::max(truncated, std::min(min_samples, windows.size()));
+  return fast_utilization_coefficient(windows.first(truncated),
+                                      cfg.fast_utilization_warmup);
+}
+
+namespace {
+
+/// One robustness probe: does the lone sender escape past the β threshold
+/// under constant injected loss `rate`?
+bool escapes_under_loss(const cc::Protocol& prototype, const EvalConfig& cfg,
+                        double rate) {
+  fluid::FluidSimulation sim(infinite_link(cfg.link),
+                             sim_options(cfg.robustness_steps));
+  sim.add_sender(prototype, 1.0);
+  sim.set_loss_injector(std::make_unique<fluid::ConstantLoss>(rate));
+  const fluid::Trace trace = sim.run();
+  const auto windows = trace.windows(0);
+  return windows.back() >= cfg.robustness_escape_window;
+}
+
+}  // namespace
+
+double measure_robustness_score(const cc::Protocol& prototype,
+                                const EvalConfig& cfg) {
+  if (!escapes_under_loss(prototype, cfg, 0.0)) {
+    return 0.0;  // cannot even utilize a clean link; trivially 0-robust
+  }
+  double lo = 0.0;                      // known to escape
+  double hi = cfg.robustness_max_rate;  // assumed not to escape
+  if (escapes_under_loss(prototype, cfg, hi)) return hi;
+  for (int iter = 0; iter < cfg.robustness_search_iterations; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (escapes_under_loss(prototype, cfg, mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+/// Runs n_p P-senders against n_q Q-senders and returns the trace plus the
+/// index partition.
+struct MixedRun {
+  fluid::Trace trace;
+  std::vector<int> p_senders;
+  std::vector<int> q_senders;
+};
+
+MixedRun run_mixed(const cc::Protocol& p, const cc::Protocol& q, int n_p,
+                   int n_q, const EvalConfig& cfg) {
+  AXIOMCC_EXPECTS(n_p > 0 && n_q > 0);
+  fluid::FluidSimulation sim(cfg.link, sim_options(cfg.steps));
+  MixedRun out{fluid::Trace(1, 1.0, 1.0), {}, {}};
+  int index = 0;
+  for (int i = 0; i < n_p; ++i, ++index) {
+    sim.add_sender(p, 1.0);
+    out.p_senders.push_back(index);
+  }
+  for (int j = 0; j < n_q; ++j, ++index) {
+    sim.add_sender(q, 1.0);
+    out.q_senders.push_back(index);
+  }
+  out.trace = sim.run();
+  return out;
+}
+
+}  // namespace
+
+double measure_tcp_friendliness_score(const cc::Protocol& prototype,
+                                      const EvalConfig& cfg) {
+  const auto reno = cc::presets::reno();
+  return measure_friendliness_between(prototype, *reno, cfg);
+}
+
+double measure_friendliness_between(const cc::Protocol& p,
+                                    const cc::Protocol& q,
+                                    const EvalConfig& cfg) {
+  const MixedRun run = run_mixed(p, q, cfg.num_protocol_senders,
+                                 cfg.num_reno_senders, cfg);
+  return measure_friendliness(run.trace, run.p_senders, run.q_senders,
+                              cfg.estimator());
+}
+
+bool is_more_aggressive(const cc::Protocol& p, const cc::Protocol& q,
+                        const EvalConfig& cfg) {
+  const MixedRun run = run_mixed(p, q, cfg.num_protocol_senders,
+                                 cfg.num_reno_senders, cfg);
+  double min_p = std::numeric_limits<double>::infinity();
+  for (int i : run.p_senders) {
+    min_p = std::min(min_p, tail_goodput(run.trace, i, cfg.estimator()));
+  }
+  double max_q = 0.0;
+  for (int j : run.q_senders) {
+    max_q = std::max(max_q, tail_goodput(run.trace, j, cfg.estimator()));
+  }
+  return min_p > max_q;
+}
+
+MetricReport evaluate_protocol(const cc::Protocol& prototype,
+                               const EvalConfig& cfg) {
+  MetricReport report;
+
+  const fluid::Trace shared = run_shared_link(prototype, cfg);
+  const EstimatorConfig est = cfg.estimator();
+  report.efficiency = measure_efficiency(shared, est);
+  report.loss_avoidance = measure_loss_avoidance(shared, est);
+  report.fairness = measure_fairness(shared, est);
+  report.convergence = measure_convergence(shared, est);
+  report.latency_avoidance = measure_latency_avoidance(shared, est);
+
+  report.fast_utilization = measure_fast_utilization_score(prototype, cfg);
+  report.robustness = measure_robustness_score(prototype, cfg);
+  report.tcp_friendliness = measure_tcp_friendliness_score(prototype, cfg);
+  return report;
+}
+
+}  // namespace axiomcc::core

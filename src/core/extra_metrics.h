@@ -1,0 +1,41 @@
+// extra_metrics.h — candidate additional axioms (paper Section 6: "what
+// other metrics ... should be incorporated into our axiomatic approach?").
+//
+// Three proposals, kept deliberately in the same parameterized style as the
+// paper's eight:
+//
+//   * responsiveness — how quickly a protocol re-fills capacity that opens
+//     up mid-connection (a capacity-doubling step). Measured in RTT steps;
+//     lower is better. Complements fast-utilization, which only covers
+//     growth from an idle start.
+//   * smoothness — 1 minus the mean relative per-step window change over
+//     the tail (∈ [0, 1], higher is better). Media applications care about
+//     rate stability, not just the convergence band (Metric V).
+//   * Jain fairness — the classic (Σx)²/(n·Σx²) index over tail-average
+//     windows, a population-level complement of the paper's worst-pair
+//     Metric IV.
+#pragma once
+
+#include "cc/protocol.h"
+#include "core/evaluator.h"
+#include "fluid/trace.h"
+
+namespace axiomcc::core {
+
+/// Responsiveness: run a lone sender; after `cfg.steps/2` the link's
+/// bandwidth doubles. Returns the number of steps until the sender's window
+/// reaches `target_fraction` of the new capacity (steps÷2 at worst — the
+/// run's remaining horizon — when it never gets there).
+[[nodiscard]] long measure_responsiveness(const cc::Protocol& prototype,
+                                          const EvalConfig& cfg = {},
+                                          double target_fraction = 0.9);
+
+/// Smoothness of the tail window series, averaged across senders.
+[[nodiscard]] double measure_smoothness(const fluid::Trace& trace,
+                                        const EstimatorConfig& cfg = {});
+
+/// Jain's fairness index over tail-average windows.
+[[nodiscard]] double measure_jain_fairness(const fluid::Trace& trace,
+                                           const EstimatorConfig& cfg = {});
+
+}  // namespace axiomcc::core

@@ -1,0 +1,136 @@
+#include "core/feasibility.h"
+
+#include <sstream>
+
+#include "cc/registry.h"
+#include "core/theory.h"
+
+namespace axiomcc::core {
+
+bool FeasibilityQuery::satisfied_by(const MetricReport& r) const {
+  const auto meets_min = [](const std::optional<double>& bound, double value) {
+    return !bound || value >= *bound;
+  };
+  const auto meets_max = [](const std::optional<double>& bound, double value) {
+    return !bound || value <= *bound;
+  };
+  return meets_min(min_efficiency, r.efficiency) &&
+         meets_min(min_fast_utilization, r.fast_utilization) &&
+         meets_max(max_loss, r.loss_avoidance) &&
+         meets_min(min_fairness, r.fairness) &&
+         meets_min(min_convergence, r.convergence) &&
+         meets_min(min_robustness, r.robustness) &&
+         meets_min(min_tcp_friendliness, r.tcp_friendliness) &&
+         meets_max(max_latency, r.latency_avoidance);
+}
+
+std::string FeasibilityQuery::describe() const {
+  std::ostringstream os;
+  bool first = true;
+  const auto emit = [&](const char* name, const std::optional<double>& v,
+                        const char* op) {
+    if (!v) return;
+    if (!first) os << ", ";
+    first = false;
+    os << name << op << *v;
+  };
+  emit("efficiency", min_efficiency, ">=");
+  emit("fast-utilization", min_fast_utilization, ">=");
+  emit("loss", max_loss, "<=");
+  emit("fairness", min_fairness, ">=");
+  emit("convergence", min_convergence, ">=");
+  emit("robustness", min_robustness, ">=");
+  emit("tcp-friendliness", min_tcp_friendliness, ">=");
+  emit("latency", max_latency, "<=");
+  if (first) os << "(unconstrained)";
+  return os.str();
+}
+
+std::vector<std::string> feasibility_candidates() {
+  std::vector<std::string> specs;
+  const auto spec = [&](const std::string& s) { specs.push_back(s); };
+
+  for (double a : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    for (double b : {0.3, 0.5, 0.7, 0.875}) {
+      std::ostringstream os;
+      os << "aimd(" << a << "," << b << ")";
+      spec(os.str());
+    }
+  }
+  for (double b : {0.5, 0.8}) {
+    for (double eps : {0.005, 0.01, 0.05}) {
+      std::ostringstream os;
+      os << "robust_aimd(1," << b << "," << eps << ")";
+      spec(os.str());
+    }
+  }
+  spec("mimd(1.01,0.875)");
+  spec("mimd(1.05,0.7)");
+  spec("bin(1,1,1,0)");        // IIAD
+  spec("bin(1,0.5,0.5,0.5)");  // SQRT
+  spec("cubic(0.4,0.8)");
+  spec("cubic(1,0.7)");
+  spec("vegas(2,4)");
+  spec("pcc");
+  spec("bbr");
+  spec("highspeed");
+  spec("westwood");
+  spec("illinois");
+  spec("veno");
+  return specs;
+}
+
+namespace {
+
+/// Theorem 2 pruning: requirements on (fast-utilization α, efficiency β,
+/// TCP-friendliness) that exceed 3(1−β)/(α(1+β)) are impossible for
+/// loss-based protocols — and the theorem is tight, so no point searching.
+std::optional<std::string> theorem2_certificate(const FeasibilityQuery& q) {
+  if (!q.min_fast_utilization || !q.min_efficiency ||
+      !q.min_tcp_friendliness) {
+    return std::nullopt;
+  }
+  if (*q.min_fast_utilization <= 0.0) return std::nullopt;
+  const double beta = std::min(*q.min_efficiency, 1.0);
+  const double bound =
+      theory::thm2_friendliness_upper_bound(*q.min_fast_utilization, beta);
+  if (*q.min_tcp_friendliness > bound) {
+    std::ostringstream os;
+    os << "Theorem 2: any loss-based protocol that is "
+       << *q.min_fast_utilization << "-fast-utilizing and " << beta
+       << "-efficient is at most " << bound
+       << "-TCP-friendly, but the query demands >= "
+       << *q.min_tcp_friendliness;
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+FeasibilityResult resolve(const FeasibilityQuery& query,
+                          const EvalConfig& cfg) {
+  FeasibilityResult result;
+
+  if (const auto certificate = theorem2_certificate(query)) {
+    result.status = Feasibility::kProvablyInfeasible;
+    result.certificate = *certificate;
+    return result;
+  }
+
+  for (const std::string& spec : feasibility_candidates()) {
+    const auto protocol = cc::make_protocol(spec);
+    const MetricReport scores = evaluate_protocol(*protocol, cfg);
+    ++result.candidates_evaluated;
+    if (query.satisfied_by(scores)) {
+      result.status = Feasibility::kFeasible;
+      result.witness_spec = spec;
+      result.witness_scores = scores;
+      return result;
+    }
+  }
+  result.status = Feasibility::kNoWitnessFound;
+  return result;
+}
+
+}  // namespace axiomcc::core

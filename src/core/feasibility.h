@@ -1,0 +1,75 @@
+// feasibility.h — the paper's central question as an executable query:
+// WHICH COMBINATIONS OF AXIOM SCORES ARE SIMULTANEOUSLY ACHIEVABLE?
+//
+// A FeasibilityQuery states requirements on any subset of the eight metrics
+// ("at least 0.9-efficient AND at least 0.5-TCP-friendly AND..."). The
+// resolver answers in one of three ways:
+//
+//   * kProvablyInfeasible — the requirements contradict Theorem 2 (the
+//     fast-utilization/efficiency/friendliness trade) before anything is
+//     simulated; the certificate names the violated bound.
+//   * kFeasible — a concrete protocol instance from the library's families
+//     achieves every requirement on the reference scenario; the witness
+//     spec and its measured scores are returned.
+//   * kNoWitnessFound — not provably impossible, but no instance in the
+//     search grid achieves it (the honest "we don't know" of Section 4).
+//
+// This is the axiomatic approach as a protocol-design tool: ask for the
+// point in the metric space you want, get either a protocol or a theorem.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/metric_point.h"
+
+namespace axiomcc::core {
+
+/// Requirements on metric scores. Unset fields are unconstrained.
+/// Orientation follows the paper: loss/latency are upper bounds, the rest
+/// lower bounds.
+struct FeasibilityQuery {
+  std::optional<double> min_efficiency;
+  std::optional<double> min_fast_utilization;
+  std::optional<double> max_loss;
+  std::optional<double> min_fairness;
+  std::optional<double> min_convergence;
+  std::optional<double> min_robustness;
+  std::optional<double> min_tcp_friendliness;
+  std::optional<double> max_latency;
+
+  /// True when `report` meets every stated requirement.
+  [[nodiscard]] bool satisfied_by(const MetricReport& report) const;
+
+  /// Human-readable rendering ("efficiency>=0.9, friendliness>=0.5").
+  [[nodiscard]] std::string describe() const;
+};
+
+enum class Feasibility {
+  kFeasible,
+  kProvablyInfeasible,
+  kNoWitnessFound,
+};
+
+struct FeasibilityResult {
+  Feasibility status = Feasibility::kNoWitnessFound;
+  /// For kFeasible: the witness protocol's spec string and measured scores.
+  std::string witness_spec;
+  MetricReport witness_scores;
+  /// For kProvablyInfeasible: which theorem kills the query and why.
+  std::string certificate;
+  /// Number of candidate instances evaluated.
+  int candidates_evaluated = 0;
+};
+
+/// The spec strings the resolver searches, spanning every family in the
+/// registry across a parameter grid (exposed for tests and tooling).
+[[nodiscard]] std::vector<std::string> feasibility_candidates();
+
+/// Resolves a query against the reference scenario in `cfg`.
+[[nodiscard]] FeasibilityResult resolve(const FeasibilityQuery& query,
+                                        const EvalConfig& cfg = {});
+
+}  // namespace axiomcc::core

@@ -1,0 +1,75 @@
+// metric_point.h — protocols as points in the paper's 8-dimensional space.
+//
+// Section 5: "a congestion control protocol can be regarded as a point in the
+// 8-dimensional space induced by the metrics, according to its score in each
+// metric". MetricReport holds the raw scores in the paper's orientation;
+// oriented() converts to a uniform higher-is-better vector so that Pareto
+// dominance (Section 5.2) is a single component-wise comparison.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace axiomcc::core {
+
+/// The eight axioms, indexed in Table-1 column order (plus the two columns
+/// Table 1 omits: robustness and latency-avoidance).
+enum class Metric : int {
+  kEfficiency = 0,       // Metric I    (higher better)
+  kFastUtilization = 1,  // Metric II   (higher better)
+  kLossAvoidance = 2,    // Metric III  (lower better: a loss bound)
+  kFairness = 3,         // Metric IV   (higher better)
+  kConvergence = 4,      // Metric V    (higher better)
+  kRobustness = 5,       // Metric VI   (higher better)
+  kTcpFriendliness = 6,  // Metric VII  (higher better)
+  kLatencyAvoidance = 7, // Metric VIII (lower better: an RTT-inflation bound)
+};
+
+inline constexpr std::size_t kNumMetrics = 8;
+
+/// Human-readable metric name.
+[[nodiscard]] const char* metric_name(Metric m);
+
+/// True for metrics whose raw score is a bound where smaller is better.
+[[nodiscard]] constexpr bool lower_is_better(Metric m) {
+  return m == Metric::kLossAvoidance || m == Metric::kLatencyAvoidance;
+}
+
+/// A protocol's raw scores (paper orientation; see Metric).
+struct MetricReport {
+  double efficiency = 0.0;
+  double fast_utilization = 0.0;
+  double loss_avoidance = 0.0;
+  double fairness = 0.0;
+  double convergence = 0.0;
+  double robustness = 0.0;
+  double tcp_friendliness = 0.0;
+  double latency_avoidance = 0.0;
+
+  [[nodiscard]] double get(Metric m) const {
+    switch (m) {
+      case Metric::kEfficiency: return efficiency;
+      case Metric::kFastUtilization: return fast_utilization;
+      case Metric::kLossAvoidance: return loss_avoidance;
+      case Metric::kFairness: return fairness;
+      case Metric::kConvergence: return convergence;
+      case Metric::kRobustness: return robustness;
+      case Metric::kTcpFriendliness: return tcp_friendliness;
+      case Metric::kLatencyAvoidance: return latency_avoidance;
+    }
+    return 0.0;
+  }
+
+  /// Uniform higher-is-better view: bounds are negated.
+  [[nodiscard]] std::array<double, kNumMetrics> oriented() const {
+    std::array<double, kNumMetrics> out{};
+    for (std::size_t i = 0; i < kNumMetrics; ++i) {
+      const auto m = static_cast<Metric>(i);
+      out[i] = lower_is_better(m) ? -get(m) : get(m);
+    }
+    return out;
+  }
+};
+
+}  // namespace axiomcc::core

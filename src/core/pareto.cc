@@ -1,0 +1,58 @@
+#include "core/pareto.h"
+
+#include "core/theory.h"
+#include "util/check.h"
+
+namespace axiomcc::core {
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kEfficiency: return "efficiency";
+    case Metric::kFastUtilization: return "fast-utilization";
+    case Metric::kLossAvoidance: return "loss-avoidance";
+    case Metric::kFairness: return "fairness";
+    case Metric::kConvergence: return "convergence";
+    case Metric::kRobustness: return "robustness";
+    case Metric::kTcpFriendliness: return "tcp-friendliness";
+    case Metric::kLatencyAvoidance: return "latency-avoidance";
+  }
+  return "unknown";
+}
+
+bool dominates(std::span<const double> a, std::span<const double> b) {
+  AXIOMCC_EXPECTS(a.size() == b.size());
+  bool strictly_better_somewhere = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < b[i]) return false;
+    if (a[i] > b[i]) strictly_better_somewhere = true;
+  }
+  return strictly_better_somewhere;
+}
+
+std::vector<std::size_t> pareto_frontier_indices(
+    const std::vector<std::vector<double>>& points) {
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool is_dominated = false;
+    for (std::size_t j = 0; j < points.size() && !is_dominated; ++j) {
+      if (j != i && dominates(points[j], points[i])) is_dominated = true;
+    }
+    if (!is_dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+std::vector<Figure1Point> figure1_surface(std::span<const double> alphas,
+                                          std::span<const double> betas) {
+  std::vector<Figure1Point> surface;
+  surface.reserve(alphas.size() * betas.size());
+  for (double alpha : alphas) {
+    for (double beta : betas) {
+      surface.push_back(Figure1Point{
+          alpha, beta, theory::thm2_friendliness_upper_bound(alpha, beta)});
+    }
+  }
+  return surface;
+}
+
+}  // namespace axiomcc::core

@@ -1,0 +1,40 @@
+// pareto.h — the feasibility region's Pareto frontier (paper Section 5.2).
+//
+// A feasible point is on the Pareto frontier when no other feasible point is
+// strictly better in one metric without being strictly worse in another.
+// The helpers here operate on higher-is-better score vectors (see
+// MetricReport::oriented) and also generate the Figure 1 surface: the
+// frontier of the (fast-utilization, efficiency, TCP-friendliness) subspace,
+// whose points are (α, β, 3(1−β)/(α(1+β))) and are attained by AIMD(α, β).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/metric_point.h"
+
+namespace axiomcc::core {
+
+/// True when `a` weakly dominates `b` and is strictly better somewhere
+/// (all components >=, at least one >). Vectors must be higher-is-better.
+[[nodiscard]] bool dominates(std::span<const double> a,
+                             std::span<const double> b);
+
+/// Indices of the non-dominated points. O(n²·d); fine for the sweep sizes
+/// the benches use. Duplicate points are all kept (none dominates its twin).
+[[nodiscard]] std::vector<std::size_t> pareto_frontier_indices(
+    const std::vector<std::vector<double>>& points);
+
+/// One point of the Figure 1 surface.
+struct Figure1Point {
+  double fast_utilization_alpha = 0.0;
+  double efficiency_beta = 0.0;
+  double tcp_friendliness = 0.0;  ///< = 3(1−β)/(α(1+β)), Theorem 2's bound.
+};
+
+/// Evaluates the Figure 1 Pareto surface on the grid alphas × betas.
+[[nodiscard]] std::vector<Figure1Point> figure1_surface(
+    std::span<const double> alphas, std::span<const double> betas);
+
+}  // namespace axiomcc::core

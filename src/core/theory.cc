@@ -1,0 +1,211 @@
+#include "core/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace axiomcc::core::theory {
+
+namespace {
+void require_link(double capacity, double buffer) {
+  AXIOMCC_EXPECTS(capacity > 0.0);
+  AXIOMCC_EXPECTS(buffer >= 0.0);
+}
+}  // namespace
+
+// --- AIMD -------------------------------------------------------------------
+
+double aimd_efficiency(double b, double capacity, double buffer) {
+  require_link(capacity, buffer);
+  return std::min(1.0, b * (1.0 + buffer / capacity));
+}
+
+double aimd_efficiency_worst(double b) { return b; }
+
+double aimd_loss_bound(double a, double capacity, double buffer, int n) {
+  require_link(capacity, buffer);
+  AXIOMCC_EXPECTS(n > 0);
+  const double threshold = capacity + buffer;
+  return 1.0 - threshold / (threshold + static_cast<double>(n) * a);
+}
+
+double aimd_fast_utilization(double a) { return a; }
+
+double aimd_friendliness(double a, double b) {
+  AXIOMCC_EXPECTS(a > 0.0);
+  return 3.0 * (1.0 - b) / (a * (1.0 + b));
+}
+
+double aimd_convergence(double b) { return 2.0 * b / (1.0 + b); }
+
+// --- MIMD -------------------------------------------------------------------
+
+double mimd_efficiency(double b, double capacity, double buffer) {
+  return aimd_efficiency(b, capacity, buffer);
+}
+
+double mimd_efficiency_worst(double b) { return b; }
+
+double mimd_loss_bound_paper(double a) { return a / (1.0 + a); }
+
+double mimd_loss_bound_model(double a) {
+  AXIOMCC_EXPECTS(a > 1.0);
+  return 1.0 - 1.0 / a;
+}
+
+double mimd_friendliness(double a, double b, double capacity, double buffer) {
+  AXIOMCC_EXPECTS(a > 1.0);
+  AXIOMCC_EXPECTS(b > 0.0 && b < 1.0);
+  require_link(capacity, buffer);
+  // 2·log_a(1/b) / (C+τ − 2·log_a(1/b))
+  const double decays = 2.0 * std::log(1.0 / b) / std::log(a);
+  const double denom = capacity + buffer - decays;
+  if (denom <= 0.0) return 0.0;
+  return decays / denom;
+}
+
+double mimd_convergence(double b) { return 2.0 * b / (1.0 + b); }
+
+// --- BIN --------------------------------------------------------------------
+
+double bin_efficiency(double b, double l, double capacity, double buffer,
+                      int n) {
+  require_link(capacity, buffer);
+  AXIOMCC_EXPECTS(n > 0);
+  const double threshold = capacity + buffer;
+  const double per_sender_peak = threshold / static_cast<double>(n);
+  const double decrease =
+      static_cast<double>(n) * b * std::pow(per_sender_peak, l);
+  return std::min(1.0, std::max(0.0, threshold - decrease) / capacity);
+}
+
+double bin_efficiency_worst(double b) { return 1.0 - b; }
+
+double bin_loss_bound_model(double a, double k, double capacity, double buffer,
+                            int n) {
+  require_link(capacity, buffer);
+  AXIOMCC_EXPECTS(n > 0);
+  const double threshold = capacity + buffer;
+  const double per_sender_window = threshold / static_cast<double>(n);
+  const double overshoot =
+      static_cast<double>(n) * a / std::pow(per_sender_window, k);
+  return 1.0 - threshold / (threshold + overshoot);
+}
+
+double bin_fast_utilization(double a, double k) { return k == 0.0 ? a : 0.0; }
+
+double bin_friendliness(double a, double b, double k, double l) {
+  AXIOMCC_EXPECTS(a > 0.0);
+  if (l + k < 1.0) return 0.0;
+  return std::sqrt(1.5) * std::pow(b / a, 1.0 / (1.0 + l + k));
+}
+
+double bin_convergence(double b, double l, double capacity, double buffer,
+                       int n) {
+  require_link(capacity, buffer);
+  AXIOMCC_EXPECTS(n > 0);
+  const double per_sender_peak = (capacity + buffer) / static_cast<double>(n);
+  // Trough factor: fraction of the peak surviving one decrease.
+  const double f =
+      std::max(0.0, 1.0 - b * std::pow(per_sender_peak, l - 1.0));
+  return 2.0 * f / (1.0 + f);
+}
+
+double bin_convergence_worst(double b) { return (2.0 - 2.0 * b) / (2.0 - b); }
+
+// --- CUBIC ------------------------------------------------------------------
+
+double cubic_efficiency(double b, double capacity, double buffer) {
+  return aimd_efficiency(b, capacity, buffer);
+}
+
+double cubic_efficiency_worst(double b) { return b; }
+
+double cubic_loss_bound(double c, double capacity, double buffer, int n) {
+  require_link(capacity, buffer);
+  AXIOMCC_EXPECTS(n > 0);
+  const double threshold = capacity + buffer;
+  return 1.0 - threshold / (threshold + static_cast<double>(n) * c);
+}
+
+double cubic_fast_utilization(double c) { return c; }
+
+double cubic_friendliness(double c, double b, double capacity, double buffer) {
+  AXIOMCC_EXPECTS(c > 0.0);
+  require_link(capacity, buffer);
+  const double inner =
+      4.0 * (1.0 - b) / (c * (3.0 + b) * (capacity + buffer));
+  return std::sqrt(1.5) * std::pow(inner, 0.25);
+}
+
+double cubic_convergence(double b) { return 2.0 * b / (1.0 + b); }
+
+// --- Robust-AIMD -------------------------------------------------------------
+
+double robust_aimd_efficiency(double b, double k, double capacity,
+                              double buffer) {
+  require_link(capacity, buffer);
+  AXIOMCC_EXPECTS(k >= 0.0 && k < 1.0);
+  return std::min(1.0, b * (1.0 + buffer / capacity) / (1.0 - k));
+}
+
+double robust_aimd_efficiency_worst(double b, double k) {
+  AXIOMCC_EXPECTS(k >= 0.0 && k < 1.0);
+  return std::min(1.0, b / (1.0 - k));
+}
+
+double robust_aimd_loss_bound(double a, double k, double capacity,
+                              double buffer, int n) {
+  require_link(capacity, buffer);
+  AXIOMCC_EXPECTS(n > 0);
+  AXIOMCC_EXPECTS(k >= 0.0 && k < 1.0);
+  const double threshold = capacity + buffer;
+  const double na1k = static_cast<double>(n) * a * (1.0 - k);
+  return (threshold * k + na1k) / (threshold + na1k);
+}
+
+double robust_aimd_fast_utilization(double a) { return a; }
+
+double robust_aimd_friendliness(double a, double b, double k, double capacity,
+                                double buffer) {
+  require_link(capacity, buffer);
+  AXIOMCC_EXPECTS(k >= 0.0 && k < 1.0);
+  const double denom = (4.0 * (capacity + buffer) / (1.0 - k) - a) * (1.0 + b);
+  if (denom <= 0.0) return std::numeric_limits<double>::infinity();
+  return 3.0 * (1.0 - b) / denom;
+}
+
+double robust_aimd_convergence(double b) { return 2.0 * b / (1.0 + b); }
+
+double robust_aimd_robustness(double k) { return k; }
+
+// --- Theorems ----------------------------------------------------------------
+
+double thm1_efficiency_lower_bound(double convergence_alpha) {
+  AXIOMCC_EXPECTS(convergence_alpha >= 0.0 && convergence_alpha <= 1.0);
+  return convergence_alpha / (2.0 - convergence_alpha);
+}
+
+double thm2_friendliness_upper_bound(double fast_alpha, double efficiency_beta) {
+  AXIOMCC_EXPECTS(fast_alpha > 0.0);
+  AXIOMCC_EXPECTS(efficiency_beta >= 0.0 && efficiency_beta <= 1.0);
+  return 3.0 * (1.0 - efficiency_beta) / (fast_alpha * (1.0 + efficiency_beta));
+}
+
+double thm3_friendliness_upper_bound(double fast_alpha, double efficiency_beta,
+                                     double robustness_eps, double capacity,
+                                     double buffer) {
+  AXIOMCC_EXPECTS(fast_alpha > 0.0);
+  AXIOMCC_EXPECTS(robustness_eps > 0.0 && robustness_eps < 1.0);
+  require_link(capacity, buffer);
+  const double threshold = capacity + buffer;
+  AXIOMCC_EXPECTS_MSG(threshold > fast_alpha / 2.0,
+                      "Theorem 3 requires C+τ > α/2");
+  const double denom = (4.0 * threshold / (1.0 - robustness_eps) - fast_alpha) *
+                       (1.0 + efficiency_beta);
+  return 3.0 * (1.0 - efficiency_beta) / denom;
+}
+
+}  // namespace axiomcc::core::theory

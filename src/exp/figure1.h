@@ -1,0 +1,38 @@
+// figure1.h — reproduction of Figure 1: the Pareto frontier of efficiency,
+// TCP-friendliness, and fast-utilization.
+//
+// The frontier consists of points (α, β, 3(1−β)/(α(1+β))) — fast-utilization,
+// efficiency, friendliness — and each one is attained by AIMD(α, β)
+// (Section 5.2). Besides generating the analytic surface, verify_attainment
+// measures AIMD(α, β) on the fluid model to confirm the attainment claim.
+#pragma once
+
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/pareto.h"
+
+namespace axiomcc::exp {
+
+/// One analytic point plus AIMD(α, β)'s measured scores.
+struct Figure1Verification {
+  core::Figure1Point analytic;
+  double measured_fast_utilization = 0.0;
+  double measured_efficiency = 0.0;
+  double measured_friendliness = 0.0;
+};
+
+/// The default grid the bench prints: α ∈ {0.5,1,2,4}, β ∈ {0.3..0.9}.
+[[nodiscard]] std::vector<core::Figure1Point> figure1_grid();
+
+/// Measures AIMD(α, β) at selected grid points to verify attainment.
+[[nodiscard]] std::vector<Figure1Verification> verify_attainment(
+    const core::EvalConfig& cfg);
+
+/// Confirms no grid point dominates another after orienting all three
+/// coordinates higher-is-better (they all are). Returns the frontier indices;
+/// all points must be on it (the surface IS the frontier).
+[[nodiscard]] std::vector<std::size_t> frontier_of(
+    const std::vector<core::Figure1Point>& points);
+
+}  // namespace axiomcc::exp

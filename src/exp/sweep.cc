@@ -1,0 +1,64 @@
+#include "exp/sweep.h"
+
+#include <memory>
+#include <ostream>
+
+#include "cc/registry.h"
+#include "util/check.h"
+
+namespace axiomcc::exp {
+
+std::vector<SweepRow> run_metric_sweep(
+    const std::vector<std::string>& protocol_specs, const LinkGrid& grid,
+    const core::EvalConfig& base) {
+  AXIOMCC_EXPECTS(!protocol_specs.empty());
+  AXIOMCC_EXPECTS(grid.size() > 0);
+
+  // Parse everything up front so a typo fails before hours of sweeping.
+  std::vector<std::unique_ptr<cc::Protocol>> prototypes;
+  prototypes.reserve(protocol_specs.size());
+  for (const auto& spec : protocol_specs) {
+    prototypes.push_back(cc::make_protocol(spec));
+  }
+
+  std::vector<SweepRow> rows;
+  rows.reserve(protocol_specs.size() * grid.size());
+  for (std::size_t p = 0; p < prototypes.size(); ++p) {
+    for (double mbps : grid.bandwidths_mbps) {
+      for (double rtt_ms : grid.rtts_ms) {
+        for (double buffer : grid.buffers_mss) {
+          core::EvalConfig cfg = base;
+          cfg.link = fluid::make_link_mbps(mbps, rtt_ms, buffer);
+
+          SweepRow row;
+          row.protocol = prototypes[p]->name();
+          row.bandwidth_mbps = mbps;
+          row.rtt_ms = rtt_ms;
+          row.buffer_mss = buffer;
+          row.scores = core::evaluate_protocol(*prototypes[p], cfg);
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+void write_sweep_csv(const std::vector<SweepRow>& rows, std::ostream& out) {
+  out << "protocol,bandwidth_mbps,rtt_ms,buffer_mss";
+  for (std::size_t i = 0; i < core::kNumMetrics; ++i) {
+    out << ',' << core::metric_name(static_cast<core::Metric>(i));
+  }
+  out << '\n';
+
+  for (const SweepRow& row : rows) {
+    out << '"' << row.protocol << '"' << ',' << row.bandwidth_mbps << ','
+        << row.rtt_ms << ',' << row.buffer_mss;
+    for (std::size_t i = 0; i < core::kNumMetrics; ++i) {
+      out << ',' << row.scores.get(static_cast<core::Metric>(i));
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace axiomcc::exp

@@ -1,0 +1,48 @@
+// sweep.h — bulk metric sweeps: protocols × link shapes → score matrix.
+//
+// The workhorse for exploring the metric space at scale: every protocol
+// spec is evaluated on every (bandwidth, RTT, buffer) combination, producing
+// one row of all eight scores per cell, exportable as CSV for plotting.
+// bench/figure-style analyses and downstream users both build on this.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/metric_point.h"
+
+namespace axiomcc::exp {
+
+/// The link-shape grid of a sweep.
+struct LinkGrid {
+  std::vector<double> bandwidths_mbps{20.0, 30.0, 60.0, 100.0};
+  std::vector<double> rtts_ms{42.0};
+  std::vector<double> buffers_mss{10.0, 100.0};
+
+  [[nodiscard]] std::size_t size() const {
+    return bandwidths_mbps.size() * rtts_ms.size() * buffers_mss.size();
+  }
+};
+
+/// One sweep cell: a protocol on a link shape, with its 8 scores.
+struct SweepRow {
+  std::string protocol;
+  double bandwidth_mbps = 0.0;
+  double rtt_ms = 0.0;
+  double buffer_mss = 0.0;
+  core::MetricReport scores;
+};
+
+/// Evaluates every spec on every grid cell. `base` supplies everything but
+/// the link (steps, sender counts, tail fraction...). Protocol specs are
+/// parsed with cc::make_protocol; invalid specs throw before any work runs.
+[[nodiscard]] std::vector<SweepRow> run_metric_sweep(
+    const std::vector<std::string>& protocol_specs, const LinkGrid& grid,
+    const core::EvalConfig& base = {});
+
+/// Writes sweep rows as CSV with one column per metric.
+void write_sweep_csv(const std::vector<SweepRow>& rows, std::ostream& out);
+
+}  // namespace axiomcc::exp

@@ -1,0 +1,50 @@
+// table1.h — reproduction of the paper's Table 1 (protocol characterization).
+//
+// For each protocol family instance, three 8-metric views:
+//   * theory_nuanced — the capacity/buffer/n-dependent formulas of Table 1,
+//   * theory_worst   — the angle-bracket worst-case bounds,
+//   * measured       — scores measured by the evaluator on the fluid model.
+// bench_table1 renders these side by side; tests assert agreement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "core/metric_point.h"
+
+namespace axiomcc::exp {
+
+struct Table1Entry {
+  std::string protocol;
+  core::MetricReport theory_nuanced;
+  core::MetricReport theory_worst;
+  core::MetricReport measured;
+};
+
+/// The paper's Table 1 rows: AIMD(1,0.5), MIMD(1.01,0.875), two BIN
+/// representatives (IIAD = BIN(1,1,1,0) and SQRT = BIN(1,1,0.5,0.5)),
+/// CUBIC(0.4,0.8), and Robust-AIMD(1,0.8,0.01).
+[[nodiscard]] std::vector<Table1Entry> build_table1(
+    const core::EvalConfig& cfg);
+
+/// Theory-only views for one family instance (used by tests).
+[[nodiscard]] core::MetricReport aimd_theory(double a, double b,
+                                             const core::EvalConfig& cfg,
+                                             bool worst_case);
+[[nodiscard]] core::MetricReport mimd_theory(double a, double b,
+                                             const core::EvalConfig& cfg,
+                                             bool worst_case);
+[[nodiscard]] core::MetricReport bin_theory(double a, double b, double k,
+                                            double l,
+                                            const core::EvalConfig& cfg,
+                                            bool worst_case);
+[[nodiscard]] core::MetricReport cubic_theory(double c, double b,
+                                              const core::EvalConfig& cfg,
+                                              bool worst_case);
+[[nodiscard]] core::MetricReport robust_aimd_theory(double a, double b,
+                                                    double eps,
+                                                    const core::EvalConfig& cfg,
+                                                    bool worst_case);
+
+}  // namespace axiomcc::exp

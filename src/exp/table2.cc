@@ -1,0 +1,92 @@
+#include "exp/table2.h"
+
+#include "cc/presets.h"
+#include "core/metrics.h"
+#include "fluid/link.h"
+#include "sim/dumbbell.h"
+
+namespace axiomcc::exp {
+
+namespace {
+
+core::EvalConfig cell_config(const Table2Config& cfg, int n, double bw_mbps) {
+  core::EvalConfig ec;
+  ec.link = fluid::make_link_mbps(bw_mbps, cfg.rtt_ms, cfg.buffer_mss);
+  ec.steps = cfg.steps;
+  ec.tail_fraction = cfg.tail_fraction;
+  ec.num_protocol_senders = n - 1;  // (n−1) protocol senders + 1 Reno
+  ec.num_reno_senders = 1;
+  return ec;
+}
+
+}  // namespace
+
+std::vector<Table2Cell> build_table2(const Table2Config& cfg) {
+  std::vector<Table2Cell> cells;
+  const auto robust = cc::presets::robust_aimd_table2();
+  const auto pcc = cc::presets::pcc();
+
+  for (int n : cfg.sender_counts) {
+    for (double bw : cfg.bandwidths_mbps) {
+      const core::EvalConfig ec = cell_config(cfg, n, bw);
+      Table2Cell cell;
+      cell.n = n;
+      cell.bandwidth_mbps = bw;
+      cell.robust_aimd_friendliness =
+          core::measure_tcp_friendliness_score(*robust, ec);
+      cell.pcc_friendliness = core::measure_tcp_friendliness_score(*pcc, ec);
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+namespace {
+
+/// Friendliness of (n−1) `proto` senders toward one Reno sender on the
+/// packet-level dumbbell.
+double packet_friendliness(const cc::Protocol& proto, int n, double bw_mbps,
+                           const Table2Config& cfg, double duration_seconds) {
+  sim::DumbbellConfig dc;
+  dc.bottleneck_mbps = bw_mbps;
+  dc.rtt_ms = cfg.rtt_ms;
+  dc.buffer_packets = static_cast<std::size_t>(cfg.buffer_mss);
+  dc.duration_seconds = duration_seconds;
+  dc.tail_fraction = cfg.tail_fraction;
+
+  sim::DumbbellExperiment exp(dc);
+  std::vector<int> p_idx;
+  for (int i = 0; i + 1 < n; ++i) {
+    p_idx.push_back(exp.add_flow(proto.clone(), 0.05 * i));
+  }
+  const std::vector<int> q_idx{
+      exp.add_flow(cc::presets::reno(), 0.05 * (n - 1))};
+  exp.run();
+  return core::measure_friendliness(exp.trace(), p_idx, q_idx,
+                                    core::EstimatorConfig{cfg.tail_fraction});
+}
+
+}  // namespace
+
+std::vector<Table2Cell> build_table2_packet(const Table2Config& cfg,
+                                            double duration_seconds) {
+  std::vector<Table2Cell> cells;
+  const auto robust = cc::presets::robust_aimd_table2();
+  const auto pcc = cc::presets::pcc();
+
+  for (int n : cfg.sender_counts) {
+    for (double bw : cfg.bandwidths_mbps) {
+      Table2Cell cell;
+      cell.n = n;
+      cell.bandwidth_mbps = bw;
+      cell.robust_aimd_friendliness =
+          packet_friendliness(*robust, n, bw, cfg, duration_seconds);
+      cell.pcc_friendliness =
+          packet_friendliness(*pcc, n, bw, cfg, duration_seconds);
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+}  // namespace axiomcc::exp

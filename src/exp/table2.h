@@ -1,0 +1,49 @@
+// table2.h — reproduction of the paper's Table 2: the TCP-friendliness of
+// Robust-AIMD(1, 0.8, 0.01) relative to PCC.
+//
+// Setup (Section 5.2): n senders share a link of the given bandwidth with a
+// fixed 42 ms RTT and a 100-MSS buffer. We run (n−1) protocol senders plus
+// one TCP Reno sender, measure Reno's guaranteed window share (Metric VII),
+// and report friendliness(Robust-AIMD) / friendliness(PCC) — the paper's
+// "improvement factor", expected to be consistently > 1.5×.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/evaluator.h"
+
+namespace axiomcc::exp {
+
+struct Table2Cell {
+  int n = 0;                     ///< total senders on the link.
+  double bandwidth_mbps = 0.0;
+  double robust_aimd_friendliness = 0.0;
+  double pcc_friendliness = 0.0;
+  /// friendliness(Robust-AIMD) / friendliness(PCC); the paper's table entry.
+  [[nodiscard]] double improvement() const {
+    return pcc_friendliness > 0.0
+               ? robust_aimd_friendliness / pcc_friendliness
+               : std::numeric_limits<double>::infinity();
+  }
+};
+
+struct Table2Config {
+  std::vector<int> sender_counts{2, 3, 4};
+  std::vector<double> bandwidths_mbps{20.0, 30.0, 60.0, 100.0};
+  double rtt_ms = 42.0;
+  double buffer_mss = 100.0;
+  long steps = 4000;
+  double tail_fraction = 0.5;
+};
+
+/// Runs the full (n, BW) grid on the fluid model.
+[[nodiscard]] std::vector<Table2Cell> build_table2(const Table2Config& cfg);
+
+/// The same grid measured on the packet-level simulator (our Emulab
+/// substitute — the substrate the paper's own Table 2 came from).
+/// `duration_seconds` replaces `steps` as the run length.
+[[nodiscard]] std::vector<Table2Cell> build_table2_packet(
+    const Table2Config& cfg, double duration_seconds = 30.0);
+
+}  // namespace axiomcc::exp

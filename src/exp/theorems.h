@@ -1,0 +1,60 @@
+// theorems.h — empirical verification of Claim 1 and Theorems 1–5.
+//
+// Each check runs the scenario the theorem quantifies over (on the fluid
+// model), measures the relevant metric scores, and compares them with the
+// theorem's bound. Results are structured so both bench_theorems (printing)
+// and the test suite (asserting) can consume them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+
+namespace axiomcc::exp {
+
+/// One empirical instance of a theorem's inequality.
+struct TheoremCheck {
+  std::string description;   ///< e.g. "AIMD(1,0.5): friendliness <= bound"
+  double measured = 0.0;     ///< the measured left-hand side
+  double bound = 0.0;        ///< the theoretical right-hand side
+  bool holds = false;        ///< measured respects the bound (with slack)
+};
+
+/// Claim 1: CautiousProbe is 0-loss from some point onwards, yet its
+/// fast-utilization coefficient tends to 0.
+struct Claim1Result {
+  double tail_loss = 0.0;             ///< must be 0
+  double fast_utilization = 0.0;      ///< must be ~0
+  double fast_utilization_half = 0.0; ///< measured over a 2x longer horizon;
+                                      ///< must shrink (→0 as Δt → ∞)
+  bool holds = false;
+};
+[[nodiscard]] Claim1Result check_claim1(const core::EvalConfig& cfg);
+
+/// Theorem 1: efficiency >= conv/(2-conv) for α-convergent, β-fast-utilizing
+/// protocols. Checked over an AIMD parameter grid.
+[[nodiscard]] std::vector<TheoremCheck> check_theorem1(
+    const core::EvalConfig& cfg);
+
+/// Theorem 2: TCP-friendliness <= 3(1-β)/(α(1+β)). Checked over an AIMD grid
+/// (where the bound is tight).
+[[nodiscard]] std::vector<TheoremCheck> check_theorem2(
+    const core::EvalConfig& cfg);
+
+/// Theorem 3: with ε-robustness the bound tightens. Checked for Robust-AIMD
+/// over its ε grid.
+[[nodiscard]] std::vector<TheoremCheck> check_theorem3(
+    const core::EvalConfig& cfg);
+
+/// Theorem 4: if P is α-friendly to Reno and Q (an AIMD/BIN/MIMD protocol)
+/// is more aggressive than Reno, then P is α-friendly to Q.
+[[nodiscard]] std::vector<TheoremCheck> check_theorem4(
+    const core::EvalConfig& cfg);
+
+/// Theorem 5: an efficient loss-based protocol starves any latency-avoiding
+/// protocol (friendliness → 0).
+[[nodiscard]] std::vector<TheoremCheck> check_theorem5(
+    const core::EvalConfig& cfg);
+
+}  // namespace axiomcc::exp

@@ -1,0 +1,157 @@
+#include "fluid/network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace axiomcc::fluid {
+
+FluidNetwork::FluidNetwork(Options options) : options_(options) {
+  AXIOMCC_EXPECTS(options.steps > 0);
+  AXIOMCC_EXPECTS(options.min_window_mss > 0.0);
+  AXIOMCC_EXPECTS(options.max_window_mss > options.min_window_mss);
+}
+
+int FluidNetwork::add_link(const LinkParams& params) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "add_link must precede run()");
+  links_.emplace_back(params);
+  return num_links() - 1;
+}
+
+int FluidNetwork::add_flow(std::unique_ptr<cc::Protocol> protocol,
+                           std::vector<int> route, double initial_window_mss) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "add_flow must precede run()");
+  AXIOMCC_EXPECTS(protocol != nullptr);
+  AXIOMCC_EXPECTS_MSG(!route.empty(), "a flow must traverse at least one link");
+  for (int link_id : route) {
+    AXIOMCC_EXPECTS(link_id >= 0 && link_id < num_links());
+  }
+  AXIOMCC_EXPECTS(initial_window_mss >= 0.0);
+  flows_.push_back(Flow{std::move(protocol), std::move(route),
+                        initial_window_mss});
+  return num_flows() - 1;
+}
+
+const FluidLink& FluidNetwork::link(int id) const {
+  AXIOMCC_EXPECTS(id >= 0 && id < num_links());
+  return links_[id];
+}
+
+Trace FluidNetwork::run() {
+  AXIOMCC_EXPECTS_MSG(!ran_, "run() may be called only once");
+  AXIOMCC_EXPECTS_MSG(!flows_.empty(), "add at least one flow before run()");
+  ran_ = true;
+
+  const int nf = num_flows();
+  const int nl = num_links();
+
+  // Trace conventions (see header): capacity = min link capacity on any
+  // route; min-RTT = smallest route floor.
+  double min_capacity = std::numeric_limits<double>::infinity();
+  double min_route_rtt = std::numeric_limits<double>::infinity();
+  for (const Flow& f : flows_) {
+    double route_rtt = 0.0;
+    for (int l : f.route) {
+      min_capacity = std::min(min_capacity, links_[l].capacity_mss());
+      route_rtt += links_[l].min_rtt().value();
+    }
+    min_route_rtt = std::min(min_route_rtt, route_rtt);
+  }
+
+  Trace trace(nf, min_capacity, min_route_rtt);
+  trace.reserve(static_cast<std::size_t>(options_.steps));
+
+  const auto clamp_window = [&](double w) {
+    return std::clamp(w, options_.min_window_mss, options_.max_window_mss);
+  };
+
+  std::vector<double> windows(nf);
+  for (int f = 0; f < nf; ++f) {
+    windows[f] = clamp_window(flows_[f].initial_window);
+  }
+
+  std::vector<double> link_loss(nl, 0.0);
+  std::vector<double> arrivals(nl, 0.0);
+  std::vector<double> utilization_sum(nl, 0.0);
+  std::vector<double> flow_loss(nf);
+  std::vector<double> flow_rtt(nf);
+  std::vector<double> next_windows(nf);
+
+  for (long step = 0; step < options_.steps; ++step) {
+    // Fixed-point iteration for consistent carried loads: upstream loss
+    // thins downstream arrivals, and arrivals determine loss. A handful of
+    // rounds converges because loss rates are small and monotone.
+    std::fill(link_loss.begin(), link_loss.end(), 0.0);
+    for (int round = 0; round < 4; ++round) {
+      std::fill(arrivals.begin(), arrivals.end(), 0.0);
+      for (int f = 0; f < nf; ++f) {
+        double carried = windows[f];
+        for (int l : flows_[f].route) {
+          arrivals[l] += carried;
+          carried *= 1.0 - link_loss[l];
+        }
+      }
+      for (int l = 0; l < nl; ++l) {
+        link_loss[l] = links_[l].loss_rate(arrivals[l]);
+      }
+    }
+
+    for (int l = 0; l < nl; ++l) {
+      utilization_sum[l] +=
+          std::min(1.0, arrivals[l] / links_[l].capacity_mss());
+    }
+
+    // Per-flow observations: loss composes, delay adds, across the route.
+    double max_link_loss = 0.0;
+    for (double loss : link_loss) max_link_loss = std::max(max_link_loss, loss);
+    double rtt_sum = 0.0;
+    for (int f = 0; f < nf; ++f) {
+      double survive = 1.0;
+      double rtt = 0.0;
+      for (int l : flows_[f].route) {
+        survive *= 1.0 - link_loss[l];
+        rtt += links_[l].rtt(arrivals[l]).value();
+      }
+      flow_loss[f] = 1.0 - survive;
+      flow_rtt[f] = rtt;
+      rtt_sum += rtt;
+    }
+
+    trace.add_step(windows, rtt_sum / static_cast<double>(nf), max_link_loss,
+                   flow_loss);
+
+    for (int f = 0; f < nf; ++f) {
+      const cc::Observation obs{windows[f], flow_loss[f], flow_rtt[f]};
+      next_windows[f] = clamp_window(flows_[f].protocol->next_window(obs));
+    }
+    windows.swap(next_windows);
+  }
+
+  link_mean_utilization_.assign(nl, 0.0);
+  for (int l = 0; l < nl; ++l) {
+    link_mean_utilization_[l] =
+        utilization_sum[l] / static_cast<double>(options_.steps);
+  }
+  return trace;
+}
+
+ParkingLot make_parking_lot(const LinkParams& per_link, int bottlenecks,
+                            const cc::Protocol& prototype,
+                            FluidNetwork::Options options) {
+  AXIOMCC_EXPECTS(bottlenecks >= 1);
+  ParkingLot lot{FluidNetwork(options), 0, {}};
+
+  std::vector<int> long_route;
+  for (int i = 0; i < bottlenecks; ++i) {
+    long_route.push_back(lot.network.add_link(per_link));
+  }
+  lot.long_flow = lot.network.add_flow(prototype.clone(), long_route, 1.0);
+  for (int i = 0; i < bottlenecks; ++i) {
+    lot.short_flows.push_back(
+        lot.network.add_flow(prototype.clone(), {long_route[i]}, 1.0));
+  }
+  return lot;
+}
+
+}  // namespace axiomcc::fluid

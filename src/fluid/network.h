@@ -1,0 +1,93 @@
+// network.h — network-wide fluid model: multiple bottlenecks, per-flow routes.
+//
+// The paper's Section 6 lists "generalizing our model to capture network-wide
+// protocol interaction" as future work; this module is that generalization.
+// The single-link model of sim.h becomes a set of links L and flows F, each
+// flow f traversing an ordered route R(f) ⊆ L:
+//
+//   * every link l computes its own droptail loss from the aggregate window
+//     of the flows crossing it, iterated to a consistent carried load
+//     (upstream loss thins downstream arrival);
+//   * a flow's observed loss composes across its route:
+//     L_f = 1 − Π_{l ∈ R(f)} (1 − L_l);
+//   * a flow's RTT adds propagation and queueing across its route.
+//
+// The classic "parking lot" topology (one long flow crossing k bottlenecks,
+// k short cross-flows) is provided as a builder; it exposes the beat-down of
+// multi-hop flows that single-link analysis cannot see.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/protocol.h"
+#include "fluid/link.h"
+#include "fluid/trace.h"
+
+namespace axiomcc::fluid {
+
+/// A multi-link fluid network with per-flow routes.
+struct NetworkOptions {
+  long steps = 2000;
+  double min_window_mss = 1.0;
+  double max_window_mss = 1e9;
+};
+
+class FluidNetwork {
+ public:
+  using Options = NetworkOptions;
+
+  explicit FluidNetwork(Options options = {});
+
+  /// Adds a link; returns its id.
+  int add_link(const LinkParams& params);
+
+  /// Adds a flow with the given route (ordered link ids); returns its id.
+  int add_flow(std::unique_ptr<cc::Protocol> protocol,
+               std::vector<int> route, double initial_window_mss = 1.0);
+
+  [[nodiscard]] int num_links() const { return static_cast<int>(links_.size()); }
+  [[nodiscard]] int num_flows() const { return static_cast<int>(flows_.size()); }
+
+  [[nodiscard]] const FluidLink& link(int id) const;
+
+  /// Runs the dynamics and returns the per-flow trace. The Trace's
+  /// "congestion loss" series records the MAXIMUM per-link loss each step
+  /// (the binding bottleneck), its capacity is the MINIMUM link capacity on
+  /// any route, and its min-RTT is the smallest route RTT.
+  [[nodiscard]] Trace run();
+
+  /// Per-link peak utilization over the tail of the last run (diagnostics).
+  [[nodiscard]] const std::vector<double>& link_mean_utilization() const {
+    return link_mean_utilization_;
+  }
+
+ private:
+  struct Flow {
+    std::unique_ptr<cc::Protocol> protocol;
+    std::vector<int> route;
+    double initial_window;
+  };
+
+  Options options_;
+  std::vector<FluidLink> links_;
+  std::vector<Flow> flows_;
+  std::vector<double> link_mean_utilization_;
+  bool ran_ = false;
+};
+
+/// Builds the k-bottleneck parking lot: one long flow over links 0..k−1 and
+/// one short flow per link, all running clones of `prototype`. Flow 0 is the
+/// long flow. All links share the same parameters.
+struct ParkingLot {
+  FluidNetwork network;
+  int long_flow = 0;
+  std::vector<int> short_flows;
+};
+[[nodiscard]] ParkingLot make_parking_lot(const LinkParams& per_link,
+                                          int bottlenecks,
+                                          const cc::Protocol& prototype,
+                                          FluidNetwork::Options options = {});
+
+}  // namespace axiomcc::fluid

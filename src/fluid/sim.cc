@@ -1,0 +1,124 @@
+#include "fluid/sim.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace axiomcc::fluid {
+
+FluidSimulation::FluidSimulation(const LinkParams& link, SimOptions options)
+    : link_(link), options_(options), injector_(std::make_unique<NoLoss>()) {
+  AXIOMCC_EXPECTS(options.steps > 0);
+  AXIOMCC_EXPECTS(options.min_window_mss > 0.0);
+  AXIOMCC_EXPECTS(options.max_window_mss > options.min_window_mss);
+}
+
+void FluidSimulation::add_sender(const cc::Protocol& prototype,
+                                 double initial_window_mss) {
+  add_sender(SenderSpec{prototype.clone(), initial_window_mss});
+}
+
+void FluidSimulation::add_sender(SenderSpec spec) {
+  AXIOMCC_EXPECTS(spec.protocol != nullptr);
+  AXIOMCC_EXPECTS(spec.initial_window_mss >= 0.0);
+  AXIOMCC_EXPECTS(spec.update_period >= 1);
+  AXIOMCC_EXPECTS(spec.update_phase >= 0 &&
+                  spec.update_phase < spec.update_period);
+  senders_.push_back(std::move(spec));
+}
+
+void FluidSimulation::set_loss_injector(std::unique_ptr<LossInjector> injector) {
+  AXIOMCC_EXPECTS(injector != nullptr);
+  injector_ = std::move(injector);
+}
+
+void FluidSimulation::set_bandwidth_schedule(std::function<double(long)> scale) {
+  AXIOMCC_EXPECTS(scale != nullptr);
+  bandwidth_scale_ = std::move(scale);
+}
+
+Trace FluidSimulation::run() {
+  AXIOMCC_EXPECTS_MSG(!senders_.empty(), "add at least one sender before run()");
+  AXIOMCC_EXPECTS_MSG(!ran_, "FluidSimulation::run may be called only once");
+  ran_ = true;
+
+  const int n = num_senders();
+  Trace trace(n, link_.capacity_mss(), link_.min_rtt().value());
+  trace.reserve(static_cast<std::size_t>(options_.steps));
+
+  const auto clamp_window = [&](double w) {
+    return std::clamp(w, options_.min_window_mss, options_.max_window_mss);
+  };
+
+  std::vector<double> windows(n);
+  for (int i = 0; i < n; ++i) {
+    windows[i] = clamp_window(senders_[i].initial_window_mss);
+  }
+
+  std::vector<double> observed_loss(n);
+  std::vector<double> next_windows(n);
+  // Per-sender aggregation between (possibly unsynchronized) update steps.
+  std::vector<double> pending_max_loss(n, 0.0);
+  std::vector<double> pending_rtt_sum(n, 0.0);
+  std::vector<long> pending_steps(n, 0);
+
+  for (long step = 0; step < options_.steps; ++step) {
+    double total = 0.0;
+    for (double w : windows) total += w;
+
+    // With a bandwidth schedule the active link is rebuilt at the scaled
+    // rate (cheap: FluidLink is a couple of doubles).
+    const FluidLink* active = &link_;
+    FluidLink scaled = link_;
+    if (bandwidth_scale_) {
+      const double scale = bandwidth_scale_(step);
+      AXIOMCC_EXPECTS_MSG(scale > 0.0, "bandwidth scale must be positive");
+      LinkParams params = link_.params();
+      params.bandwidth =
+          Bandwidth::from_mss_per_sec(params.bandwidth.mss_per_sec() * scale);
+      scaled = FluidLink(params);
+      active = &scaled;
+    }
+
+    const double congestion_loss = active->loss_rate(total);
+    const Seconds rtt = active->rtt(total);
+
+    for (int i = 0; i < n; ++i) {
+      observed_loss[i] =
+          combine_loss(congestion_loss, injector_->sample(step, i));
+    }
+    trace.add_step(windows, rtt.value(), congestion_loss, observed_loss);
+
+    for (int i = 0; i < n; ++i) {
+      pending_max_loss[i] = std::max(pending_max_loss[i], observed_loss[i]);
+      pending_rtt_sum[i] += rtt.value();
+      ++pending_steps[i];
+
+      const SenderSpec& spec = senders_[i];
+      if (step % spec.update_period != spec.update_phase) {
+        next_windows[i] = windows[i];  // hold between updates
+        continue;
+      }
+      const cc::Observation obs{
+          windows[i], pending_max_loss[i],
+          pending_rtt_sum[i] / static_cast<double>(pending_steps[i])};
+      next_windows[i] = clamp_window(spec.protocol->next_window(obs));
+      pending_max_loss[i] = 0.0;
+      pending_rtt_sum[i] = 0.0;
+      pending_steps[i] = 0;
+    }
+    windows.swap(next_windows);
+  }
+  return trace;
+}
+
+Trace run_homogeneous(const LinkParams& link, const cc::Protocol& prototype,
+                      int n, double initial_window_mss,
+                      const SimOptions& options) {
+  AXIOMCC_EXPECTS(n > 0);
+  FluidSimulation sim(link, options);
+  for (int i = 0; i < n; ++i) sim.add_sender(prototype, initial_window_mss);
+  return sim.run();
+}
+
+}  // namespace axiomcc::fluid

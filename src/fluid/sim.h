@@ -1,0 +1,89 @@
+// sim.h — the discrete-time fluid-flow simulation (paper Section 2).
+//
+// n senders share one FluidLink. Time advances in steps of one RTT. At each
+// step the link computes the RTT and the synchronized droptail loss rate from
+// the aggregate window; every sender observes them (plus any injected
+// non-congestion loss) and picks its next window via its Protocol.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cc/protocol.h"
+#include "fluid/link.h"
+#include "fluid/loss_model.h"
+#include "fluid/trace.h"
+
+namespace axiomcc::fluid {
+
+/// One sender: a protocol plus its initial window.
+///
+/// `update_period`/`update_phase` model UNSYNCHRONIZED feedback (a paper
+/// future-work item): the sender consults its protocol only at steps t with
+/// t ≡ phase (mod period), holding its window in between. The default
+/// (period 1) is the paper's synchronized model. The observation delivered
+/// at an update step aggregates the steps since the previous update: worst
+/// (max) loss, mean RTT.
+struct SenderSpec {
+  std::unique_ptr<cc::Protocol> protocol;
+  double initial_window_mss = 1.0;
+  long update_period = 1;
+  long update_phase = 0;
+};
+
+/// Simulation-wide options.
+struct SimOptions {
+  long steps = 2000;             ///< number of RTT steps to simulate.
+  double min_window_mss = 1.0;   ///< window floor (avoids x^-k singularities).
+  double max_window_mss = 1e9;   ///< the paper's M (1 << M).
+};
+
+/// Runs the fluid model and records a Trace.
+class FluidSimulation {
+ public:
+  FluidSimulation(const LinkParams& link, SimOptions options = {});
+
+  /// Adds a sender. The protocol prototype is cloned, so one prototype can
+  /// seed many senders.
+  void add_sender(const cc::Protocol& prototype, double initial_window_mss);
+  void add_sender(SenderSpec spec);
+
+  /// Installs a non-congestion loss injector (applies to all senders).
+  /// Default: no injected loss.
+  void set_loss_injector(std::unique_ptr<LossInjector> injector);
+
+  /// Installs a time-varying bandwidth schedule: the link's bandwidth at
+  /// step t is scale(t) × the configured bandwidth (buffer unchanged).
+  /// Models capacity changes (handover, cross-traffic departure) for the
+  /// responsiveness metric; default is the constant schedule scale ≡ 1.
+  void set_bandwidth_schedule(std::function<double(long)> scale);
+
+  /// Number of senders added so far.
+  [[nodiscard]] int num_senders() const {
+    return static_cast<int>(senders_.size());
+  }
+
+  [[nodiscard]] const FluidLink& link() const { return link_; }
+
+  /// Runs the configured number of steps and returns the trace.
+  /// Requires at least one sender. May be called once per simulation object.
+  [[nodiscard]] Trace run();
+
+ private:
+  FluidLink link_;
+  SimOptions options_;
+  std::vector<SenderSpec> senders_;
+  std::unique_ptr<LossInjector> injector_;
+  std::function<double(long)> bandwidth_scale_;
+  bool ran_ = false;
+};
+
+/// Convenience: runs `n` identical senders of `prototype` on `link` with the
+/// given initial windows (broadcast if a single value is given).
+[[nodiscard]] Trace run_homogeneous(const LinkParams& link,
+                                    const cc::Protocol& prototype, int n,
+                                    double initial_window_mss,
+                                    const SimOptions& options = {});
+
+}  // namespace axiomcc::fluid

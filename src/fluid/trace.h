@@ -1,0 +1,91 @@
+// trace.h — the recorded evolution of a simulation run.
+//
+// A Trace is the common currency between the simulators (fluid and
+// packet-level) and the axiomatic metric estimators in src/core: per step it
+// stores every sender's window, the step's RTT, the congestion loss rate, and
+// each sender's observed (congestion + injected) loss rate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace axiomcc::fluid {
+
+class Trace {
+ public:
+  Trace(int num_senders, double link_capacity_mss, double min_rtt_seconds)
+      : num_senders_(num_senders),
+        link_capacity_mss_(link_capacity_mss),
+        min_rtt_seconds_(min_rtt_seconds),
+        window_series_(static_cast<std::size_t>(num_senders)),
+        observed_loss_series_(static_cast<std::size_t>(num_senders)) {
+    AXIOMCC_EXPECTS(num_senders > 0);
+  }
+
+  /// Appends one step. `windows` and `observed_loss` are per-sender.
+  void add_step(std::span<const double> windows, double rtt_seconds,
+                double congestion_loss, std::span<const double> observed_loss) {
+    AXIOMCC_EXPECTS(windows.size() == static_cast<std::size_t>(num_senders_));
+    AXIOMCC_EXPECTS(observed_loss.size() ==
+                    static_cast<std::size_t>(num_senders_));
+    double total = 0.0;
+    for (int i = 0; i < num_senders_; ++i) {
+      window_series_[i].push_back(windows[i]);
+      observed_loss_series_[i].push_back(observed_loss[i]);
+      total += windows[i];
+    }
+    total_window_.push_back(total);
+    rtt_seconds_.push_back(rtt_seconds);
+    congestion_loss_.push_back(congestion_loss);
+  }
+
+  /// Reserves storage for `steps` steps (optional).
+  void reserve(std::size_t steps) {
+    for (auto& s : window_series_) s.reserve(steps);
+    for (auto& s : observed_loss_series_) s.reserve(steps);
+    total_window_.reserve(steps);
+    rtt_seconds_.reserve(steps);
+    congestion_loss_.reserve(steps);
+  }
+
+  [[nodiscard]] int num_senders() const { return num_senders_; }
+  [[nodiscard]] std::size_t num_steps() const { return total_window_.size(); }
+
+  /// The link capacity C the run used (for efficiency scores).
+  [[nodiscard]] double link_capacity_mss() const { return link_capacity_mss_; }
+  /// The link's minimum RTT 2Θ (for latency scores).
+  [[nodiscard]] double min_rtt_seconds() const { return min_rtt_seconds_; }
+
+  [[nodiscard]] std::span<const double> windows(int sender) const {
+    AXIOMCC_EXPECTS(sender >= 0 && sender < num_senders_);
+    return window_series_[sender];
+  }
+  [[nodiscard]] std::span<const double> observed_loss(int sender) const {
+    AXIOMCC_EXPECTS(sender >= 0 && sender < num_senders_);
+    return observed_loss_series_[sender];
+  }
+  [[nodiscard]] std::span<const double> total_window() const {
+    return total_window_;
+  }
+  [[nodiscard]] std::span<const double> rtt_seconds() const {
+    return rtt_seconds_;
+  }
+  [[nodiscard]] std::span<const double> congestion_loss() const {
+    return congestion_loss_;
+  }
+
+ private:
+  int num_senders_;
+  double link_capacity_mss_;
+  double min_rtt_seconds_;
+  std::vector<std::vector<double>> window_series_;
+  std::vector<std::vector<double>> observed_loss_series_;
+  std::vector<double> total_window_;
+  std::vector<double> rtt_seconds_;
+  std::vector<double> congestion_loss_;
+};
+
+}  // namespace axiomcc::fluid

@@ -1,0 +1,106 @@
+// dumbbell.h — the paper's experimental topology: n flows over one bottleneck.
+//
+// This is the packet-level replacement for the paper's Emulab setup
+// (Section 5.1): senders on the left, receivers on the right, a single
+// droptail (or RED) bottleneck in the middle, symmetric propagation delay,
+// and an optional Bernoulli loss channel on the forward path for
+// non-congestion-loss experiments.
+//
+// Besides raw per-flow statistics, the experiment samples every sender's
+// window at a fixed cadence into a fluid::Trace, so the axiomatic metric
+// estimators in src/core run unchanged on packet-level data.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/protocol.h"
+#include "fluid/trace.h"
+#include "sim/event.h"
+#include "sim/link.h"
+#include "sim/loss.h"
+#include "sim/receiver.h"
+#include "sim/sender.h"
+
+namespace axiomcc::sim {
+
+struct DumbbellConfig {
+  double bottleneck_mbps = 30.0;
+  double rtt_ms = 42.0;            ///< total two-way propagation delay.
+  std::size_t buffer_packets = 100;
+  int mss_bytes = 1500;
+  double duration_seconds = 60.0;
+  /// Bernoulli loss applied to forward data packets (non-congestion loss).
+  double random_loss_rate = 0.0;
+  std::uint64_t seed = 42;
+  /// Queue discipline: droptail (paper) or RED (extension).
+  bool use_red = false;
+  REDQueue::Params red{};
+  /// Window-sampling cadence for the fluid::Trace view; 0 selects one RTT.
+  double sample_interval_ms = 0.0;
+  double tail_fraction = 0.5;
+};
+
+/// Tail-of-run summary for one flow.
+struct FlowReport {
+  std::string protocol_name;
+  double avg_window_mss = 0.0;
+  double throughput_mbps = 0.0;
+  double loss_rate = 0.0;
+  double avg_rtt_ms = 0.0;
+};
+
+class DumbbellExperiment {
+ public:
+  explicit DumbbellExperiment(const DumbbellConfig& config);
+
+  DumbbellExperiment(const DumbbellExperiment&) = delete;
+  DumbbellExperiment& operator=(const DumbbellExperiment&) = delete;
+
+  /// Adds a flow; returns its id. Must be called before run().
+  int add_flow(std::unique_ptr<cc::Protocol> protocol,
+               double start_seconds = 0.0, double initial_window = 2.0);
+
+  /// Runs the experiment for the configured duration. Call once.
+  void run();
+
+  /// The sampled window/loss/RTT trace (valid after run()).
+  [[nodiscard]] const fluid::Trace& trace() const;
+
+  /// Per-flow tail summaries (valid after run()).
+  [[nodiscard]] std::vector<FlowReport> flow_reports() const;
+
+  /// Delivered bits over capacity·duration (valid after run()).
+  [[nodiscard]] double bottleneck_utilization() const;
+
+  /// C = B·2Θ in MSS for this configuration.
+  [[nodiscard]] double capacity_mss() const;
+
+  [[nodiscard]] int num_flows() const {
+    return static_cast<int>(senders_.size());
+  }
+  [[nodiscard]] const Sender& sender(int flow) const;
+  [[nodiscard]] Simulator& simulator() { return simulator_; }
+  [[nodiscard]] const SimLink& bottleneck() const { return *bottleneck_; }
+
+ private:
+  void sample_trace();
+  [[nodiscard]] std::uint64_t splitmix_seed();
+
+  DumbbellConfig config_;
+  Simulator simulator_;
+  std::unique_ptr<BernoulliPacketLoss> forward_loss_;
+  std::unique_ptr<SimLink> bottleneck_;
+  std::vector<std::unique_ptr<Sender>> senders_;
+  std::vector<std::unique_ptr<Receiver>> receivers_;
+  std::vector<double> flow_start_seconds_;
+
+  std::unique_ptr<fluid::Trace> trace_;
+  std::vector<std::size_t> eval_frontier_;  ///< per-sender evaluated-MI cursor.
+  std::size_t drops_at_last_sample_ = 0;
+  std::size_t accepted_at_last_sample_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace axiomcc::sim

@@ -1,0 +1,46 @@
+#include "sim/event.h"
+
+#include <utility>
+
+namespace axiomcc::sim {
+
+void Simulator::schedule_at(SimTime t, EventFn fn) {
+  AXIOMCC_EXPECTS_MSG(t >= now_, "cannot schedule an event in the past");
+  AXIOMCC_EXPECTS(fn != nullptr);
+  queue_.push(Event{t, next_sequence_++, std::move(fn)});
+}
+
+void Simulator::schedule_in(SimTime delay, EventFn fn) {
+  AXIOMCC_EXPECTS_MSG(delay.ns() >= 0, "delay must be non-negative");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+std::size_t Simulator::run_until(SimTime end) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= end) {
+    // Copy out before pop: the callback may schedule new events.
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    ++executed;
+    event.fn();
+  }
+  if (now_ < end) now_ = end;
+  return executed;
+}
+
+std::size_t Simulator::run() {
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    ++executed;
+    event.fn();
+  }
+  return executed;
+}
+
+}  // namespace axiomcc::sim

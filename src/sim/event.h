@@ -1,0 +1,69 @@
+// event.h — the discrete-event simulation kernel.
+//
+// A minimal ns-3-style engine: events are (time, callback) pairs executed in
+// time order. Ties are broken by insertion order (FIFO), which together with
+// the integral nanosecond clock makes every run exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/check.h"
+#include "util/units.h"
+
+namespace axiomcc::sim {
+
+using EventFn = std::function<void()>;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must not be in the past).
+  void schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules `fn` after `delay` (must be non-negative).
+  void schedule_in(SimTime delay, EventFn fn);
+
+  /// Runs events until the queue is empty or `end` is reached; events at
+  /// exactly `end` are executed. Returns the number of events processed.
+  std::size_t run_until(SimTime end);
+
+  /// Runs until the event queue is empty.
+  std::size_t run();
+
+  /// Total events executed over the simulator's lifetime.
+  [[nodiscard]] std::size_t events_processed() const {
+    return events_processed_;
+  }
+
+  /// Events currently pending.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t sequence;  // FIFO tie-break
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  SimTime now_{0};
+  std::uint64_t next_sequence_ = 0;
+  std::size_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace axiomcc::sim

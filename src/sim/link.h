@@ -1,0 +1,59 @@
+// link.h — a unidirectional link with a queue, a serialization rate, and a
+// propagation delay.
+//
+// Packets admitted by the queue are transmitted one at a time at `rate_bps`
+// and delivered `propagation_delay` after their last bit leaves. This is the
+// store-and-forward output-port model ns-3's point-to-point links use.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "sim/event.h"
+#include "sim/packet.h"
+#include "sim/queue.h"
+#include "util/units.h"
+
+namespace axiomcc::sim {
+
+/// Downstream delivery callback.
+using DeliverFn = std::function<void(const Packet&)>;
+
+class SimLink {
+ public:
+  SimLink(Simulator& simulator, double rate_bps, SimTime propagation_delay,
+          std::unique_ptr<QueueDiscipline> queue, DeliverFn deliver);
+
+  /// Offers a packet to the link; it is queued, transmitted, and delivered,
+  /// or dropped by the queue discipline.
+  void send(const Packet& p);
+
+  [[nodiscard]] double rate_bps() const { return rate_bps_; }
+  [[nodiscard]] SimTime propagation_delay() const { return propagation_delay_; }
+  [[nodiscard]] const QueueDiscipline& queue() const { return *queue_; }
+
+  [[nodiscard]] std::size_t packets_accepted() const { return accepted_; }
+  [[nodiscard]] std::size_t packets_delivered() const { return delivered_; }
+  [[nodiscard]] std::size_t packets_dropped() const { return queue_->drops(); }
+  [[nodiscard]] std::size_t bytes_delivered() const { return bytes_delivered_; }
+
+  /// Serialization time of a packet of `size_bytes` at this link's rate.
+  [[nodiscard]] SimTime serialization_time(int size_bytes) const;
+
+ private:
+  void begin_transmission();
+
+  Simulator& simulator_;
+  double rate_bps_;
+  SimTime propagation_delay_;
+  std::unique_ptr<QueueDiscipline> queue_;
+  DeliverFn deliver_;
+
+  bool transmitting_ = false;
+  std::size_t accepted_ = 0;
+  std::size_t delivered_ = 0;
+  std::size_t bytes_delivered_ = 0;
+};
+
+}  // namespace axiomcc::sim

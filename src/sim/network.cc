@@ -1,0 +1,216 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/queue.h"
+#include "util/check.h"
+
+namespace axiomcc::sim {
+
+MultiHopNetwork::MultiHopNetwork(const Config& config) : config_(config) {
+  AXIOMCC_EXPECTS(config.duration_seconds > 0.0);
+  AXIOMCC_EXPECTS(config.mss_bytes > 0);
+  AXIOMCC_EXPECTS(config.tail_fraction >= 0.0 && config.tail_fraction < 1.0);
+}
+
+int MultiHopNetwork::add_link(double mbps, double one_way_delay_ms,
+                              std::size_t buffer_packets) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "add_link must precede run()");
+  AXIOMCC_EXPECTS(mbps > 0.0);
+  AXIOMCC_EXPECTS(one_way_delay_ms >= 0.0);
+
+  const int link_id = static_cast<int>(links_.size());
+  LinkInfo info;
+  info.one_way_delay_ms = one_way_delay_ms;
+  info.mbps = mbps;
+  info.link = std::make_unique<SimLink>(
+      simulator_, mbps * 1e6, SimTime::from_millis(one_way_delay_ms),
+      std::make_unique<DropTailQueue>(buffer_packets),
+      [this, link_id](const Packet& p) { deliver_from_link(link_id, p); });
+  links_.push_back(std::move(info));
+  return link_id;
+}
+
+int MultiHopNetwork::add_flow(std::unique_ptr<cc::Protocol> protocol,
+                              std::vector<int> route, double start_seconds,
+                              double initial_window) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "add_flow must precede run()");
+  AXIOMCC_EXPECTS(protocol != nullptr);
+  AXIOMCC_EXPECTS(!route.empty());
+  AXIOMCC_EXPECTS(start_seconds >= 0.0);
+
+  const int flow_id = num_flows();
+
+  FlowInfo flow;
+  flow.route = route;
+  flow.start_seconds = start_seconds;
+  double one_way_ms = 0.0;
+  for (std::size_t hop = 0; hop < route.size(); ++hop) {
+    const int link_id = route[hop];
+    AXIOMCC_EXPECTS(link_id >= 0 &&
+                    link_id < static_cast<int>(links_.size()));
+    AXIOMCC_EXPECTS_MSG(!flow.next_hop.contains(link_id),
+                        "a route may not repeat a link");
+    flow.next_hop[link_id] = hop + 1;
+    one_way_ms += links_[link_id].one_way_delay_ms;
+  }
+  flow.route_rtt_ms = 2.0 * one_way_ms;
+  flows_.push_back(std::move(flow));
+
+  const SimTime reverse_delay = SimTime::from_millis(one_way_ms);
+  receivers_.push_back(
+      std::make_unique<Receiver>([this, reverse_delay](const Packet& ack) {
+        simulator_.schedule_in(reverse_delay, [this, ack] {
+          senders_[ack.flow_id]->on_ack(ack);
+        });
+      }));
+
+  SenderConfig sc;
+  sc.flow_id = flow_id;
+  sc.mss_bytes = config_.mss_bytes;
+  sc.initial_window = initial_window;
+  sc.initial_mi = SimTime::from_millis(std::max(flows_.back().route_rtt_ms, 1.0));
+
+  const int first_link = route.front();
+  senders_.push_back(std::make_unique<Sender>(
+      simulator_, sc, std::move(protocol), [this, first_link](const Packet& p) {
+        links_[first_link].link->send(p);
+      }));
+  return flow_id;
+}
+
+void MultiHopNetwork::deliver_from_link(int link_id, const Packet& p) {
+  AXIOMCC_EXPECTS(p.flow_id >= 0 && p.flow_id < num_flows());
+  const FlowInfo& flow = flows_[p.flow_id];
+  const auto it = flow.next_hop.find(link_id);
+  AXIOMCC_EXPECTS_MSG(it != flow.next_hop.end(),
+                      "packet delivered by a link not on its flow's route");
+  const std::size_t next = it->second;
+  if (next >= flow.route.size()) {
+    receivers_[p.flow_id]->on_packet(p);
+  } else {
+    links_[flow.route[next]].link->send(p);
+  }
+}
+
+void MultiHopNetwork::run() {
+  AXIOMCC_EXPECTS_MSG(!ran_, "run() may be called only once");
+  AXIOMCC_EXPECTS_MSG(num_flows() > 0, "add at least one flow before run()");
+  ran_ = true;
+
+  // Trace conventions as in fluid/network.h.
+  double min_capacity = std::numeric_limits<double>::infinity();
+  double min_rtt_ms = std::numeric_limits<double>::infinity();
+  for (const FlowInfo& f : flows_) {
+    for (int l : f.route) {
+      const double capacity_mss =
+          links_[l].mbps * 1e6 * (f.route_rtt_ms / 1e3) /
+          (8.0 * static_cast<double>(config_.mss_bytes));
+      min_capacity = std::min(min_capacity, capacity_mss);
+    }
+    min_rtt_ms = std::min(min_rtt_ms, f.route_rtt_ms);
+  }
+  trace_ = std::make_unique<fluid::Trace>(num_flows(), min_capacity,
+                                          min_rtt_ms / 1e3);
+  eval_frontier_.assign(num_flows(), 0);
+
+  for (int f = 0; f < num_flows(); ++f) {
+    senders_[f]->start(SimTime::from_seconds(flows_[f].start_seconds));
+  }
+
+  const double interval_ms = config_.sample_interval_ms > 0.0
+                                 ? config_.sample_interval_ms
+                                 : std::max(min_rtt_ms, 1.0);
+  const SimTime interval = SimTime::from_millis(interval_ms);
+  const SimTime end = SimTime::from_seconds(config_.duration_seconds);
+  for (SimTime t = interval; t <= end; t = t + interval) {
+    simulator_.schedule_at(t, [this] { sample_trace(); });
+  }
+  simulator_.run_until(end);
+}
+
+void MultiHopNetwork::sample_trace() {
+  const int n = num_flows();
+  std::vector<double> windows(n);
+  std::vector<double> observed_loss(n);
+  double rtt_sum = 0.0;
+  int rtt_count = 0;
+  for (int i = 0; i < n; ++i) {
+    const Sender& s = *senders_[i];
+    windows[i] = s.cwnd();
+    const auto& records = s.history();
+    std::size_t& frontier = eval_frontier_[i];
+    while (frontier < records.size() && records[frontier].evaluated) {
+      ++frontier;
+    }
+    observed_loss[i] = frontier > 0 ? records[frontier - 1].loss_rate : 0.0;
+    if (s.srtt_seconds() > 0.0) {
+      rtt_sum += s.srtt_seconds();
+      ++rtt_count;
+    }
+  }
+  const double max_loss =
+      observed_loss.empty()
+          ? 0.0
+          : *std::max_element(observed_loss.begin(), observed_loss.end());
+  const double rtt = rtt_count > 0
+                         ? rtt_sum / static_cast<double>(rtt_count)
+                         : trace_->min_rtt_seconds();
+  trace_->add_step(windows, rtt, max_loss, observed_loss);
+}
+
+const Sender& MultiHopNetwork::sender(int flow) const {
+  AXIOMCC_EXPECTS(flow >= 0 && flow < num_flows());
+  return *senders_[flow];
+}
+
+const SimLink& MultiHopNetwork::link(int id) const {
+  AXIOMCC_EXPECTS(id >= 0 && id < static_cast<int>(links_.size()));
+  return *links_[id].link;
+}
+
+const fluid::Trace& MultiHopNetwork::trace() const {
+  AXIOMCC_EXPECTS_MSG(trace_ != nullptr, "trace() requires run() first");
+  return *trace_;
+}
+
+double MultiHopNetwork::flow_throughput_mbps(int flow) const {
+  AXIOMCC_EXPECTS_MSG(ran_, "flow_throughput_mbps() requires run() first");
+  AXIOMCC_EXPECTS(flow >= 0 && flow < num_flows());
+
+  const double tail_start =
+      config_.duration_seconds * config_.tail_fraction;
+  std::uint64_t acked = 0;
+  for (const MonitorRecord& rec : senders_[flow]->history()) {
+    if (!rec.evaluated || rec.start.seconds() < tail_start) continue;
+    acked += rec.acked;
+  }
+  const double tail_seconds = config_.duration_seconds - tail_start;
+  return static_cast<double>(acked) *
+         static_cast<double>(config_.mss_bytes) * 8.0 / tail_seconds / 1e6;
+}
+
+PacketParkingLot make_packet_parking_lot(double mbps, double per_link_delay_ms,
+                                         std::size_t buffer_packets,
+                                         int bottlenecks,
+                                         const cc::Protocol& prototype,
+                                         const MultiHopNetwork::Config& config) {
+  AXIOMCC_EXPECTS(bottlenecks >= 1);
+  PacketParkingLot lot;
+  lot.network = std::make_unique<MultiHopNetwork>(config);
+
+  std::vector<int> long_route;
+  for (int i = 0; i < bottlenecks; ++i) {
+    long_route.push_back(
+        lot.network->add_link(mbps, per_link_delay_ms, buffer_packets));
+  }
+  lot.long_flow = lot.network->add_flow(prototype.clone(), long_route);
+  for (int i = 0; i < bottlenecks; ++i) {
+    lot.short_flows.push_back(
+        lot.network->add_flow(prototype.clone(), {long_route[i]}));
+  }
+  return lot;
+}
+
+}  // namespace axiomcc::sim

@@ -1,0 +1,110 @@
+// network.h — multi-hop packet-level topologies (beyond the dumbbell).
+//
+// Generalizes dumbbell.h to arbitrary per-flow routes over shared links:
+// packets are forwarded hop by hop through each link's queue; the last hop
+// delivers to the flow's receiver, whose ACK returns after the route's
+// reverse propagation delay. This is the packet-level counterpart of
+// fluid/network.h (the paper's "network-wide interaction" future work) and
+// ships the same parking-lot builder.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cc/protocol.h"
+#include "fluid/trace.h"
+#include "sim/event.h"
+#include "sim/link.h"
+#include "sim/receiver.h"
+#include "sim/sender.h"
+
+namespace axiomcc::sim {
+
+class MultiHopNetwork {
+ public:
+  struct Config {
+    double duration_seconds = 30.0;
+    int mss_bytes = 1500;
+    /// Window-sampling cadence for the Trace view; 0 picks the smallest
+    /// route round-trip.
+    double sample_interval_ms = 0.0;
+    double tail_fraction = 0.5;
+  };
+
+  explicit MultiHopNetwork(const Config& config);
+
+  MultiHopNetwork(const MultiHopNetwork&) = delete;
+  MultiHopNetwork& operator=(const MultiHopNetwork&) = delete;
+
+  /// Adds a unidirectional link (droptail); returns its id.
+  int add_link(double mbps, double one_way_delay_ms,
+               std::size_t buffer_packets);
+
+  /// Adds a flow routed over `route` (ordered link ids). The reverse path is
+  /// modeled as a fixed delay equal to the route's total one-way propagation.
+  int add_flow(std::unique_ptr<cc::Protocol> protocol, std::vector<int> route,
+               double start_seconds = 0.0, double initial_window = 2.0);
+
+  void run();
+
+  [[nodiscard]] int num_flows() const {
+    return static_cast<int>(senders_.size());
+  }
+  [[nodiscard]] const Sender& sender(int flow) const;
+  [[nodiscard]] const SimLink& link(int id) const;
+  [[nodiscard]] Simulator& simulator() { return simulator_; }
+
+  /// Sampled per-flow window trace (valid after run()); capacity is the
+  /// minimum link capacity (in MSS) over any route, min-RTT the smallest
+  /// route round-trip.
+  [[nodiscard]] const fluid::Trace& trace() const;
+
+  /// Tail-average goodput of a flow in Mbps (valid after run()).
+  [[nodiscard]] double flow_throughput_mbps(int flow) const;
+
+ private:
+  void sample_trace();
+
+  Config config_;
+  Simulator simulator_;
+
+  struct LinkInfo {
+    std::unique_ptr<SimLink> link;
+    double one_way_delay_ms = 0.0;
+    double mbps = 0.0;
+  };
+  struct FlowInfo {
+    std::vector<int> route;
+    /// next_hop[link_id] = index into route of the hop AFTER link_id.
+    std::unordered_map<int, std::size_t> next_hop;
+    double start_seconds = 0.0;
+    double route_rtt_ms = 0.0;
+  };
+
+  void deliver_from_link(int link_id, const Packet& p);
+
+  std::vector<LinkInfo> links_;
+  std::vector<FlowInfo> flows_;
+  std::vector<std::unique_ptr<Sender>> senders_;
+  std::vector<std::unique_ptr<Receiver>> receivers_;
+
+  std::unique_ptr<fluid::Trace> trace_;
+  std::vector<std::size_t> eval_frontier_;
+  bool ran_ = false;
+};
+
+/// Packet-level parking lot: `bottlenecks` equal links in series; flow 0 runs
+/// over all of them, one short flow per link. All flows clone `prototype`.
+struct PacketParkingLot {
+  std::unique_ptr<MultiHopNetwork> network;
+  int long_flow = 0;
+  std::vector<int> short_flows;
+};
+[[nodiscard]] PacketParkingLot make_packet_parking_lot(
+    double mbps, double per_link_delay_ms, std::size_t buffer_packets,
+    int bottlenecks, const cc::Protocol& prototype,
+    const MultiHopNetwork::Config& config = {});
+
+}  // namespace axiomcc::sim

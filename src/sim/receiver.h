@@ -1,0 +1,57 @@
+// receiver.h — the data sink: ACKs every packet it receives.
+//
+// ACKs echo the data packet's sequence number, send timestamp, and monitor
+// interval (selective-ACK-style per-packet feedback, which is what the
+// monitor-interval accounting in sender.h needs).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "sim/packet.h"
+#include "util/check.h"
+
+namespace axiomcc::sim {
+
+// NOTE on delayed ACKs: the sender's loss detection treats "an ACK for seq s
+// with an older packet unACKed" as proof of loss (valid on a FIFO path with
+// per-packet ACKs). A delayed-ACK receiver that skips every other ACK would
+// make skipped packets indistinguishable from drops, so ACK thinning is
+// deliberately NOT offered here; it would need cumulative-ACK semantics end
+// to end.
+class Receiver {
+ public:
+  /// `send_ack` carries the ACK back toward the sender (reverse path).
+  explicit Receiver(std::function<void(const Packet&)> send_ack)
+      : send_ack_(std::move(send_ack)) {
+    AXIOMCC_EXPECTS(send_ack_ != nullptr);
+  }
+
+  void on_packet(const Packet& p) {
+    AXIOMCC_EXPECTS(!p.is_ack);
+    ++packets_received_;
+    bytes_received_ += static_cast<std::uint64_t>(p.size_bytes);
+
+    Packet ack;
+    ack.flow_id = p.flow_id;
+    ack.seq = p.seq;
+    ack.size_bytes = kAckBytes;
+    ack.is_ack = true;
+    ack.sent_at = p.sent_at;
+    ack.monitor_interval = p.monitor_interval;
+    send_ack_(ack);
+  }
+
+  [[nodiscard]] std::uint64_t packets_received() const {
+    return packets_received_;
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  std::function<void(const Packet&)> send_ack_;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace axiomcc::sim

@@ -1,0 +1,56 @@
+// check.h — lightweight precondition / invariant checking.
+//
+// Follows the C++ Core Guidelines (I.6/I.8: state preconditions and
+// postconditions; E.12: use assertions liberally). We keep checks enabled in
+// all build types: the library is a research instrument and silent
+// out-of-contract behaviour would corrupt experiment results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace axiomcc {
+
+/// Thrown when a precondition or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace axiomcc
+
+/// Precondition check: throws ContractViolation when `expr` is false.
+#define AXIOMCC_EXPECTS(expr)                                                   \
+  do {                                                                          \
+    if (!(expr))                                                                \
+      ::axiomcc::detail::contract_fail("Precondition", #expr, __FILE__,         \
+                                       __LINE__, "");                           \
+  } while (false)
+
+/// Precondition check with an explanatory message.
+#define AXIOMCC_EXPECTS_MSG(expr, msg)                                          \
+  do {                                                                          \
+    if (!(expr))                                                                \
+      ::axiomcc::detail::contract_fail("Precondition", #expr, __FILE__,         \
+                                       __LINE__, (msg));                        \
+  } while (false)
+
+/// Invariant / postcondition check.
+#define AXIOMCC_ENSURES(expr)                                                   \
+  do {                                                                          \
+    if (!(expr))                                                                \
+      ::axiomcc::detail::contract_fail("Invariant", #expr, __FILE__, __LINE__,  \
+                                       "");                                     \
+  } while (false)

@@ -1,0 +1,60 @@
+#include "util/cli.h"
+
+#include <stdexcept>
+
+namespace axiomcc {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+std::optional<std::string> ArgParser::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::get_or(const std::string& key,
+                              const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  const double parsed = std::stod(*v, &pos);
+  if (pos != v->size()) {
+    throw std::invalid_argument("malformed number for --" + key + ": " + *v);
+  }
+  return parsed;
+}
+
+long ArgParser::get_int(const std::string& key, long fallback) const {
+  const auto v = get(key);
+  if (!v) return fallback;
+  std::size_t pos = 0;
+  const long parsed = std::stol(*v, &pos);
+  if (pos != v->size()) {
+    throw std::invalid_argument("malformed integer for --" + key + ": " + *v);
+  }
+  return parsed;
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+}  // namespace axiomcc

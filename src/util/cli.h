@@ -1,0 +1,43 @@
+// cli.h — minimal `--key=value` argument parsing for examples and benches.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace axiomcc {
+
+/// Parses `--key=value` / `--flag` style arguments. Positional arguments are
+/// collected in order. Unknown keys are kept (callers decide what is valid).
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// Returns the value for `--key=value`, or nullopt when absent.
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Returns the string value or `fallback` when absent.
+  [[nodiscard]] std::string get_or(const std::string& key,
+                                   const std::string& fallback) const;
+
+  /// Returns the value parsed as double, or `fallback` when absent.
+  /// Throws std::invalid_argument on a malformed number.
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+
+  /// Returns the value parsed as a non-negative integer, or `fallback`.
+  [[nodiscard]] long get_int(const std::string& key, long fallback) const;
+
+  /// True when `--key` was given (with or without a value).
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace axiomcc

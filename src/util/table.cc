@@ -1,0 +1,134 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace axiomcc {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  AXIOMCC_EXPECTS_MSG(rows_.empty(), "set_header must precede add_row");
+  AXIOMCC_EXPECTS(!header.empty());
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  AXIOMCC_EXPECTS_MSG(row.size() == header_.size(),
+                      "row arity must match header arity");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  if (std::isnan(value)) return "n/a";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::vector<std::size_t> TextTable::column_widths() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+std::string TextTable::render_ascii() const {
+  const auto widths = column_widths();
+  std::ostringstream os;
+
+  const auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return os.str();
+}
+
+std::string TextTable::render_markdown() const {
+  std::ostringstream os;
+  const auto line = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << " | ";
+      os << cells[c];
+    }
+    os << " |\n";
+  };
+  line(header_);
+  os << "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) line(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::render_csv() const {
+  std::ostringstream os;
+  const auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  line(header_);
+  for (const auto& row : rows_) line(row);
+  return os.str();
+}
+
+std::string TextTable::render(Format format) const {
+  switch (format) {
+    case Format::kAscii:
+      return render_ascii();
+    case Format::kMarkdown:
+      return render_markdown();
+    case Format::kCsv:
+      return render_csv();
+  }
+  return {};
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render(TextTable::Format::kAscii);
+}
+
+}  // namespace axiomcc

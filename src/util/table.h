@@ -1,0 +1,48 @@
+// table.h — rendering of result tables.
+//
+// Every bench binary regenerates one of the paper's tables/figures as rows of
+// text; TextTable gives them a single consistent renderer with ASCII,
+// Markdown, and CSV output modes.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace axiomcc {
+
+/// A simple row/column table of strings with aligned text rendering.
+class TextTable {
+ public:
+  enum class Format { kAscii, kMarkdown, kCsv };
+
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` significant decimals.
+  static std::string num(double value, int precision = 3);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const { return header_.size(); }
+
+  /// Renders the table in the requested format.
+  [[nodiscard]] std::string render(Format format = Format::kAscii) const;
+
+  /// Streams the ASCII rendering.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  [[nodiscard]] std::vector<std::size_t> column_widths() const;
+  [[nodiscard]] std::string render_ascii() const;
+  [[nodiscard]] std::string render_markdown() const;
+  [[nodiscard]] std::string render_csv() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace axiomcc

@@ -1,0 +1,117 @@
+// units.h — strong types for the quantities the model is parameterized by.
+//
+// The paper (Section 2) measures bandwidth in MSS/s, windows and buffers in
+// MSS, and delays in seconds. Mixing these up silently is the classic source
+// of wrong simulation results, so each quantity gets its own vocabulary type
+// (Core Guidelines I.4: make interfaces precisely and strongly typed).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace axiomcc {
+
+/// Default maximum-segment-size used when converting between bits and MSS.
+inline constexpr double kDefaultMssBytes = 1500.0;
+
+/// A duration in seconds (double precision; the fluid model is continuous in
+/// value even though it is discrete in steps).
+class Seconds {
+ public:
+  constexpr Seconds() = default;
+  constexpr explicit Seconds(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  static constexpr Seconds from_millis(double ms) { return Seconds(ms / 1e3); }
+  static constexpr Seconds from_micros(double us) { return Seconds(us / 1e6); }
+
+  [[nodiscard]] constexpr double millis() const { return value_ * 1e3; }
+
+  constexpr Seconds operator+(Seconds o) const { return Seconds(value_ + o.value_); }
+  constexpr Seconds operator-(Seconds o) const { return Seconds(value_ - o.value_); }
+  constexpr Seconds operator*(double k) const { return Seconds(value_ * k); }
+  constexpr double operator/(Seconds o) const { return value_ / o.value_; }
+  constexpr auto operator<=>(const Seconds&) const = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Seconds s) {
+  return os << s.value() << "s";
+}
+
+/// Bandwidth, canonically stored in MSS per second (the paper's unit).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  static constexpr Bandwidth from_mss_per_sec(double v) { return Bandwidth(v); }
+
+  /// Converts from megabits-per-second given an MSS size in bytes.
+  static constexpr Bandwidth from_mbps(double mbps,
+                                       double mss_bytes = kDefaultMssBytes) {
+    return Bandwidth(mbps * 1e6 / 8.0 / mss_bytes);
+  }
+
+  [[nodiscard]] constexpr double mss_per_sec() const { return mss_per_sec_; }
+
+  [[nodiscard]] constexpr double mbps(double mss_bytes = kDefaultMssBytes) const {
+    return mss_per_sec_ * mss_bytes * 8.0 / 1e6;
+  }
+
+  /// Bandwidth-delay product in MSS for a given (one-way) delay.
+  [[nodiscard]] constexpr double mss_over(Seconds delay) const {
+    return mss_per_sec_ * delay.value();
+  }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+
+ private:
+  constexpr explicit Bandwidth(double v) : mss_per_sec_(v) {}
+  double mss_per_sec_ = 0.0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Bandwidth b) {
+  return os << b.mss_per_sec() << "MSS/s";
+}
+
+/// Simulation time for the packet-level simulator: integral nanoseconds.
+/// Integral time makes event ordering exact and runs reproducible
+/// (floating-point event times accumulate rounding that reorders ties).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr SimTime from_millis(double ms) {
+    return SimTime(static_cast<std::int64_t>(ms * 1e6));
+  }
+  static constexpr SimTime from_micros(double us) {
+    return SimTime(static_cast<std::int64_t>(us * 1e3));
+  }
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime(ns_ + o.ns_); }
+  constexpr SimTime operator-(SimTime o) const { return SimTime(ns_ - o.ns_); }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << t.ns() << "ns";
+}
+
+}  // namespace axiomcc

@@ -1,0 +1,124 @@
+// Tests for the dynamics analyzer — synthetic signals with known structure,
+// then the real AIMD sawtooth against the THEORY.md algebra.
+#include "analysis/dynamics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cc/aimd.h"
+#include "fluid/sim.h"
+#include "util/check.h"
+
+namespace axiomcc::analysis {
+namespace {
+
+/// A clean synthetic sawtooth: ramp from `trough` to `peak` over `period`
+/// steps, then drop, repeated.
+std::vector<double> sawtooth(double trough, double peak, int period,
+                             int cycles) {
+  std::vector<double> xs;
+  for (int c = 0; c < cycles; ++c) {
+    for (int t = 0; t < period; ++t) {
+      xs.push_back(trough + (peak - trough) * t / (period - 1));
+    }
+  }
+  return xs;
+}
+
+TEST(FindPeaks, LocatesSawtoothPeaks) {
+  const auto xs = sawtooth(50.0, 100.0, 20, 5);
+  const auto peaks = find_peaks(xs);
+  ASSERT_EQ(peaks.size(), 4u);  // the last ramp has no following drop
+  EXPECT_EQ(peaks[0], 19u);
+  EXPECT_EQ(peaks[1], 39u);
+}
+
+TEST(FindPeaks, FlatAndMonotoneSeriesHaveNone) {
+  EXPECT_TRUE(find_peaks(std::vector<double>(50, 42.0)).empty());
+  std::vector<double> ramp;
+  for (int i = 0; i < 50; ++i) ramp.push_back(static_cast<double>(i));
+  EXPECT_TRUE(find_peaks(ramp).empty());
+}
+
+TEST(FindPeaks, ProminenceFiltersRipples) {
+  // A 1%-deep ripple on a large value must not count at 5% prominence.
+  std::vector<double> xs;
+  for (int i = 0; i < 60; ++i) {
+    xs.push_back(100.0 + (i % 2 == 0 ? 0.0 : -1.0));
+  }
+  EXPECT_TRUE(find_peaks(xs, 0.05).empty());
+  EXPECT_FALSE(find_peaks(xs, 0.001).empty());
+}
+
+TEST(ExtractCycles, MeasuresPeakTroughAndLength) {
+  const auto xs = sawtooth(50.0, 100.0, 25, 4);
+  const auto cycles = extract_cycles(xs);
+  ASSERT_GE(cycles.size(), 2u);
+  for (const Cycle& c : cycles) {
+    EXPECT_NEAR(c.peak_value, 100.0, 1e-9);
+    EXPECT_NEAR(c.trough_value, 50.0, 1e-9);
+    EXPECT_EQ(c.length, 25u);
+  }
+}
+
+TEST(AnalyzeCycles, SummaryMatchesConstruction) {
+  const auto xs = sawtooth(40.0, 80.0, 30, 6);
+  const CycleStats stats = analyze_cycles(xs);
+  EXPECT_GE(stats.cycles, 4u);
+  EXPECT_NEAR(stats.mean_period, 30.0, 1e-9);
+  EXPECT_NEAR(stats.mean_decrease_ratio, 0.5, 1e-9);
+  EXPECT_NEAR(stats.stddev_period, 0.0, 1e-9);
+}
+
+TEST(AnalyzeCycles, EmptyForShortSeries) {
+  const CycleStats stats = analyze_cycles(std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(stats.cycles, 0u);
+}
+
+TEST(DominantPeriod, RecoversSinusoid) {
+  std::vector<double> xs;
+  for (int t = 0; t < 600; ++t) {
+    xs.push_back(std::sin(2.0 * M_PI * t / 37.0));
+  }
+  const std::size_t period = dominant_period(xs);
+  EXPECT_NEAR(static_cast<double>(period), 37.0, 2.0);
+}
+
+TEST(DominantPeriod, ZeroForNoise_FlatSeries) {
+  EXPECT_EQ(dominant_period(std::vector<double>(100, 5.0)), 0u);
+}
+
+TEST(DominantPeriod, Contracts) {
+  std::vector<double> xs(100, 1.0);
+  EXPECT_THROW((void)dominant_period(xs, 0, 10), ContractViolation);
+  EXPECT_THROW((void)dominant_period(xs, 10, 5), ContractViolation);
+}
+
+// --- the real sawtooth vs THEORY.md ------------------------------------------
+
+TEST(AimdSawtooth, CycleStructureMatchesTheAlgebra) {
+  // n = 2 AIMD(1, 0.5) on the paper link: peaks at x̂ ≈ (C+τ)/2 ≈ 102.5,
+  // troughs at b·x̂, period (1−b)·x̂ / a ≈ 51 steps.
+  fluid::SimOptions opt;
+  opt.steps = 3000;
+  fluid::FluidSimulation sim(fluid::make_link_mbps(30.0, 42.0, 100.0), opt);
+  sim.add_sender(cc::Aimd(1.0, 0.5), 1.0);
+  sim.add_sender(cc::Aimd(1.0, 0.5), 50.0);
+  const fluid::Trace trace = sim.run();
+
+  const auto tail = trace.windows(0).subspan(1500);
+  const CycleStats stats = analyze_cycles(tail);
+  ASSERT_GE(stats.cycles, 10u);
+  EXPECT_NEAR(stats.mean_peak, 102.5, 4.0);
+  EXPECT_NEAR(stats.mean_decrease_ratio, 0.5, 0.03);
+  EXPECT_NEAR(stats.mean_period, 51.0, 4.0);
+
+  // The autocorrelation estimate agrees with the peak-to-peak one.
+  const std::size_t period = dominant_period(tail);
+  EXPECT_NEAR(static_cast<double>(period), stats.mean_period, 5.0);
+}
+
+}  // namespace
+}  // namespace axiomcc::analysis

@@ -1,0 +1,88 @@
+// Tests for the ASCII plotter.
+#include "analysis/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace axiomcc::analysis {
+namespace {
+
+Series ramp(const std::string& label, double from, double to, int n) {
+  Series s;
+  s.label = label;
+  for (int i = 0; i < n; ++i) {
+    s.values.push_back(from + (to - from) * i / (n - 1));
+  }
+  return s;
+}
+
+TEST(AsciiPlot, RendersAxesTitleAndLegend) {
+  PlotOptions opts;
+  opts.title = "my plot";
+  const std::string out = plot({ramp("up", 0.0, 100.0, 50)}, opts);
+  EXPECT_NE(out.find("my plot"), std::string::npos);
+  EXPECT_NE(out.find("100.00 |"), std::string::npos);
+  EXPECT_NE(out.find("0.00 |"), std::string::npos);
+  EXPECT_NE(out.find("* = up"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(AsciiPlot, RampFillsTheDiagonal) {
+  PlotOptions opts;
+  opts.width = 20;
+  opts.height = 10;
+  const std::string out = plot({ramp("up", 0.0, 100.0, 200)}, opts);
+  // The first canvas row (top) must contain a glyph near its right edge,
+  // the bottom row near its left edge.
+  const auto first_line_end = out.find('\n');
+  const std::string top = out.substr(0, first_line_end);
+  EXPECT_NE(top.find('*'), std::string::npos);
+  EXPECT_GT(top.find('*'), top.size() / 2);
+}
+
+TEST(AsciiPlot, MultipleSeriesUseDistinctGlyphs) {
+  const std::string out =
+      plot({ramp("a", 0.0, 10.0, 30), ramp("b", 10.0, 0.0, 30)});
+  EXPECT_NE(out.find("* = a"), std::string::npos);
+  EXPECT_NE(out.find("+ = b"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, ConstantSeriesDoesNotDivideByZero) {
+  Series flat;
+  flat.label = "flat";
+  flat.values.assign(40, 7.0);
+  EXPECT_NO_THROW((void)plot({flat}));
+}
+
+TEST(AsciiPlot, ResamplesLongSeries) {
+  // 10k points into an 78-column canvas must not throw or distort range.
+  Series s = ramp("long", 0.0, 1.0, 10000);
+  const std::string out = plot({s});
+  EXPECT_NE(out.find("1.00 |"), std::string::npos);
+}
+
+TEST(AsciiPlot, Contracts) {
+  EXPECT_THROW((void)plot({}), ContractViolation);
+  Series empty;
+  empty.label = "empty";
+  EXPECT_THROW((void)plot({empty}), ContractViolation);
+  PlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_THROW((void)plot({ramp("x", 0, 1, 5)}, tiny), ContractViolation);
+}
+
+TEST(AsciiPlot, PlotWindowsLabelsSenders) {
+  fluid::Trace trace(2, 100.0, 0.04);
+  for (int t = 0; t < 30; ++t) {
+    trace.add_step(std::vector<double>{double(t), double(30 - t)}, 0.042, 0.0,
+                   std::vector<double>{0.0, 0.0});
+  }
+  const std::string out = plot_windows(trace);
+  EXPECT_NE(out.find("* = sender 0"), std::string::npos);
+  EXPECT_NE(out.find("+ = sender 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace axiomcc::analysis

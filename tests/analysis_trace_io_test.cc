@@ -1,0 +1,91 @@
+// Tests for trace CSV export and summarization.
+#include "analysis/trace_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cc/aimd.h"
+#include "fluid/sim.h"
+#include "util/check.h"
+
+namespace axiomcc::analysis {
+namespace {
+
+fluid::Trace tiny_trace() {
+  fluid::Trace trace(2, 100.0, 0.04);
+  trace.add_step(std::vector<double>{10.0, 20.0}, 0.042, 0.0,
+                 std::vector<double>{0.0, 0.0});
+  trace.add_step(std::vector<double>{11.0, 21.0}, 0.050, 0.01,
+                 std::vector<double>{0.01, 0.02});
+  return trace;
+}
+
+TEST(TraceCsv, HeaderAndRows) {
+  std::ostringstream out;
+  write_trace_csv(tiny_trace(), out);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("step,rtt_seconds,congestion_loss,w0,loss0,w1,loss1"),
+            std::string::npos);
+  EXPECT_NE(text.find("0,0.042,0,10,0,20,0"), std::string::npos);
+  EXPECT_NE(text.find("1,0.05,0.01,11,0.01,21,0.02"), std::string::npos);
+
+  // Exactly header + one line per step.
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(lines, 3);
+}
+
+TEST(TraceCsv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/axiomcc_trace.csv";
+  write_trace_csv_file(tiny_trace(), path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "step,rtt_seconds,congestion_loss,w0,loss0,w1,loss1");
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsv, UnwritablePathThrows) {
+  EXPECT_THROW(write_trace_csv_file(tiny_trace(), "/nonexistent/dir/x.csv"),
+               std::runtime_error);
+}
+
+TEST(Summarize, ReducesARealRun) {
+  fluid::SimOptions opt;
+  opt.steps = 2000;
+  fluid::FluidSimulation sim(fluid::make_link_mbps(30.0, 42.0, 100.0), opt);
+  sim.add_sender(cc::Aimd(1.0, 0.5), 1.0);
+  sim.add_sender(cc::Aimd(1.0, 0.5), 60.0);
+  const fluid::Trace trace = sim.run();
+
+  const TraceSummary summary = summarize(trace, 0.5);
+  ASSERT_EQ(summary.senders.size(), 2u);
+  // Synchronized AIMD: near-equal means, sawtooth min/max around them.
+  EXPECT_NEAR(summary.senders[0].mean_window, summary.senders[1].mean_window,
+              summary.senders[0].mean_window * 0.05);
+  EXPECT_LT(summary.senders[0].min_window, summary.senders[0].mean_window);
+  EXPECT_GT(summary.senders[0].max_window, summary.senders[0].mean_window);
+  EXPECT_GT(summary.mean_utilization, 0.9);
+  EXPECT_GE(summary.p95_rtt_seconds, summary.mean_rtt_seconds);
+}
+
+TEST(Summarize, EmptyTraceViolatesContract) {
+  fluid::Trace empty(1, 100.0, 0.04);
+  EXPECT_THROW((void)summarize(empty), ContractViolation);
+}
+
+TEST(RenderSummary, ContainsTheNumbers) {
+  const TraceSummary summary = summarize(tiny_trace(), 0.0);
+  const std::string text = render_summary(summary);
+  EXPECT_NE(text.find("sender"), std::string::npos);
+  EXPECT_NE(text.find("mean RTT"), std::string::npos);
+  EXPECT_NE(text.find("utilization"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace axiomcc::analysis

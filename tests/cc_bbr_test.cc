@@ -1,0 +1,136 @@
+// Tests for the BBR-like model-based protocol: estimator filters, startup
+// exit, the ProbeBW gain cycle, and its metric signature on the fluid model.
+#include "cc/bbr_like.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/aimd.h"
+#include "core/evaluator.h"
+#include "core/metrics.h"
+#include "util/check.h"
+
+namespace axiomcc::cc {
+namespace {
+
+Observation obs(double window, double loss, double rtt) {
+  return Observation{window, loss, rtt};
+}
+
+TEST(BbrLike, StartupDoublesWhileDeliveryRateGrows) {
+  BbrLike bbr;
+  EXPECT_TRUE(bbr.in_startup());
+  // Delivery rate doubles along with the window: stay in startup.
+  EXPECT_DOUBLE_EQ(bbr.next_window(obs(4.0, 0.0, 0.04)), 8.0);
+  EXPECT_DOUBLE_EQ(bbr.next_window(obs(8.0, 0.0, 0.04)), 16.0);
+  EXPECT_TRUE(bbr.in_startup());
+}
+
+TEST(BbrLike, ExitsStartupWhenRatePlateaus) {
+  BbrLike bbr;
+  (void)bbr.next_window(obs(16.0, 0.0, 0.04));
+  (void)bbr.next_window(obs(32.0, 0.0, 0.04));
+  // The window doubled but the RTT doubled too (queue): rate plateaued.
+  (void)bbr.next_window(obs(64.0, 0.0, 0.16));
+  EXPECT_FALSE(bbr.in_startup());
+}
+
+TEST(BbrLike, TracksBandwidthAndRttEstimates) {
+  BbrLike bbr;
+  (void)bbr.next_window(obs(40.0, 0.0, 0.05));
+  // 40 MSS per 50 ms = 800 MSS/s.
+  EXPECT_NEAR(bbr.bandwidth_estimate(), 800.0, 1e-9);
+  EXPECT_NEAR(bbr.min_rtt_estimate(), 0.05, 1e-12);
+  // A slower, lossier sample must not lower the max-filter nor raise the
+  // min-filter.
+  (void)bbr.next_window(obs(30.0, 0.5, 0.08));
+  EXPECT_NEAR(bbr.bandwidth_estimate(), 800.0, 1e-9);
+  EXPECT_NEAR(bbr.min_rtt_estimate(), 0.05, 1e-12);
+}
+
+TEST(BbrLike, BandwidthFilterForgetsOldSamples) {
+  BbrLike bbr(/*bw_window=*/3, /*rtt_window=*/100);
+  (void)bbr.next_window(obs(40.0, 0.0, 0.05));  // 800 MSS/s
+  for (int i = 0; i < 3; ++i) {
+    (void)bbr.next_window(obs(10.0, 0.0, 0.05));  // 200 MSS/s
+  }
+  EXPECT_NEAR(bbr.bandwidth_estimate(), 200.0, 1e-9);
+}
+
+TEST(BbrLike, ProbeBwCyclesAroundTheBdp) {
+  BbrLike bbr;
+  // Drive into ProbeBW: growing, then plateau.
+  (void)bbr.next_window(obs(16.0, 0.0, 0.04));
+  (void)bbr.next_window(obs(32.0, 0.0, 0.04));
+  (void)bbr.next_window(obs(64.0, 0.0, 0.16));
+  ASSERT_FALSE(bbr.in_startup());
+
+  // Feed a capacity-limited operating point (1000 MSS/s: beyond 40 MSS the
+  // RTT inflates); the returned windows must cycle around the true BDP of
+  // 1000 × 0.04 = 40 MSS within the ProbeBW gain band.
+  const double bdp = 40.0;
+  double lo = 1e18;
+  double hi = 0.0;
+  double w = bdp;
+  for (int i = 0; i < 16; ++i) {
+    const double rtt = std::max(0.04, w / 1000.0);
+    w = bbr.next_window(obs(w, 0.0, rtt));
+    lo = std::min(lo, w);
+    hi = std::max(hi, w);
+  }
+  EXPECT_GE(lo, 0.5 * bdp);
+  EXPECT_LE(hi, 1.35 * bdp);
+  EXPECT_LT(lo, hi);  // it does probe and drain
+}
+
+TEST(BbrLike, IsNotLossBasedAndIgnoresModerateLoss) {
+  BbrLike bbr;
+  EXPECT_FALSE(bbr.loss_based());
+}
+
+TEST(BbrLike, ResetRestartsStartup) {
+  BbrLike bbr;
+  (void)bbr.next_window(obs(16.0, 0.0, 0.04));
+  (void)bbr.next_window(obs(32.0, 0.0, 0.16));
+  (void)bbr.next_window(obs(32.0, 0.0, 0.16));
+  bbr.reset();
+  EXPECT_TRUE(bbr.in_startup());
+  EXPECT_DOUBLE_EQ(bbr.bandwidth_estimate(), 0.0);
+}
+
+TEST(BbrLike, ConstructionContracts) {
+  EXPECT_THROW(BbrLike(0, 10), ContractViolation);
+  EXPECT_THROW(BbrLike(10, 0), ContractViolation);
+}
+
+// --- fluid-model signature -----------------------------------------------
+
+core::EvalConfig eval_config() {
+  core::EvalConfig cfg;
+  cfg.steps = 3000;
+  return cfg;
+}
+
+TEST(BbrLike, KeepsLatencyFarBelowLossBasedProtocols) {
+  const core::EvalConfig cfg = eval_config();
+  const fluid::Trace bbr = core::run_shared_link(BbrLike(), cfg);
+  const fluid::Trace reno = core::run_shared_link(Aimd(1.0, 0.5), cfg);
+  EXPECT_LT(core::measure_latency_avoidance(bbr, cfg.estimator()),
+            core::measure_latency_avoidance(reno, cfg.estimator()) * 0.6);
+}
+
+TEST(BbrLike, IsRobustToNonCongestionLoss) {
+  // Not loss-based: random loss barely moves its bandwidth estimate, so it
+  // keeps utilizing — unlike every loss-based protocol (0-robust).
+  const double robustness =
+      core::measure_robustness_score(BbrLike(), eval_config());
+  EXPECT_GT(robustness, 0.05);
+}
+
+TEST(BbrLike, UtilizesTheLinkWell) {
+  const core::EvalConfig cfg = eval_config();
+  const fluid::Trace t = core::run_shared_link(BbrLike(), cfg);
+  EXPECT_GT(core::measure_efficiency(t, cfg.estimator()), 0.6);
+}
+
+}  // namespace
+}  // namespace axiomcc::cc

@@ -1,0 +1,130 @@
+// Tests for the HighSpeed (RFC 3649) and Westwood-like protocol families.
+#include <gtest/gtest.h>
+
+#include "cc/highspeed.h"
+#include "cc/westwood.h"
+#include "core/evaluator.h"
+#include "core/metrics.h"
+#include "util/check.h"
+
+namespace axiomcc::cc {
+namespace {
+
+Observation obs(double window, double loss, double rtt = 0.042) {
+  return Observation{window, loss, rtt};
+}
+
+// --- HighSpeed ---------------------------------------------------------------
+
+TEST(HighSpeed, RenoRegimeBelowLowWindow) {
+  HighSpeed hs;
+  EXPECT_DOUBLE_EQ(hs.additive_increase(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(hs.decrease_fraction(20.0), 0.5);
+  EXPECT_DOUBLE_EQ(hs.next_window(obs(20.0, 0.0)), 21.0);
+  EXPECT_DOUBLE_EQ(hs.next_window(obs(20.0, 0.1)), 10.0);
+}
+
+TEST(HighSpeed, IncreaseGrowsAndDecreaseShrinksWithWindow) {
+  HighSpeed hs;
+  EXPECT_GT(hs.additive_increase(1000.0), hs.additive_increase(100.0));
+  EXPECT_GT(hs.additive_increase(10000.0), hs.additive_increase(1000.0));
+  EXPECT_LT(hs.decrease_fraction(1000.0), hs.decrease_fraction(100.0));
+  EXPECT_GE(hs.decrease_fraction(1e6), 0.1);  // clamps at W_high
+  EXPECT_LE(hs.decrease_fraction(1e6), 0.10001);
+}
+
+TEST(HighSpeed, Rfc3649SpotValues) {
+  // RFC 3649 Table 12 anchor: at w = 83000, a(w) ≈ 72, b(w) = 0.1.
+  HighSpeed hs;
+  EXPECT_NEAR(hs.decrease_fraction(83000.0), 0.1, 1e-9);
+  EXPECT_NEAR(hs.additive_increase(83000.0), 72.0, 4.0);
+}
+
+TEST(HighSpeed, ParameterContracts) {
+  EXPECT_THROW(HighSpeed(0.5, 83000.0, 0.1), ContractViolation);
+  EXPECT_THROW(HighSpeed(38.0, 38.0, 0.1), ContractViolation);
+  EXPECT_THROW(HighSpeed(38.0, 83000.0, 0.0), ContractViolation);
+  EXPECT_THROW(HighSpeed(38.0, 83000.0, 0.6), ContractViolation);
+}
+
+TEST(HighSpeed, LessFriendlyThanRenoOnLargeBdpLinks) {
+  core::EvalConfig cfg;
+  cfg.link = fluid::make_link_mbps(100.0, 42.0, 100.0);  // C = 350 MSS
+  cfg.steps = 3000;
+  const double friendliness =
+      core::measure_tcp_friendliness_score(HighSpeed(), cfg);
+  EXPECT_LT(friendliness, 0.8);  // grabs more than its share above W_low
+  EXPECT_GT(friendliness, 0.0);
+}
+
+TEST(HighSpeed, BehavesLikeRenoOnSmallBdpLinks) {
+  core::EvalConfig cfg;
+  cfg.link = fluid::make_link_mbps(5.0, 40.0, 10.0);  // C ≈ 17 MSS < W_low
+  cfg.steps = 3000;
+  const double friendliness =
+      core::measure_tcp_friendliness_score(HighSpeed(), cfg);
+  EXPECT_NEAR(friendliness, 1.0, 0.1);
+}
+
+// --- Westwood ------------------------------------------------------------------
+
+TEST(WestwoodLike, TracksBandwidthAndMinRtt) {
+  WestwoodLike w(1.0, 1.0);  // ewma 1: estimate = latest sample
+  (void)w.next_window(obs(42.0, 0.0, 0.042));
+  EXPECT_NEAR(w.bandwidth_estimate(), 1000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(w.min_rtt_estimate(), 0.042);
+  (void)w.next_window(obs(42.0, 0.0, 0.084));  // queue grew; min-RTT keeps floor
+  EXPECT_DOUBLE_EQ(w.min_rtt_estimate(), 0.042);
+}
+
+TEST(WestwoodLike, LossSetsWindowToEstimatedBdp) {
+  WestwoodLike w(1.0, 1.0);
+  (void)w.next_window(obs(100.0, 0.0, 0.05));  // bw = 2000, min_rtt = 0.05
+  // Loss with an inflated RTT: BDP estimate = 2000 × 0.05 = 100... the new
+  // sample (100·0.9/0.1 = 900) lowers bw to 900 → bdp 45.
+  const double next = w.next_window(obs(100.0, 0.1, 0.1));
+  EXPECT_NEAR(next, 45.0, 1.0);
+}
+
+TEST(WestwoodLike, FallsBackToHalvingWithoutEstimate) {
+  WestwoodLike w;
+  // First observation carries loss and no RTT: no estimate to use.
+  EXPECT_DOUBLE_EQ(w.next_window(obs(40.0, 0.2, 0.0)), 20.0);
+}
+
+TEST(WestwoodLike, AdditiveIncreaseWithoutLoss) {
+  WestwoodLike w(2.0, 0.25);
+  EXPECT_DOUBLE_EQ(w.next_window(obs(10.0, 0.0, 0.04)), 12.0);
+}
+
+TEST(WestwoodLike, ResetClearsEstimates) {
+  WestwoodLike w;
+  (void)w.next_window(obs(42.0, 0.0, 0.042));
+  w.reset();
+  EXPECT_DOUBLE_EQ(w.bandwidth_estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min_rtt_estimate(), 0.0);
+}
+
+TEST(WestwoodLike, ParameterContracts) {
+  EXPECT_THROW(WestwoodLike(0.0, 0.25), ContractViolation);
+  EXPECT_THROW(WestwoodLike(1.0, 0.0), ContractViolation);
+  EXPECT_THROW(WestwoodLike(1.0, 1.5), ContractViolation);
+}
+
+TEST(WestwoodLike, NearlyAsFriendlyAsRenoYetRecoversFaster) {
+  core::EvalConfig cfg;
+  cfg.steps = 3000;
+  const double friendliness =
+      core::measure_tcp_friendliness_score(WestwoodLike(), cfg);
+  EXPECT_GT(friendliness, 0.8);
+
+  // Recovery: after one isolated loss at an established operating point,
+  // Westwood resumes near the BDP where Reno resumes at half.
+  WestwoodLike westwood(1.0, 1.0);
+  (void)westwood.next_window(obs(100.0, 0.0, 0.05));
+  const double resumed = westwood.next_window(obs(100.0, 0.01, 0.05));
+  EXPECT_GT(resumed, 90.0);  // ≈ BDP, not 50
+}
+
+}  // namespace
+}  // namespace axiomcc::cc

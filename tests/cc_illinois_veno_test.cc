@@ -1,0 +1,143 @@
+// Behavioural tests for the delay-modulated hybrids: Illinois and Veno.
+#include <gtest/gtest.h>
+
+#include "cc/aimd.h"
+#include "cc/illinois.h"
+#include "cc/veno.h"
+#include "core/evaluator.h"
+#include "core/metrics.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace axiomcc::cc {
+namespace {
+
+Observation obs(double window, double loss, double rtt) {
+  return Observation{window, loss, rtt};
+}
+
+// --- Illinois ------------------------------------------------------------------
+
+TEST(Illinois, IncreaseCurveShape) {
+  const Illinois il;
+  const double d_max = 0.040;
+  // Empty queue: maximum aggression.
+  EXPECT_DOUBLE_EQ(il.increase_at(0.0, d_max), 10.0);
+  // Below the d1 threshold still a_max.
+  EXPECT_DOUBLE_EQ(il.increase_at(0.01 * d_max, d_max), 10.0);
+  // Monotone decreasing in delay, reaching a_min at d_max.
+  const double mid = il.increase_at(0.3 * d_max, d_max);
+  EXPECT_LT(mid, 10.0);
+  EXPECT_GT(mid, 0.3);
+  EXPECT_NEAR(il.increase_at(d_max, d_max), 0.3, 0.02);
+}
+
+TEST(Illinois, DecreaseCurveShape) {
+  const Illinois il;
+  const double d_max = 0.040;
+  EXPECT_DOUBLE_EQ(il.decrease_at(0.0, d_max), 0.125);
+  EXPECT_DOUBLE_EQ(il.decrease_at(0.05 * d_max, d_max), 0.125);
+  EXPECT_DOUBLE_EQ(il.decrease_at(0.9 * d_max, d_max), 0.5);
+  const double mid = il.decrease_at(0.45 * d_max, d_max);
+  EXPECT_GT(mid, 0.125);
+  EXPECT_LT(mid, 0.5);
+}
+
+TEST(Illinois, NoQueueObservedMeansMaxAggression) {
+  Illinois il;
+  // Constant RTT == propagation: queueing delay estimate stays 0.
+  (void)il.next_window(obs(10.0, 0.0, 0.042));
+  EXPECT_DOUBLE_EQ(il.next_window(obs(10.0, 0.0, 0.042)), 20.0);  // +a_max
+}
+
+TEST(Illinois, BacksOffGentlyOnLowDelayLoss) {
+  Illinois il;
+  (void)il.next_window(obs(10.0, 0.0, 0.042));  // min_rtt = 42 ms
+  (void)il.next_window(obs(10.0, 0.0, 0.084));  // max_rtt = 84 ms
+  // Loss at the RTT floor: d = 0 → b = b_min = 1/8.
+  EXPECT_NEAR(il.next_window(obs(80.0, 0.1, 0.042)), 80.0 * 0.875, 1e-9);
+  // Loss at the observed delay ceiling: b = b_max = 1/2.
+  EXPECT_NEAR(il.next_window(obs(80.0, 0.1, 0.084)), 40.0, 1e-9);
+}
+
+TEST(Illinois, ParameterContracts) {
+  IllinoisParams p;
+  p.a_min = 0.0;
+  EXPECT_THROW(Illinois{p}, ContractViolation);
+  IllinoisParams q;
+  q.b_max = 1.0;
+  EXPECT_THROW(Illinois{q}, ContractViolation);
+  IllinoisParams r;
+  r.d2 = r.d3 = 0.5;
+  EXPECT_THROW(Illinois{r}, ContractViolation);
+}
+
+TEST(Illinois, FastUtilizationReflectsAMaxOnEmptyLinks) {
+  // On the infinite link the queue never builds: the measured coefficient
+  // approaches a_max, far above Reno's 1.
+  core::EvalConfig cfg;
+  cfg.steps = 3000;
+  const double fast = core::measure_fast_utilization_score(Illinois(), cfg);
+  EXPECT_GT(fast, 5.0);
+}
+
+// --- Veno ----------------------------------------------------------------------
+
+TEST(VenoLike, BacklogEstimate) {
+  VenoLike veno;
+  (void)veno.next_window(obs(10.0, 0.0, 0.040));  // min_rtt = 40 ms
+  // w = 50, RTT 50 ms: backlog = 50·(10/50) = 10 packets.
+  EXPECT_NEAR(veno.backlog(50.0, 0.050), 10.0, 1e-9);
+}
+
+TEST(VenoLike, GentleDecreaseWhenQueueShort) {
+  VenoLike veno;
+  (void)veno.next_window(obs(10.0, 0.0, 0.040));
+  // Loss with RTT at the floor: backlog 0 < beta → ×0.8.
+  EXPECT_NEAR(veno.next_window(obs(50.0, 0.02, 0.040)), 40.0, 1e-9);
+}
+
+TEST(VenoLike, RenoDecreaseWhenQueueLong) {
+  VenoLike veno;
+  (void)veno.next_window(obs(10.0, 0.0, 0.040));
+  // RTT 80 ms at w=50: backlog 25 ≥ beta → halve.
+  EXPECT_NEAR(veno.next_window(obs(50.0, 0.02, 0.080)), 25.0, 1e-9);
+}
+
+TEST(VenoLike, IncreaseSlowsAboveTheThreshold) {
+  VenoLike veno;
+  (void)veno.next_window(obs(10.0, 0.0, 0.040));
+  EXPECT_DOUBLE_EQ(veno.next_window(obs(10.0, 0.0, 0.040)), 11.0);   // N=0
+  EXPECT_DOUBLE_EQ(veno.next_window(obs(50.0, 0.0, 0.080)), 50.5);   // N=25
+}
+
+TEST(VenoLike, MoreRobustThanRenoUnderRandomLoss) {
+  // Gentle back-off on short-queue loss buys measurable robustness headroom
+  // relative to Reno's blind halving... not in the constant-loss fluid
+  // scenario (every step lossy ⇒ both collapse), but in higher throughput
+  // under episodic loss.
+  core::EvalConfig cfg;
+  cfg.steps = 3000;
+  fluid::LinkParams huge = cfg.link;
+  huge.bandwidth = Bandwidth::from_mss_per_sec(1e15);
+  huge.buffer_mss = 1e15;
+
+  const auto tail_mean = [&](const cc::Protocol& proto) {
+    fluid::FluidSimulation sim(huge, fluid::SimOptions{3000, 1.0, 1e9});
+    sim.add_sender(proto, 10.0);
+    sim.set_loss_injector(
+        std::make_unique<fluid::BernoulliLoss>(0.05, 0.02, 42));
+    const fluid::Trace t = sim.run();
+    return mean_of(tail_view(t.windows(0), 0.5));
+  };
+  EXPECT_GT(tail_mean(VenoLike()), tail_mean(Aimd(1.0, 0.5)) * 1.5);
+}
+
+TEST(VenoLike, ParameterContracts) {
+  EXPECT_THROW(VenoLike(0.0, 0.8), ContractViolation);
+  EXPECT_THROW(VenoLike(3.0, 0.5), ContractViolation);
+  EXPECT_THROW(VenoLike(3.0, 1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace axiomcc::cc

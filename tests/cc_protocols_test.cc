@@ -1,0 +1,323 @@
+// Unit tests for the protocol window-update rules in src/cc — each family's
+// increase/decrease arithmetic, parameter contracts, clone/reset semantics.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "cc/aimd.h"
+#include "cc/binomial.h"
+#include "cc/cautious_probe.h"
+#include "cc/cubic.h"
+#include "cc/mimd.h"
+#include "cc/pcc.h"
+#include "cc/presets.h"
+#include "cc/robust_aimd.h"
+#include "cc/vegas.h"
+#include "util/check.h"
+
+namespace axiomcc::cc {
+namespace {
+
+Observation obs(double window, double loss, double rtt = 0.042) {
+  return Observation{window, loss, rtt};
+}
+
+// --- AIMD ---------------------------------------------------------------
+
+TEST(Aimd, AdditiveIncreaseOnNoLoss) {
+  Aimd p(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.0)), 11.0);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(11.0, 0.0)), 12.0);
+}
+
+TEST(Aimd, MultiplicativeDecreaseOnLoss) {
+  Aimd p(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.01)), 5.0);
+}
+
+TEST(Aimd, IsLossBasedAndStateless) {
+  Aimd p(2.0, 0.7);
+  EXPECT_TRUE(p.loss_based());
+  // RTT must not matter.
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.0, 0.001)),
+                   p.next_window(obs(10.0, 0.0, 10.0)));
+}
+
+TEST(Aimd, ParameterContracts) {
+  EXPECT_THROW(Aimd(0.0, 0.5), ContractViolation);
+  EXPECT_THROW(Aimd(1.0, 0.0), ContractViolation);
+  EXPECT_THROW(Aimd(1.0, 1.0), ContractViolation);
+}
+
+TEST(Aimd, NameAndClone) {
+  Aimd p(1.0, 0.5);
+  EXPECT_EQ(p.name(), "AIMD(1,0.5)");
+  const auto c = p.clone();
+  EXPECT_EQ(c->name(), p.name());
+  EXPECT_DOUBLE_EQ(c->next_window(obs(4.0, 0.0)), 5.0);
+}
+
+// --- MIMD ---------------------------------------------------------------
+
+TEST(Mimd, MultiplicativeBothWays) {
+  Mimd p(1.01, 0.875);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(100.0, 0.0)), 101.0);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(100.0, 0.5)), 87.5);
+}
+
+TEST(Mimd, ParameterContracts) {
+  EXPECT_THROW(Mimd(1.0, 0.5), ContractViolation);   // a must exceed 1
+  EXPECT_THROW(Mimd(1.01, 1.0), ContractViolation);
+}
+
+// --- Binomial -----------------------------------------------------------
+
+TEST(Binomial, GeneralizesAimdAtKZeroLOne) {
+  // BIN(a, b, 0, 1): increase by a, decrease x - b·x = (1-b)x.
+  Binomial p(1.0, 0.5, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.0)), 11.0);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.1)), 5.0);
+}
+
+TEST(Binomial, IiadIncreaseScalesInversely) {
+  // IIAD: k=1 → increase a/x.
+  Binomial p(1.0, 1.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.0)), 10.1);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(100.0, 0.0)), 100.01);
+  // l=0 → constant decrease of b.
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.1)), 9.0);
+}
+
+TEST(Binomial, SqrtFamily) {
+  Binomial p(1.0, 0.5, 0.5, 0.5);
+  EXPECT_NEAR(p.next_window(obs(16.0, 0.0)), 16.0 + 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(p.next_window(obs(16.0, 0.2)), 16.0 - 0.5 * 4.0, 1e-12);
+}
+
+TEST(Binomial, ParameterContracts) {
+  EXPECT_THROW(Binomial(0.0, 0.5, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(Binomial(1.0, 1.5, 1.0, 0.0), ContractViolation);
+  EXPECT_THROW(Binomial(1.0, 0.5, -1.0, 0.0), ContractViolation);
+  EXPECT_THROW(Binomial(1.0, 0.5, 1.0, 1.5), ContractViolation);
+}
+
+// --- CUBIC --------------------------------------------------------------
+
+TEST(Cubic, LossSetsWindowToBTimesMax) {
+  Cubic p(0.4, 0.8);
+  (void)p.next_window(obs(100.0, 0.0));  // anchor the epoch
+  EXPECT_DOUBLE_EQ(p.next_window(obs(100.0, 0.01)), 80.0);
+}
+
+TEST(Cubic, RecoversTowardXMaxAfterLoss) {
+  Cubic p(0.4, 0.8);
+  (void)p.next_window(obs(100.0, 0.0));
+  double w = p.next_window(obs(100.0, 0.01));  // 80
+  // The cubic curve climbs back toward x_max = 100 and eventually exceeds it.
+  double prev = w;
+  bool exceeded = false;
+  for (int t = 0; t < 50; ++t) {
+    w = p.next_window(obs(w, 0.0));
+    EXPECT_GE(w, prev - 1e-9);  // monotone in the recovery phase
+    prev = w;
+    if (w > 100.0) {
+      exceeded = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(exceeded);
+}
+
+TEST(Cubic, PlateauIsFlatNearXMax) {
+  Cubic p(0.4, 0.8);
+  (void)p.next_window(obs(1000.0, 0.0));
+  double w = p.next_window(obs(1000.0, 0.5));  // 800, epoch reset
+  // Walk to the plateau: growth per step shrinks as w approaches x_max=1000.
+  double prev_growth = 1e18;
+  while (w < 990.0) {
+    const double next = p.next_window(obs(w, 0.0));
+    const double growth = next - w;
+    EXPECT_LE(growth, prev_growth + 1e-9);
+    prev_growth = growth;
+    w = next;
+  }
+  EXPECT_LT(prev_growth, 10.0);
+}
+
+TEST(Cubic, GrowsFromInitialWindowWithoutLoss) {
+  Cubic p(0.4, 0.8);
+  double w = 10.0;
+  const double first = p.next_window(obs(w, 0.0));
+  EXPECT_GE(first, w * 0.99);  // anchored at the inflection: no collapse
+  double prev = first;
+  for (int t = 0; t < 20; ++t) {
+    const double next = p.next_window(obs(prev, 0.0));
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(Cubic, ResetClearsEpoch) {
+  Cubic p(0.4, 0.8);
+  (void)p.next_window(obs(100.0, 0.0));
+  (void)p.next_window(obs(100.0, 0.5));
+  p.reset();
+  // After reset the next call re-anchors rather than using the stale epoch.
+  const double w = p.next_window(obs(7.0, 0.0));
+  EXPECT_NEAR(w, 7.0, 1.5);
+}
+
+// --- Robust-AIMD ----------------------------------------------------------
+
+TEST(RobustAimd, ToleratesLossBelowEps) {
+  RobustAimd p(1.0, 0.8, 0.01);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(100.0, 0.0)), 101.0);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(100.0, 0.0099)), 101.0);
+}
+
+TEST(RobustAimd, BacksOffAtOrAboveEps) {
+  RobustAimd p(1.0, 0.8, 0.01);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(100.0, 0.01)), 80.0);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(100.0, 0.5)), 80.0);
+}
+
+TEST(RobustAimd, ParameterContracts) {
+  EXPECT_THROW(RobustAimd(1.0, 0.8, 0.0), ContractViolation);
+  EXPECT_THROW(RobustAimd(1.0, 0.8, 1.0), ContractViolation);
+  EXPECT_THROW(RobustAimd(1.0, 1.0, 0.01), ContractViolation);
+}
+
+// --- Vegas ----------------------------------------------------------------
+
+TEST(VegasLike, IsNotLossBased) {
+  VegasLike p(2.0, 4.0);
+  EXPECT_FALSE(p.loss_based());
+}
+
+TEST(VegasLike, GrowsWhenQueueEstimateLow) {
+  VegasLike p(2.0, 4.0);
+  (void)p.next_window(obs(10.0, 0.0, 0.042));  // establishes base RTT
+  // Same RTT as base → zero queue estimate → grow.
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.0, 0.042)), 11.0);
+}
+
+TEST(VegasLike, BacksOffWhenQueueEstimateHigh) {
+  VegasLike p(2.0, 4.0);
+  (void)p.next_window(obs(10.0, 0.0, 0.042));
+  // RTT doubled → queue estimate = w/2 = 25 > beta → shrink.
+  EXPECT_DOUBLE_EQ(p.next_window(obs(50.0, 0.0, 0.084)), 49.0);
+}
+
+TEST(VegasLike, HoldsInsideBand) {
+  VegasLike p(2.0, 4.0);
+  (void)p.next_window(obs(10.0, 0.0, 0.042));
+  // Queue estimate = w(1 - base/rtt) = 100·(1−0.042/0.0433) ≈ 3 ∈ (2,4).
+  const double w = p.next_window(obs(100.0, 0.0, 0.04331));
+  EXPECT_DOUBLE_EQ(w, 100.0);
+}
+
+TEST(VegasLike, HalvesOnLoss) {
+  VegasLike p(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.3, 0.042)), 5.0);
+}
+
+TEST(VegasLike, ResetForgetsBaseRtt) {
+  VegasLike p(2.0, 4.0);
+  (void)p.next_window(obs(10.0, 0.0, 0.010));  // base = 10ms
+  p.reset();
+  (void)p.next_window(obs(10.0, 0.0, 0.084));  // new base = 84ms
+  // With base 84ms, an 84ms RTT means empty queue → grow.
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.0, 0.084)), 11.0);
+}
+
+// --- CautiousProbe ----------------------------------------------------------
+
+TEST(CautiousProbe, ProbesUntilFirstLossThenFreezes) {
+  CautiousProbe p(1.0, 0.9);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.0)), 11.0);
+  EXPECT_FALSE(p.frozen());
+  EXPECT_DOUBLE_EQ(p.next_window(obs(11.0, 0.01)), 11.0 * 0.9);
+  EXPECT_TRUE(p.frozen());
+  // Frozen forever, regardless of what it observes.
+  EXPECT_DOUBLE_EQ(p.next_window(obs(9.9, 0.0)), 11.0 * 0.9);
+  EXPECT_DOUBLE_EQ(p.next_window(obs(9.9, 0.9)), 11.0 * 0.9);
+}
+
+TEST(CautiousProbe, ResetThaws) {
+  CautiousProbe p;
+  (void)p.next_window(obs(5.0, 0.5));
+  EXPECT_TRUE(p.frozen());
+  p.reset();
+  EXPECT_FALSE(p.frozen());
+  EXPECT_DOUBLE_EQ(p.next_window(obs(5.0, 0.0)), 6.0);
+}
+
+// --- PCC ---------------------------------------------------------------------
+
+TEST(PccAllegro, UtilityRewardsThroughputPenalizesLoss) {
+  PccAllegro p;
+  EXPECT_GT(p.utility(100.0, 0.0), p.utility(50.0, 0.0));
+  EXPECT_GT(p.utility(100.0, 0.0), p.utility(100.0, 0.02));
+  // Past the 5% knee utility goes negative.
+  EXPECT_LT(p.utility(100.0, 0.2), 0.0);
+}
+
+TEST(PccAllegro, StartingPhaseDoublesWhileUtilityRises) {
+  PccAllegro p;
+  double w = 10.0;
+  w = p.next_window(obs(w, 0.0));
+  EXPECT_DOUBLE_EQ(w, 20.0);
+  w = p.next_window(obs(w, 0.0));
+  EXPECT_DOUBLE_EQ(w, 40.0);
+}
+
+TEST(PccAllegro, LeavesStartingWhenUtilityDrops) {
+  PccAllegro p(0.05, 0.05);
+  (void)p.next_window(obs(64.0, 0.0));    // starting, doubling
+  (void)p.next_window(obs(128.0, 0.0));   // still rising
+  // Heavy loss: utility collapses → revert to half and probe up.
+  const double w = p.next_window(obs(256.0, 0.5));
+  EXPECT_NEAR(w, 128.0 * 1.05, 1e-9);
+}
+
+TEST(PccAllegro, ProbeSequenceUpThenDown) {
+  PccAllegro p(0.05, 0.05);
+  (void)p.next_window(obs(64.0, 0.0));
+  (void)p.next_window(obs(128.0, 0.0));
+  const double up = p.next_window(obs(256.0, 0.5));     // enters ProbeUp
+  const double down = p.next_window(obs(up, 0.0));      // enters ProbeDown
+  EXPECT_NEAR(down, 128.0 * 0.95, 1e-9);
+  // Clean up-probe vs lossy... both clean here: picks the higher-utility
+  // direction (up, since windows are loss-free) and starts moving.
+  const double move = p.next_window(obs(down, 0.0));
+  EXPECT_NEAR(move, 128.0 * 1.05, 1e-9);
+}
+
+TEST(PccAllegro, ResetReturnsToStarting) {
+  PccAllegro p;
+  (void)p.next_window(obs(10.0, 0.0));
+  (void)p.next_window(obs(20.0, 0.5));
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.next_window(obs(10.0, 0.0)), 20.0);
+}
+
+TEST(PccAllegro, ParameterContracts) {
+  EXPECT_THROW(PccAllegro(0.0, 0.05), ContractViolation);
+  EXPECT_THROW(PccAllegro(0.6, 0.05), ContractViolation);
+  EXPECT_THROW(PccAllegro(0.05, 0.0), ContractViolation);
+}
+
+// --- presets -------------------------------------------------------------------
+
+TEST(Presets, MatchThePaperConstants) {
+  EXPECT_EQ(presets::reno()->name(), "AIMD(1,0.5)");
+  EXPECT_EQ(presets::scalable()->name(), "MIMD(1.01,0.875)");
+  EXPECT_EQ(presets::scalable_aimd_fallback()->name(), "AIMD(1,0.875)");
+  EXPECT_EQ(presets::cubic_linux()->name(), "CUBIC(0.4,0.8)");
+  EXPECT_EQ(presets::robust_aimd_table2()->name(), "Robust-AIMD(1,0.8,0.01)");
+  EXPECT_EQ(presets::pcc_mimd_proxy()->name(), "MIMD(1.01,0.99)");
+}
+
+}  // namespace
+}  // namespace axiomcc::cc

@@ -1,0 +1,82 @@
+// Unit tests for the protocol spec parser (cc/registry.h).
+#include "cc/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace axiomcc::cc {
+namespace {
+
+TEST(Registry, ParsesEveryFamily) {
+  EXPECT_EQ(make_protocol("aimd(1,0.5)")->name(), "AIMD(1,0.5)");
+  EXPECT_EQ(make_protocol("mimd(1.01,0.875)")->name(), "MIMD(1.01,0.875)");
+  EXPECT_EQ(make_protocol("bin(1,0.5,1,0)")->name(), "BIN(1,0.5,1,0)");
+  EXPECT_EQ(make_protocol("cubic(0.4,0.8)")->name(), "CUBIC(0.4,0.8)");
+  EXPECT_EQ(make_protocol("robust_aimd(1,0.8,0.01)")->name(),
+            "Robust-AIMD(1,0.8,0.01)");
+  EXPECT_EQ(make_protocol("vegas(2,4)")->name(), "Vegas(2,4)");
+}
+
+TEST(Registry, ParsesPresets) {
+  EXPECT_EQ(make_protocol("reno")->name(), "AIMD(1,0.5)");
+  EXPECT_EQ(make_protocol("scalable")->name(), "MIMD(1.01,0.875)");
+  EXPECT_EQ(make_protocol("cubic-linux")->name(), "CUBIC(0.4,0.8)");
+}
+
+TEST(Registry, DefaultArgumentForms) {
+  EXPECT_NE(make_protocol("pcc"), nullptr);
+  EXPECT_NE(make_protocol("pcc(0.01,0.05)"), nullptr);
+  EXPECT_NE(make_protocol("cautious"), nullptr);
+  EXPECT_NE(make_protocol("cautious(2,0.8)"), nullptr);
+}
+
+TEST(Registry, IsCaseInsensitiveAndTrimsSpaces) {
+  EXPECT_EQ(make_protocol("AIMD(1, 0.5)")->name(), "AIMD(1,0.5)");
+  EXPECT_EQ(make_protocol("  Reno  ")->name(), "AIMD(1,0.5)");
+  EXPECT_EQ(make_protocol("Robust-AIMD(1,0.8,0.01)")->name(),
+            "Robust-AIMD(1,0.8,0.01)");
+}
+
+TEST(Registry, RejectsUnknownNames) {
+  EXPECT_THROW((void)make_protocol("sprout"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol(""), std::invalid_argument);
+}
+
+TEST(Registry, RejectsWrongArity) {
+  EXPECT_THROW((void)make_protocol("aimd(1)"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("aimd(1,0.5,3)"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("reno(1)"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("bin(1,0.5)"), std::invalid_argument);
+}
+
+TEST(Registry, RejectsMalformedSyntax) {
+  EXPECT_THROW((void)make_protocol("aimd(1,0.5"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("aimd(1,,0.5)"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("aimd(one,0.5)"), std::invalid_argument);
+  EXPECT_THROW((void)make_protocol("aimd(1,0.5x)"), std::invalid_argument);
+}
+
+TEST(Registry, DomainErrorsPropagateFromConstructors) {
+  EXPECT_THROW((void)make_protocol("aimd(-1,0.5)"), ContractViolation);
+  EXPECT_THROW((void)make_protocol("mimd(0.5,0.5)"), ContractViolation);
+}
+
+TEST(Registry, KnownNamesListIsComplete) {
+  const auto names = known_protocol_names();
+  EXPECT_GE(names.size(), 10u);
+  for (const auto& name : names) {
+    // Every listed name must parse with SOME canonical arguments.
+    if (name == "aimd") EXPECT_NO_THROW((void)make_protocol("aimd(1,0.5)"));
+    else if (name == "mimd") EXPECT_NO_THROW((void)make_protocol("mimd(1.01,0.9)"));
+    else if (name == "bin") EXPECT_NO_THROW((void)make_protocol("bin(1,0.5,1,0)"));
+    else if (name == "cubic") EXPECT_NO_THROW((void)make_protocol("cubic(0.4,0.8)"));
+    else if (name == "robust_aimd")
+      EXPECT_NO_THROW((void)make_protocol("robust_aimd(1,0.8,0.01)"));
+    else if (name == "vegas") EXPECT_NO_THROW((void)make_protocol("vegas(2,4)"));
+    else EXPECT_NO_THROW((void)make_protocol(name));
+  }
+}
+
+}  // namespace
+}  // namespace axiomcc::cc

@@ -1,0 +1,165 @@
+// End-to-end tests for the evaluator: the measured 8-tuples of the Table 1
+// protocols must agree with the closed-form theory on the paper's link.
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/aimd.h"
+#include "cc/cautious_probe.h"
+#include "cc/mimd.h"
+#include "cc/pcc.h"
+#include "cc/presets.h"
+#include "cc/robust_aimd.h"
+#include "cc/vegas.h"
+#include "core/theory.h"
+
+namespace axiomcc::core {
+namespace {
+
+EvalConfig fast_config() {
+  EvalConfig cfg;  // 30 Mbps / 42 ms / 100 MSS, 2 senders
+  cfg.steps = 4000;
+  return cfg;
+}
+
+TEST(Evaluator, RenoMatchesTable1Theory) {
+  const cc::Aimd reno(1.0, 0.5);
+  const MetricReport m = evaluate_protocol(reno, fast_config());
+
+  // Efficiency: min(1, b(1+τ/C)) = 0.976.
+  EXPECT_NEAR(m.efficiency, theory::aimd_efficiency(0.5, 105.0, 100.0), 0.02);
+  // Loss bound: 1 − (C+τ)/(C+τ+na) with n=2, a=1.
+  EXPECT_LE(m.loss_avoidance, theory::aimd_loss_bound(1.0, 105.0, 100.0, 2) * 1.05);
+  EXPECT_GT(m.loss_avoidance, 0.0);
+  // Fast-utilization = a.
+  EXPECT_NEAR(m.fast_utilization, 1.0, 0.05);
+  // Synchronized AIMD equalizes.
+  EXPECT_NEAR(m.fairness, 1.0, 0.02);
+  // Convergence 2b/(1+b) = 2/3.
+  EXPECT_NEAR(m.convergence, 2.0 / 3.0, 0.03);
+  // 0-robust: any loss triggers back-off.
+  EXPECT_NEAR(m.robustness, 0.0, 0.002);
+  // Friendly to itself: ratio 1.
+  EXPECT_NEAR(m.tcp_friendliness, 1.0, 0.05);
+  // Loss-based protocols fill the buffer: inflation τ/C.
+  EXPECT_NEAR(m.latency_avoidance, 100.0 / 105.0, 0.02);
+}
+
+TEST(Evaluator, RobustAimdIsEpsRobust) {
+  const EvalConfig cfg = fast_config();
+  for (double eps : {0.005, 0.01}) {
+    const cc::RobustAimd proto(1.0, 0.8, eps);
+    const double robustness = measure_robustness_score(proto, cfg);
+    EXPECT_NEAR(robustness, eps, eps * 0.15) << "eps=" << eps;
+  }
+}
+
+TEST(Evaluator, LossBasedProtocolsAreZeroRobust) {
+  const EvalConfig cfg = fast_config();
+  EXPECT_NEAR(measure_robustness_score(cc::Aimd(1.0, 0.5), cfg), 0.0, 0.002);
+  EXPECT_NEAR(measure_robustness_score(cc::Mimd(1.01, 0.875), cfg), 0.0,
+              0.002);
+  EXPECT_NEAR(measure_robustness_score(cc::VegasLike(2.0, 4.0), cfg), 0.0,
+              0.002);
+}
+
+TEST(Evaluator, PccToleratesLossNearItsUtilityKnee) {
+  // The Allegro utility ignores loss below ~5%; the measured tolerance sits
+  // a little above the knee (the sigmoid is centred there, not cut off).
+  const double robustness =
+      measure_robustness_score(cc::PccAllegro(), fast_config());
+  EXPECT_GT(robustness, 0.04);
+  EXPECT_LT(robustness, 0.12);
+}
+
+TEST(Evaluator, FastUtilizationRanksFamiliesCorrectly) {
+  const EvalConfig cfg = fast_config();
+  const double aimd1 = measure_fast_utilization_score(cc::Aimd(1.0, 0.5), cfg);
+  const double aimd2 = measure_fast_utilization_score(cc::Aimd(2.0, 0.5), cfg);
+  const double mimd =
+      measure_fast_utilization_score(cc::Mimd(1.01, 0.875), cfg);
+  EXPECT_NEAR(aimd1, 1.0, 0.05);
+  EXPECT_NEAR(aimd2, 2.0, 0.1);
+  // Superlinear growth measures far above any additive protocol.
+  EXPECT_GT(mimd, 10.0 * aimd2);
+}
+
+TEST(Evaluator, MimdIsUnfairAimdIsFair) {
+  const EvalConfig cfg = fast_config();
+  const fluid::Trace aimd = run_shared_link(cc::Aimd(1.0, 0.5), cfg);
+  const fluid::Trace mimd = run_shared_link(cc::Mimd(1.01, 0.875), cfg);
+  EXPECT_GT(measure_fairness(aimd, cfg.estimator()), 0.95);
+  EXPECT_LT(measure_fairness(mimd, cfg.estimator()), 0.3);
+}
+
+TEST(Evaluator, FriendlinessOrderingRenoVsAggressors) {
+  const EvalConfig cfg = fast_config();
+  // Friendliness of AIMD(1,0.5) = 1 (it IS Reno); of the gentler-decrease
+  // AIMD(1,0.875) it must be below 1; MIMD grabs nearly everything.
+  const double f_reno =
+      measure_tcp_friendliness_score(cc::Aimd(1.0, 0.5), cfg);
+  const double f_scalable_aimd =
+      measure_tcp_friendliness_score(cc::Aimd(1.0, 0.875), cfg);
+  const double f_mimd =
+      measure_tcp_friendliness_score(cc::Mimd(1.01, 0.875), cfg);
+  EXPECT_NEAR(f_reno, 1.0, 0.05);
+  EXPECT_LT(f_scalable_aimd, 0.6);
+  EXPECT_LT(f_mimd, f_reno);
+}
+
+TEST(Evaluator, Theorem2TightnessForAimd) {
+  // Measured friendliness of AIMD(a,b) approaches 3(1-b)/(a(1+b)).
+  const EvalConfig cfg = fast_config();
+  const struct {
+    double a, b;
+  } params[] = {{1.0, 0.5}, {2.0, 0.5}, {0.5, 0.5}, {1.0, 0.7}};
+  for (const auto& p : params) {
+    const double bound = theory::thm2_friendliness_upper_bound(p.a, p.b);
+    const double measured =
+        measure_tcp_friendliness_score(cc::Aimd(p.a, p.b), cfg);
+    EXPECT_NEAR(measured, bound, bound * 0.15)
+        << "AIMD(" << p.a << "," << p.b << ")";
+  }
+}
+
+TEST(Evaluator, MoreAggressiveRelation) {
+  const EvalConfig cfg = fast_config();
+  const auto reno = cc::presets::reno();
+  EXPECT_TRUE(is_more_aggressive(cc::Mimd(1.01, 0.875), *reno, cfg));
+  EXPECT_TRUE(is_more_aggressive(cc::Aimd(2.0, 0.5), *reno, cfg));
+  EXPECT_TRUE(is_more_aggressive(cc::Aimd(1.0, 0.875), *reno, cfg));
+  // The relation is asymmetric.
+  EXPECT_FALSE(is_more_aggressive(*reno, cc::Mimd(1.01, 0.875), cfg));
+  // A protocol is not more aggressive than itself.
+  EXPECT_FALSE(is_more_aggressive(*reno, *reno, cfg));
+}
+
+TEST(Evaluator, VegasKeepsLatencyLowWhereRenoFillsTheBuffer) {
+  const EvalConfig cfg = fast_config();
+  const fluid::Trace reno = run_shared_link(cc::Aimd(1.0, 0.5), cfg);
+  const fluid::Trace vegas = run_shared_link(cc::VegasLike(2.0, 4.0), cfg);
+  const double reno_latency = measure_latency_avoidance(reno, cfg.estimator());
+  const double vegas_latency =
+      measure_latency_avoidance(vegas, cfg.estimator());
+  EXPECT_GT(reno_latency, 0.5);
+  EXPECT_LT(vegas_latency, 0.15);
+}
+
+TEST(Evaluator, CautiousProbeIsZeroLossButNotFastUtilizing) {
+  const EvalConfig cfg = fast_config();
+  const cc::CautiousProbe probe;
+  const fluid::Trace shared = run_shared_link(probe, cfg);
+  EXPECT_DOUBLE_EQ(measure_loss_avoidance(shared, cfg.estimator()), 0.0);
+  // And it utilizes a good chunk of the link while doing so.
+  EXPECT_GT(measure_efficiency(shared, cfg.estimator()), 0.7);
+}
+
+TEST(Evaluator, SharedLinkRunSpreadsInitialWindows) {
+  const EvalConfig cfg = fast_config();
+  const fluid::Trace t = run_shared_link(cc::Aimd(1.0, 0.5), cfg);
+  EXPECT_EQ(t.num_senders(), cfg.num_senders);
+  EXPECT_NE(t.windows(0)[0], t.windows(1)[0]);
+}
+
+}  // namespace
+}  // namespace axiomcc::core

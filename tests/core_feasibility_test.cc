@@ -1,0 +1,137 @@
+// Tests for the feasibility resolver: witnesses, theorem certificates, and
+// honest no-answer outcomes.
+#include "core/feasibility.h"
+
+#include <gtest/gtest.h>
+
+namespace axiomcc::core {
+namespace {
+
+EvalConfig fast_cfg() {
+  EvalConfig cfg;
+  cfg.steps = 2000;
+  cfg.fast_utilization_steps = 1000;
+  cfg.robustness_steps = 1500;
+  return cfg;
+}
+
+TEST(FeasibilityQuery, SatisfiedByChecksOrientation) {
+  MetricReport r;
+  r.efficiency = 0.9;
+  r.loss_avoidance = 0.01;
+  r.tcp_friendliness = 0.5;
+  r.latency_avoidance = 0.3;
+
+  FeasibilityQuery q;
+  EXPECT_TRUE(q.satisfied_by(r));  // unconstrained
+
+  q.min_efficiency = 0.8;
+  q.max_loss = 0.02;
+  q.max_latency = 0.4;
+  EXPECT_TRUE(q.satisfied_by(r));
+
+  q.max_loss = 0.005;  // loss bound violated
+  EXPECT_FALSE(q.satisfied_by(r));
+}
+
+TEST(FeasibilityQuery, DescribeListsConstraints) {
+  FeasibilityQuery q;
+  EXPECT_EQ(q.describe(), "(unconstrained)");
+  q.min_efficiency = 0.9;
+  q.max_loss = 0.01;
+  const std::string text = q.describe();
+  EXPECT_NE(text.find("efficiency>=0.9"), std::string::npos);
+  EXPECT_NE(text.find("loss<=0.01"), std::string::npos);
+}
+
+TEST(Feasibility, CandidatesCoverEveryFamily) {
+  const auto candidates = feasibility_candidates();
+  EXPECT_GE(candidates.size(), 30u);
+  const auto contains = [&](const char* needle) {
+    for (const auto& c : candidates) {
+      if (c.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains("aimd("));
+  EXPECT_TRUE(contains("robust_aimd"));
+  EXPECT_TRUE(contains("cubic"));
+  EXPECT_TRUE(contains("bbr"));
+  EXPECT_TRUE(contains("vegas"));
+}
+
+TEST(Feasibility, UnconstrainedQueryIsTriviallyFeasible) {
+  const FeasibilityResult r = resolve(FeasibilityQuery{}, fast_cfg());
+  EXPECT_EQ(r.status, Feasibility::kFeasible);
+  EXPECT_EQ(r.candidates_evaluated, 1);  // the very first candidate wins
+}
+
+TEST(Feasibility, RenoLikeRequirementsAreFeasible) {
+  FeasibilityQuery q;
+  q.min_efficiency = 0.9;
+  q.min_fairness = 0.9;
+  q.min_tcp_friendliness = 0.9;
+  const FeasibilityResult r = resolve(q, fast_cfg());
+  ASSERT_EQ(r.status, Feasibility::kFeasible);
+  EXPECT_TRUE(q.satisfied_by(r.witness_scores));
+}
+
+TEST(Feasibility, RobustnessPlusFriendlinessFindsRobustAimd) {
+  FeasibilityQuery q;
+  q.min_robustness = 0.008;
+  q.min_tcp_friendliness = 0.03;
+  const FeasibilityResult r = resolve(q, fast_cfg());
+  ASSERT_EQ(r.status, Feasibility::kFeasible);
+  EXPECT_NE(r.witness_spec.find("robust_aimd"), std::string::npos)
+      << r.witness_spec;
+}
+
+TEST(Feasibility, LowLatencyRequirementExcludesLossBasedProtocols) {
+  FeasibilityQuery q;
+  q.max_latency = 0.3;
+  q.min_efficiency = 0.6;
+  // A long horizon matters here: sublinear protocols (IIAD) look
+  // latency-avoiding on short runs simply because they have not filled the
+  // buffer yet.
+  EvalConfig cfg = fast_cfg();
+  cfg.steps = 6000;
+  const FeasibilityResult r = resolve(q, cfg);
+  ASSERT_EQ(r.status, Feasibility::kFeasible);
+  // Only the latency-avoiding designs can satisfy this.
+  const bool is_delay_based =
+      r.witness_spec.find("vegas") != std::string::npos ||
+      r.witness_spec.find("bbr") != std::string::npos;
+  EXPECT_TRUE(is_delay_based) << r.witness_spec;
+}
+
+TEST(Feasibility, Theorem2CertificateFiresWithoutSimulation) {
+  FeasibilityQuery q;
+  q.min_fast_utilization = 2.0;
+  q.min_efficiency = 0.9;
+  q.min_tcp_friendliness = 1.0;  // > 3(1-0.9)/(2(1+0.9)) ≈ 0.079
+  const FeasibilityResult r = resolve(q, fast_cfg());
+  EXPECT_EQ(r.status, Feasibility::kProvablyInfeasible);
+  EXPECT_EQ(r.candidates_evaluated, 0);
+  EXPECT_NE(r.certificate.find("Theorem 2"), std::string::npos);
+}
+
+TEST(Feasibility, JustInsideTheTheorem2BoundIsNotPruned) {
+  FeasibilityQuery q;
+  q.min_fast_utilization = 1.0;
+  q.min_efficiency = 0.5;
+  q.min_tcp_friendliness = 0.9;  // bound is 1.0: allowed through to search
+  const FeasibilityResult r = resolve(q, fast_cfg());
+  EXPECT_NE(r.status, Feasibility::kProvablyInfeasible);
+}
+
+TEST(Feasibility, ImpossibleButUnprovableReturnsNoWitness) {
+  FeasibilityQuery q;
+  q.min_robustness = 0.4;       // nothing in the zoo tolerates 40% loss...
+  q.min_tcp_friendliness = 0.9; // ...while staying this friendly
+  const FeasibilityResult r = resolve(q, fast_cfg());
+  EXPECT_EQ(r.status, Feasibility::kNoWitnessFound);
+  EXPECT_GT(r.candidates_evaluated, 30);
+}
+
+}  // namespace
+}  // namespace axiomcc::core

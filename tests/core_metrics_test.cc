@@ -1,0 +1,206 @@
+// Unit tests for the metric estimators, on hand-built traces with known
+// answers.
+#include "core/metrics.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace axiomcc::core {
+namespace {
+
+/// Builds a trace with capacity 100 MSS and min RTT 0.1 s from parallel
+/// per-step vectors.
+fluid::Trace make_trace(const std::vector<std::vector<double>>& windows,
+                        const std::vector<double>& rtt,
+                        const std::vector<double>& loss) {
+  const int n = static_cast<int>(windows.front().size());
+  fluid::Trace trace(n, /*link_capacity_mss=*/100.0, /*min_rtt_seconds=*/0.1);
+  for (std::size_t t = 0; t < windows.size(); ++t) {
+    trace.add_step(windows[t], rtt[t], loss[t], std::vector<double>(n, loss[t]));
+  }
+  return trace;
+}
+
+TEST(MeasureEfficiency, MinOfTailOverCapacity) {
+  // Steps: transient 10, then tail oscillating between 80 and 120.
+  std::vector<std::vector<double>> w;
+  std::vector<double> rtt;
+  std::vector<double> loss;
+  for (int t = 0; t < 20; ++t) {
+    const double x = t < 10 ? 5.0 : (t % 2 == 0 ? 80.0 : 120.0);
+    w.push_back({x});
+    rtt.push_back(0.1);
+    loss.push_back(0.0);
+  }
+  const auto trace = make_trace(w, rtt, loss);
+  EXPECT_DOUBLE_EQ(measure_efficiency(trace, {0.5}), 0.8);
+}
+
+TEST(MeasureEfficiency, CapsAtOne) {
+  std::vector<std::vector<double>> w(10, {500.0});
+  const auto trace = make_trace(w, std::vector<double>(10, 0.1),
+                                std::vector<double>(10, 0.0));
+  EXPECT_DOUBLE_EQ(measure_efficiency(trace, {0.0}), 1.0);
+}
+
+TEST(MeasureLossAvoidance, MaxTailLoss) {
+  std::vector<std::vector<double>> w(20, {50.0});
+  std::vector<double> rtt(20, 0.1);
+  std::vector<double> loss(20, 0.0);
+  loss[2] = 0.9;   // transient: ignored at tail_fraction 0.5
+  loss[15] = 0.02;
+  const auto trace = make_trace(w, rtt, loss);
+  EXPECT_DOUBLE_EQ(measure_loss_avoidance(trace, {0.5}), 0.02);
+  // With the transient included, the 0.9 dominates.
+  EXPECT_DOUBLE_EQ(measure_loss_avoidance(trace, {0.0}), 0.9);
+}
+
+TEST(MeasureFairness, MinOverMaxOfTailMeans) {
+  std::vector<std::vector<double>> w(10, {30.0, 60.0, 90.0});
+  const auto trace = make_trace(w, std::vector<double>(10, 0.1),
+                                std::vector<double>(10, 0.0));
+  EXPECT_NEAR(measure_fairness(trace, {0.5}), 30.0 / 90.0, 1e-12);
+}
+
+TEST(MeasureFairness, SingleSenderIsPerfectlyFair) {
+  std::vector<std::vector<double>> w(10, {30.0});
+  const auto trace = make_trace(w, std::vector<double>(10, 0.1),
+                                std::vector<double>(10, 0.0));
+  EXPECT_DOUBLE_EQ(measure_fairness(trace, {0.5}), 1.0);
+}
+
+TEST(MeasureConvergence, PerfectlyFlatIsOne) {
+  std::vector<std::vector<double>> w(10, {42.0});
+  const auto trace = make_trace(w, std::vector<double>(10, 0.1),
+                                std::vector<double>(10, 0.0));
+  EXPECT_DOUBLE_EQ(measure_convergence(trace, {0.5}), 1.0);
+}
+
+TEST(MeasureConvergence, SymmetricOscillationScoresItsAmplitude) {
+  // Tail alternates 80/120 around x* = 100: min(x/x*, 2-x/x*) = 0.8.
+  std::vector<std::vector<double>> w;
+  for (int t = 0; t < 40; ++t) w.push_back({t % 2 == 0 ? 80.0 : 120.0});
+  const auto trace = make_trace(w, std::vector<double>(40, 0.1),
+                                std::vector<double>(40, 0.0));
+  EXPECT_NEAR(measure_convergence(trace, {0.5}), 0.8, 1e-9);
+}
+
+TEST(MeasureConvergence, DivergentSeriesScoresLow) {
+  std::vector<std::vector<double>> w;
+  for (int t = 0; t < 40; ++t) w.push_back({std::pow(1.3, t)});
+  const auto trace = make_trace(w, std::vector<double>(40, 0.1),
+                                std::vector<double>(40, 0.0));
+  EXPECT_LT(measure_convergence(trace, {0.5}), 0.2);
+}
+
+TEST(MeasureConvergence, OutlierFractionIgnoresSingleSpikes) {
+  // 100 flat samples with one deep dip: the exact estimator is punished by
+  // the dip, the 2%-outlier estimator is not.
+  std::vector<std::vector<double>> w;
+  for (int t = 0; t < 100; ++t) w.push_back({100.0});
+  w[90] = {20.0};
+  const auto trace = make_trace(w, std::vector<double>(100, 0.1),
+                                std::vector<double>(100, 0.0));
+  EXPECT_LT(measure_convergence(trace, {0.0, 0.0}), 0.3);
+  EXPECT_GT(measure_convergence(trace, {0.0, 0.02}), 0.95);
+}
+
+TEST(MeasureMeanLoss, AveragesTheTail) {
+  std::vector<std::vector<double>> w(20, {50.0});
+  std::vector<double> rtt(20, 0.1);
+  std::vector<double> loss(20, 0.0);
+  loss[12] = 0.1;  // one lossy step in a 10-step tail
+  const auto trace = make_trace(w, rtt, loss);
+  EXPECT_NEAR(measure_mean_loss(trace, {0.5}), 0.01, 1e-12);
+  // The bound-style estimator reports the worst step instead.
+  EXPECT_DOUBLE_EQ(measure_loss_avoidance(trace, {0.5}), 0.1);
+}
+
+TEST(MeasureLatencyAvoidance, RelativeRttInflation) {
+  std::vector<std::vector<double>> w(10, {50.0});
+  std::vector<double> rtt(10, 0.1);
+  rtt[8] = 0.15;  // 50% inflation in the tail
+  const auto trace = make_trace(w, rtt, std::vector<double>(10, 0.0));
+  EXPECT_NEAR(measure_latency_avoidance(trace, {0.5}), 0.5, 1e-12);
+}
+
+TEST(MeasureLatencyAvoidance, NeverNegative) {
+  std::vector<std::vector<double>> w(10, {50.0});
+  // RTT at the floor throughout.
+  const auto trace = make_trace(w, std::vector<double>(10, 0.1),
+                                std::vector<double>(10, 0.0));
+  EXPECT_DOUBLE_EQ(measure_latency_avoidance(trace, {0.5}), 0.0);
+}
+
+TEST(MeasureFriendliness, RatioOfGuaranteedShares) {
+  // Senders: P gets 100, Q gets 25 → friendliness 0.25.
+  std::vector<std::vector<double>> w(10, {100.0, 25.0});
+  const auto trace = make_trace(w, std::vector<double>(10, 0.1),
+                                std::vector<double>(10, 0.0));
+  const std::vector<int> p{0};
+  const std::vector<int> q{1};
+  EXPECT_DOUBLE_EQ(measure_friendliness(trace, p, q, {0.5}), 0.25);
+}
+
+TEST(MeasureFriendliness, WorstPairGoverns) {
+  // Two P senders (60, 100) and two Q senders (50, 30):
+  // worst pair = min Q / max P = 30/100.
+  std::vector<std::vector<double>> w(10, {60.0, 100.0, 50.0, 30.0});
+  const auto trace = make_trace(w, std::vector<double>(10, 0.1),
+                                std::vector<double>(10, 0.0));
+  const std::vector<int> p{0, 1};
+  const std::vector<int> q{2, 3};
+  EXPECT_NEAR(measure_friendliness(trace, p, q, {0.5}), 0.3, 1e-12);
+}
+
+TEST(MeasureFriendliness, EmptyGroupsViolateContract) {
+  std::vector<std::vector<double>> w(10, {1.0});
+  const auto trace = make_trace(w, std::vector<double>(10, 0.1),
+                                std::vector<double>(10, 0.0));
+  EXPECT_THROW((void)measure_friendliness(trace, {}, {{0}}, {0.5}),
+               ContractViolation);
+}
+
+TEST(FastUtilizationCoefficient, LinearGrowthRecoversSlope) {
+  // x(t) = 3t: Σ(x(t)-x(t1)) = 3·Δt(Δt+1)/2 → coefficient ≈ 3.
+  std::vector<double> w;
+  for (int t = 0; t < 400; ++t) w.push_back(3.0 * t);
+  EXPECT_NEAR(fast_utilization_coefficient(w, 10), 3.0, 0.05);
+}
+
+TEST(FastUtilizationCoefficient, FlatSeriesIsZero) {
+  std::vector<double> w(100, 42.0);
+  EXPECT_DOUBLE_EQ(fast_utilization_coefficient(w, 5), 0.0);
+}
+
+TEST(FastUtilizationCoefficient, SublinearGrowthVanishes) {
+  std::vector<double> w;
+  for (int t = 1; t <= 2000; ++t) w.push_back(std::sqrt(static_cast<double>(t)));
+  EXPECT_LT(fast_utilization_coefficient(w, 10), 0.1);
+}
+
+TEST(TailGoodput, DiscountsLoss) {
+  const int n = 1;
+  fluid::Trace trace(n, 100.0, 0.1);
+  for (int t = 0; t < 10; ++t) {
+    trace.add_step(std::vector<double>{100.0}, 0.1, 0.2,
+                   std::vector<double>{0.2});
+  }
+  EXPECT_NEAR(tail_goodput(trace, 0, {0.5}), 80.0, 1e-12);
+}
+
+TEST(Estimators, TraceTooShortForTailViolatesContract) {
+  fluid::Trace trace(1, 100.0, 0.1);
+  trace.add_step(std::vector<double>{1.0}, 0.1, 0.0, std::vector<double>{0.0});
+  // tail_fraction 0.9 of a 1-step trace leaves the single sample — fine;
+  // an empty trace must throw.
+  fluid::Trace empty(1, 100.0, 0.1);
+  EXPECT_THROW((void)measure_efficiency(empty, {0.5}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace axiomcc::core

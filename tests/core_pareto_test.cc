@@ -1,0 +1,128 @@
+// Unit tests for Pareto dominance, frontier extraction, the 8-D metric
+// orientation, and the Figure 1 surface.
+#include "core/pareto.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/theory.h"
+#include "util/check.h"
+
+namespace axiomcc::core {
+namespace {
+
+TEST(Dominates, StrictAndWeakComponents) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{1.0, 1.0};
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(Dominates, EqualPointsDoNotDominate) {
+  const std::vector<double> a{1.0, 2.0};
+  EXPECT_FALSE(dominates(a, a));
+}
+
+TEST(Dominates, IncomparablePoints) {
+  const std::vector<double> a{2.0, 1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_FALSE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+TEST(Dominates, DimensionMismatchViolatesContract) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0, 2.0};
+  EXPECT_THROW((void)dominates(a, b), ContractViolation);
+}
+
+TEST(ParetoFrontier, ExtractsNonDominatedSet) {
+  const std::vector<std::vector<double>> pts{
+      {1.0, 1.0},  // dominated by {2,2}
+      {2.0, 2.0},  // frontier
+      {3.0, 0.5},  // frontier (trade-off)
+      {0.5, 3.0},  // frontier (trade-off)
+      {2.0, 1.0},  // dominated by {2,2}
+  };
+  const auto frontier = pareto_frontier_indices(pts);
+  EXPECT_EQ(frontier, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(ParetoFrontier, DuplicatesAreAllKept) {
+  const std::vector<std::vector<double>> pts{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_EQ(pareto_frontier_indices(pts).size(), 2u);
+}
+
+TEST(ParetoFrontier, EmptyAndSingleton) {
+  EXPECT_TRUE(pareto_frontier_indices({}).empty());
+  EXPECT_EQ(pareto_frontier_indices({{1.0}}).size(), 1u);
+}
+
+TEST(MetricReport, OrientedNegatesBounds) {
+  MetricReport r;
+  r.efficiency = 0.9;
+  r.loss_avoidance = 0.02;
+  r.latency_avoidance = 0.5;
+  r.fairness = 1.0;
+  const auto o = r.oriented();
+  EXPECT_DOUBLE_EQ(o[static_cast<int>(Metric::kEfficiency)], 0.9);
+  EXPECT_DOUBLE_EQ(o[static_cast<int>(Metric::kLossAvoidance)], -0.02);
+  EXPECT_DOUBLE_EQ(o[static_cast<int>(Metric::kLatencyAvoidance)], -0.5);
+  EXPECT_DOUBLE_EQ(o[static_cast<int>(Metric::kFairness)], 1.0);
+}
+
+TEST(MetricReport, GetCoversAllMetrics) {
+  MetricReport r;
+  r.efficiency = 1;
+  r.fast_utilization = 2;
+  r.loss_avoidance = 3;
+  r.fairness = 4;
+  r.convergence = 5;
+  r.robustness = 6;
+  r.tcp_friendliness = 7;
+  r.latency_avoidance = 8;
+  for (std::size_t i = 0; i < kNumMetrics; ++i) {
+    EXPECT_DOUBLE_EQ(r.get(static_cast<Metric>(i)),
+                     static_cast<double>(i + 1));
+  }
+}
+
+TEST(MetricNames, AllDistinctAndNonEmpty) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < kNumMetrics; ++i) {
+    const std::string name = metric_name(static_cast<Metric>(i));
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kNumMetrics);
+}
+
+TEST(Figure1Surface, MatchesTheorem2Bound) {
+  const std::vector<double> alphas{1.0, 2.0};
+  const std::vector<double> betas{0.5};
+  const auto surface = figure1_surface(alphas, betas);
+  ASSERT_EQ(surface.size(), 2u);
+  EXPECT_DOUBLE_EQ(surface[0].tcp_friendliness, 1.0);
+  EXPECT_DOUBLE_EQ(surface[1].tcp_friendliness, 0.5);
+}
+
+TEST(Figure1Surface, EveryGridPointIsOnTheFrontier) {
+  // The surface trades friendliness against (α, β): no point dominates
+  // another once all three coordinates are oriented higher-is-better.
+  const std::vector<double> alphas{0.5, 1.0, 2.0, 4.0};
+  const std::vector<double> betas{0.3, 0.5, 0.7, 0.9};
+  const auto surface = figure1_surface(alphas, betas);
+
+  std::vector<std::vector<double>> pts;
+  for (const auto& p : surface) {
+    pts.push_back(
+        {p.fast_utilization_alpha, p.efficiency_beta, p.tcp_friendliness});
+  }
+  const auto frontier = pareto_frontier_indices(pts);
+  EXPECT_EQ(frontier.size(), surface.size());
+}
+
+}  // namespace
+}  // namespace axiomcc::core

@@ -1,0 +1,182 @@
+// Unit tests for the closed-form Table 1 formulas and theorem bounds.
+#include "core/theory.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace axiomcc::core::theory {
+namespace {
+
+// The paper's default experimental link: C = 105 MSS, τ = 100 MSS.
+constexpr double kC = 105.0;
+constexpr double kTau = 100.0;
+
+TEST(AimdTheory, EfficiencyFormula) {
+  EXPECT_NEAR(aimd_efficiency(0.5, kC, kTau), 0.5 * (1.0 + kTau / kC), 1e-12);
+  // Deep buffer saturates at 1.
+  EXPECT_DOUBLE_EQ(aimd_efficiency(0.5, 10.0, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(aimd_efficiency_worst(0.5), 0.5);
+}
+
+TEST(AimdTheory, LossBoundGrowsWithSendersAndIncrease) {
+  const double l1 = aimd_loss_bound(1.0, kC, kTau, 2);
+  const double l2 = aimd_loss_bound(1.0, kC, kTau, 4);
+  const double l3 = aimd_loss_bound(2.0, kC, kTau, 2);
+  EXPECT_NEAR(l1, 1.0 - 205.0 / 207.0, 1e-12);
+  EXPECT_GT(l2, l1);
+  EXPECT_GT(l3, l1);
+}
+
+TEST(AimdTheory, FriendlinessRenoIsOne) {
+  // AIMD(1,0.5) vs itself: 3(1-b)/(a(1+b)) = 1.
+  EXPECT_DOUBLE_EQ(aimd_friendliness(1.0, 0.5), 1.0);
+  // Gentler decrease → less friendly; larger increase → less friendly.
+  EXPECT_LT(aimd_friendliness(1.0, 0.875), 1.0);
+  EXPECT_LT(aimd_friendliness(2.0, 0.5), 1.0);
+}
+
+TEST(AimdTheory, ConvergenceFormula) {
+  EXPECT_NEAR(aimd_convergence(0.5), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(aimd_convergence(0.875), 1.75 / 1.875, 1e-12);
+}
+
+TEST(MimdTheory, LossBounds) {
+  EXPECT_NEAR(mimd_loss_bound_paper(1.01), 1.01 / 2.01, 1e-12);
+  EXPECT_NEAR(mimd_loss_bound_model(1.01), 1.0 - 1.0 / 1.01, 1e-12);
+  // The model-derived bound is the one the fluid dynamics realize; it is far
+  // below the printed worst case for small a.
+  EXPECT_LT(mimd_loss_bound_model(1.01), mimd_loss_bound_paper(1.01));
+}
+
+TEST(MimdTheory, FriendlinessShrinksWithCapacity) {
+  const double f_small = mimd_friendliness(1.01, 0.875, 50.0, 10.0);
+  const double f_large = mimd_friendliness(1.01, 0.875, 5000.0, 10.0);
+  EXPECT_GT(f_small, f_large);
+  EXPECT_GT(f_large, 0.0);
+}
+
+TEST(MimdTheory, FriendlinessDegenerateDenominator) {
+  // When 2·log_a(1/b) exceeds C+τ the formula floor is 0.
+  EXPECT_DOUBLE_EQ(mimd_friendliness(1.01, 0.875, 10.0, 0.0), 0.0);
+}
+
+TEST(BinTheory, EfficiencyGeneralizesThePrintedLEqualsOneCell) {
+  // At l = 1 the general trough formula reduces to the paper's printed
+  // min(1, (1−b)(1+τ/C)) for any n.
+  EXPECT_NEAR(bin_efficiency(0.5, 1.0, kC, kTau, 2),
+              0.5 * (1.0 + kTau / kC), 1e-12);
+  EXPECT_NEAR(bin_efficiency(0.5, 1.0, kC, kTau, 7),
+              0.5 * (1.0 + kTau / kC), 1e-12);
+  // At l = 0 the decrease is a constant n·b — negligible at this scale.
+  EXPECT_DOUBLE_EQ(bin_efficiency(1.0, 0.0, kC, kTau, 2), 1.0);
+  EXPECT_DOUBLE_EQ(bin_efficiency_worst(0.3), 0.7);
+}
+
+TEST(BinTheory, FastUtilizationVanishesForPositiveK) {
+  EXPECT_DOUBLE_EQ(bin_fast_utilization(2.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(bin_fast_utilization(2.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(bin_fast_utilization(2.0, 1.0), 0.0);
+}
+
+TEST(BinTheory, FriendlinessRequiresKPlusLAtLeastOne) {
+  EXPECT_DOUBLE_EQ(bin_friendliness(1.0, 0.5, 0.2, 0.3), 0.0);
+  const double f = bin_friendliness(1.0, 0.5, 1.0, 0.0);
+  EXPECT_NEAR(f, std::sqrt(1.5) * std::pow(0.5, 0.5), 1e-12);
+}
+
+TEST(BinTheory, LossBoundModelShrinksWithK) {
+  // Larger k → smaller overshoot at high windows → less loss.
+  const double k0 = bin_loss_bound_model(1.0, 0.0, kC, kTau, 2);
+  const double k1 = bin_loss_bound_model(1.0, 1.0, kC, kTau, 2);
+  EXPECT_GT(k0, k1);
+}
+
+TEST(BinTheory, ConvergenceFormula) {
+  // Worst case (l = 1): (2−2b)/(2−b).
+  EXPECT_NEAR(bin_convergence_worst(0.5), 1.0 / 1.5, 1e-12);
+  // Nuanced at l = 1 matches the worst case regardless of link shape.
+  EXPECT_NEAR(bin_convergence(0.5, 1.0, kC, kTau, 2),
+              bin_convergence_worst(0.5), 1e-12);
+  // At l = 0 (constant decrease) the trough is nearly the peak: conv ≈ 1.
+  EXPECT_GT(bin_convergence(1.0, 0.0, kC, kTau, 2), 0.95);
+}
+
+TEST(CubicTheory, Formulas) {
+  EXPECT_NEAR(cubic_efficiency(0.8, kC, kTau), 1.0, 1e-12);  // saturates
+  EXPECT_DOUBLE_EQ(cubic_efficiency_worst(0.8), 0.8);
+  EXPECT_DOUBLE_EQ(cubic_fast_utilization(0.4), 0.4);
+  EXPECT_NEAR(cubic_loss_bound(0.4, kC, kTau, 2),
+              1.0 - 205.0 / (205.0 + 0.8), 1e-12);
+  const double inner = 4.0 * 0.2 / (0.4 * 3.8 * 205.0);
+  EXPECT_NEAR(cubic_friendliness(0.4, 0.8, kC, kTau),
+              std::sqrt(1.5) * std::pow(inner, 0.25), 1e-12);
+  EXPECT_NEAR(cubic_convergence(0.8), 1.6 / 1.8, 1e-12);
+}
+
+TEST(RobustAimdTheory, EfficiencyGainsFromTolerance) {
+  // Dividing by (1-k) can only raise efficiency relative to plain AIMD.
+  EXPECT_GE(robust_aimd_efficiency(0.5, 0.01, kC, kTau),
+            aimd_efficiency(0.5, kC, kTau));
+  EXPECT_NEAR(robust_aimd_efficiency_worst(0.8, 0.01), 0.8 / 0.99, 1e-12);
+}
+
+TEST(RobustAimdTheory, LossBoundApproachesKAsSendersVanish) {
+  // With na(1-k) ≪ C+τ, the guaranteed tail loss is ≈ k (the tolerance the
+  // protocol deliberately sustains).
+  const double bound = robust_aimd_loss_bound(1.0, 0.01, 1e6, 0.0, 1);
+  EXPECT_NEAR(bound, 0.01, 1e-3);
+}
+
+TEST(RobustAimdTheory, FriendlinessBelowPlainAimd) {
+  EXPECT_LT(robust_aimd_friendliness(1.0, 0.8, 0.01, kC, kTau),
+            aimd_friendliness(1.0, 0.8));
+}
+
+TEST(RobustAimdTheory, RobustnessIsK) {
+  EXPECT_DOUBLE_EQ(robust_aimd_robustness(0.01), 0.01);
+}
+
+TEST(Theorem1, BoundShape) {
+  EXPECT_DOUBLE_EQ(thm1_efficiency_lower_bound(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(thm1_efficiency_lower_bound(1.0), 1.0);
+  EXPECT_NEAR(thm1_efficiency_lower_bound(2.0 / 3.0), 0.5, 1e-12);
+  EXPECT_THROW((void)thm1_efficiency_lower_bound(1.5), ContractViolation);
+}
+
+TEST(Theorem2, BoundShape) {
+  EXPECT_DOUBLE_EQ(thm2_friendliness_upper_bound(1.0, 0.5), 1.0);
+  // Faster utilization or higher efficiency forces lower friendliness.
+  EXPECT_LT(thm2_friendliness_upper_bound(2.0, 0.5),
+            thm2_friendliness_upper_bound(1.0, 0.5));
+  EXPECT_LT(thm2_friendliness_upper_bound(1.0, 0.9),
+            thm2_friendliness_upper_bound(1.0, 0.5));
+  EXPECT_THROW((void)thm2_friendliness_upper_bound(0.0, 0.5),
+               ContractViolation);
+}
+
+TEST(Theorem3, TightensTheorem2) {
+  const double thm2 = thm2_friendliness_upper_bound(1.0, 0.8);
+  for (double eps : {0.005, 0.01, 0.1}) {
+    const double thm3 =
+        thm3_friendliness_upper_bound(1.0, 0.8, eps, kC, kTau);
+    EXPECT_LT(thm3, thm2);
+  }
+}
+
+TEST(Theorem3, MonotoneInRobustness) {
+  // More robustness demanded → even less friendliness available.
+  EXPECT_GT(thm3_friendliness_upper_bound(1.0, 0.8, 0.005, kC, kTau),
+            thm3_friendliness_upper_bound(1.0, 0.8, 0.05, kC, kTau));
+}
+
+TEST(Theorem3, RequiresCapacityAboveHalfAlpha) {
+  EXPECT_THROW(
+      (void)thm3_friendliness_upper_bound(10.0, 0.5, 0.01, 4.0, 0.0),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace axiomcc::core::theory

@@ -1,0 +1,142 @@
+// Tests for the bulk metric sweep and for the slow-start decorator.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cc/aimd.h"
+#include "cc/slow_start.h"
+#include "core/metrics.h"
+#include "exp/sweep.h"
+#include "fluid/sim.h"
+#include "util/check.h"
+
+namespace axiomcc {
+namespace {
+
+// --- sweep --------------------------------------------------------------------
+
+exp::LinkGrid tiny_grid() {
+  exp::LinkGrid grid;
+  grid.bandwidths_mbps = {20.0, 60.0};
+  grid.rtts_ms = {42.0};
+  grid.buffers_mss = {100.0};
+  return grid;
+}
+
+core::EvalConfig quick_cfg() {
+  core::EvalConfig cfg;
+  cfg.steps = 1500;
+  cfg.fast_utilization_steps = 800;
+  cfg.robustness_steps = 1000;
+  return cfg;
+}
+
+TEST(MetricSweep, ProducesOneRowPerCell) {
+  const auto rows =
+      exp::run_metric_sweep({"reno", "scalable"}, tiny_grid(), quick_cfg());
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0].protocol, "AIMD(1,0.5)");
+  EXPECT_EQ(rows[0].bandwidth_mbps, 20.0);
+  EXPECT_EQ(rows[1].bandwidth_mbps, 60.0);
+  EXPECT_EQ(rows[2].protocol, "MIMD(1.01,0.875)");
+}
+
+TEST(MetricSweep, ScoresVaryWithTheLink) {
+  const auto rows = exp::run_metric_sweep({"reno"}, tiny_grid(), quick_cfg());
+  // Efficiency formula depends on τ/C: the 20 Mbps cell (C = 70) saturates
+  // min(1, 0.5·(1+100/70)) = 1, the 60 Mbps cell (C = 210) gives ~0.74.
+  EXPECT_GT(rows[0].scores.efficiency, rows[1].scores.efficiency);
+}
+
+TEST(MetricSweep, InvalidSpecFailsFast) {
+  EXPECT_THROW(
+      (void)exp::run_metric_sweep({"reno", "nope"}, tiny_grid(), quick_cfg()),
+      std::invalid_argument);
+}
+
+TEST(MetricSweep, EmptyInputsViolateContract) {
+  EXPECT_THROW((void)exp::run_metric_sweep({}, tiny_grid(), quick_cfg()),
+               ContractViolation);
+  exp::LinkGrid empty;
+  empty.bandwidths_mbps = {};
+  EXPECT_THROW((void)exp::run_metric_sweep({"reno"}, empty, quick_cfg()),
+               ContractViolation);
+}
+
+TEST(MetricSweep, CsvHasHeaderAndQuotedProtocols) {
+  const auto rows = exp::run_metric_sweep({"reno"}, tiny_grid(), quick_cfg());
+  std::ostringstream out;
+  exp::write_sweep_csv(rows, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("protocol,bandwidth_mbps,rtt_ms,buffer_mss,efficiency"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"AIMD(1,0.5)\",20,42,100,"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+            static_cast<long>(rows.size()) + 1);
+}
+
+// --- slow-start decorator ------------------------------------------------------
+
+TEST(SlowStartWrapper, DoublesUntilLossThenDelegates) {
+  cc::SlowStartWrapper wrapped(std::make_unique<cc::Aimd>(1.0, 0.5));
+  const cc::Observation clean{8.0, 0.0, 0.042};
+  EXPECT_TRUE(wrapped.in_slow_start());
+  EXPECT_DOUBLE_EQ(wrapped.next_window(clean), 16.0);
+  EXPECT_DOUBLE_EQ(wrapped.next_window({16.0, 0.0, 0.042}), 32.0);
+
+  // Loss: exit and let AIMD halve.
+  EXPECT_DOUBLE_EQ(wrapped.next_window({32.0, 0.1, 0.042}), 16.0);
+  EXPECT_FALSE(wrapped.in_slow_start());
+  // From now on plain AIMD.
+  EXPECT_DOUBLE_EQ(wrapped.next_window({16.0, 0.0, 0.042}), 17.0);
+}
+
+TEST(SlowStartWrapper, SsthreshCapsTheProbe) {
+  cc::SlowStartWrapper wrapped(std::make_unique<cc::Aimd>(1.0, 0.5), 20.0);
+  EXPECT_DOUBLE_EQ(wrapped.next_window({8.0, 0.0, 0.042}), 16.0);
+  EXPECT_DOUBLE_EQ(wrapped.next_window({16.0, 0.0, 0.042}), 20.0);  // capped
+  EXPECT_FALSE(wrapped.in_slow_start());
+}
+
+TEST(SlowStartWrapper, CloneAndResetRestoreSlowStart) {
+  cc::SlowStartWrapper wrapped(std::make_unique<cc::Aimd>(1.0, 0.5));
+  (void)wrapped.next_window({8.0, 0.1, 0.042});  // exits slow start
+  ASSERT_FALSE(wrapped.in_slow_start());
+
+  const auto clone = wrapped.clone();
+  // A clone is a fresh connection.
+  EXPECT_DOUBLE_EQ(clone->next_window({8.0, 0.0, 0.042}), 16.0);
+
+  wrapped.reset();
+  EXPECT_TRUE(wrapped.in_slow_start());
+}
+
+TEST(SlowStartWrapper, NamePrefixesAndDelegatesLossBased) {
+  const cc::SlowStartWrapper wrapped(std::make_unique<cc::Aimd>(1.0, 0.5));
+  EXPECT_EQ(wrapped.name(), "SlowStart+AIMD(1,0.5)");
+  EXPECT_TRUE(wrapped.loss_based());
+}
+
+TEST(SlowStartWrapper, ReachesSteadyStateFasterOnTheFluidLink) {
+  fluid::SimOptions opt;
+  opt.steps = 60;
+  const auto window_at_end = [&](std::unique_ptr<cc::Protocol> proto) {
+    fluid::FluidSimulation sim(fluid::make_link_mbps(30.0, 42.0, 100.0), opt);
+    sim.add_sender(*proto, 1.0);
+    return sim.run().windows(0).back();
+  };
+  const double with_ss = window_at_end(std::make_unique<cc::SlowStartWrapper>(
+      std::make_unique<cc::Aimd>(1.0, 0.5)));
+  const double without = window_at_end(std::make_unique<cc::Aimd>(1.0, 0.5));
+  EXPECT_GT(with_ss, without * 1.5);
+}
+
+TEST(SlowStartWrapper, Contracts) {
+  EXPECT_THROW(cc::SlowStartWrapper(nullptr), ContractViolation);
+  EXPECT_THROW(
+      cc::SlowStartWrapper(std::make_unique<cc::Aimd>(1.0, 0.5), 1.0),
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace axiomcc

@@ -1,0 +1,111 @@
+// Tests for the Table 1 / Table 2 / Figure 1 reproduction harnesses.
+#include <gtest/gtest.h>
+
+#include "exp/figure1.h"
+#include "exp/table1.h"
+#include "exp/table2.h"
+
+namespace axiomcc::exp {
+namespace {
+
+core::EvalConfig cfg() {
+  core::EvalConfig c;
+  c.steps = 3000;
+  return c;
+}
+
+TEST(Table1, HasTheSixPaperRows) {
+  const auto rows = build_table1(cfg());
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].protocol, "AIMD(1,0.5)");
+  EXPECT_EQ(rows[1].protocol, "MIMD(1.01,0.875)");
+  EXPECT_EQ(rows[4].protocol, "CUBIC(0.4,0.8)");
+  EXPECT_EQ(rows[5].protocol, "Robust-AIMD(1,0.8,0.01)");
+}
+
+TEST(Table1, MeasuredAgreesWithNuancedTheoryForAimd) {
+  const auto rows = build_table1(cfg());
+  const Table1Entry& aimd = rows[0];
+  EXPECT_NEAR(aimd.measured.efficiency, aimd.theory_nuanced.efficiency, 0.03);
+  EXPECT_LE(aimd.measured.loss_avoidance,
+            aimd.theory_nuanced.loss_avoidance * 1.1);
+  EXPECT_NEAR(aimd.measured.fast_utilization,
+              aimd.theory_nuanced.fast_utilization, 0.1);
+  EXPECT_NEAR(aimd.measured.fairness, 1.0, 0.03);
+  EXPECT_NEAR(aimd.measured.convergence, aimd.theory_nuanced.convergence, 0.04);
+  EXPECT_NEAR(aimd.measured.tcp_friendliness,
+              aimd.theory_nuanced.tcp_friendliness, 0.1);
+  EXPECT_NEAR(aimd.measured.latency_avoidance,
+              aimd.theory_nuanced.latency_avoidance, 0.05);
+  EXPECT_NEAR(aimd.measured.robustness, 0.0, 0.002);
+}
+
+TEST(Table1, MeasuredAgreesWithTheoryForRobustAimd) {
+  const auto rows = build_table1(cfg());
+  const Table1Entry& robust = rows[5];
+  EXPECT_NEAR(robust.measured.robustness, 0.01, 0.002);
+  EXPECT_NEAR(robust.measured.efficiency, robust.theory_nuanced.efficiency,
+              0.05);
+  EXPECT_NEAR(robust.measured.convergence, robust.theory_nuanced.convergence,
+              0.05);
+  EXPECT_NEAR(robust.measured.fairness, 1.0, 0.05);
+}
+
+TEST(Table1, HierarchyAcrossFamilies) {
+  const auto rows = build_table1(cfg());
+  const auto& aimd = rows[0];
+  const auto& mimd = rows[1];
+  const auto& iiad = rows[2];
+  const auto& robust = rows[5];
+
+  // Fairness: AIMD converges to equality, MIMD preserves inequality.
+  EXPECT_GT(aimd.measured.fairness, mimd.measured.fairness + 0.3);
+  // Fast-utilization: IIAD (k=1) is sublinear; MIMD is superlinear.
+  EXPECT_LT(iiad.measured.fast_utilization, 0.2);
+  EXPECT_GT(mimd.measured.fast_utilization, 10.0);
+  // Robustness: only Robust-AIMD tolerates non-congestion loss.
+  EXPECT_GT(robust.measured.robustness, aimd.measured.robustness + 0.005);
+  // TCP-friendliness: AIMD(1,0.5) is the friendliest of the set.
+  EXPECT_GT(aimd.measured.tcp_friendliness,
+            mimd.measured.tcp_friendliness);
+  EXPECT_GT(aimd.measured.tcp_friendliness,
+            robust.measured.tcp_friendliness);
+}
+
+TEST(Table2, RobustAimdBeatsPccEverywhere) {
+  Table2Config config;
+  // Keep the unit-test grid small; the bench runs the full paper grid.
+  config.sender_counts = {2, 3};
+  config.bandwidths_mbps = {20.0, 60.0};
+  config.steps = 3000;
+  const auto cells = build_table2(config);
+  ASSERT_EQ(cells.size(), 4u);
+  for (const auto& cell : cells) {
+    EXPECT_GT(cell.improvement(), 1.0)
+        << "n=" << cell.n << " bw=" << cell.bandwidth_mbps;
+    EXPECT_GT(cell.robust_aimd_friendliness, 0.0);
+    EXPECT_GT(cell.pcc_friendliness, 0.0);
+  }
+}
+
+TEST(Figure1, GridIsEntirelyOnTheFrontier) {
+  const auto grid = figure1_grid();
+  EXPECT_EQ(frontier_of(grid).size(), grid.size());
+}
+
+TEST(Figure1, AimdAttainsItsSurfacePoints) {
+  const auto verifications = verify_attainment(cfg());
+  for (const auto& v : verifications) {
+    EXPECT_NEAR(v.measured_fast_utilization,
+                v.analytic.fast_utilization_alpha,
+                v.analytic.fast_utilization_alpha * 0.1 + 0.05);
+    // Measured single-link efficiency is at least the worst-case β of the
+    // surface point (β is the guarantee across ALL links).
+    EXPECT_GE(v.measured_efficiency, v.analytic.efficiency_beta - 0.03);
+    EXPECT_NEAR(v.measured_friendliness, v.analytic.tcp_friendliness,
+                v.analytic.tcp_friendliness * 0.25 + 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace axiomcc::exp

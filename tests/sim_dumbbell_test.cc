@@ -1,0 +1,159 @@
+// Integration tests for the dumbbell experiment: utilization, fairness,
+// loss injection, RED, trace sampling, and reproducibility.
+#include "sim/dumbbell.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/presets.h"
+#include "core/metrics.h"
+#include "util/check.h"
+
+namespace axiomcc::sim {
+namespace {
+
+DumbbellConfig small_config() {
+  DumbbellConfig c;
+  c.bottleneck_mbps = 10.0;
+  c.rtt_ms = 40.0;
+  c.buffer_packets = 25;  // ~BDP/1.3
+  c.duration_seconds = 20.0;
+  return c;
+}
+
+TEST(Dumbbell, CapacityMssMatchesBandwidthDelayProduct) {
+  DumbbellExperiment exp(small_config());
+  // 10 Mbps × 40 ms / (8 × 1500) ≈ 33.3 MSS.
+  EXPECT_NEAR(exp.capacity_mss(), 33.33, 0.1);
+}
+
+TEST(Dumbbell, SingleRenoFlowFillsTheLink) {
+  DumbbellExperiment exp(small_config());
+  exp.add_flow(cc::presets::reno());
+  exp.run();
+
+  // AIMD with a BDP-scale buffer keeps utilization high.
+  EXPECT_GT(exp.bottleneck_utilization(), 0.80);
+  const auto reports = exp.flow_reports();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_NEAR(reports[0].throughput_mbps, 10.0, 1.5);
+  EXPECT_LT(reports[0].loss_rate, 0.05);
+  // RTT sits between the propagation floor and the full-buffer ceiling
+  // (40 ms + 25 × 1.2 ms = 70 ms).
+  EXPECT_GT(reports[0].avg_rtt_ms, 40.0);
+  EXPECT_LT(reports[0].avg_rtt_ms, 72.0);
+}
+
+TEST(Dumbbell, TwoRenoFlowsShareFairly) {
+  DumbbellExperiment exp(small_config());
+  exp.add_flow(cc::presets::reno(), 0.0);
+  exp.add_flow(cc::presets::reno(), 0.1);
+  exp.run();
+
+  const auto reports = exp.flow_reports();
+  ASSERT_EQ(reports.size(), 2u);
+  const double ratio = reports[0].throughput_mbps / reports[1].throughput_mbps;
+  EXPECT_GT(ratio, 0.6);
+  EXPECT_LT(ratio, 1.67);
+  EXPECT_GT(exp.bottleneck_utilization(), 0.80);
+}
+
+TEST(Dumbbell, TraceFeedsCoreEstimators) {
+  DumbbellExperiment exp(small_config());
+  exp.add_flow(cc::presets::reno(), 0.0);
+  exp.add_flow(cc::presets::reno(), 0.1);
+  exp.run();
+
+  const fluid::Trace& trace = exp.trace();
+  EXPECT_EQ(trace.num_senders(), 2);
+  EXPECT_GT(trace.num_steps(), 100u);
+
+  const core::EstimatorConfig est{0.5};
+  EXPECT_GT(core::measure_efficiency(trace, est), 0.6);
+  EXPECT_GT(core::measure_fairness(trace, est), 0.5);
+  EXPECT_LT(core::measure_loss_avoidance(trace, est), 0.1);
+}
+
+TEST(Dumbbell, RandomLossStarvesRenoButNotRobustAimd) {
+  DumbbellConfig cfg = small_config();
+  cfg.random_loss_rate = 0.005;  // 0.5% forward loss
+
+  double reno_throughput = 0.0;
+  double robust_throughput = 0.0;
+  {
+    DumbbellExperiment exp(cfg);
+    exp.add_flow(cc::presets::reno());
+    exp.run();
+    reno_throughput = exp.flow_reports()[0].throughput_mbps;
+  }
+  {
+    DumbbellExperiment exp(cfg);
+    exp.add_flow(cc::presets::robust_aimd_table2());
+    exp.run();
+    robust_throughput = exp.flow_reports()[0].throughput_mbps;
+  }
+  // The paper's Metric VI motivation: random loss cripples plain AIMD but
+  // not a protocol that tolerates sub-threshold loss.
+  EXPECT_GT(robust_throughput, reno_throughput * 1.5);
+}
+
+TEST(Dumbbell, RedQueueShortensTheQueue) {
+  DumbbellConfig droptail = small_config();
+  droptail.buffer_packets = 100;  // deep buffer → bufferbloat under droptail
+
+  DumbbellConfig red = droptail;
+  red.use_red = true;
+  red.red.min_threshold = 10.0;
+  red.red.max_threshold = 40.0;
+  red.red.max_drop_probability = 0.1;
+
+  double droptail_rtt = 0.0;
+  double red_rtt = 0.0;
+  {
+    DumbbellExperiment exp(droptail);
+    exp.add_flow(cc::presets::reno());
+    exp.run();
+    droptail_rtt = exp.flow_reports()[0].avg_rtt_ms;
+  }
+  {
+    DumbbellExperiment exp(red);
+    exp.add_flow(cc::presets::reno());
+    exp.run();
+    red_rtt = exp.flow_reports()[0].avg_rtt_ms;
+  }
+  EXPECT_LT(red_rtt, droptail_rtt * 0.8);
+}
+
+TEST(Dumbbell, RunsAreReproducibleBySeed) {
+  const auto run_once = [] {
+    DumbbellConfig cfg = small_config();
+    cfg.random_loss_rate = 0.01;
+    cfg.seed = 99;
+    DumbbellExperiment exp(cfg);
+    exp.add_flow(cc::presets::reno());
+    exp.run();
+    return exp.sender(0).packets_sent();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Dumbbell, LifecycleContracts) {
+  DumbbellExperiment exp(small_config());
+  EXPECT_THROW(exp.run(), ContractViolation);  // no flows
+  exp.add_flow(cc::presets::reno());
+  exp.run();
+  EXPECT_THROW(exp.run(), ContractViolation);  // run twice
+  EXPECT_THROW(exp.add_flow(cc::presets::reno()), ContractViolation);
+}
+
+TEST(Dumbbell, ConfigContracts) {
+  DumbbellConfig bad = small_config();
+  bad.bottleneck_mbps = 0.0;
+  EXPECT_THROW(DumbbellExperiment{bad}, ContractViolation);
+
+  DumbbellConfig bad2 = small_config();
+  bad2.buffer_packets = 0;
+  EXPECT_THROW(DumbbellExperiment{bad2}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace axiomcc::sim

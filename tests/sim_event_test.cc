@@ -1,0 +1,113 @@
+// Unit tests for the discrete-event kernel: ordering, FIFO ties, run_until
+// semantics, and scheduling contracts.
+#include "sim/event.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace axiomcc::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime(30), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime(10), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, TiesBreakFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+  Simulator sim;
+  SimTime seen{0};
+  sim.schedule_at(SimTime(100), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, SimTime(100));
+  EXPECT_EQ(sim.now(), SimTime(100));
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 5) sim.schedule_in(SimTime(10), hop);
+  };
+  sim.schedule_in(SimTime(10), hop);
+  sim.run();
+  EXPECT_EQ(hops, 5);
+  EXPECT_EQ(sim.now(), SimTime(50));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineInclusive) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime(10), [&] { fired.push_back(10); });
+  sim.schedule_at(SimTime(20), [&] { fired.push_back(20); });
+  sim.schedule_at(SimTime(21), [&] { fired.push_back(21); });
+
+  const std::size_t executed = sim.run_until(SimTime(20));
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.now(), SimTime(20));
+  EXPECT_EQ(sim.pending(), 1u);
+
+  sim.run();
+  EXPECT_EQ(fired.back(), 21);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(SimTime(500));
+  EXPECT_EQ(sim.now(), SimTime(500));
+}
+
+TEST(Simulator, SchedulingInPastViolatesContract) {
+  Simulator sim;
+  sim.schedule_at(SimTime(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime(5), [] {}), ContractViolation);
+  EXPECT_THROW(sim.schedule_in(SimTime(-1), [] {}), ContractViolation);
+}
+
+TEST(Simulator, NullCallbackViolatesContract) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(SimTime(1), EventFn{}), ContractViolation);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(SimTime(i), [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, ZeroDelaySelfSchedulingAtSameTimeRunsAfterSiblings) {
+  // A zero-delay event scheduled from within an event at time T runs at T but
+  // after already-queued time-T events (FIFO by insertion).
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime(10), [&] {
+    order.push_back(1);
+    sim.schedule_in(SimTime(0), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(SimTime(10), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace axiomcc::sim

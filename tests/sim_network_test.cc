@@ -1,0 +1,108 @@
+// Tests for the packet-level multi-hop network: hop-by-hop forwarding,
+// the parking lot, and agreement with the fluid network's structure.
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/presets.h"
+#include "util/check.h"
+
+namespace axiomcc::sim {
+namespace {
+
+MultiHopNetwork::Config quick_config() {
+  MultiHopNetwork::Config c;
+  c.duration_seconds = 20.0;
+  return c;
+}
+
+TEST(MultiHopNetwork, SingleLinkFlowFillsThePipe) {
+  MultiHopNetwork net(quick_config());
+  const int l = net.add_link(10.0, 20.0, 25);
+  const int f = net.add_flow(cc::presets::reno(), {l});
+  net.run();
+
+  // 10 Mbps available; Reno should hold most of it.
+  EXPECT_GT(net.flow_throughput_mbps(f), 7.5);
+  EXPECT_LE(net.flow_throughput_mbps(f), 10.5);
+}
+
+TEST(MultiHopNetwork, TwoHopPathDeliversEndToEnd) {
+  MultiHopNetwork net(quick_config());
+  const int l0 = net.add_link(10.0, 10.0, 25);
+  const int l1 = net.add_link(10.0, 10.0, 25);
+  const int f = net.add_flow(cc::presets::reno(), {l0, l1});
+  net.run();
+
+  EXPECT_GT(net.flow_throughput_mbps(f), 7.0);
+  // Both links carried the flow's packets.
+  EXPECT_GT(net.link(l0).packets_delivered(), 1000u);
+  EXPECT_GT(net.link(l1).packets_delivered(), 1000u);
+  // The second link cannot have delivered more than the first accepted.
+  EXPECT_LE(net.link(l1).packets_delivered(),
+            net.link(l0).packets_delivered());
+}
+
+TEST(MultiHopNetwork, RttReflectsRouteLength) {
+  MultiHopNetwork net(quick_config());
+  const int l0 = net.add_link(50.0, 10.0, 50);
+  const int l1 = net.add_link(50.0, 15.0, 50);
+  const int short_flow = net.add_flow(cc::presets::reno(), {l0});
+  const int long_flow = net.add_flow(cc::presets::reno(), {l0, l1});
+  net.run();
+
+  // Short flow: ~20 ms round trip; long flow: ~50 ms plus queueing.
+  EXPECT_NEAR(net.sender(short_flow).srtt_seconds(), 0.020, 0.015);
+  EXPECT_GT(net.sender(long_flow).srtt_seconds(),
+            net.sender(short_flow).srtt_seconds() + 0.020);
+}
+
+TEST(MultiHopNetwork, PacketParkingLotBeatsDownTheLongFlow) {
+  MultiHopNetwork::Config cfg = quick_config();
+  cfg.duration_seconds = 30.0;
+  PacketParkingLot lot = make_packet_parking_lot(
+      10.0, 10.0, 25, 3, *cc::presets::reno(), cfg);
+  lot.network->run();
+
+  const double long_tput =
+      lot.network->flow_throughput_mbps(lot.long_flow);
+  double short_sum = 0.0;
+  for (int f : lot.short_flows) {
+    short_sum += lot.network->flow_throughput_mbps(f);
+  }
+  const double short_avg =
+      short_sum / static_cast<double>(lot.short_flows.size());
+
+  EXPECT_GT(long_tput, 0.05);
+  EXPECT_LT(long_tput, short_avg * 0.85);
+  // Per-link conservation: long + short roughly fill each 10 Mbps link.
+  EXPECT_GT(long_tput + short_avg, 7.0);
+}
+
+TEST(MultiHopNetwork, TraceIsSampled) {
+  MultiHopNetwork net(quick_config());
+  const int l = net.add_link(10.0, 20.0, 25);
+  net.add_flow(cc::presets::reno(), {l});
+  net.run();
+  EXPECT_GT(net.trace().num_steps(), 100u);
+  EXPECT_EQ(net.trace().num_senders(), 1);
+}
+
+TEST(MultiHopNetwork, ContractChecks) {
+  MultiHopNetwork net(quick_config());
+  EXPECT_THROW(net.run(), ContractViolation);  // no flows
+
+  MultiHopNetwork net2(quick_config());
+  const int l = net2.add_link(10.0, 10.0, 10);
+  EXPECT_THROW(net2.add_flow(cc::presets::reno(), {l, l}),
+               ContractViolation);  // repeated link
+  EXPECT_THROW(net2.add_flow(cc::presets::reno(), {l + 3}),
+               ContractViolation);  // unknown link
+
+  net2.add_flow(cc::presets::reno(), {l});
+  net2.run();
+  EXPECT_THROW(net2.run(), ContractViolation);  // run twice
+}
+
+}  // namespace
+}  // namespace axiomcc::sim

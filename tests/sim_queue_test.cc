@@ -1,0 +1,133 @@
+// Unit tests for the queue disciplines: droptail semantics exactly, RED
+// statistically.
+#include "sim/queue.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace axiomcc::sim {
+namespace {
+
+Packet data(std::uint64_t seq, int bytes = 1500) {
+  Packet p;
+  p.seq = seq;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q(4);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_TRUE(q.enqueue(data(i)));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const auto p = q.dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(q.dequeue().has_value());
+}
+
+TEST(DropTailQueue, DropsExactlyBeyondCapacity) {
+  DropTailQueue q(2);
+  EXPECT_TRUE(q.enqueue(data(0)));
+  EXPECT_TRUE(q.enqueue(data(1)));
+  EXPECT_FALSE(q.enqueue(data(2)));
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.size_packets(), 2u);
+
+  // Freeing a slot re-admits.
+  (void)q.dequeue();
+  EXPECT_TRUE(q.enqueue(data(3)));
+}
+
+TEST(DropTailQueue, TracksBytes) {
+  DropTailQueue q(10);
+  (void)q.enqueue(data(0, 1500));
+  (void)q.enqueue(data(1, 40));
+  EXPECT_EQ(q.size_bytes(), 1540u);
+  (void)q.dequeue();
+  EXPECT_EQ(q.size_bytes(), 40u);
+}
+
+TEST(DropTailQueue, ZeroCapacityViolatesContract) {
+  EXPECT_THROW(DropTailQueue{0}, ContractViolation);
+}
+
+TEST(DropTailQueue, Name) { EXPECT_EQ(DropTailQueue(1).name(), "droptail"); }
+
+REDQueue::Params red_params() {
+  REDQueue::Params p;
+  p.capacity_packets = 100;
+  p.min_threshold = 10.0;
+  p.max_threshold = 50.0;
+  p.max_drop_probability = 0.2;
+  p.queue_weight = 0.5;  // fast-moving average for testability
+  p.seed = 3;
+  return p;
+}
+
+TEST(REDQueue, NoDropsBelowMinThreshold) {
+  REDQueue q(red_params());
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_TRUE(q.enqueue(data(i)));
+  EXPECT_EQ(q.drops(), 0u);
+}
+
+TEST(REDQueue, ProbabilisticDropsBetweenThresholds) {
+  REDQueue q(red_params());
+  std::size_t admitted = 0;
+  // Hold occupancy between the thresholds by not dequeuing: the EWMA climbs
+  // past min_threshold and RED begins dropping a fraction.
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    if (q.enqueue(data(i))) ++admitted;
+  }
+  EXPECT_GT(q.drops(), 0u);
+  EXPECT_LT(q.drops(), 60u);
+  EXPECT_EQ(admitted + q.drops(), 60u);
+}
+
+TEST(REDQueue, HardDropsAboveMaxThreshold) {
+  REDQueue q(red_params());
+  // Fill far beyond max_threshold; once the EWMA crosses it, every arrival
+  // is dropped.
+  for (std::uint64_t i = 0; i < 200; ++i) (void)q.enqueue(data(i));
+  const std::size_t drops_so_far = q.drops();
+  EXPECT_FALSE(q.enqueue(data(999)));
+  EXPECT_EQ(q.drops(), drops_so_far + 1);
+}
+
+TEST(REDQueue, AverageTracksOccupancy) {
+  REDQueue q(red_params());
+  EXPECT_DOUBLE_EQ(q.average_queue(), 0.0);
+  for (std::uint64_t i = 0; i < 8; ++i) (void)q.enqueue(data(i));
+  EXPECT_GT(q.average_queue(), 1.0);
+}
+
+TEST(REDQueue, DeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    REDQueue::Params p = red_params();
+    p.seed = seed;
+    REDQueue q(p);
+    std::vector<bool> outcomes;
+    for (std::uint64_t i = 0; i < 100; ++i) outcomes.push_back(q.enqueue(data(i)));
+    return outcomes;
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(REDQueue, ParameterContracts) {
+  REDQueue::Params p = red_params();
+  p.max_threshold = p.min_threshold;
+  EXPECT_THROW(REDQueue{p}, ContractViolation);
+
+  REDQueue::Params q = red_params();
+  q.max_drop_probability = 0.0;
+  EXPECT_THROW(REDQueue{q}, ContractViolation);
+
+  REDQueue::Params r = red_params();
+  r.queue_weight = 0.0;
+  EXPECT_THROW(REDQueue{r}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace axiomcc::sim

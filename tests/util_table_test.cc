@@ -1,0 +1,71 @@
+// Unit tests for util/table.h: rendering in all three formats and the
+// header/row arity contracts.
+#include "util/table.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace axiomcc {
+namespace {
+
+TextTable sample() {
+  TextTable t;
+  t.set_header({"proto", "score"});
+  t.add_row({"AIMD", "0.5"});
+  t.add_row({"MIMD", "0.875"});
+  return t;
+}
+
+TEST(TextTable, AsciiAlignsColumns) {
+  const std::string out = sample().render(TextTable::Format::kAscii);
+  EXPECT_NE(out.find("| proto | score |"), std::string::npos);
+  EXPECT_NE(out.find("| AIMD  | 0.5   |"), std::string::npos);
+  EXPECT_NE(out.find("+-------+-------+"), std::string::npos);
+}
+
+TEST(TextTable, MarkdownHasSeparatorRow) {
+  const std::string out = sample().render(TextTable::Format::kMarkdown);
+  EXPECT_NE(out.find("| proto | score |"), std::string::npos);
+  EXPECT_NE(out.find("|---|---|"), std::string::npos);
+  EXPECT_NE(out.find("| MIMD | 0.875 |"), std::string::npos);
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable t;
+  t.set_header({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string out = t.render(TextTable::Format::kCsv);
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, RowArityMismatchViolatesContract) {
+  TextTable t;
+  t.set_header({"one", "two"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, HeaderAfterRowsViolatesContract) {
+  TextTable t = sample();
+  EXPECT_THROW(t.set_header({"late"}), ContractViolation);
+}
+
+TEST(TextTable, Counts) {
+  const TextTable t = sample();
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+}
+
+TEST(TextTable, NumFormatsSpecialValues) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(TextTable::num(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(TextTable::num(std::nan("")), "n/a");
+}
+
+}  // namespace
+}  // namespace axiomcc

@@ -1,0 +1,61 @@
+// Unit tests for util/units.h: conversions the model's correctness rests on.
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace axiomcc {
+namespace {
+
+TEST(Seconds, Conversions) {
+  EXPECT_DOUBLE_EQ(Seconds::from_millis(42.0).value(), 0.042);
+  EXPECT_DOUBLE_EQ(Seconds::from_micros(1500.0).value(), 0.0015);
+  EXPECT_DOUBLE_EQ(Seconds(0.042).millis(), 42.0);
+}
+
+TEST(Seconds, Arithmetic) {
+  const Seconds a(1.0);
+  const Seconds b(0.5);
+  EXPECT_DOUBLE_EQ((a + b).value(), 1.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 0.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).value(), 3.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);
+  EXPECT_LT(b, a);
+}
+
+TEST(Bandwidth, MbpsRoundTrip) {
+  const Bandwidth b = Bandwidth::from_mbps(30.0);
+  // 30 Mbps at 1500-byte MSS = 2500 MSS/s.
+  EXPECT_DOUBLE_EQ(b.mss_per_sec(), 2500.0);
+  EXPECT_DOUBLE_EQ(b.mbps(), 30.0);
+}
+
+TEST(Bandwidth, CustomMssSize) {
+  const Bandwidth b = Bandwidth::from_mbps(8.0, 1000.0);
+  EXPECT_DOUBLE_EQ(b.mss_per_sec(), 1000.0);
+  EXPECT_DOUBLE_EQ(b.mbps(1000.0), 8.0);
+}
+
+TEST(Bandwidth, BandwidthDelayProduct) {
+  // The paper's default setting: 30 Mbps × 42 ms = 105 MSS.
+  const Bandwidth b = Bandwidth::from_mbps(30.0);
+  EXPECT_DOUBLE_EQ(b.mss_over(Seconds::from_millis(42.0)), 105.0);
+}
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(SimTime::from_seconds(1.5).ns(), 1500000000);
+  EXPECT_EQ(SimTime::from_millis(42.0).ns(), 42000000);
+  EXPECT_EQ(SimTime::from_micros(3.0).ns(), 3000);
+  EXPECT_DOUBLE_EQ(SimTime(2500000000).seconds(), 2.5);
+}
+
+TEST(SimTime, ArithmeticAndOrdering) {
+  const SimTime a(100);
+  const SimTime b(40);
+  EXPECT_EQ((a + b).ns(), 140);
+  EXPECT_EQ((a - b).ns(), 60);
+  EXPECT_TRUE(b < a);
+  EXPECT_TRUE(a == SimTime(100));
+}
+
+}  // namespace
+}  // namespace axiomcc
