@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_emulab.dir/bench_emulab.cc.o"
+  "CMakeFiles/bench_emulab.dir/bench_emulab.cc.o.d"
+  "bench_emulab"
+  "bench_emulab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_emulab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

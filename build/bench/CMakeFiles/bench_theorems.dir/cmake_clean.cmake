@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorems.dir/bench_theorems.cc.o"
+  "CMakeFiles/bench_theorems.dir/bench_theorems.cc.o.d"
+  "bench_theorems"
+  "bench_theorems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasibility_check.dir/feasibility_check.cpp.o"
+  "CMakeFiles/feasibility_check.dir/feasibility_check.cpp.o.d"
+  "feasibility_check"
+  "feasibility_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasibility_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

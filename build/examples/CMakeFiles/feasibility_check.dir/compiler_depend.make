@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for feasibility_check.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metric_sweep.dir/metric_sweep.cpp.o"
+  "CMakeFiles/metric_sweep.dir/metric_sweep.cpp.o.d"
+  "metric_sweep"
+  "metric_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metric_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_sim_trace.dir/packet_sim_trace.cpp.o"
+  "CMakeFiles/packet_sim_trace.dir/packet_sim_trace.cpp.o.d"
+  "packet_sim_trace"
+  "packet_sim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_sim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

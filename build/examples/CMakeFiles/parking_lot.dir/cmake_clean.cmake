@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parking_lot.dir/parking_lot.cpp.o"
+  "CMakeFiles/parking_lot.dir/parking_lot.cpp.o.d"
+  "parking_lot"
+  "parking_lot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parking_lot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

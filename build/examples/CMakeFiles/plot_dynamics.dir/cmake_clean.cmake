@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plot_dynamics.dir/plot_dynamics.cpp.o"
+  "CMakeFiles/plot_dynamics.dir/plot_dynamics.cpp.o.d"
+  "plot_dynamics"
+  "plot_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plot_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

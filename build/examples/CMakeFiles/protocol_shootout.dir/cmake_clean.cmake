@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_shootout.dir/protocol_shootout.cpp.o"
+  "CMakeFiles/protocol_shootout.dir/protocol_shootout.cpp.o.d"
+  "protocol_shootout"
+  "protocol_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

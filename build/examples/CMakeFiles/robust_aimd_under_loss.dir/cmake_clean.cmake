@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_aimd_under_loss.dir/robust_aimd_under_loss.cpp.o"
+  "CMakeFiles/robust_aimd_under_loss.dir/robust_aimd_under_loss.cpp.o.d"
+  "robust_aimd_under_loss"
+  "robust_aimd_under_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_aimd_under_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

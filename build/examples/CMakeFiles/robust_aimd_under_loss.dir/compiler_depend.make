@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for robust_aimd_under_loss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/ascii_plot.cc" "src/analysis/CMakeFiles/axiomcc_analysis.dir/ascii_plot.cc.o" "gcc" "src/analysis/CMakeFiles/axiomcc_analysis.dir/ascii_plot.cc.o.d"
+  "/root/repo/src/analysis/dynamics.cc" "src/analysis/CMakeFiles/axiomcc_analysis.dir/dynamics.cc.o" "gcc" "src/analysis/CMakeFiles/axiomcc_analysis.dir/dynamics.cc.o.d"
+  "/root/repo/src/analysis/trace_io.cc" "src/analysis/CMakeFiles/axiomcc_analysis.dir/trace_io.cc.o" "gcc" "src/analysis/CMakeFiles/axiomcc_analysis.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/axiomcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/axiomcc_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/axiomcc_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axiomcc_analysis.dir/ascii_plot.cc.o"
+  "CMakeFiles/axiomcc_analysis.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/axiomcc_analysis.dir/dynamics.cc.o"
+  "CMakeFiles/axiomcc_analysis.dir/dynamics.cc.o.d"
+  "CMakeFiles/axiomcc_analysis.dir/trace_io.cc.o"
+  "CMakeFiles/axiomcc_analysis.dir/trace_io.cc.o.d"
+  "libaxiomcc_analysis.a"
+  "libaxiomcc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axiomcc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

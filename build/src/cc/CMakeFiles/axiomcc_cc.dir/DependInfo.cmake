@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/aimd.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/aimd.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/aimd.cc.o.d"
+  "/root/repo/src/cc/bbr_like.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/bbr_like.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/bbr_like.cc.o.d"
+  "/root/repo/src/cc/binomial.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/binomial.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/binomial.cc.o.d"
+  "/root/repo/src/cc/cautious_probe.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/cautious_probe.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/cautious_probe.cc.o.d"
+  "/root/repo/src/cc/cubic.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/cubic.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/cubic.cc.o.d"
+  "/root/repo/src/cc/highspeed.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/highspeed.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/highspeed.cc.o.d"
+  "/root/repo/src/cc/illinois.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/illinois.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/illinois.cc.o.d"
+  "/root/repo/src/cc/mimd.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/mimd.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/mimd.cc.o.d"
+  "/root/repo/src/cc/pcc.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/pcc.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/pcc.cc.o.d"
+  "/root/repo/src/cc/registry.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/registry.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/registry.cc.o.d"
+  "/root/repo/src/cc/robust_aimd.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/robust_aimd.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/robust_aimd.cc.o.d"
+  "/root/repo/src/cc/slow_start.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/slow_start.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/slow_start.cc.o.d"
+  "/root/repo/src/cc/vegas.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/vegas.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/vegas.cc.o.d"
+  "/root/repo/src/cc/veno.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/veno.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/veno.cc.o.d"
+  "/root/repo/src/cc/westwood.cc" "src/cc/CMakeFiles/axiomcc_cc.dir/westwood.cc.o" "gcc" "src/cc/CMakeFiles/axiomcc_cc.dir/westwood.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/axiomcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

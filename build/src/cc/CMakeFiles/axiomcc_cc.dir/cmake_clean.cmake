@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axiomcc_cc.dir/aimd.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/aimd.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/bbr_like.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/bbr_like.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/binomial.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/binomial.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/cautious_probe.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/cautious_probe.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/cubic.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/cubic.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/highspeed.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/highspeed.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/illinois.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/illinois.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/mimd.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/mimd.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/pcc.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/pcc.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/registry.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/registry.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/robust_aimd.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/robust_aimd.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/slow_start.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/slow_start.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/vegas.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/vegas.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/veno.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/veno.cc.o.d"
+  "CMakeFiles/axiomcc_cc.dir/westwood.cc.o"
+  "CMakeFiles/axiomcc_cc.dir/westwood.cc.o.d"
+  "libaxiomcc_cc.a"
+  "libaxiomcc_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axiomcc_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for axiomcc_cc.
+# This may be replaced when dependencies are built.

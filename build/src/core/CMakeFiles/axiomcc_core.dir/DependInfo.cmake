@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/axiomcc_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/axiomcc_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/extra_metrics.cc" "src/core/CMakeFiles/axiomcc_core.dir/extra_metrics.cc.o" "gcc" "src/core/CMakeFiles/axiomcc_core.dir/extra_metrics.cc.o.d"
+  "/root/repo/src/core/feasibility.cc" "src/core/CMakeFiles/axiomcc_core.dir/feasibility.cc.o" "gcc" "src/core/CMakeFiles/axiomcc_core.dir/feasibility.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/axiomcc_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/axiomcc_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/pareto.cc" "src/core/CMakeFiles/axiomcc_core.dir/pareto.cc.o" "gcc" "src/core/CMakeFiles/axiomcc_core.dir/pareto.cc.o.d"
+  "/root/repo/src/core/theory.cc" "src/core/CMakeFiles/axiomcc_core.dir/theory.cc.o" "gcc" "src/core/CMakeFiles/axiomcc_core.dir/theory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/axiomcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/axiomcc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/axiomcc_fluid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axiomcc_core.dir/evaluator.cc.o"
+  "CMakeFiles/axiomcc_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/axiomcc_core.dir/extra_metrics.cc.o"
+  "CMakeFiles/axiomcc_core.dir/extra_metrics.cc.o.d"
+  "CMakeFiles/axiomcc_core.dir/feasibility.cc.o"
+  "CMakeFiles/axiomcc_core.dir/feasibility.cc.o.d"
+  "CMakeFiles/axiomcc_core.dir/metrics.cc.o"
+  "CMakeFiles/axiomcc_core.dir/metrics.cc.o.d"
+  "CMakeFiles/axiomcc_core.dir/pareto.cc.o"
+  "CMakeFiles/axiomcc_core.dir/pareto.cc.o.d"
+  "CMakeFiles/axiomcc_core.dir/theory.cc.o"
+  "CMakeFiles/axiomcc_core.dir/theory.cc.o.d"
+  "libaxiomcc_core.a"
+  "libaxiomcc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axiomcc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaxiomcc_core.a"
+)

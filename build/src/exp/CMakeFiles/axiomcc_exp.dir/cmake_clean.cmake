@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axiomcc_exp.dir/emulab.cc.o"
+  "CMakeFiles/axiomcc_exp.dir/emulab.cc.o.d"
+  "CMakeFiles/axiomcc_exp.dir/figure1.cc.o"
+  "CMakeFiles/axiomcc_exp.dir/figure1.cc.o.d"
+  "CMakeFiles/axiomcc_exp.dir/sweep.cc.o"
+  "CMakeFiles/axiomcc_exp.dir/sweep.cc.o.d"
+  "CMakeFiles/axiomcc_exp.dir/table1.cc.o"
+  "CMakeFiles/axiomcc_exp.dir/table1.cc.o.d"
+  "CMakeFiles/axiomcc_exp.dir/table2.cc.o"
+  "CMakeFiles/axiomcc_exp.dir/table2.cc.o.d"
+  "CMakeFiles/axiomcc_exp.dir/theorems.cc.o"
+  "CMakeFiles/axiomcc_exp.dir/theorems.cc.o.d"
+  "libaxiomcc_exp.a"
+  "libaxiomcc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axiomcc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

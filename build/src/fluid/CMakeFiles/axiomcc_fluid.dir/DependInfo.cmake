@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fluid/link.cc" "src/fluid/CMakeFiles/axiomcc_fluid.dir/link.cc.o" "gcc" "src/fluid/CMakeFiles/axiomcc_fluid.dir/link.cc.o.d"
+  "/root/repo/src/fluid/network.cc" "src/fluid/CMakeFiles/axiomcc_fluid.dir/network.cc.o" "gcc" "src/fluid/CMakeFiles/axiomcc_fluid.dir/network.cc.o.d"
+  "/root/repo/src/fluid/sim.cc" "src/fluid/CMakeFiles/axiomcc_fluid.dir/sim.cc.o" "gcc" "src/fluid/CMakeFiles/axiomcc_fluid.dir/sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/axiomcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/axiomcc_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axiomcc_fluid.dir/link.cc.o"
+  "CMakeFiles/axiomcc_fluid.dir/link.cc.o.d"
+  "CMakeFiles/axiomcc_fluid.dir/network.cc.o"
+  "CMakeFiles/axiomcc_fluid.dir/network.cc.o.d"
+  "CMakeFiles/axiomcc_fluid.dir/sim.cc.o"
+  "CMakeFiles/axiomcc_fluid.dir/sim.cc.o.d"
+  "libaxiomcc_fluid.a"
+  "libaxiomcc_fluid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axiomcc_fluid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dumbbell.cc" "src/sim/CMakeFiles/axiomcc_sim.dir/dumbbell.cc.o" "gcc" "src/sim/CMakeFiles/axiomcc_sim.dir/dumbbell.cc.o.d"
+  "/root/repo/src/sim/event.cc" "src/sim/CMakeFiles/axiomcc_sim.dir/event.cc.o" "gcc" "src/sim/CMakeFiles/axiomcc_sim.dir/event.cc.o.d"
+  "/root/repo/src/sim/link.cc" "src/sim/CMakeFiles/axiomcc_sim.dir/link.cc.o" "gcc" "src/sim/CMakeFiles/axiomcc_sim.dir/link.cc.o.d"
+  "/root/repo/src/sim/network.cc" "src/sim/CMakeFiles/axiomcc_sim.dir/network.cc.o" "gcc" "src/sim/CMakeFiles/axiomcc_sim.dir/network.cc.o.d"
+  "/root/repo/src/sim/queue.cc" "src/sim/CMakeFiles/axiomcc_sim.dir/queue.cc.o" "gcc" "src/sim/CMakeFiles/axiomcc_sim.dir/queue.cc.o.d"
+  "/root/repo/src/sim/sender.cc" "src/sim/CMakeFiles/axiomcc_sim.dir/sender.cc.o" "gcc" "src/sim/CMakeFiles/axiomcc_sim.dir/sender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/axiomcc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/axiomcc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/axiomcc_fluid.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

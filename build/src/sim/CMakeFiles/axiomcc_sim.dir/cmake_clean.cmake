@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axiomcc_sim.dir/dumbbell.cc.o"
+  "CMakeFiles/axiomcc_sim.dir/dumbbell.cc.o.d"
+  "CMakeFiles/axiomcc_sim.dir/event.cc.o"
+  "CMakeFiles/axiomcc_sim.dir/event.cc.o.d"
+  "CMakeFiles/axiomcc_sim.dir/link.cc.o"
+  "CMakeFiles/axiomcc_sim.dir/link.cc.o.d"
+  "CMakeFiles/axiomcc_sim.dir/network.cc.o"
+  "CMakeFiles/axiomcc_sim.dir/network.cc.o.d"
+  "CMakeFiles/axiomcc_sim.dir/queue.cc.o"
+  "CMakeFiles/axiomcc_sim.dir/queue.cc.o.d"
+  "CMakeFiles/axiomcc_sim.dir/sender.cc.o"
+  "CMakeFiles/axiomcc_sim.dir/sender.cc.o.d"
+  "libaxiomcc_sim.a"
+  "libaxiomcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axiomcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

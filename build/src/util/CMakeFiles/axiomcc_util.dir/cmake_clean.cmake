@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axiomcc_util.dir/cli.cc.o"
+  "CMakeFiles/axiomcc_util.dir/cli.cc.o.d"
+  "CMakeFiles/axiomcc_util.dir/table.cc.o"
+  "CMakeFiles/axiomcc_util.dir/table.cc.o.d"
+  "libaxiomcc_util.a"
+  "libaxiomcc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axiomcc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_dynamics_test.dir/analysis_dynamics_test.cc.o"
+  "CMakeFiles/analysis_dynamics_test.dir/analysis_dynamics_test.cc.o.d"
+  "analysis_dynamics_test"
+  "analysis_dynamics_test.pdb"
+  "analysis_dynamics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

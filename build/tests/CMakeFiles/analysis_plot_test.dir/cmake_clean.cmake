@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_plot_test.dir/analysis_plot_test.cc.o"
+  "CMakeFiles/analysis_plot_test.dir/analysis_plot_test.cc.o.d"
+  "analysis_plot_test"
+  "analysis_plot_test.pdb"
+  "analysis_plot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_plot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_trace_io_test.dir/analysis_trace_io_test.cc.o"
+  "CMakeFiles/analysis_trace_io_test.dir/analysis_trace_io_test.cc.o.d"
+  "analysis_trace_io_test"
+  "analysis_trace_io_test.pdb"
+  "analysis_trace_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_bbr_test.dir/cc_bbr_test.cc.o"
+  "CMakeFiles/cc_bbr_test.dir/cc_bbr_test.cc.o.d"
+  "cc_bbr_test"
+  "cc_bbr_test.pdb"
+  "cc_bbr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_bbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

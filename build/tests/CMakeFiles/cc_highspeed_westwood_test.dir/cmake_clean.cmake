@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_highspeed_westwood_test.dir/cc_highspeed_westwood_test.cc.o"
+  "CMakeFiles/cc_highspeed_westwood_test.dir/cc_highspeed_westwood_test.cc.o.d"
+  "cc_highspeed_westwood_test"
+  "cc_highspeed_westwood_test.pdb"
+  "cc_highspeed_westwood_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_highspeed_westwood_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_illinois_veno_test.dir/cc_illinois_veno_test.cc.o"
+  "CMakeFiles/cc_illinois_veno_test.dir/cc_illinois_veno_test.cc.o.d"
+  "cc_illinois_veno_test"
+  "cc_illinois_veno_test.pdb"
+  "cc_illinois_veno_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_illinois_veno_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_protocols_test.dir/cc_protocols_test.cc.o"
+  "CMakeFiles/cc_protocols_test.dir/cc_protocols_test.cc.o.d"
+  "cc_protocols_test"
+  "cc_protocols_test.pdb"
+  "cc_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

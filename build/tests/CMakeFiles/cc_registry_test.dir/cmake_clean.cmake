@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cc_registry_test.dir/cc_registry_test.cc.o"
+  "CMakeFiles/cc_registry_test.dir/cc_registry_test.cc.o.d"
+  "cc_registry_test"
+  "cc_registry_test.pdb"
+  "cc_registry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cc_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_evaluator_test.dir/core_evaluator_test.cc.o"
+  "CMakeFiles/core_evaluator_test.dir/core_evaluator_test.cc.o.d"
+  "core_evaluator_test"
+  "core_evaluator_test.pdb"
+  "core_evaluator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

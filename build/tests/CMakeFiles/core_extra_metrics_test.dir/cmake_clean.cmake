@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extra_metrics_test.dir/core_extra_metrics_test.cc.o"
+  "CMakeFiles/core_extra_metrics_test.dir/core_extra_metrics_test.cc.o.d"
+  "core_extra_metrics_test"
+  "core_extra_metrics_test.pdb"
+  "core_extra_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extra_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_feasibility_test.dir/core_feasibility_test.cc.o"
+  "CMakeFiles/core_feasibility_test.dir/core_feasibility_test.cc.o.d"
+  "core_feasibility_test"
+  "core_feasibility_test.pdb"
+  "core_feasibility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_feasibility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pareto_test.dir/core_pareto_test.cc.o"
+  "CMakeFiles/core_pareto_test.dir/core_pareto_test.cc.o.d"
+  "core_pareto_test"
+  "core_pareto_test.pdb"
+  "core_pareto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pareto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_theory_test.dir/core_theory_test.cc.o"
+  "CMakeFiles/core_theory_test.dir/core_theory_test.cc.o.d"
+  "core_theory_test"
+  "core_theory_test.pdb"
+  "core_theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_emulab_test.dir/exp_emulab_test.cc.o"
+  "CMakeFiles/exp_emulab_test.dir/exp_emulab_test.cc.o.d"
+  "exp_emulab_test"
+  "exp_emulab_test.pdb"
+  "exp_emulab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_emulab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

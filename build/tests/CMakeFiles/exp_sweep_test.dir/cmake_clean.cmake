@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_sweep_test.dir/exp_sweep_test.cc.o"
+  "CMakeFiles/exp_sweep_test.dir/exp_sweep_test.cc.o.d"
+  "exp_sweep_test"
+  "exp_sweep_test.pdb"
+  "exp_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

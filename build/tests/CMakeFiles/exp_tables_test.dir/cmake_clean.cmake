@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tables_test.dir/exp_tables_test.cc.o"
+  "CMakeFiles/exp_tables_test.dir/exp_tables_test.cc.o.d"
+  "exp_tables_test"
+  "exp_tables_test.pdb"
+  "exp_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_theorems_test.dir/exp_theorems_test.cc.o"
+  "CMakeFiles/exp_theorems_test.dir/exp_theorems_test.cc.o.d"
+  "exp_theorems_test"
+  "exp_theorems_test.pdb"
+  "exp_theorems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_theorems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

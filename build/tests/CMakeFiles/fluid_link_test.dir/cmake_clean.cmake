@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_link_test.dir/fluid_link_test.cc.o"
+  "CMakeFiles/fluid_link_test.dir/fluid_link_test.cc.o.d"
+  "fluid_link_test"
+  "fluid_link_test.pdb"
+  "fluid_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

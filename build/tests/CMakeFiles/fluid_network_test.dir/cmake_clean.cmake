@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_network_test.dir/fluid_network_test.cc.o"
+  "CMakeFiles/fluid_network_test.dir/fluid_network_test.cc.o.d"
+  "fluid_network_test"
+  "fluid_network_test.pdb"
+  "fluid_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

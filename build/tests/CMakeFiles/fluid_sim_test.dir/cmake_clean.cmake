@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_sim_test.dir/fluid_sim_test.cc.o"
+  "CMakeFiles/fluid_sim_test.dir/fluid_sim_test.cc.o.d"
+  "fluid_sim_test"
+  "fluid_sim_test.pdb"
+  "fluid_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_unsync_test.dir/fluid_unsync_test.cc.o"
+  "CMakeFiles/fluid_unsync_test.dir/fluid_unsync_test.cc.o.d"
+  "fluid_unsync_test"
+  "fluid_unsync_test.pdb"
+  "fluid_unsync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_unsync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_aimd_test.dir/param_aimd_test.cc.o"
+  "CMakeFiles/param_aimd_test.dir/param_aimd_test.cc.o.d"
+  "param_aimd_test"
+  "param_aimd_test.pdb"
+  "param_aimd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_aimd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_families_test.dir/param_families_test.cc.o"
+  "CMakeFiles/param_families_test.dir/param_families_test.cc.o.d"
+  "param_families_test"
+  "param_families_test.pdb"
+  "param_families_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_families_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_invariants_test.dir/param_invariants_test.cc.o"
+  "CMakeFiles/param_invariants_test.dir/param_invariants_test.cc.o.d"
+  "param_invariants_test"
+  "param_invariants_test.pdb"
+  "param_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

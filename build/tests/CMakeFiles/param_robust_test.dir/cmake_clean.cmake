@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/param_robust_test.dir/param_robust_test.cc.o"
+  "CMakeFiles/param_robust_test.dir/param_robust_test.cc.o.d"
+  "param_robust_test"
+  "param_robust_test.pdb"
+  "param_robust_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/param_robust_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_dumbbell_test.dir/sim_dumbbell_test.cc.o"
+  "CMakeFiles/sim_dumbbell_test.dir/sim_dumbbell_test.cc.o.d"
+  "sim_dumbbell_test"
+  "sim_dumbbell_test.pdb"
+  "sim_dumbbell_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_dumbbell_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

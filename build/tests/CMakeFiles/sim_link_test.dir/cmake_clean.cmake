@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_link_test.dir/sim_link_test.cc.o"
+  "CMakeFiles/sim_link_test.dir/sim_link_test.cc.o.d"
+  "sim_link_test"
+  "sim_link_test.pdb"
+  "sim_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_loss_test.cc" "tests/CMakeFiles/sim_loss_test.dir/sim_loss_test.cc.o" "gcc" "tests/CMakeFiles/sim_loss_test.dir/sim_loss_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/axiomcc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/axiomcc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/axiomcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/axiomcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fluid/CMakeFiles/axiomcc_fluid.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/axiomcc_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/axiomcc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_loss_test.dir/sim_loss_test.cc.o"
+  "CMakeFiles/sim_loss_test.dir/sim_loss_test.cc.o.d"
+  "sim_loss_test"
+  "sim_loss_test.pdb"
+  "sim_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_network_test.dir/sim_network_test.cc.o"
+  "CMakeFiles/sim_network_test.dir/sim_network_test.cc.o.d"
+  "sim_network_test"
+  "sim_network_test.pdb"
+  "sim_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_protocol_mix_test.dir/sim_protocol_mix_test.cc.o"
+  "CMakeFiles/sim_protocol_mix_test.dir/sim_protocol_mix_test.cc.o.d"
+  "sim_protocol_mix_test"
+  "sim_protocol_mix_test.pdb"
+  "sim_protocol_mix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_protocol_mix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

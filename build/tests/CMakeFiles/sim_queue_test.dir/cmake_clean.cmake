@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_queue_test.dir/sim_queue_test.cc.o"
+  "CMakeFiles/sim_queue_test.dir/sim_queue_test.cc.o.d"
+  "sim_queue_test"
+  "sim_queue_test.pdb"
+  "sim_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

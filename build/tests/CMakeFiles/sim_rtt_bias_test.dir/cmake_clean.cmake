@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_rtt_bias_test.dir/sim_rtt_bias_test.cc.o"
+  "CMakeFiles/sim_rtt_bias_test.dir/sim_rtt_bias_test.cc.o.d"
+  "sim_rtt_bias_test"
+  "sim_rtt_bias_test.pdb"
+  "sim_rtt_bias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_rtt_bias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

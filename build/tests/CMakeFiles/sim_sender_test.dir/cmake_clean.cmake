@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sender_test.dir/sim_sender_test.cc.o"
+  "CMakeFiles/sim_sender_test.dir/sim_sender_test.cc.o.d"
+  "sim_sender_test"
+  "sim_sender_test.pdb"
+  "sim_sender_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

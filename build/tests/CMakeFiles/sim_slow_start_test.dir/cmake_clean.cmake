@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_slow_start_test.dir/sim_slow_start_test.cc.o"
+  "CMakeFiles/sim_slow_start_test.dir/sim_slow_start_test.cc.o.d"
+  "sim_slow_start_test"
+  "sim_slow_start_test.pdb"
+  "sim_slow_start_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_slow_start_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
