@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <stdexcept>
 
 #include "cc/aimd.h"
@@ -41,16 +42,36 @@ struct ParsedSpec {
   return s.substr(first, last - first + 1);
 }
 
+/// Hard limits against adversarial input (specs arrive from CLIs and
+/// config files): a spec this long or this argument-heavy is never valid,
+/// so reject it before any quadratic substring work or unbounded vectors.
+constexpr std::size_t kMaxSpecLength = 256;
+constexpr std::size_t kMaxSpecArgs = 16;
+
 [[nodiscard]] ParsedSpec parse_spec(const std::string& spec) {
+  if (spec.size() > kMaxSpecLength) {
+    throw std::invalid_argument("protocol spec longer than " +
+                                std::to_string(kMaxSpecLength) + " chars");
+  }
   const std::string trimmed = strip(spec);
   if (trimmed.empty()) throw std::invalid_argument("empty protocol spec");
 
   const auto open = trimmed.find('(');
   if (open == std::string::npos) {
+    if (trimmed.find(')') != std::string::npos) {
+      throw std::invalid_argument("unbalanced ')' in protocol spec: " + spec);
+    }
     return {to_lower(trimmed), {}};
   }
   if (trimmed.back() != ')') {
     throw std::invalid_argument("protocol spec missing ')': " + spec);
+  }
+  // Exactly one balanced pair: no '(' in the argument list, and the only
+  // ')' is the final character.
+  if (trimmed.find('(', open + 1) != std::string::npos ||
+      trimmed.find(')') != trimmed.size() - 1) {
+    throw std::invalid_argument("unbalanced parentheses in protocol spec: " +
+                                spec);
   }
 
   ParsedSpec out;
@@ -67,6 +88,11 @@ struct ParsedSpec {
       if (token.empty()) {
         throw std::invalid_argument("empty argument in protocol spec: " + spec);
       }
+      if (out.args.size() == kMaxSpecArgs) {
+        throw std::invalid_argument("more than " +
+                                    std::to_string(kMaxSpecArgs) +
+                                    " arguments in protocol spec: " + spec);
+      }
       std::size_t pos = 0;
       double value = 0.0;
       try {
@@ -77,6 +103,13 @@ struct ParsedSpec {
       }
       if (pos != token.size()) {
         throw std::invalid_argument("malformed number '" + token +
+                                    "' in protocol spec: " + spec);
+      }
+      // stod accepts "nan"/"inf" literals; no protocol parameter is
+      // meaningfully non-finite, and letting one through poisons every
+      // window computation downstream.
+      if (!std::isfinite(value)) {
+        throw std::invalid_argument("non-finite argument '" + token +
                                     "' in protocol spec: " + spec);
       }
       out.args.push_back(value);

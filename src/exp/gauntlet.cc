@@ -1,0 +1,329 @@
+#include "exp/gauntlet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <ostream>
+#include <span>
+
+#include "cc/registry.h"
+#include "core/metrics.h"
+#include "util/check.h"
+
+namespace axiomcc::exp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// A tail-mean window below this counts a sender as "gone" for fairness.
+constexpr double kActiveWindowFloor = 1e-6;
+/// Recovery target: fraction of the baseline tail mean to regain.
+constexpr double kRecoveryFraction = 0.8;
+
+/// First index of the scoring tail of a `steps`-long series.
+std::size_t tail_start(std::size_t steps, double tail_fraction) {
+  const auto start =
+      static_cast<std::size_t>(static_cast<double>(steps) * tail_fraction);
+  return std::min(start, steps > 0 ? steps - 1 : 0);
+}
+
+double tail_mean(std::span<const double> series, double tail_fraction) {
+  if (series.empty()) return 0.0;
+  const std::size_t start = tail_start(series.size(), tail_fraction);
+  double sum = 0.0;
+  for (std::size_t t = start; t < series.size(); ++t) sum += series[t];
+  return sum / static_cast<double>(series.size() - start);
+}
+
+/// Tail mean of min(1, X(t)/C) against the nominal capacity.
+double tail_utilization(const fluid::Trace& trace, double tail_fraction) {
+  const auto total = trace.total_window();
+  if (total.empty()) return 0.0;
+  const double capacity = trace.link_capacity_mss();
+  const std::size_t start = tail_start(total.size(), tail_fraction);
+  double sum = 0.0;
+  for (std::size_t t = start; t < total.size(); ++t) {
+    sum += std::min(1.0, total[t] / capacity);
+  }
+  return sum / static_cast<double>(total.size() - start);
+}
+
+/// min/max ratio of tail-mean windows over senders still active in the tail.
+double tail_fairness(const fluid::Trace& trace, double tail_fraction) {
+  double lo = kInf;
+  double hi = 0.0;
+  int active = 0;
+  for (int i = 0; i < trace.num_senders(); ++i) {
+    const double mean = tail_mean(trace.windows(i), tail_fraction);
+    if (mean <= kActiveWindowFloor) continue;
+    ++active;
+    lo = std::min(lo, mean);
+    hi = std::max(hi, mean);
+  }
+  if (active <= 1) return 1.0;
+  return hi > 0.0 ? lo / hi : 0.0;
+}
+
+/// Steps past `recover_from` until the aggregate window regains
+/// kRecoveryFraction × `target`; +inf when it never does within the trace.
+double recovery_steps_after(const fluid::Trace& trace, long recover_from,
+                            double target) {
+  const auto total = trace.total_window();
+  if (target <= 0.0) return 0.0;
+  for (std::size_t t = static_cast<std::size_t>(recover_from);
+       t < total.size(); ++t) {
+    if (total[t] >= kRecoveryFraction * target) {
+      return static_cast<double>(t) - static_cast<double>(recover_from);
+    }
+  }
+  return kInf;
+}
+
+/// Evenly spread initial windows, matching the evaluator's shared-link runs.
+void add_base_senders(fluid::FluidSimulation& sim, const cc::Protocol& proto,
+                      int num_senders) {
+  const double capacity = sim.link().capacity_mss();
+  for (int i = 0; i < num_senders; ++i) {
+    const double initial =
+        1.0 + capacity * static_cast<double>(i) /
+                  (2.0 * static_cast<double>(num_senders));
+    sim.add_sender(proto, initial);
+  }
+}
+
+struct Baseline {
+  bool ok = false;
+  double tail_total = 0.0;        ///< tail-mean aggregate window.
+  double tail_utilization = 0.0;  ///< tail utilization.
+};
+
+Baseline run_baseline(const cc::Protocol& proto, const GauntletConfig& cfg) {
+  fluid::SimOptions options;
+  options.steps = cfg.steps;
+  fluid::FluidSimulation sim(cfg.link, options);
+  add_base_senders(sim, proto, cfg.num_senders);
+  const stress::GuardedResult result = stress::run_guarded(sim, cfg.guard);
+  Baseline base;
+  if (!result.fault.ok()) return base;
+  base.ok = true;
+  base.tail_total = tail_mean(result.trace.total_window(), cfg.tail_fraction);
+  base.tail_utilization = tail_utilization(result.trace, cfg.tail_fraction);
+  return base;
+}
+
+GauntletCell run_cell(const cc::Protocol& proto,
+                      const stress::Scenario& scenario, std::uint64_t seed,
+                      const Baseline& baseline, const GauntletConfig& cfg) {
+  GauntletCell cell;
+  cell.protocol = proto.name();
+  cell.scenario = scenario.name;
+  cell.seed = seed;
+
+  fluid::SimOptions options;
+  options.steps = cfg.steps;
+  fluid::FluidSimulation sim(cfg.link, options);
+  add_base_senders(sim, proto, cfg.num_senders);
+  stress::apply_scenario(scenario, sim, proto, seed);
+
+  const stress::GuardedResult result = stress::run_guarded(sim, cfg.guard);
+  cell.fault = result.fault;
+  if (!cell.fault.ok()) return cell;
+
+  cell.utilization = tail_utilization(result.trace, cfg.tail_fraction);
+  cell.throughput_retention =
+      baseline.ok && baseline.tail_utilization > 0.0
+          ? cell.utilization / baseline.tail_utilization
+          : 0.0;
+  cell.fairness = tail_fairness(result.trace, cfg.tail_fraction);
+  {
+    const auto loss = result.trace.congestion_loss();
+    cell.loss_rate = tail_mean(loss, cfg.tail_fraction);
+  }
+  if (scenario.perturb_end >= 0 &&
+      scenario.perturb_end < static_cast<long>(result.trace.num_steps())) {
+    cell.recovery_steps = recovery_steps_after(
+        result.trace, scenario.perturb_end, baseline.tail_total);
+  }
+  return cell;
+}
+
+}  // namespace
+
+std::vector<std::string> default_gauntlet_specs() {
+  // Canonical parameter choices for families whose spec requires arguments;
+  // preset aliases (reno, scalable, cubic-linux) resolve to the same
+  // protocols as the canonical family entries and are skipped.
+  std::vector<std::string> specs;
+  for (const std::string& name : cc::known_protocol_names()) {
+    if (name == "reno" || name == "scalable" || name == "cubic-linux") {
+      continue;
+    }
+    if (name == "aimd") {
+      specs.push_back("aimd(1,0.5)");
+    } else if (name == "mimd") {
+      specs.push_back("mimd(1.01,0.875)");
+    } else if (name == "bin") {
+      specs.push_back("bin(1,0.5,0.5,0.5)");
+    } else if (name == "cubic") {
+      specs.push_back("cubic(0.4,0.8)");
+    } else if (name == "robust_aimd") {
+      specs.push_back("robust_aimd(1,0.8,0.01)");
+    } else if (name == "vegas") {
+      specs.push_back("vegas(2,4)");
+    } else {
+      specs.push_back(name);  // families with default-argument forms.
+    }
+  }
+  return specs;
+}
+
+GauntletResult run_gauntlet_prototypes(
+    const std::vector<const cc::Protocol*>& prototypes,
+                            const GauntletConfig& cfg) {
+  AXIOMCC_EXPECTS(!prototypes.empty());
+  AXIOMCC_EXPECTS(!cfg.seeds.empty());
+  AXIOMCC_EXPECTS(cfg.steps >= 100);
+  AXIOMCC_EXPECTS(cfg.num_senders > 0);
+  AXIOMCC_EXPECTS(cfg.tail_fraction > 0.0 && cfg.tail_fraction < 1.0);
+  for (const cc::Protocol* p : prototypes) AXIOMCC_EXPECTS(p != nullptr);
+
+  // Materialize the default scenario library when the caller supplied none.
+  const std::vector<stress::Scenario> owned =
+      cfg.scenarios.empty() ? stress::standard_gauntlet(cfg.steps)
+                            : std::vector<stress::Scenario>{};
+  const std::vector<stress::Scenario>& active =
+      cfg.scenarios.empty() ? owned : cfg.scenarios;
+
+  GauntletResult result;
+  result.cells.reserve(prototypes.size() * active.size() * cfg.seeds.size());
+
+  for (const cc::Protocol* proto : prototypes) {
+    const Baseline baseline = run_baseline(*proto, cfg);
+
+    GauntletScore score;
+    score.protocol = proto->name();
+    double retention_sum = 0.0;
+    double utilization_sum = 0.0;
+    double recovery_sum = 0.0;
+    int recovery_cells = 0;
+    int clean_cells = 0;
+    score.worst_retention = kInf;
+    score.worst_fairness = kInf;
+
+    for (const stress::Scenario& scenario : active) {
+      for (const std::uint64_t seed : cfg.seeds) {
+        GauntletCell cell = run_cell(*proto, scenario, seed, baseline, cfg);
+        ++score.cells;
+        if (!cell.fault.ok()) {
+          ++score.failed_cells;
+        } else {
+          ++clean_cells;
+          utilization_sum += cell.utilization;
+          retention_sum += cell.throughput_retention;
+          score.worst_retention =
+              std::min(score.worst_retention, cell.throughput_retention);
+          score.worst_fairness =
+              std::min(score.worst_fairness, cell.fairness);
+          if (cell.recovery_steps >= 0.0) {
+            if (std::isinf(cell.recovery_steps)) {
+              ++score.unrecovered_cells;
+            } else {
+              recovery_sum += cell.recovery_steps;
+              ++recovery_cells;
+            }
+          }
+        }
+        result.cells.push_back(std::move(cell));
+      }
+    }
+
+    if (clean_cells > 0) {
+      score.mean_utilization = utilization_sum / clean_cells;
+      score.mean_retention = retention_sum / clean_cells;
+    } else {
+      score.worst_retention = 0.0;
+      score.worst_fairness = 0.0;
+    }
+    if (recovery_cells > 0) {
+      score.mean_recovery_steps = recovery_sum / recovery_cells;
+    }
+
+    if (cfg.include_axiom_metrics) {
+      core::EvalConfig axiom_cfg = cfg.axiom_cfg;
+      axiom_cfg.link = cfg.link;
+      score.axiom_fault = stress::guard_invoke([&] {
+        score.axioms = core::evaluate_protocol(*proto, axiom_cfg);
+      });
+      if (score.axiom_fault.ok()) {
+        for (std::size_t m = 0; m < core::kNumMetrics; ++m) {
+          const double v = score.axioms.get(static_cast<core::Metric>(m));
+          // Fast-utilization is legitimately +inf for super-linear
+          // protocols; only NaN marks a corrupted evaluation.
+          if (std::isnan(v)) {
+            score.axiom_fault.kind = stress::FaultKind::kNonFiniteScore;
+            score.axiom_fault.detail =
+                std::string("axiom metric ") +
+                core::metric_name(static_cast<core::Metric>(m)) + " is NaN";
+            break;
+          }
+        }
+      }
+    }
+    result.scorecard.push_back(std::move(score));
+  }
+  return result;
+}
+
+GauntletResult run_gauntlet(const std::vector<std::string>& protocol_specs,
+                            const GauntletConfig& cfg) {
+  AXIOMCC_EXPECTS(!protocol_specs.empty());
+  // Parse everything up front so a typo fails before any cell runs.
+  std::vector<std::unique_ptr<cc::Protocol>> owned;
+  owned.reserve(protocol_specs.size());
+  for (const std::string& spec : protocol_specs) {
+    owned.push_back(cc::make_protocol(spec));
+  }
+  std::vector<const cc::Protocol*> prototypes;
+  prototypes.reserve(owned.size());
+  for (const auto& p : owned) prototypes.push_back(p.get());
+  return run_gauntlet_prototypes(prototypes, cfg);
+}
+
+void write_gauntlet_csv(const std::vector<GauntletCell>& cells,
+                        std::ostream& out) {
+  out << "protocol,scenario,seed,status,utilization,throughput_retention,"
+         "recovery_steps,fairness,loss_rate\n";
+  for (const GauntletCell& cell : cells) {
+    out << '"' << cell.protocol << '"' << ',' << cell.scenario << ','
+        << cell.seed << ',' << stress::fault_kind_name(cell.fault.kind) << ','
+        << cell.utilization << ',' << cell.throughput_retention << ','
+        << cell.recovery_steps << ',' << cell.fairness << ','
+        << cell.loss_rate << '\n';
+  }
+}
+
+void write_scorecard_csv(const std::vector<GauntletScore>& scores,
+                         std::ostream& out) {
+  out << "protocol,cells,failed_cells,mean_utilization,mean_retention,"
+         "worst_retention,mean_recovery_steps,unrecovered_cells,"
+         "worst_fairness,axiom_status";
+  for (std::size_t m = 0; m < core::kNumMetrics; ++m) {
+    out << ',' << core::metric_name(static_cast<core::Metric>(m));
+  }
+  out << '\n';
+  for (const GauntletScore& s : scores) {
+    out << '"' << s.protocol << '"' << ',' << s.cells << ','
+        << s.failed_cells << ',' << s.mean_utilization << ','
+        << s.mean_retention << ',' << s.worst_retention << ','
+        << s.mean_recovery_steps << ',' << s.unrecovered_cells << ','
+        << s.worst_fairness << ','
+        << stress::fault_kind_name(s.axiom_fault.kind);
+    for (std::size_t m = 0; m < core::kNumMetrics; ++m) {
+      out << ',' << s.axioms.get(static_cast<core::Metric>(m));
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace axiomcc::exp

@@ -1,0 +1,111 @@
+// gauntlet.h — the protocol robustness gauntlet.
+//
+// Runs every protocol through the adversarial scenario library
+// (stress/perturbation.h) across several seeds, each cell under the guarded
+// runner (stress/guarded_run.h), and scores how the protocol degrades and
+// recovers: throughput retention relative to an unperturbed baseline,
+// recovery time after an outage, fairness among the flows active at the end,
+// and the residual loss rate. A scorecard aggregates the matrix per protocol
+// — alongside the eight axiom metrics — in the same Markdown/CSV style as
+// the Table 1 pipeline. A diverging (protocol, scenario) cell produces a
+// FaultReport row instead of killing the sweep.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cc/protocol.h"
+#include "core/evaluator.h"
+#include "core/metric_point.h"
+#include "fluid/link.h"
+#include "stress/guarded_run.h"
+#include "stress/perturbation.h"
+
+namespace axiomcc::exp {
+
+struct GauntletConfig {
+  fluid::LinkParams link = fluid::make_link_mbps(30.0, 42.0, 100.0);
+  int num_senders = 2;     ///< base (non-churned) flows per cell.
+  long steps = 900;        ///< fluid steps per cell.
+  std::vector<std::uint64_t> seeds{1, 2, 3};
+  double tail_fraction = 0.5;
+  stress::GuardConfig guard;
+  /// The scenario matrix; empty selects stress::standard_gauntlet(steps).
+  std::vector<stress::Scenario> scenarios;
+  /// When true the scorecard also carries each protocol's eight axiom
+  /// metrics, evaluated once on the unperturbed link with `axiom_cfg`.
+  bool include_axiom_metrics = true;
+  core::EvalConfig axiom_cfg;
+};
+
+/// One (protocol, scenario, seed) cell of the gauntlet matrix.
+struct GauntletCell {
+  std::string protocol;
+  std::string scenario;
+  std::uint64_t seed = 0;
+  /// !fault.ok() marks a failed cell; its scores below are zeroed.
+  stress::FaultReport fault;
+  double utilization = 0.0;  ///< tail mean of min(1, X(t)/C), nominal C.
+  /// Tail utilization relative to this protocol's unperturbed baseline run.
+  double throughput_retention = 0.0;
+  /// Steps after the perturbation ends until the aggregate window regains
+  /// 80% of the baseline tail mean: -1 when the scenario defines no
+  /// recovery point, +inf when it never recovers within the run.
+  double recovery_steps = -1.0;
+  /// min/max ratio of tail-mean windows over the senders still active in
+  /// the tail (1 when at most one is active).
+  double fairness = 0.0;
+  double loss_rate = 0.0;  ///< tail mean congestion-loss rate.
+};
+
+/// Per-protocol aggregate over scenarios × seeds.
+struct GauntletScore {
+  std::string protocol;
+  int cells = 0;
+  int failed_cells = 0;
+  double mean_utilization = 0.0;       ///< over clean cells.
+  double mean_retention = 0.0;         ///< over clean cells.
+  double worst_retention = 0.0;        ///< min over clean cells.
+  double mean_recovery_steps = -1.0;   ///< over recovered outage cells.
+  int unrecovered_cells = 0;           ///< outage cells that never recovered.
+  double worst_fairness = 0.0;         ///< min over clean cells.
+  /// Valid when GauntletConfig::include_axiom_metrics.
+  core::MetricReport axioms;
+  stress::FaultReport axiom_fault;
+};
+
+/// The full matrix plus its per-protocol aggregation.
+struct GauntletResult {
+  std::vector<GauntletCell> cells;
+  std::vector<GauntletScore> scorecard;
+};
+
+/// Canonical spec strings covering every registered protocol family (preset
+/// aliases like "reno" are covered by their canonical family entries).
+[[nodiscard]] std::vector<std::string> default_gauntlet_specs();
+
+/// Runs the gauntlet for externally-built prototypes (the hook tests use to
+/// inject pathological protocols). Prototypes must outlive the call. Named
+/// rather than overloaded: braced string lists would otherwise be ambiguous
+/// against the pointer vector's iterator-pair constructor.
+[[nodiscard]] GauntletResult run_gauntlet_prototypes(
+    const std::vector<const cc::Protocol*>& prototypes,
+    const GauntletConfig& cfg = {});
+
+/// Runs the gauntlet for protocol spec strings (parsed with
+/// cc::make_protocol; invalid specs throw before any work runs).
+[[nodiscard]] GauntletResult run_gauntlet(
+    const std::vector<std::string>& protocol_specs,
+    const GauntletConfig& cfg = {});
+
+/// One CSV row per cell, with a `status` column carrying the fault kind.
+void write_gauntlet_csv(const std::vector<GauntletCell>& cells,
+                        std::ostream& out);
+
+/// One CSV row per protocol with the aggregate scores and axiom metrics.
+void write_scorecard_csv(const std::vector<GauntletScore>& scores,
+                         std::ostream& out);
+
+}  // namespace axiomcc::exp

@@ -1,5 +1,6 @@
 #include "exp/sweep.h"
 
+#include <cmath>
 #include <memory>
 #include <ostream>
 
@@ -8,22 +9,37 @@
 
 namespace axiomcc::exp {
 
-std::vector<SweepRow> run_metric_sweep(
-    const std::vector<std::string>& protocol_specs, const LinkGrid& grid,
-    const core::EvalConfig& base) {
-  AXIOMCC_EXPECTS(!protocol_specs.empty());
-  AXIOMCC_EXPECTS(grid.size() > 0);
+namespace {
 
-  // Parse everything up front so a typo fails before hours of sweeping.
-  std::vector<std::unique_ptr<cc::Protocol>> prototypes;
-  prototypes.reserve(protocol_specs.size());
-  for (const auto& spec : protocol_specs) {
-    prototypes.push_back(cc::make_protocol(spec));
+/// Post-check: a cell whose evaluation silently produced NaN scores is as
+/// failed as one that threw (fast-utilization is legitimately +inf for
+/// super-linear protocols, so only NaN is flagged).
+void flag_non_finite_scores(SweepRow& row) {
+  if (!row.fault.ok()) return;
+  for (std::size_t m = 0; m < core::kNumMetrics; ++m) {
+    const double v = row.scores.get(static_cast<core::Metric>(m));
+    if (std::isnan(v)) {
+      row.fault.kind = stress::FaultKind::kNonFiniteScore;
+      row.fault.detail = std::string("metric ") +
+                         core::metric_name(static_cast<core::Metric>(m)) +
+                         " is NaN";
+      return;
+    }
   }
+}
+
+}  // namespace
+
+std::vector<SweepRow> run_metric_sweep_prototypes(
+    const std::vector<const cc::Protocol*>& prototypes, const LinkGrid& grid,
+    const core::EvalConfig& base) {
+  AXIOMCC_EXPECTS(!prototypes.empty());
+  AXIOMCC_EXPECTS(grid.size() > 0);
+  for (const cc::Protocol* p : prototypes) AXIOMCC_EXPECTS(p != nullptr);
 
   std::vector<SweepRow> rows;
-  rows.reserve(protocol_specs.size() * grid.size());
-  for (std::size_t p = 0; p < prototypes.size(); ++p) {
+  rows.reserve(prototypes.size() * grid.size());
+  for (const cc::Protocol* prototype : prototypes) {
     for (double mbps : grid.bandwidths_mbps) {
       for (double rtt_ms : grid.rtts_ms) {
         for (double buffer : grid.buffers_mss) {
@@ -31,11 +47,17 @@ std::vector<SweepRow> run_metric_sweep(
           cfg.link = fluid::make_link_mbps(mbps, rtt_ms, buffer);
 
           SweepRow row;
-          row.protocol = prototypes[p]->name();
+          row.protocol = prototype->name();
           row.bandwidth_mbps = mbps;
           row.rtt_ms = rtt_ms;
           row.buffer_mss = buffer;
-          row.scores = core::evaluate_protocol(*prototypes[p], cfg);
+          // One diverging cell must not abort the sweep: capture the
+          // exception as a failed marker row and keep going.
+          row.fault = stress::guard_invoke([&] {
+            row.scores = core::evaluate_protocol(*prototype, cfg);
+          });
+          if (!row.fault.ok()) row.scores = core::MetricReport{};
+          flag_non_finite_scores(row);
           rows.push_back(std::move(row));
         }
       }
@@ -44,12 +66,29 @@ std::vector<SweepRow> run_metric_sweep(
   return rows;
 }
 
+std::vector<SweepRow> run_metric_sweep(
+    const std::vector<std::string>& protocol_specs, const LinkGrid& grid,
+    const core::EvalConfig& base) {
+  AXIOMCC_EXPECTS(!protocol_specs.empty());
+
+  // Parse everything up front so a typo fails before hours of sweeping.
+  std::vector<std::unique_ptr<cc::Protocol>> owned;
+  owned.reserve(protocol_specs.size());
+  for (const auto& spec : protocol_specs) {
+    owned.push_back(cc::make_protocol(spec));
+  }
+  std::vector<const cc::Protocol*> prototypes;
+  prototypes.reserve(owned.size());
+  for (const auto& p : owned) prototypes.push_back(p.get());
+  return run_metric_sweep_prototypes(prototypes, grid, base);
+}
+
 void write_sweep_csv(const std::vector<SweepRow>& rows, std::ostream& out) {
   out << "protocol,bandwidth_mbps,rtt_ms,buffer_mss";
   for (std::size_t i = 0; i < core::kNumMetrics; ++i) {
     out << ',' << core::metric_name(static_cast<core::Metric>(i));
   }
-  out << '\n';
+  out << ",status\n";
 
   for (const SweepRow& row : rows) {
     out << '"' << row.protocol << '"' << ',' << row.bandwidth_mbps << ','
@@ -57,7 +96,7 @@ void write_sweep_csv(const std::vector<SweepRow>& rows, std::ostream& out) {
     for (std::size_t i = 0; i < core::kNumMetrics; ++i) {
       out << ',' << row.scores.get(static_cast<core::Metric>(i));
     }
-    out << '\n';
+    out << ',' << stress::fault_kind_name(row.fault.kind) << '\n';
   }
 }
 

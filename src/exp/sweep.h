@@ -10,8 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "cc/protocol.h"
 #include "core/evaluator.h"
 #include "core/metric_point.h"
+#include "stress/guarded_run.h"
 
 namespace axiomcc::exp {
 
@@ -27,22 +29,37 @@ struct LinkGrid {
 };
 
 /// One sweep cell: a protocol on a link shape, with its 8 scores.
+/// A cell whose evaluation diverged (threw, or produced NaN scores) carries
+/// a populated `fault` and zeroed scores instead of aborting the sweep.
 struct SweepRow {
   std::string protocol;
   double bandwidth_mbps = 0.0;
   double rtt_ms = 0.0;
   double buffer_mss = 0.0;
   core::MetricReport scores;
+  stress::FaultReport fault;
+
+  [[nodiscard]] bool failed() const { return !fault.ok(); }
 };
 
 /// Evaluates every spec on every grid cell. `base` supplies everything but
 /// the link (steps, sender counts, tail fraction...). Protocol specs are
 /// parsed with cc::make_protocol; invalid specs throw before any work runs.
+/// Per-cell evaluation failures are captured as `failed` rows.
 [[nodiscard]] std::vector<SweepRow> run_metric_sweep(
     const std::vector<std::string>& protocol_specs, const LinkGrid& grid,
     const core::EvalConfig& base = {});
 
-/// Writes sweep rows as CSV with one column per metric.
+/// Same sweep for externally-built prototypes (the hook tests use to inject
+/// pathological protocols). Prototypes must outlive the call. Named rather
+/// than overloaded: braced string lists would otherwise be ambiguous against
+/// the pointer vector's iterator-pair constructor.
+[[nodiscard]] std::vector<SweepRow> run_metric_sweep_prototypes(
+    const std::vector<const cc::Protocol*>& prototypes, const LinkGrid& grid,
+    const core::EvalConfig& base = {});
+
+/// Writes sweep rows as CSV with one column per metric plus a trailing
+/// `status` column ("ok" or the fault kind of a failed cell).
 void write_sweep_csv(const std::vector<SweepRow>& rows, std::ostream& out);
 
 }  // namespace axiomcc::exp

@@ -62,8 +62,10 @@ class BernoulliLoss final : public LossInjector {
     return rng_.bernoulli(prob_) ? rate_ : 0.0;
   }
 
+  /// Copies the full RNG state: a mid-run clone continues the original's
+  /// loss sequence instead of silently replaying from the seed.
   [[nodiscard]] std::unique_ptr<LossInjector> clone() const override {
-    return std::make_unique<BernoulliLoss>(prob_, rate_, seed_);
+    return std::make_unique<BernoulliLoss>(*this);
   }
 
  private:
@@ -101,9 +103,10 @@ class GilbertElliottLoss final : public LossInjector {
     return in_bad_state_ ? bad_rate_ : good_rate_;
   }
 
+  /// Copies the full RNG *and* channel state (`in_bad_state_`): a clone
+  /// taken mid-episode stays mid-episode rather than resetting to "good".
   [[nodiscard]] std::unique_ptr<LossInjector> clone() const override {
-    return std::make_unique<GilbertElliottLoss>(p_gb_, p_bg_, good_rate_,
-                                                bad_rate_, seed_);
+    return std::make_unique<GilbertElliottLoss>(*this);
   }
 
  private:

@@ -24,6 +24,8 @@ void FluidSimulation::add_sender(SenderSpec spec) {
   AXIOMCC_EXPECTS(spec.update_period >= 1);
   AXIOMCC_EXPECTS(spec.update_phase >= 0 &&
                   spec.update_phase < spec.update_period);
+  AXIOMCC_EXPECTS(spec.start_step >= 0);
+  AXIOMCC_EXPECTS(spec.stop_step < 0 || spec.stop_step > spec.start_step);
   senders_.push_back(std::move(spec));
 }
 
@@ -35,6 +37,16 @@ void FluidSimulation::set_loss_injector(std::unique_ptr<LossInjector> injector) 
 void FluidSimulation::set_bandwidth_schedule(std::function<double(long)> scale) {
   AXIOMCC_EXPECTS(scale != nullptr);
   bandwidth_scale_ = std::move(scale);
+}
+
+void FluidSimulation::set_rtt_schedule(std::function<double(long)> scale) {
+  AXIOMCC_EXPECTS(scale != nullptr);
+  rtt_scale_ = std::move(scale);
+}
+
+void FluidSimulation::set_step_monitor(StepMonitor monitor) {
+  AXIOMCC_EXPECTS(monitor != nullptr);
+  step_monitor_ = std::move(monitor);
 }
 
 Trace FluidSimulation::run() {
@@ -50,9 +62,16 @@ Trace FluidSimulation::run() {
     return std::clamp(w, options_.min_window_mss, options_.max_window_mss);
   };
 
+  const auto active_at = [](const SenderSpec& spec, long step) {
+    return step >= spec.start_step &&
+           (spec.stop_step < 0 || step < spec.stop_step);
+  };
+
   std::vector<double> windows(n);
   for (int i = 0; i < n; ++i) {
-    windows[i] = clamp_window(senders_[i].initial_window_mss);
+    windows[i] = active_at(senders_[i], 0)
+                     ? clamp_window(senders_[i].initial_window_mss)
+                     : 0.0;
   }
 
   std::vector<double> observed_loss(n);
@@ -63,19 +82,37 @@ Trace FluidSimulation::run() {
   std::vector<long> pending_steps(n, 0);
 
   for (long step = 0; step < options_.steps; ++step) {
+    // Churn: senders joining at this step restart from their initial
+    // window; departed senders stop contributing immediately.
+    for (int i = 0; i < n; ++i) {
+      const SenderSpec& spec = senders_[i];
+      if (!active_at(spec, step)) {
+        windows[i] = 0.0;
+      } else if (step == spec.start_step && step != 0) {
+        windows[i] = clamp_window(spec.initial_window_mss);
+      }
+    }
+
     double total = 0.0;
     for (double w : windows) total += w;
 
-    // With a bandwidth schedule the active link is rebuilt at the scaled
-    // rate (cheap: FluidLink is a couple of doubles).
+    // With a bandwidth or RTT schedule the active link is rebuilt at the
+    // scaled parameters (cheap: FluidLink is a couple of doubles).
     const FluidLink* active = &link_;
     FluidLink scaled = link_;
-    if (bandwidth_scale_) {
-      const double scale = bandwidth_scale_(step);
-      AXIOMCC_EXPECTS_MSG(scale > 0.0, "bandwidth scale must be positive");
+    if (bandwidth_scale_ || rtt_scale_) {
       LinkParams params = link_.params();
-      params.bandwidth =
-          Bandwidth::from_mss_per_sec(params.bandwidth.mss_per_sec() * scale);
+      if (bandwidth_scale_) {
+        const double scale = bandwidth_scale_(step);
+        AXIOMCC_EXPECTS_MSG(scale > 0.0, "bandwidth scale must be positive");
+        params.bandwidth =
+            Bandwidth::from_mss_per_sec(params.bandwidth.mss_per_sec() * scale);
+      }
+      if (rtt_scale_) {
+        const double scale = rtt_scale_(step);
+        AXIOMCC_EXPECTS_MSG(scale > 0.0, "RTT scale must be positive");
+        params.propagation_delay = params.propagation_delay * scale;
+      }
       scaled = FluidLink(params);
       active = &scaled;
     }
@@ -85,16 +122,26 @@ Trace FluidSimulation::run() {
 
     for (int i = 0; i < n; ++i) {
       observed_loss[i] =
-          combine_loss(congestion_loss, injector_->sample(step, i));
+          active_at(senders_[i], step)
+              ? combine_loss(congestion_loss, injector_->sample(step, i))
+              : 0.0;
     }
     trace.add_step(windows, rtt.value(), congestion_loss, observed_loss);
 
     for (int i = 0; i < n; ++i) {
+      const SenderSpec& spec = senders_[i];
+      if (!active_at(spec, step)) {
+        next_windows[i] = 0.0;
+        pending_max_loss[i] = 0.0;
+        pending_rtt_sum[i] = 0.0;
+        pending_steps[i] = 0;
+        continue;
+      }
+
       pending_max_loss[i] = std::max(pending_max_loss[i], observed_loss[i]);
       pending_rtt_sum[i] += rtt.value();
       ++pending_steps[i];
 
-      const SenderSpec& spec = senders_[i];
       if (step % spec.update_period != spec.update_phase) {
         next_windows[i] = windows[i];  // hold between updates
         continue;
@@ -108,6 +155,14 @@ Trace FluidSimulation::run() {
       pending_steps[i] = 0;
     }
     windows.swap(next_windows);
+
+    // The monitor sees the windows the senders just chose for the NEXT step,
+    // before the link consumes them — a diverging protocol (NaN, blowup) is
+    // caught here rather than exploding inside the link's preconditions.
+    if (step_monitor_ &&
+        !step_monitor_(step, windows, rtt.value(), congestion_loss)) {
+      break;
+    }
   }
   return trace;
 }

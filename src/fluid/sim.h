@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "cc/protocol.h"
@@ -25,11 +26,19 @@ namespace axiomcc::fluid {
 /// (period 1) is the paper's synchronized model. The observation delivered
 /// at an update step aggregates the steps since the previous update: worst
 /// (max) loss, mean RTT.
+///
+/// `start_step`/`stop_step` model flow churn (stress scenarios): the sender
+/// is active on steps t with start ≤ t < stop (negative stop → forever).
+/// While inactive its window is exactly 0 — it contributes nothing to the
+/// aggregate and its protocol is not consulted; on joining it restarts from
+/// `initial_window_mss` like a fresh connection.
 struct SenderSpec {
   std::unique_ptr<cc::Protocol> protocol;
   double initial_window_mss = 1.0;
   long update_period = 1;
   long update_phase = 0;
+  long start_step = 0;
+  long stop_step = -1;
 };
 
 /// Simulation-wide options.
@@ -59,6 +68,23 @@ class FluidSimulation {
   /// responsiveness metric; default is the constant schedule scale ≡ 1.
   void set_bandwidth_schedule(std::function<double(long)> scale);
 
+  /// Installs a time-varying propagation-delay schedule: the link's one-way
+  /// delay at step t is scale(t) × the configured delay. Models RTT
+  /// inflation (path changes, bufferbloat upstream). Note that scaling Θ
+  /// also scales the capacity C = B·2Θ, as it does physically.
+  void set_rtt_schedule(std::function<double(long)> scale);
+
+  /// Per-step observer, called at the end of each step (after the step is
+  /// recorded) with that step's index, the per-sender windows the protocols
+  /// just chose for the NEXT step, the step RTT, and the congestion-loss
+  /// rate. Returning false stops the run early (the trace keeps the steps
+  /// recorded so far) — the hook the guarded stress runner uses to catch
+  /// divergence (NaN, blowup) before the link's preconditions explode on it.
+  using StepMonitor = std::function<bool(
+      long step, std::span<const double> windows, double rtt_seconds,
+      double congestion_loss)>;
+  void set_step_monitor(StepMonitor monitor);
+
   /// Number of senders added so far.
   [[nodiscard]] int num_senders() const {
     return static_cast<int>(senders_.size());
@@ -76,6 +102,8 @@ class FluidSimulation {
   std::vector<SenderSpec> senders_;
   std::unique_ptr<LossInjector> injector_;
   std::function<double(long)> bandwidth_scale_;
+  std::function<double(long)> rtt_scale_;
+  StepMonitor step_monitor_;
   bool ran_ = false;
 };
 

@@ -30,6 +30,14 @@ class SimLink {
   void send(const Packet& p);
 
   [[nodiscard]] double rate_bps() const { return rate_bps_; }
+
+  /// Retargets the serialization rate (stress scenarios: outages, capacity
+  /// oscillation). Takes effect from the next packet transmission; the
+  /// packet currently on the wire keeps its original serialization time.
+  void set_rate_bps(double rate_bps) {
+    AXIOMCC_EXPECTS(rate_bps > 0.0);
+    rate_bps_ = rate_bps;
+  }
   [[nodiscard]] SimTime propagation_delay() const { return propagation_delay_; }
   [[nodiscard]] const QueueDiscipline& queue() const { return *queue_; }
 

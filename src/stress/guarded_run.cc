@@ -1,0 +1,104 @@
+#include "stress/guarded_run.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace axiomcc::stress {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "ok";
+    case FaultKind::kNonFiniteWindow: return "non_finite_window";
+    case FaultKind::kNegativeWindow: return "negative_window";
+    case FaultKind::kAggregateBlowup: return "aggregate_blowup";
+    case FaultKind::kQueueGrowth: return "queue_growth";
+    case FaultKind::kStepBudget: return "step_budget";
+    case FaultKind::kContractViolation: return "contract_violation";
+    case FaultKind::kException: return "exception";
+    case FaultKind::kNonFiniteScore: return "non_finite_score";
+  }
+  return "unknown";
+}
+
+GuardedResult run_guarded(fluid::FluidSimulation& sim,
+                          const GuardConfig& config) {
+  AXIOMCC_EXPECTS(config.max_window_mss > 0.0);
+  AXIOMCC_EXPECTS(config.max_aggregate_window_mss >= config.max_window_mss);
+  AXIOMCC_EXPECTS(config.step_budget > 0);
+
+  FaultReport fault;
+  const double capacity = sim.link().capacity_mss();
+
+  sim.set_step_monitor([&fault, &config, capacity](
+                           long step, std::span<const double> windows,
+                           double /*rtt_seconds*/, double /*congestion_loss*/) {
+    const auto trip = [&](FaultKind kind, int sender, const std::string& why) {
+      fault.kind = kind;
+      fault.step = step;
+      fault.sender = sender;
+      fault.detail = why;
+      return false;  // stop the run
+    };
+
+    if (step >= config.step_budget) {
+      return trip(FaultKind::kStepBudget, -1,
+                  "step budget " + std::to_string(config.step_budget) +
+                      " exhausted");
+    }
+
+    double total = 0.0;
+    for (int i = 0; i < static_cast<int>(windows.size()); ++i) {
+      const double w = windows[i];
+      if (!std::isfinite(w)) {
+        std::ostringstream os;
+        os << "window of sender " << i << " is " << w;
+        return trip(FaultKind::kNonFiniteWindow, i, os.str());
+      }
+      if (w < 0.0) {
+        std::ostringstream os;
+        os << "window of sender " << i << " is " << w;
+        return trip(FaultKind::kNegativeWindow, i, os.str());
+      }
+      if (w > config.max_window_mss) {
+        std::ostringstream os;
+        os << "window of sender " << i << " is " << w << " > bound "
+           << config.max_window_mss;
+        return trip(FaultKind::kAggregateBlowup, i, os.str());
+      }
+      total += w;
+    }
+    if (total > config.max_aggregate_window_mss) {
+      std::ostringstream os;
+      os << "aggregate window " << total << " > bound "
+         << config.max_aggregate_window_mss;
+      return trip(FaultKind::kAggregateBlowup, -1, os.str());
+    }
+    if (config.max_queue_mss > 0.0 && total - capacity > config.max_queue_mss) {
+      std::ostringstream os;
+      os << "standing queue " << (total - capacity) << " MSS > bound "
+         << config.max_queue_mss;
+      return trip(FaultKind::kQueueGrowth, -1, os.str());
+    }
+    return true;
+  });
+
+  const int n = sim.num_senders() > 0 ? sim.num_senders() : 1;
+  try {
+    fluid::Trace trace = sim.run();
+    return GuardedResult{std::move(trace), std::move(fault)};
+  } catch (const ContractViolation& e) {
+    fault.kind = FaultKind::kContractViolation;
+    fault.detail = e.what();
+  } catch (const std::exception& e) {
+    fault.kind = FaultKind::kException;
+    fault.detail = e.what();
+  }
+  // The in-progress trace died with the exception; return an empty stand-in
+  // so downstream scoring sees zero steps rather than garbage.
+  return GuardedResult{
+      fluid::Trace(n, sim.link().capacity_mss(),
+                   sim.link().min_rtt().value()),
+      std::move(fault)};
+}
+
+}  // namespace axiomcc::stress

@@ -57,6 +57,36 @@ TEST(Registry, RejectsMalformedSyntax) {
   EXPECT_THROW((void)make_protocol("aimd(1,0.5x)"), std::invalid_argument);
 }
 
+TEST(Registry, RejectsHostileInputsWithInvalidArgument) {
+  // Table-driven hardening test: every entry must raise std::invalid_argument
+  // (never crash, never a bare ContractViolation from deep inside).
+  const std::string overlong = "aimd(" + std::string(300, '1') + ",0.5)";
+  std::string too_many_args = "aimd(1";
+  for (int i = 0; i < 20; ++i) too_many_args += ",1";
+  too_many_args += ")";
+
+  const std::string cases[] = {
+      overlong,            // longer than the 256-char cap
+      too_many_args,       // more than the 16-arg cap
+      "aimd(nan,0.5)",     // stod accepts "nan"; the parser must not
+      "aimd(inf,0.5)",     // likewise "inf"
+      "aimd(-inf,0.5)",    //
+      "aimd(1e999,0.5)",   // overflows stod → out_of_range internally
+      "aimd((1),0.5)",     // nested '('
+      "aimd(1,0.5))",      // trailing ')'
+      "aimd(1))((",        // garbage after the close
+      "reno)",             // ')' with no '('
+      ")(",                //
+      "aimd(1,0.5)x",      // trailing junk
+      "(1,0.5)",           // missing name
+      "   ",               // whitespace only
+  };
+  for (const std::string& spec : cases) {
+    EXPECT_THROW((void)make_protocol(spec), std::invalid_argument)
+        << "spec: " << spec;
+  }
+}
+
 TEST(Registry, DomainErrorsPropagateFromConstructors) {
   EXPECT_THROW((void)make_protocol("aimd(-1,0.5)"), ContractViolation);
   EXPECT_THROW((void)make_protocol("mimd(0.5,0.5)"), ContractViolation);

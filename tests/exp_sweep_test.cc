@@ -1,5 +1,7 @@
 // Tests for the bulk metric sweep and for the slow-start decorator.
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -8,6 +10,7 @@
 #include "core/metrics.h"
 #include "exp/sweep.h"
 #include "fluid/sim.h"
+#include "stress/guarded_run.h"
 #include "util/check.h"
 
 namespace axiomcc {
@@ -73,6 +76,64 @@ TEST(MetricSweep, CsvHasHeaderAndQuotedProtocols) {
   EXPECT_NE(text.find("\"AIMD(1,0.5)\",20,42,100,"), std::string::npos);
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
             static_cast<long>(rows.size()) + 1);
+}
+
+/// Throws from next_window after a handful of calls — every evaluation of
+/// this protocol diverges, exercising the per-cell fault capture.
+class ExplodingProtocol final : public cc::Protocol {
+ public:
+  double next_window(const cc::Observation& obs) override {
+    if (++calls_ > 5) throw std::runtime_error("window state corrupted");
+    return obs.window + 1.0;
+  }
+  [[nodiscard]] bool loss_based() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "Exploding"; }
+  [[nodiscard]] std::unique_ptr<cc::Protocol> clone() const override {
+    return std::make_unique<ExplodingProtocol>();
+  }
+  void reset() override { calls_ = 0; }
+
+ private:
+  long calls_ = 0;
+};
+
+TEST(MetricSweep, DivergingCellsBecomeFailedRowsNotCrashes) {
+  const cc::Aimd aimd(1.0, 0.5);
+  const ExplodingProtocol exploding;
+  const auto rows = exp::run_metric_sweep_prototypes(
+      std::vector<const cc::Protocol*>{&exploding, &aimd}, tiny_grid(),
+      quick_cfg());
+
+  // The full matrix still exists: 2 protocols × 2 cells.
+  ASSERT_EQ(rows.size(), 4u);
+  for (const auto& row : rows) {
+    if (row.protocol == "Exploding") {
+      EXPECT_TRUE(row.failed());
+      EXPECT_EQ(row.fault.kind, stress::FaultKind::kException);
+      EXPECT_NE(row.fault.detail.find("window state corrupted"),
+                std::string::npos);
+      EXPECT_EQ(row.scores.efficiency, 0.0);
+    } else {
+      // The healthy protocol's cells are unaffected by the neighbour.
+      EXPECT_FALSE(row.failed());
+      EXPECT_GT(row.scores.efficiency, 0.0);
+    }
+  }
+}
+
+TEST(MetricSweep, CsvMarksFailedRowsInTheStatusColumn) {
+  const cc::Aimd aimd(1.0, 0.5);
+  const ExplodingProtocol exploding;
+  const auto rows = exp::run_metric_sweep_prototypes(
+      std::vector<const cc::Protocol*>{&exploding, &aimd}, tiny_grid(),
+      quick_cfg());
+
+  std::ostringstream out;
+  exp::write_sweep_csv(rows, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find(",status"), std::string::npos);
+  EXPECT_NE(text.find(",exception"), std::string::npos);
+  EXPECT_NE(text.find(",ok"), std::string::npos);
 }
 
 // --- slow-start decorator ------------------------------------------------------

@@ -1,0 +1,212 @@
+// Tests for the stress scenario library: schedule shapes, loss storms,
+// churn application, the standard gauntlet, and the packet-side wrappers.
+#include "stress/perturbation.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cc/aimd.h"
+#include "fluid/sim.h"
+#include "sim/event.h"
+#include "sim/queue.h"
+#include "util/check.h"
+
+namespace axiomcc::stress {
+namespace {
+
+TEST(Schedules, OutageDropsAndRestores) {
+  const StepSchedule s = outage_schedule(10, 5, 1e-3);
+  EXPECT_DOUBLE_EQ(s(9), 1.0);
+  EXPECT_DOUBLE_EQ(s(10), 1e-3);
+  EXPECT_DOUBLE_EQ(s(14), 1e-3);
+  EXPECT_DOUBLE_EQ(s(15), 1.0);
+}
+
+TEST(Schedules, SquareWaveAlternates) {
+  const StepSchedule s = square_wave_schedule(10, 1.0, 0.25);
+  EXPECT_DOUBLE_EQ(s(0), 1.0);
+  EXPECT_DOUBLE_EQ(s(4), 1.0);
+  EXPECT_DOUBLE_EQ(s(5), 0.25);
+  EXPECT_DOUBLE_EQ(s(9), 0.25);
+  EXPECT_DOUBLE_EQ(s(10), 1.0);  // next period
+}
+
+TEST(Schedules, SawtoothRampsAndSnapsBack) {
+  const StepSchedule s = sawtooth_schedule(5, 0.2, 1.0);
+  EXPECT_DOUBLE_EQ(s(0), 0.2);
+  EXPECT_DOUBLE_EQ(s(4), 1.0);   // top of the ramp
+  EXPECT_DOUBLE_EQ(s(5), 0.2);   // snapped back
+  EXPECT_LT(s(1), s(2));
+}
+
+TEST(Schedules, StepChangeIsPersistent) {
+  const StepSchedule s = step_change_schedule(100, 1.0, 3.0);
+  EXPECT_DOUBLE_EQ(s(99), 1.0);
+  EXPECT_DOUBLE_EQ(s(100), 3.0);
+  EXPECT_DOUBLE_EQ(s(100000), 3.0);
+}
+
+TEST(Schedules, ComposeMultipliesPointwise) {
+  const StepSchedule s = compose_schedules(constant_schedule(0.5),
+                                           outage_schedule(3, 2, 0.1));
+  EXPECT_DOUBLE_EQ(s(0), 0.5);
+  EXPECT_DOUBLE_EQ(s(3), 0.05);
+}
+
+TEST(Schedules, ValidateParameters) {
+  EXPECT_THROW(constant_schedule(0.0), ContractViolation);
+  EXPECT_THROW(outage_schedule(-1, 5, 0.1), ContractViolation);
+  EXPECT_THROW(outage_schedule(0, 0, 0.1), ContractViolation);
+  EXPECT_THROW(square_wave_schedule(1, 1.0, 0.5), ContractViolation);
+  EXPECT_THROW(sawtooth_schedule(5, 0.5, 0.2), ContractViolation);
+}
+
+TEST(LossStorm, InjectsOnlyInsideItsWindow) {
+  LossStorm storm(50, 100, StormParams{0.9, 0.05, 0.0, 0.4}, 3);
+  for (long t = 0; t < 50; ++t) EXPECT_DOUBLE_EQ(storm.sample(t, 0), 0.0);
+  double inside = 0.0;
+  for (long t = 50; t < 100; ++t) inside += storm.sample(t, 0);
+  EXPECT_GT(inside, 0.0) << "storm never entered the bad state";
+  for (long t = 100; t < 200; ++t) EXPECT_DOUBLE_EQ(storm.sample(t, 0), 0.0);
+}
+
+TEST(LossStorm, IsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    LossStorm storm(0, 400, StormParams{}, seed);
+    std::vector<double> out;
+    for (long t = 0; t < 400; ++t) out.push_back(storm.sample(t, 0));
+    return out;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(LossStorm, CloneCopiesFullState) {
+  LossStorm storm(0, 10000, StormParams{0.5, 0.1, 0.0, 0.4}, 11);
+  for (long t = 0; t < 200; ++t) (void)storm.sample(t, 0);
+  const auto clone = storm.clone();
+  for (long t = 200; t < 600; ++t) {
+    ASSERT_DOUBLE_EQ(clone->sample(t, 0), storm.sample(t, 0));
+  }
+}
+
+TEST(ApplyScenario, ChurnAddsJoiningAndLeavingSenders) {
+  Scenario s;
+  s.name = "churn";
+  s.churn.slots.push_back(ChurnSlot{100, 200, 1.0});
+  s.churn.slots.push_back(ChurnSlot{150, -1, 1.0});
+
+  fluid::SimOptions opt;
+  opt.steps = 300;
+  fluid::FluidSimulation sim(fluid::make_link_mbps(30.0, 42.0, 100.0), opt);
+  const cc::Aimd proto(1.0, 0.5);
+  sim.add_sender(proto, 1.0);
+  apply_scenario(s, sim, proto, 1);
+  ASSERT_EQ(sim.num_senders(), 3);
+
+  const fluid::Trace trace = sim.run();
+  // Sender 1 joins at 100 and leaves at 200.
+  EXPECT_DOUBLE_EQ(trace.windows(1)[99], 0.0);
+  EXPECT_GT(trace.windows(1)[100], 0.0);
+  EXPECT_GT(trace.windows(1)[199], 0.0);
+  EXPECT_DOUBLE_EQ(trace.windows(1)[200], 0.0);
+  EXPECT_DOUBLE_EQ(trace.windows(1)[299], 0.0);
+  // Sender 2 joins at 150 and stays.
+  EXPECT_DOUBLE_EQ(trace.windows(2)[149], 0.0);
+  EXPECT_GT(trace.windows(2)[299], 0.0);
+  // The base sender runs throughout.
+  EXPECT_GT(trace.windows(0)[0], 0.0);
+  EXPECT_GT(trace.windows(0)[299], 0.0);
+}
+
+TEST(StandardGauntlet, HasTheDocumentedScenarioMix) {
+  const auto scenarios = standard_gauntlet(900);
+  ASSERT_GE(scenarios.size(), 6u);  // ≥5 distinct + baseline
+
+  bool has_bandwidth = false;
+  bool has_rtt = false;
+  bool has_loss = false;
+  bool has_churn = false;
+  for (const Scenario& s : scenarios) {
+    EXPECT_FALSE(s.name.empty());
+    if (s.bandwidth_scale) has_bandwidth = true;
+    if (s.rtt_scale) has_rtt = true;
+    if (s.loss_factory) has_loss = true;
+    if (!s.churn.empty()) has_churn = true;
+  }
+  EXPECT_TRUE(has_bandwidth);
+  EXPECT_TRUE(has_rtt);
+  EXPECT_TRUE(has_loss);
+  EXPECT_TRUE(has_churn);
+
+  // Names are unique (scorecards key on them).
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    for (std::size_t j = i + 1; j < scenarios.size(); ++j) {
+      EXPECT_NE(scenarios[i].name, scenarios[j].name);
+    }
+  }
+}
+
+// --- packet-side wrappers -----------------------------------------------
+
+/// Always drops; counts how often it was consulted.
+class AlwaysDrop final : public sim::PacketFilter {
+ public:
+  bool drop(const sim::Packet&) override {
+    ++consulted;
+    count_drop();
+    return true;
+  }
+  int consulted = 0;
+};
+
+TEST(WindowedPacketFilter, AppliesInnerOnlyInsideWindow) {
+  sim::Simulator simulator;
+  auto inner = std::make_unique<AlwaysDrop>();
+  AlwaysDrop* inner_raw = inner.get();
+  WindowedPacketFilter filter(simulator, SimTime::from_seconds(1.0),
+                              SimTime::from_seconds(2.0), std::move(inner));
+
+  std::vector<bool> outcomes;
+  for (const double at : {0.5, 1.5, 2.5}) {
+    simulator.schedule_at(SimTime::from_seconds(at), [&] {
+      outcomes.push_back(filter.drop(sim::Packet{}));
+    });
+  }
+  simulator.run();
+
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_FALSE(outcomes[0]);  // before the window: passes
+  EXPECT_TRUE(outcomes[1]);   // inside: inner drops
+  EXPECT_FALSE(outcomes[2]);  // after: passes
+  EXPECT_EQ(inner_raw->consulted, 1);
+  EXPECT_EQ(filter.dropped(), 1u);
+}
+
+TEST(ScheduleLinkRate, RetargetsTheLinkOverTime) {
+  sim::Simulator simulator;
+  sim::SimLink link(simulator, 10e6, SimTime::from_millis(1),
+                    std::make_unique<sim::DropTailQueue>(10),
+                    [](const sim::Packet&) {});
+
+  schedule_link_rate(simulator, link, square_wave_schedule(2, 1.0, 0.1),
+                     SimTime::from_millis(10), 4);
+
+  std::vector<double> observed;
+  for (const double at : {5.0, 15.0, 25.0, 35.0}) {
+    simulator.schedule_at(SimTime::from_millis(at),
+                          [&] { observed.push_back(link.rate_bps()); });
+  }
+  simulator.run();
+
+  ASSERT_EQ(observed.size(), 4u);
+  EXPECT_DOUBLE_EQ(observed[0], 10e6);  // k=0: high
+  EXPECT_DOUBLE_EQ(observed[1], 1e6);   // k=1: low
+  EXPECT_DOUBLE_EQ(observed[2], 10e6);  // k=2: high again
+  EXPECT_DOUBLE_EQ(observed[3], 1e6);
+}
+
+}  // namespace
+}  // namespace axiomcc::stress
