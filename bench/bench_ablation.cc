@@ -6,17 +6,26 @@
 //   3. estimator tail-fraction sensitivity;
 //   4. Robust-AIMD's eps sweep (robustness vs. friendliness trade).
 //
-// Usage: bench_ablation [--duration=20] [--steps=3000]
+// Usage: bench_ablation [--duration=20] [--steps=3000] [--jobs=N]
+//
+// --jobs=N fans each ablation's independent cells out over N workers
+// (default: AXIOMCC_JOBS env, else hardware concurrency; 1 = serial).
+// Per-ablation timing lands in BENCH_ablation.json.
+#include <array>
 #include <cstdio>
 #include <exception>
+#include <vector>
 
 #include "cc/presets.h"
 #include "cc/robust_aimd.h"
 #include "core/evaluator.h"
 #include "core/metrics.h"
 #include "sim/dumbbell.h"
+#include "util/bench_json.h"
 #include "util/cli.h"
+#include "util/stats.h"
 #include "util/table.h"
+#include "util/task_pool.h"
 
 using namespace axiomcc;
 
@@ -31,43 +40,59 @@ sim::DumbbellConfig base_dumbbell(double duration) {
   return cfg;
 }
 
-void ablate_synchronization(double duration) {
+void ablate_synchronization(double duration, long jobs) {
   std::printf("--- ablation 1: synchronized vs staggered starts (2x Reno, "
               "packet sim) ---\n");
+  const std::vector<double> staggers{0.0, 0.25, 1.0, 3.0};
+  const auto rows = parallel_map(
+      staggers,
+      [&](double stagger) {
+        sim::DumbbellExperiment exp(base_dumbbell(duration));
+        exp.add_flow(cc::presets::reno(), 0.0);
+        exp.add_flow(cc::presets::reno(), stagger);
+        exp.run();
+        const core::EstimatorConfig est{0.5};
+        return std::array<double, 3>{
+            core::measure_fairness(exp.trace(), est),
+            core::measure_convergence(exp.trace(), est),
+            core::measure_efficiency(exp.trace(), est)};
+      },
+      jobs);
+
   TextTable table;
   table.set_header({"start offsets", "fairness", "convergence", "efficiency"});
-  for (double stagger : {0.0, 0.25, 1.0, 3.0}) {
-    sim::DumbbellExperiment exp(base_dumbbell(duration));
-    exp.add_flow(cc::presets::reno(), 0.0);
-    exp.add_flow(cc::presets::reno(), stagger);
-    exp.run();
-    const core::EstimatorConfig est{0.5};
-    table.add_row({TextTable::num(stagger, 2) + "s",
-                   TextTable::num(core::measure_fairness(exp.trace(), est), 3),
-                   TextTable::num(core::measure_convergence(exp.trace(), est), 3),
-                   TextTable::num(core::measure_efficiency(exp.trace(), est), 3)});
+  for (std::size_t i = 0; i < staggers.size(); ++i) {
+    table.add_row({TextTable::num(staggers[i], 2) + "s",
+                   TextTable::num(rows[i][0], 3), TextTable::num(rows[i][1], 3),
+                   TextTable::num(rows[i][2], 3)});
   }
   std::printf("%s\n", table.render().c_str());
 }
 
-void ablate_queue_discipline(double duration) {
+void ablate_queue_discipline(double duration, long jobs) {
   std::printf("--- ablation 2: droptail vs RED (1x Reno, deep buffer) ---\n");
+  const auto reports = parallel_map(
+      std::size_t{2},
+      [&](std::size_t i) {
+        sim::DumbbellConfig cfg = base_dumbbell(duration);
+        cfg.use_red = i == 1;
+        cfg.red.min_threshold = 15.0;
+        cfg.red.max_threshold = 60.0;
+        cfg.red.max_drop_probability = 0.1;
+        sim::DumbbellExperiment exp(cfg);
+        exp.add_flow(cc::presets::reno());
+        exp.run();
+        return exp.flow_reports()[0];
+      },
+      jobs);
+
   TextTable table;
   table.set_header({"queue", "avg rtt (ms)", "loss", "throughput (Mbps)"});
-  for (bool use_red : {false, true}) {
-    sim::DumbbellConfig cfg = base_dumbbell(duration);
-    cfg.use_red = use_red;
-    cfg.red.min_threshold = 15.0;
-    cfg.red.max_threshold = 60.0;
-    cfg.red.max_drop_probability = 0.1;
-    sim::DumbbellExperiment exp(cfg);
-    exp.add_flow(cc::presets::reno());
-    exp.run();
-    const auto report = exp.flow_reports()[0];
-    table.add_row({use_red ? "RED" : "droptail",
-                   TextTable::num(report.avg_rtt_ms, 1),
-                   TextTable::num(report.loss_rate, 4),
-                   TextTable::num(report.throughput_mbps, 2)});
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    table.add_row({i == 1 ? "RED" : "droptail",
+                   TextTable::num(reports[i].avg_rtt_ms, 1),
+                   TextTable::num(reports[i].loss_rate, 4),
+                   TextTable::num(reports[i].throughput_mbps, 2)});
   }
   std::printf("%s\n", table.render().c_str());
 }
@@ -93,23 +118,31 @@ void ablate_tail_fraction(long steps) {
               table.render().c_str());
 }
 
-void ablate_robust_eps(long steps) {
+void ablate_robust_eps(long steps, long jobs) {
   std::printf("--- ablation 4: Robust-AIMD eps sweep (robustness vs "
               "friendliness) ---\n");
   core::EvalConfig cfg;
   cfg.steps = steps;
 
+  const std::vector<double> eps_grid{0.005, 0.007, 0.01, 0.02, 0.05};
+  const auto rows = parallel_map(
+      eps_grid,
+      [&](double eps) {
+        const cc::RobustAimd proto(1.0, 0.8, eps);
+        const fluid::Trace t = core::run_shared_link(proto, cfg);
+        return std::array<double, 3>{
+            core::measure_robustness_score(proto, cfg),
+            core::measure_tcp_friendliness_score(proto, cfg),
+            core::measure_efficiency(t, cfg.estimator())};
+      },
+      jobs);
+
   TextTable table;
   table.set_header({"eps", "robustness", "tcp-friendliness", "efficiency"});
-  for (double eps : {0.005, 0.007, 0.01, 0.02, 0.05}) {
-    const cc::RobustAimd proto(1.0, 0.8, eps);
-    const double robustness = core::measure_robustness_score(proto, cfg);
-    const double friendliness =
-        core::measure_tcp_friendliness_score(proto, cfg);
-    const fluid::Trace t = core::run_shared_link(proto, cfg);
-    table.add_row({TextTable::num(eps, 3), TextTable::num(robustness, 4),
-                   TextTable::num(friendliness, 4),
-                   TextTable::num(core::measure_efficiency(t, cfg.estimator()), 3)});
+  for (std::size_t i = 0; i < eps_grid.size(); ++i) {
+    table.add_row({TextTable::num(eps_grid[i], 3),
+                   TextTable::num(rows[i][0], 4), TextTable::num(rows[i][1], 4),
+                   TextTable::num(rows[i][2], 3)});
   }
   std::printf("%s(the paper's Pareto story: each eps buys robustness at a "
               "friendliness cost)\n",
@@ -123,12 +156,27 @@ int main(int argc, char** argv) {
     const ArgParser args(argc, argv);
     const double duration = args.get_double("duration", 20.0);
     const long steps = args.get_int("steps", 3000);
+    const long jobs = args.get_jobs();
 
-    std::printf("=== ablation benches (DESIGN.md section 5) ===\n\n");
-    ablate_synchronization(duration);
-    ablate_queue_discipline(duration);
+    std::printf("=== ablation benches (DESIGN.md section 5; %ld jobs) ===\n\n",
+                jobs);
+    BenchReport bench("ablation");
+    bench.set_jobs(jobs);
+    WallTimer timer;
+    ablate_synchronization(duration, jobs);
+    bench.add_phase("synchronization", timer.seconds());
+    timer.reset();
+    ablate_queue_discipline(duration, jobs);
+    bench.add_phase("queue_discipline", timer.seconds());
+    timer.reset();
     ablate_tail_fraction(steps);
-    ablate_robust_eps(steps);
+    bench.add_phase("tail_fraction", timer.seconds());
+    timer.reset();
+    ablate_robust_eps(steps, jobs);
+    bench.add_phase("robust_eps", timer.seconds());
+    bench.add_counter("cells", 16.0);  // 4 + 2 + 5 + 5 ablation cells
+    bench.add_counter("cells_per_sec", 16.0 / bench.total_seconds());
+    std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -9,12 +9,18 @@
 // the default here is a representative sub-grid. Pass --full for the paper's
 // complete grid.
 //
-// Usage: bench_emulab [--full] [--duration=30] [--markdown]
+// Usage: bench_emulab [--full] [--duration=30] [--jobs=N] [--markdown]
+//
+// --jobs=N fans the (n, bandwidth, buffer) grid out over N workers (default:
+// AXIOMCC_JOBS env, else hardware concurrency; 1 = serial). Timing lands in
+// BENCH_emulab.json.
 #include <cstdio>
 #include <exception>
 
 #include "exp/emulab.h"
+#include "util/bench_json.h"
 #include "util/cli.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 using namespace axiomcc;
@@ -25,6 +31,7 @@ int main(int argc, char** argv) {
 
     exp::EmulabGridConfig cfg;
     cfg.duration_seconds = args.get_double("duration", 30.0);
+    cfg.jobs = args.get_jobs();
     if (!args.has("full")) {
       cfg.sender_counts = {2, 4};
       cfg.bandwidths_mbps = {20.0, 60.0};
@@ -39,9 +46,12 @@ int main(int argc, char** argv) {
     for (double bw : cfg.bandwidths_mbps) std::printf("%.0f ", bw);
     std::printf("} Mbps, buffer in {");
     for (auto b : cfg.buffers_packets) std::printf("%zu ", b);
-    std::printf("} MSS, RTT 42 ms, %.0f s per run\n\n", cfg.duration_seconds);
+    std::printf("} MSS, RTT 42 ms, %.0f s per run, %ld jobs\n\n",
+                cfg.duration_seconds, cfg.jobs);
 
+    WallTimer timer;
     const auto cells = exp::run_emulab_grid(cfg);
+    const double grid_seconds = timer.seconds();
 
     std::size_t total_verdicts = 0;
     std::size_t matching = 0;
@@ -77,6 +87,15 @@ int main(int argc, char** argv) {
     std::printf("=== hierarchy agreement: %zu / %zu metric-cells match the "
                 "theory (paper: all) ===\n",
                 matching, total_verdicts);
+
+    BenchReport bench("emulab");
+    bench.set_jobs(cfg.jobs);
+    bench.add_phase("run_emulab_grid", grid_seconds);
+    bench.add_phase("check_hierarchies", timer.seconds() - grid_seconds);
+    bench.add_counter("cells", static_cast<double>(cells.size()));
+    bench.add_counter("cells_per_sec",
+                      static_cast<double>(cells.size()) / grid_seconds);
+    std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

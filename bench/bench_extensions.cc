@@ -8,10 +8,16 @@
 //   3. a pacing-style model-based protocol (BBR-like) placed in the
 //      8-metric space next to the loss-based families.
 //
-// Usage: bench_extensions [--steps=3000] [--duration=20]
+// Usage: bench_extensions [--steps=3000] [--duration=20] [--jobs=N]
+//
+// --jobs=N fans each extension's independent cells out over N workers
+// (default: AXIOMCC_JOBS env, else hardware concurrency; 1 = serial).
+// Per-extension timing lands in BENCH_extensions.json.
+#include <array>
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cc/bbr_like.h"
@@ -23,74 +29,105 @@
 #include "core/metrics.h"
 #include "fluid/network.h"
 #include "sim/network.h"
+#include "util/bench_json.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/task_pool.h"
 
 using namespace axiomcc;
 
 namespace {
 
-void extra_axioms(long steps) {
+void extra_axioms(long steps, long jobs) {
   std::printf("--- extension 1: candidate additional axioms ---\n");
   core::EvalConfig cfg;
   cfg.steps = steps;
 
-  const char* specs[] = {"reno",        "aimd(4,0.5)", "cubic-linux",
-                         "scalable",    "bin(1,1,1,0)", "robust_aimd(1,0.8,0.01)",
-                         "bbr",         "vegas(2,4)"};
+  const std::vector<std::string> specs{
+      "reno",         "aimd(4,0.5)",              "cubic-linux",
+      "scalable",     "bin(1,1,1,0)",             "robust_aimd(1,0.8,0.01)",
+      "bbr",          "vegas(2,4)"};
+
+  struct Row {
+    std::string name;
+    long responsiveness = 0;
+    double smoothness = 0.0;
+    double jain = 0.0;
+  };
+  const auto rows = parallel_map(
+      specs,
+      [&](const std::string& spec) {
+        const auto proto = cc::make_protocol(spec);
+        Row row;
+        row.name = proto->name();
+        row.responsiveness = core::measure_responsiveness(*proto, cfg);
+        const fluid::Trace t = core::run_shared_link(*proto, cfg);
+        row.smoothness = core::measure_smoothness(t, cfg.estimator());
+        row.jain = core::measure_jain_fairness(t, cfg.estimator());
+        return row;
+      },
+      jobs);
 
   TextTable table;
   table.set_header({"protocol", "responsiveness (steps to refill)",
                     "smoothness", "jain fairness"});
-  for (const char* spec : specs) {
-    const auto proto = cc::make_protocol(spec);
-    const long responsiveness = core::measure_responsiveness(*proto, cfg);
-    const fluid::Trace t = core::run_shared_link(*proto, cfg);
-    table.add_row({proto->name(), std::to_string(responsiveness),
-                   TextTable::num(core::measure_smoothness(t, cfg.estimator()), 4),
-                   TextTable::num(
-                       core::measure_jain_fairness(t, cfg.estimator()), 4)});
+  for (const auto& row : rows) {
+    table.add_row({row.name, std::to_string(row.responsiveness),
+                   TextTable::num(row.smoothness, 4),
+                   TextTable::num(row.jain, 4)});
   }
   std::printf("%s\n", table.render().c_str());
 }
 
-void parking_lots(long steps, double duration) {
+void parking_lots(long steps, double duration, long jobs) {
   std::printf("--- extension 2: parking-lot topologies (network-wide "
               "interaction) ---\n");
   TextTable table;
   table.set_header({"substrate", "protocol", "bottlenecks",
                     "long/short share ratio"});
 
-  for (int k : {1, 2, 3, 6}) {
-    fluid::NetworkOptions opt;
-    opt.steps = steps;
-    fluid::ParkingLot lot = fluid::make_parking_lot(
-        fluid::make_link_mbps(20.0, 40.0, 20.0), k,
-        cc::RobustAimd(1.0, 0.5, 0.01), opt);
-    const fluid::Trace t = lot.network.run();
-    const double ratio =
-        mean_of(tail_view(t.windows(lot.long_flow), 0.5)) /
-        mean_of(tail_view(t.windows(lot.short_flows[0]), 0.5));
-    table.add_row({"fluid", "Robust-AIMD(1,0.5,0.01)", std::to_string(k),
-                   TextTable::num(ratio, 3)});
+  const std::vector<int> fluid_ks{1, 2, 3, 6};
+  const auto fluid_ratios = parallel_map(
+      fluid_ks,
+      [&](int k) {
+        fluid::NetworkOptions opt;
+        opt.steps = steps;
+        fluid::ParkingLot lot = fluid::make_parking_lot(
+            fluid::make_link_mbps(20.0, 40.0, 20.0), k,
+            cc::RobustAimd(1.0, 0.5, 0.01), opt);
+        const fluid::Trace t = lot.network.run();
+        return mean_of(tail_view(t.windows(lot.long_flow), 0.5)) /
+               mean_of(tail_view(t.windows(lot.short_flows[0]), 0.5));
+      },
+      jobs);
+  for (std::size_t i = 0; i < fluid_ks.size(); ++i) {
+    table.add_row({"fluid", "Robust-AIMD(1,0.5,0.01)",
+                   std::to_string(fluid_ks[i]),
+                   TextTable::num(fluid_ratios[i], 3)});
   }
 
-  for (int k : {1, 2, 3}) {
-    sim::MultiHopNetwork::Config cfg;
-    cfg.duration_seconds = duration;
-    sim::PacketParkingLot lot = sim::make_packet_parking_lot(
-        10.0, 10.0, 25, k, *cc::presets::reno(), cfg);
-    lot.network->run();
-    double short_sum = 0.0;
-    for (int f : lot.short_flows) {
-      short_sum += lot.network->flow_throughput_mbps(f);
-    }
-    const double ratio =
-        lot.network->flow_throughput_mbps(lot.long_flow) /
-        (short_sum / static_cast<double>(lot.short_flows.size()));
-    table.add_row({"packet", "AIMD(1,0.5) [Reno]", std::to_string(k),
-                   TextTable::num(ratio, 3)});
+  const std::vector<int> packet_ks{1, 2, 3};
+  const auto packet_ratios = parallel_map(
+      packet_ks,
+      [&](int k) {
+        sim::MultiHopNetwork::Config cfg;
+        cfg.duration_seconds = duration;
+        sim::PacketParkingLot lot = sim::make_packet_parking_lot(
+            10.0, 10.0, 25, k, *cc::presets::reno(), cfg);
+        lot.network->run();
+        double short_sum = 0.0;
+        for (int f : lot.short_flows) {
+          short_sum += lot.network->flow_throughput_mbps(f);
+        }
+        return lot.network->flow_throughput_mbps(lot.long_flow) /
+               (short_sum / static_cast<double>(lot.short_flows.size()));
+      },
+      jobs);
+  for (std::size_t i = 0; i < packet_ks.size(); ++i) {
+    table.add_row({"packet", "AIMD(1,0.5) [Reno]",
+                   std::to_string(packet_ks[i]),
+                   TextTable::num(packet_ratios[i], 3)});
   }
   std::printf("%s", table.render().c_str());
   std::printf("(fluid AIMD would show ratio 1.0 under synchronized feedback; "
@@ -98,21 +135,31 @@ void parking_lots(long steps, double duration) {
               "desynchronization expose the beat-down)\n\n");
 }
 
-void bbr_in_the_metric_space(long steps) {
+void bbr_in_the_metric_space(long steps, long jobs) {
   std::printf("--- extension 3: a pacing-style protocol in the 8-metric "
               "space ---\n");
   core::EvalConfig cfg;
   cfg.steps = steps;
 
+  const auto make_proto = [](std::size_t i) -> std::unique_ptr<cc::Protocol> {
+    if (i == 0) return cc::presets::reno();
+    if (i == 1) return std::make_unique<cc::BbrLike>();
+    return cc::presets::robust_aimd_table2();
+  };
+  const auto rows = parallel_map(
+      std::size_t{3},
+      [&](std::size_t i) {
+        const auto proto = make_proto(i);
+        return std::pair<std::string, core::MetricReport>{
+            proto->name(), core::evaluate_protocol(*proto, cfg)};
+      },
+      jobs);
+
   TextTable table;
   table.set_header({"protocol", "eff", "loss", "robust", "friendly",
                     "latency"});
-  const std::unique_ptr<cc::Protocol> protos[] = {
-      cc::presets::reno(), std::make_unique<cc::BbrLike>(),
-      cc::presets::robust_aimd_table2()};
-  for (const auto& proto : protos) {
-    const core::MetricReport m = core::evaluate_protocol(*proto, cfg);
-    table.add_row({proto->name(), TextTable::num(m.efficiency, 3),
+  for (const auto& [name, m] : rows) {
+    table.add_row({name, TextTable::num(m.efficiency, 3),
                    TextTable::num(m.loss_avoidance, 4),
                    TextTable::num(m.robustness, 4),
                    TextTable::num(m.tcp_friendliness, 3),
@@ -131,11 +178,24 @@ int main(int argc, char** argv) {
     const ArgParser args(argc, argv);
     const long steps = args.get_int("steps", 3000);
     const double duration = args.get_double("duration", 20.0);
+    const long jobs = args.get_jobs();
 
-    std::printf("=== future-work extensions, measured ===\n\n");
-    extra_axioms(steps);
-    parking_lots(steps, duration);
-    bbr_in_the_metric_space(steps);
+    std::printf("=== future-work extensions, measured (%ld jobs) ===\n\n",
+                jobs);
+    BenchReport bench("extensions");
+    bench.set_jobs(jobs);
+    WallTimer timer;
+    extra_axioms(steps, jobs);
+    bench.add_phase("extra_axioms", timer.seconds());
+    timer.reset();
+    parking_lots(steps, duration, jobs);
+    bench.add_phase("parking_lots", timer.seconds());
+    timer.reset();
+    bbr_in_the_metric_space(steps, jobs);
+    bench.add_phase("bbr_metric_space", timer.seconds());
+    bench.add_counter("cells", 18.0);  // 8 + 4 + 3 + 3 extension cells
+    bench.add_counter("cells_per_sec", 18.0 / bench.total_seconds());
+    std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -5,13 +5,20 @@
 // that no grid point Pareto-dominates another, and measures AIMD(α, β) at
 // sample points to confirm each surface point is attained by a real protocol.
 //
-// Usage: bench_figure1 [--skip-attainment] [--markdown]
+// Usage: bench_figure1 [--skip-attainment] [--steps=4000] [--jobs=N]
+//                      [--markdown]
+//
+// --jobs=N fans the attainment sample points out over N workers (default:
+// AXIOMCC_JOBS env, else hardware concurrency; 1 = serial). Timing lands in
+// BENCH_figure1.json.
 #include <cstdio>
 #include <exception>
 #include <map>
 
 #include "exp/figure1.h"
+#include "util/bench_json.h"
 #include "util/cli.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 using namespace axiomcc;
@@ -19,11 +26,17 @@ using namespace axiomcc;
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    const long jobs = args.get_jobs();
 
     std::printf("=== Figure 1: Pareto frontier of efficiency, friendliness, "
                 "fast-utilization ===\n\n");
 
+    BenchReport bench("figure1");
+    bench.set_jobs(jobs);
+    WallTimer timer;
+
     const auto grid = exp::figure1_grid();
+    bench.add_phase("surface", timer.seconds());
 
     // Group into series by alpha for a plot-like rendering.
     std::map<double, std::vector<core::Figure1Point>> series;
@@ -44,17 +57,24 @@ int main(int argc, char** argv) {
                                          : TextTable::Format::kAscii)
                             .c_str());
 
+    timer.reset();
     const auto frontier = exp::frontier_of(grid);
+    bench.add_phase("pareto_check", timer.seconds());
     std::printf("Pareto check: %zu of %zu grid points are non-dominated "
                 "(expected: all — the surface IS the frontier)\n\n",
                 frontier.size(), grid.size());
 
+    std::size_t attainment_cells = 0;
     if (!args.has("skip-attainment")) {
       std::printf("Attainment check: AIMD(alpha,beta) measured on the fluid "
-                  "model at sample points\n");
+                  "model at sample points (%ld jobs)\n",
+                  jobs);
       core::EvalConfig cfg;
       cfg.steps = args.get_int("steps", 4000);
-      const auto checks = exp::verify_attainment(cfg);
+      timer.reset();
+      const auto checks = exp::verify_attainment(cfg, jobs);
+      bench.add_phase("verify_attainment", timer.seconds());
+      attainment_cells = checks.size();
 
       TextTable verify;
       verify.set_header({"AIMD(a,b)", "alpha (meas/analytic)",
@@ -77,6 +97,13 @@ int main(int argc, char** argv) {
       std::printf("(measured efficiency exceeds the analytic worst-case beta "
                   "on any single link; the bound is over ALL links)\n");
     }
+
+    bench.add_counter("cells",
+                      static_cast<double>(grid.size() + attainment_cells));
+    bench.add_counter("cells_per_sec",
+                      static_cast<double>(grid.size() + attainment_cells) /
+                          bench.total_seconds());
+    std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

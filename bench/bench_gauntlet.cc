@@ -9,7 +9,11 @@
 // Usage: bench_gauntlet [--mbps=30] [--rtt-ms=42] [--buffer=100]
 //                       [--senders=2] [--steps=900] [--seeds=3]
 //                       [--protocols=reno,cubic-linux] [--no-axioms]
-//                       [--cells] [--csv] [--markdown]
+//                       [--jobs=N] [--cells] [--csv] [--markdown]
+//
+// --jobs=N fans the protocol × scenario × seed matrix out over N workers
+// (default: AXIOMCC_JOBS env, else hardware concurrency; 1 = serial). Timing
+// lands in BENCH_gauntlet.json.
 #include <cstdio>
 #include <exception>
 #include <sstream>
@@ -17,7 +21,9 @@
 #include <vector>
 
 #include "exp/gauntlet.h"
+#include "util/bench_json.h"
 #include "util/cli.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 using namespace axiomcc;
@@ -66,6 +72,7 @@ int main(int argc, char** argv) {
       cfg.seeds.push_back(static_cast<std::uint64_t>(s));
     }
     cfg.include_axiom_metrics = !args.has("no-axioms");
+    cfg.jobs = args.get_jobs();
     // Trimmed axiom evaluation: the gauntlet's own scores carry the
     // stress story; the axiom columns are context.
     cfg.axiom_cfg.steps = 2000;
@@ -76,17 +83,32 @@ int main(int argc, char** argv) {
         args.get("protocols") ? split_specs(*args.get("protocols"))
                               : exp::default_gauntlet_specs();
 
-    std::printf("=== Robustness gauntlet ===\n");
-    std::printf(
-        "Link: %.0f Mbps, %.0f ms RTT, %.0f MSS buffer; %d senders, %ld "
-        "steps, %zu seeds, %zu protocols\n\n",
-        args.get_double("mbps", 30.0), args.get_double("rtt-ms", 42.0),
-        args.get_double("buffer", 100.0), cfg.num_senders, cfg.steps,
-        cfg.seeds.size(), specs.size());
+    if (!args.has("csv")) {
+      std::printf("=== Robustness gauntlet ===\n");
+      std::printf(
+          "Link: %.0f Mbps, %.0f ms RTT, %.0f MSS buffer; %d senders, %ld "
+          "steps, %zu seeds, %zu protocols, %ld jobs\n\n",
+          args.get_double("mbps", 30.0), args.get_double("rtt-ms", 42.0),
+          args.get_double("buffer", 100.0), cfg.num_senders, cfg.steps,
+          cfg.seeds.size(), specs.size(), cfg.jobs);
+    }
 
+    WallTimer timer;
     const exp::GauntletResult result = exp::run_gauntlet(specs, cfg);
+    const double run_seconds = timer.seconds();
+
+    BenchReport bench("gauntlet");
+    bench.set_jobs(cfg.jobs);
+    bench.add_phase("run_gauntlet", run_seconds);
+    bench.add_counter("cells", static_cast<double>(result.cells.size()));
+    bench.add_counter("cells_per_sec",
+                      static_cast<double>(result.cells.size()) / run_seconds);
+    const std::string artifact = bench.write();
 
     if (args.has("csv")) {
+      // Keep stdout pure CSV (byte-comparable across job counts); the
+      // artifact path goes to stderr.
+      std::fprintf(stderr, "Bench artifact: %s\n", artifact.c_str());
       std::ostringstream out;
       if (args.has("cells")) {
         exp::write_gauntlet_csv(result.cells, out);
@@ -113,6 +135,7 @@ int main(int argc, char** argv) {
                        fmt(cell.loss_rate)});
       }
       std::printf("%s\n", table.render(format).c_str());
+      std::printf("Bench artifact: %s\n", artifact.c_str());
       return 0;
     }
 
@@ -149,6 +172,7 @@ int main(int argc, char** argv) {
         " * Retention is tail utilization relative to the protocol's\n"
         "   unperturbed baseline; Recovery is in steps after the outage.\n",
         failed, result.cells.size());
+    std::printf("Bench artifact: %s\n", artifact.c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -2,7 +2,18 @@
 // substrates: fluid steps/s and packet-level events/s, plus the metric
 // estimators. These are performance benches for the library itself (not a
 // paper experiment).
+//
+// Before the google-benchmark suite runs, a task-pool throughput bench
+// measures parallel_map over fluid-simulation cells at jobs = 1, 2, 4, and
+// hardware concurrency, and writes the cells/sec and serial-vs-parallel
+// speedup into BENCH_micro.json. Pass --benchmark_filter=... etc. through to
+// google-benchmark as usual; --skip-pool skips the pool bench.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "cc/aimd.h"
 #include "cc/presets.h"
@@ -14,6 +25,9 @@
 #include "sim/event.h"
 #include "sim/network.h"
 #include "sim/queue.h"
+#include "util/bench_json.h"
+#include "util/stats.h"
+#include "util/task_pool.h"
 
 using namespace axiomcc;
 
@@ -152,6 +166,91 @@ void BM_FullProtocolEvaluation(benchmark::State& state) {
 }
 BENCHMARK(BM_FullProtocolEvaluation)->Unit(benchmark::kMillisecond);
 
+/// One representative sweep cell: a shared-link fluid run plus the tail
+/// estimators — the workload parallel_map fans out in the experiment layer.
+double sweep_cell(std::size_t index) {
+  const auto link =
+      fluid::make_link_mbps(20.0 + static_cast<double>(index % 8) * 10.0,
+                            42.0, 100.0);
+  fluid::SimOptions opt;
+  opt.steps = 1200;
+  fluid::FluidSimulation sim(link, opt);
+  sim.add_sender(cc::Aimd(1.0, 0.5), 1.0);
+  sim.add_sender(cc::Aimd(1.0, 0.5), 50.0);
+  const fluid::Trace trace = sim.run();
+  const core::EstimatorConfig est{0.5};
+  return core::measure_efficiency(trace, est) +
+         core::measure_fairness(trace, est);
+}
+
+void BM_ParallelMapSweepCells(benchmark::State& state) {
+  const long jobs = state.range(0);
+  constexpr std::size_t kCells = 32;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel_map(kCells, sweep_cell, jobs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kCells));
+}
+BENCHMARK(BM_ParallelMapSweepCells)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Task-pool throughput at a fixed cell count, reported as cells/sec per
+/// job count plus the speedup over the serial path. Runs once before the
+/// google-benchmark suite and lands in BENCH_micro.json so the artifact
+/// carries the machine's measured scaling curve.
+void run_pool_throughput_bench() {
+  constexpr std::size_t kCells = 48;
+  const long hw = hardware_jobs();
+  std::vector<long> job_counts{1, 2, 4};
+  if (hw > 4) job_counts.push_back(hw);
+
+  std::printf("--- task-pool throughput: %zu fluid sweep cells ---\n", kCells);
+  BenchReport bench("micro");
+  bench.set_jobs(hw);
+
+  double serial_seconds = 0.0;
+  for (const long jobs : job_counts) {
+    WallTimer timer;
+    const auto results = parallel_map(kCells, sweep_cell, jobs);
+    const double seconds = timer.seconds();
+    if (jobs == 1) serial_seconds = seconds;
+
+    const double cells_per_sec = static_cast<double>(results.size()) / seconds;
+    const double speedup = serial_seconds / seconds;
+    std::printf("jobs=%-3ld  %8.1f cells/s  speedup %.2fx\n", jobs,
+                cells_per_sec, speedup);
+    const std::string suffix = "_jobs" + std::to_string(jobs);
+    bench.add_phase("parallel_map" + suffix, seconds);
+    bench.add_counter("cells_per_sec" + suffix, cells_per_sec);
+    bench.add_counter("speedup" + suffix, speedup);
+  }
+  bench.add_counter("cells", static_cast<double>(kCells));
+  std::printf("Bench artifact: %s\n\n", bench.write().c_str());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --skip-pool before handing argv to google-benchmark (it rejects
+  // flags it does not know).
+  bool skip_pool = false;
+  std::vector<char*> filtered;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::strcmp(argv[i], "--skip-pool") == 0) {
+      skip_pool = true;
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  if (!skip_pool) run_pool_throughput_bench();
+
+  int filtered_argc = static_cast<int>(filtered.size());
+  benchmark::Initialize(&filtered_argc, filtered.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

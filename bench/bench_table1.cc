@@ -5,12 +5,17 @@
 // the fluid model, for all eight metrics.
 //
 // Usage: bench_table1 [--mbps=30] [--rtt-ms=42] [--buffer=100] [--senders=2]
-//                     [--steps=4000] [--markdown]
+//                     [--steps=4000] [--jobs=N] [--markdown]
+//
+// --jobs=N fans the rows out over N workers (default: AXIOMCC_JOBS env, else
+// hardware concurrency; 1 = serial). Timing lands in BENCH_table1.json.
 #include <cstdio>
 #include <exception>
 
 #include "exp/table1.h"
+#include "util/bench_json.h"
 #include "util/cli.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 using namespace axiomcc;
@@ -33,14 +38,19 @@ int main(int argc, char** argv) {
                                      args.get_double("buffer", 100.0));
     cfg.num_senders = static_cast<int>(args.get_int("senders", 2));
     cfg.steps = args.get_int("steps", 4000);
+    const long jobs = args.get_jobs();
 
     std::printf("=== Table 1: protocol characterization ===\n");
-    std::printf("Link: %.0f Mbps, %.0f ms RTT, %.0f MSS buffer, %d senders\n",
-                args.get_double("mbps", 30.0), args.get_double("rtt-ms", 42.0),
-                args.get_double("buffer", 100.0), cfg.num_senders);
+    std::printf(
+        "Link: %.0f Mbps, %.0f ms RTT, %.0f MSS buffer, %d senders, %ld "
+        "jobs\n",
+        args.get_double("mbps", 30.0), args.get_double("rtt-ms", 42.0),
+        args.get_double("buffer", 100.0), cfg.num_senders, jobs);
     std::printf("Cell format: theory <worst-case> | measured\n\n");
 
-    const auto rows = exp::build_table1(cfg);
+    WallTimer timer;
+    const auto rows = exp::build_table1(cfg, jobs);
+    const double build_seconds = timer.seconds();
 
     TextTable table;
     table.set_header({"Protocol", "Efficiency", "Loss-Avoiding",
@@ -74,6 +84,14 @@ int main(int argc, char** argv) {
         " * MIMD/BIN loss cells use the model-derived bounds (see theory.h\n"
         "   and EXPERIMENTS.md for the discrepancy notes vs the printed\n"
         "   paper cells).\n");
+
+    BenchReport bench("table1");
+    bench.set_jobs(jobs);
+    bench.add_phase("build_table1", build_seconds);
+    bench.add_counter("cells", static_cast<double>(rows.size()));
+    bench.add_counter("cells_per_sec",
+                      static_cast<double>(rows.size()) / build_seconds);
+    std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -9,13 +9,20 @@
 // the packet-level simulator (the substrate the paper's Emulab numbers came
 // from; a few seconds of CPU).
 //
-// Usage: bench_table2 [--steps=4000] [--packet] [--duration=30] [--markdown]
+// Usage: bench_table2 [--steps=4000] [--packet] [--duration=30] [--jobs=N]
+//                     [--markdown]
+//
+// --jobs=N fans the (n, BW) grid out over N workers (default: AXIOMCC_JOBS
+// env, else hardware concurrency; 1 = serial). Timing lands in
+// BENCH_table2.json.
 #include <cmath>
 #include <cstdio>
 #include <exception>
 
 #include "exp/table2.h"
+#include "util/bench_json.h"
 #include "util/cli.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 using namespace axiomcc;
@@ -25,16 +32,21 @@ int main(int argc, char** argv) {
     const ArgParser args(argc, argv);
     exp::Table2Config cfg;
     cfg.steps = args.get_int("steps", 4000);
+    cfg.jobs = args.get_jobs();
 
     const bool packet = args.has("packet");
     std::printf("=== Table 2: TCP-friendliness of Robust-AIMD(1,0.8,0.01) vs "
                 "PCC (%s substrate) ===\n",
                 packet ? "packet-level" : "fluid");
-    std::printf("RTT 42 ms, buffer 100 MSS; cell = improvement factor\n\n");
+    std::printf("RTT 42 ms, buffer 100 MSS; cell = improvement factor; "
+                "%ld jobs\n\n",
+                cfg.jobs);
 
+    WallTimer timer;
     const auto cells =
         packet ? exp::build_table2_packet(cfg, args.get_double("duration", 30.0))
                : exp::build_table2(cfg);
+    const double grid_seconds = timer.seconds();
 
     TextTable table;
     table.set_header({"(n,BW)", "R-AIMD friendliness", "PCC friendliness",
@@ -62,6 +74,15 @@ int main(int argc, char** argv) {
                 geomean);
     std::printf("cells above 1.5x: %zu / %zu (paper: consistently >1.5x)\n",
                 above_1_5, cells.size());
+
+    BenchReport bench("table2");
+    bench.set_jobs(cfg.jobs);
+    bench.add_phase(packet ? "build_table2_packet" : "build_table2",
+                    grid_seconds);
+    bench.add_counter("cells", static_cast<double>(cells.size()));
+    bench.add_counter("cells_per_sec",
+                      static_cast<double>(cells.size()) / grid_seconds);
+    std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,13 +1,19 @@
 // bench_theorems — empirical verification of Claim 1 and Theorems 1-5
 // (paper Section 4), printed as measured-vs-bound rows.
 //
-// Usage: bench_theorems [--steps=3000]
+// Usage: bench_theorems [--steps=3000] [--jobs=N]
+//
+// --jobs=N fans each theorem's independent simulation cells out over N
+// workers (default: AXIOMCC_JOBS env, else hardware concurrency; 1 =
+// serial). Per-theorem timing lands in BENCH_theorems.json.
 #include <cstdio>
 #include <exception>
 #include <vector>
 
 #include "exp/theorems.h"
+#include "util/bench_json.h"
 #include "util/cli.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 using namespace axiomcc;
@@ -35,13 +41,21 @@ int main(int argc, char** argv) {
     const ArgParser args(argc, argv);
     core::EvalConfig cfg;
     cfg.steps = args.get_int("steps", 3000);
+    const long jobs = args.get_jobs();
 
     std::printf("=== Section 4: axiomatic derivations, checked empirically "
-                "===\n\n");
+                "(%ld jobs) ===\n\n",
+                jobs);
     int failures = 0;
+    std::size_t cells = 0;
+    BenchReport bench("theorems");
+    bench.set_jobs(jobs);
+    WallTimer timer;
 
     {
-      const auto r = exp::check_claim1(cfg);
+      const auto r = exp::check_claim1(cfg, jobs);
+      bench.add_phase("claim1", timer.seconds());
+      cells += 3;
       std::printf("--- Claim 1: 0-loss loss-based protocols are not "
                   "fast-utilizing ---\n");
       std::printf("CautiousProbe tail loss:            %.6f (must be 0)\n",
@@ -55,23 +69,36 @@ int main(int argc, char** argv) {
       if (!r.holds) ++failures;
     }
 
-    failures += print_checks(
-        "Theorem 1: efficiency >= conv/(2-conv) (AIMD grid)",
-        exp::check_theorem1(cfg));
-    failures += print_checks(
-        "Theorem 2: TCP-friendliness <= 3(1-b)/(a(1+b)) (tight for AIMD)",
-        exp::check_theorem2(cfg));
-    failures += print_checks(
-        "Theorem 3: robustness tightens the friendliness bound",
-        exp::check_theorem3(cfg));
-    failures += print_checks(
-        "Theorem 4: friendliness transfers to more-aggressive protocols",
-        exp::check_theorem4(cfg));
-    failures += print_checks(
-        "Theorem 5: loss-based protocols starve latency-avoiders",
-        exp::check_theorem5(cfg));
+    const struct {
+      const char* title;
+      const char* phase;
+      std::vector<exp::TheoremCheck> (*check)(const core::EvalConfig&, long);
+    } theorems[] = {
+        {"Theorem 1: efficiency >= conv/(2-conv) (AIMD grid)", "theorem1",
+         exp::check_theorem1},
+        {"Theorem 2: TCP-friendliness <= 3(1-b)/(a(1+b)) (tight for AIMD)",
+         "theorem2", exp::check_theorem2},
+        {"Theorem 3: robustness tightens the friendliness bound", "theorem3",
+         exp::check_theorem3},
+        {"Theorem 4: friendliness transfers to more-aggressive protocols",
+         "theorem4", exp::check_theorem4},
+        {"Theorem 5: loss-based protocols starve latency-avoiders",
+         "theorem5", exp::check_theorem5},
+    };
+    for (const auto& t : theorems) {
+      timer.reset();
+      const auto checks = t.check(cfg, jobs);
+      bench.add_phase(t.phase, timer.seconds());
+      cells += checks.size();
+      failures += print_checks(t.title, checks);
+    }
 
     std::printf("=== %d failing check(s) ===\n", failures);
+
+    bench.add_counter("cells", static_cast<double>(cells));
+    bench.add_counter("cells_per_sec",
+                      static_cast<double>(cells) / bench.total_seconds());
+    std::printf("Bench artifact: %s\n", bench.write().c_str());
     return failures == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -11,6 +11,7 @@
 #include "fluid/link.h"
 #include "sim/dumbbell.h"
 #include "util/check.h"
+#include "util/task_pool.h"
 
 namespace axiomcc::exp {
 
@@ -90,14 +91,23 @@ EmulabScores measure_protocol(const EmulabGridConfig& cfg, double bw,
 }  // namespace
 
 std::vector<EmulabCell> run_emulab_grid(const EmulabGridConfig& cfg) {
-  const auto reno = cc::presets::reno();
-  const auto cubic = cc::presets::cubic_linux();
-  const auto scalable = cc::presets::scalable();
+  // Cells in row order: n outermost, buffer innermost — the same order the
+  // serial loops produced. Every cell is a pure function of its index and
+  // builds its own protocol presets, so the grid is bit-identical at any job
+  // count.
+  const std::size_t per_bw = cfg.buffers_packets.size();
+  const std::size_t per_n = cfg.bandwidths_mbps.size() * per_bw;
+  return parallel_map(
+      cfg.sender_counts.size() * per_n,
+      [&](std::size_t i) {
+        const int n = cfg.sender_counts[i / per_n];
+        const double bw = cfg.bandwidths_mbps[(i / per_bw) % cfg.bandwidths_mbps.size()];
+        const std::size_t buffer = cfg.buffers_packets[i % per_bw];
 
-  std::vector<EmulabCell> cells;
-  for (int n : cfg.sender_counts) {
-    for (double bw : cfg.bandwidths_mbps) {
-      for (std::size_t buffer : cfg.buffers_packets) {
+        const auto reno = cc::presets::reno();
+        const auto cubic = cc::presets::cubic_linux();
+        const auto scalable = cc::presets::scalable();
+
         EmulabCell cell;
         cell.n = n;
         cell.bandwidth_mbps = bw;
@@ -106,11 +116,9 @@ std::vector<EmulabCell> run_emulab_grid(const EmulabGridConfig& cfg) {
         cell.protocols.push_back(measure_protocol(cfg, bw, buffer, n, *cubic));
         cell.protocols.push_back(
             measure_protocol(cfg, bw, buffer, n, *scalable));
-        cells.push_back(std::move(cell));
-      }
-    }
-  }
-  return cells;
+        return cell;
+      },
+      cfg.jobs);
 }
 
 namespace {

@@ -27,6 +27,11 @@ struct EmulabGridConfig {
   double duration_seconds = 30.0;
   double tail_fraction = 0.5;
   std::uint64_t seed = 7;
+  /// Fan the (n, BW, buffer) cells out over a work-stealing pool
+  /// (util/task_pool.h): <= 0 resolves via resolve_jobs (AXIOMCC_JOBS env,
+  /// else hardware), 1 is the serial path. Each cell builds its own protocol
+  /// instances, so results are bit-identical at every job count.
+  long jobs = 0;
 };
 
 /// Measured scores of one protocol in one grid cell.

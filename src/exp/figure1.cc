@@ -4,6 +4,7 @@
 
 #include "cc/aimd.h"
 #include "core/theory.h"
+#include "util/task_pool.h"
 
 namespace axiomcc::exp {
 
@@ -13,28 +14,32 @@ std::vector<core::Figure1Point> figure1_grid() {
   return core::figure1_surface(alphas, betas);
 }
 
-std::vector<Figure1Verification> verify_attainment(
-    const core::EvalConfig& cfg) {
-  // Sample of (α, β) pairs across the surface.
+std::vector<Figure1Verification> verify_attainment(const core::EvalConfig& cfg,
+                                                   long jobs) {
+  // Sample of (α, β) pairs across the surface. Each task builds its own
+  // AIMD(α, β), so no protocol state crosses threads.
   const std::vector<std::pair<double, double>> samples{
       {0.5, 0.5}, {1.0, 0.5}, {1.0, 0.8}, {2.0, 0.5}, {2.0, 0.7}, {4.0, 0.9}};
 
-  std::vector<Figure1Verification> out;
-  out.reserve(samples.size());
-  for (const auto& [alpha, beta] : samples) {
-    const cc::Aimd proto(alpha, beta);
-    Figure1Verification v;
-    v.analytic = core::Figure1Point{
-        alpha, beta, core::theory::thm2_friendliness_upper_bound(alpha, beta)};
-    v.measured_fast_utilization =
-        core::measure_fast_utilization_score(proto, cfg);
-    const fluid::Trace shared = core::run_shared_link(proto, cfg);
-    v.measured_efficiency = core::measure_efficiency(shared, cfg.estimator());
-    v.measured_friendliness =
-        core::measure_tcp_friendliness_score(proto, cfg);
-    out.push_back(v);
-  }
-  return out;
+  return parallel_map(
+      samples,
+      [&](const std::pair<double, double>& sample) {
+        const auto [alpha, beta] = sample;
+        const cc::Aimd proto(alpha, beta);
+        Figure1Verification v;
+        v.analytic = core::Figure1Point{
+            alpha, beta,
+            core::theory::thm2_friendliness_upper_bound(alpha, beta)};
+        v.measured_fast_utilization =
+            core::measure_fast_utilization_score(proto, cfg);
+        const fluid::Trace shared = core::run_shared_link(proto, cfg);
+        v.measured_efficiency =
+            core::measure_efficiency(shared, cfg.estimator());
+        v.measured_friendliness =
+            core::measure_tcp_friendliness_score(proto, cfg);
+        return v;
+      },
+      jobs);
 }
 
 std::vector<std::size_t> frontier_of(

@@ -26,8 +26,11 @@ struct Figure1Verification {
 [[nodiscard]] std::vector<core::Figure1Point> figure1_grid();
 
 /// Measures AIMD(α, β) at selected grid points to verify attainment.
+/// `jobs` fans the sample points out over a work-stealing pool (<= 0: auto
+/// via resolve_jobs, 1: serial); each point builds its own protocol, so
+/// results are bit-identical at every job count.
 [[nodiscard]] std::vector<Figure1Verification> verify_attainment(
-    const core::EvalConfig& cfg);
+    const core::EvalConfig& cfg, long jobs = 0);
 
 /// Confirms no grid point dominates another after orienting all three
 /// coordinates higher-is-better (they all are). Returns the frontier indices;

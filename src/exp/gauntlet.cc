@@ -10,6 +10,7 @@
 #include "cc/registry.h"
 #include "core/metrics.h"
 #include "util/check.h"
+#include "util/task_pool.h"
 
 namespace axiomcc::exp {
 
@@ -178,9 +179,48 @@ std::vector<std::string> default_gauntlet_specs() {
   return specs;
 }
 
+namespace {
+
+/// Per-protocol pre-pass: the unperturbed baseline plus (optionally) the
+/// eight axiom metrics. Both run on `proto` exclusively.
+struct ProtocolContext {
+  Baseline baseline;
+  core::MetricReport axioms;
+  stress::FaultReport axiom_fault;
+};
+
+ProtocolContext run_protocol_context(const cc::Protocol& proto,
+                                     const GauntletConfig& cfg) {
+  ProtocolContext ctx;
+  ctx.baseline = run_baseline(proto, cfg);
+  if (cfg.include_axiom_metrics) {
+    core::EvalConfig axiom_cfg = cfg.axiom_cfg;
+    axiom_cfg.link = cfg.link;
+    ctx.axiom_fault = stress::guard_invoke(
+        [&] { ctx.axioms = core::evaluate_protocol(proto, axiom_cfg); });
+    if (ctx.axiom_fault.ok()) {
+      for (std::size_t m = 0; m < core::kNumMetrics; ++m) {
+        const double v = ctx.axioms.get(static_cast<core::Metric>(m));
+        // Fast-utilization is legitimately +inf for super-linear protocols;
+        // only NaN marks a corrupted evaluation.
+        if (std::isnan(v)) {
+          ctx.axiom_fault.kind = stress::FaultKind::kNonFiniteScore;
+          ctx.axiom_fault.detail =
+              std::string("axiom metric ") +
+              core::metric_name(static_cast<core::Metric>(m)) + " is NaN";
+          break;
+        }
+      }
+    }
+  }
+  return ctx;
+}
+
+}  // namespace
+
 GauntletResult run_gauntlet_prototypes(
     const std::vector<const cc::Protocol*>& prototypes,
-                            const GauntletConfig& cfg) {
+    const GauntletConfig& cfg) {
   AXIOMCC_EXPECTS(!prototypes.empty());
   AXIOMCC_EXPECTS(!cfg.seeds.empty());
   AXIOMCC_EXPECTS(cfg.steps >= 100);
@@ -195,14 +235,52 @@ GauntletResult run_gauntlet_prototypes(
   const std::vector<stress::Scenario>& active =
       cfg.scenarios.empty() ? owned : cfg.scenarios;
 
-  GauntletResult result;
-  result.cells.reserve(prototypes.size() * active.size() * cfg.seeds.size());
+  // cc::Protocol instances are stateful and must not be shared across
+  // threads; every parallel task below works on a clone made up front on
+  // this thread. Cell ordering (and with it CSV output) is the serial
+  // ordering: protocol-major, then scenario, then seed — parallel_map
+  // writes each result into its input slot.
+  const std::size_t num_scenarios = active.size();
+  const std::size_t num_seeds = cfg.seeds.size();
+  const std::size_t cells_per_proto = num_scenarios * num_seeds;
+  const std::size_t num_cells = prototypes.size() * cells_per_proto;
 
+  // Phase 1: per-protocol baseline + axiom metrics.
+  std::vector<std::unique_ptr<cc::Protocol>> context_clones;
+  context_clones.reserve(prototypes.size());
   for (const cc::Protocol* proto : prototypes) {
-    const Baseline baseline = run_baseline(*proto, cfg);
+    context_clones.push_back(proto->clone());
+  }
+  const std::vector<ProtocolContext> contexts = parallel_map(
+      prototypes.size(),
+      [&](std::size_t p) { return run_protocol_context(*context_clones[p], cfg); },
+      cfg.jobs);
 
+  // Phase 2: the full (protocol, scenario, seed) matrix.
+  std::vector<std::unique_ptr<cc::Protocol>> cell_clones;
+  cell_clones.reserve(num_cells);
+  for (const cc::Protocol* proto : prototypes) {
+    for (std::size_t c = 0; c < cells_per_proto; ++c) {
+      cell_clones.push_back(proto->clone());
+    }
+  }
+  GauntletResult result;
+  result.cells = parallel_map(
+      num_cells,
+      [&](std::size_t i) {
+        const std::size_t p = i / cells_per_proto;
+        const std::size_t within = i % cells_per_proto;
+        const stress::Scenario& scenario = active[within / num_seeds];
+        const std::uint64_t seed = cfg.seeds[within % num_seeds];
+        return run_cell(*cell_clones[i], scenario, seed, contexts[p].baseline,
+                        cfg);
+      },
+      cfg.jobs);
+
+  // Phase 3: serial per-protocol aggregation, in prototype order.
+  for (std::size_t p = 0; p < prototypes.size(); ++p) {
     GauntletScore score;
-    score.protocol = proto->name();
+    score.protocol = prototypes[p]->name();
     double retention_sum = 0.0;
     double utilization_sum = 0.0;
     double recovery_sum = 0.0;
@@ -211,30 +289,26 @@ GauntletResult run_gauntlet_prototypes(
     score.worst_retention = kInf;
     score.worst_fairness = kInf;
 
-    for (const stress::Scenario& scenario : active) {
-      for (const std::uint64_t seed : cfg.seeds) {
-        GauntletCell cell = run_cell(*proto, scenario, seed, baseline, cfg);
-        ++score.cells;
-        if (!cell.fault.ok()) {
-          ++score.failed_cells;
-        } else {
-          ++clean_cells;
-          utilization_sum += cell.utilization;
-          retention_sum += cell.throughput_retention;
-          score.worst_retention =
-              std::min(score.worst_retention, cell.throughput_retention);
-          score.worst_fairness =
-              std::min(score.worst_fairness, cell.fairness);
-          if (cell.recovery_steps >= 0.0) {
-            if (std::isinf(cell.recovery_steps)) {
-              ++score.unrecovered_cells;
-            } else {
-              recovery_sum += cell.recovery_steps;
-              ++recovery_cells;
-            }
+    for (std::size_t c = 0; c < cells_per_proto; ++c) {
+      const GauntletCell& cell = result.cells[p * cells_per_proto + c];
+      ++score.cells;
+      if (!cell.fault.ok()) {
+        ++score.failed_cells;
+      } else {
+        ++clean_cells;
+        utilization_sum += cell.utilization;
+        retention_sum += cell.throughput_retention;
+        score.worst_retention =
+            std::min(score.worst_retention, cell.throughput_retention);
+        score.worst_fairness = std::min(score.worst_fairness, cell.fairness);
+        if (cell.recovery_steps >= 0.0) {
+          if (std::isinf(cell.recovery_steps)) {
+            ++score.unrecovered_cells;
+          } else {
+            recovery_sum += cell.recovery_steps;
+            ++recovery_cells;
           }
         }
-        result.cells.push_back(std::move(cell));
       }
     }
 
@@ -250,25 +324,8 @@ GauntletResult run_gauntlet_prototypes(
     }
 
     if (cfg.include_axiom_metrics) {
-      core::EvalConfig axiom_cfg = cfg.axiom_cfg;
-      axiom_cfg.link = cfg.link;
-      score.axiom_fault = stress::guard_invoke([&] {
-        score.axioms = core::evaluate_protocol(*proto, axiom_cfg);
-      });
-      if (score.axiom_fault.ok()) {
-        for (std::size_t m = 0; m < core::kNumMetrics; ++m) {
-          const double v = score.axioms.get(static_cast<core::Metric>(m));
-          // Fast-utilization is legitimately +inf for super-linear
-          // protocols; only NaN marks a corrupted evaluation.
-          if (std::isnan(v)) {
-            score.axiom_fault.kind = stress::FaultKind::kNonFiniteScore;
-            score.axiom_fault.detail =
-                std::string("axiom metric ") +
-                core::metric_name(static_cast<core::Metric>(m)) + " is NaN";
-            break;
-          }
-        }
-      }
+      score.axioms = contexts[p].axioms;
+      score.axiom_fault = contexts[p].axiom_fault;
     }
     result.scorecard.push_back(std::move(score));
   }

@@ -38,6 +38,11 @@ struct GauntletConfig {
   /// metrics, evaluated once on the unperturbed link with `axiom_cfg`.
   bool include_axiom_metrics = true;
   core::EvalConfig axiom_cfg;
+  /// Worker threads for the (protocol × scenario × seed) matrix: <= 0
+  /// resolves via resolve_jobs (AXIOMCC_JOBS env, else hardware), 1 is the
+  /// serial path. Each cell's scenario seed comes from the cell tuple, so
+  /// results are bit-identical at every job count.
+  long jobs = 0;
 };
 
 /// One (protocol, scenario, seed) cell of the gauntlet matrix.

@@ -17,6 +17,13 @@
 
 namespace axiomcc::exp {
 
+/// One link shape of a sweep grid.
+struct LinkShape {
+  double bandwidth_mbps = 0.0;
+  double rtt_ms = 0.0;
+  double buffer_mss = 0.0;
+};
+
 /// The link-shape grid of a sweep.
 struct LinkGrid {
   std::vector<double> bandwidths_mbps{20.0, 30.0, 60.0, 100.0};
@@ -26,6 +33,11 @@ struct LinkGrid {
   [[nodiscard]] std::size_t size() const {
     return bandwidths_mbps.size() * rtts_ms.size() * buffers_mss.size();
   }
+
+  /// The `index`-th cell in row-major order (bandwidth outermost, buffer
+  /// innermost) — the flattening both the serial and the parallel sweep use,
+  /// so row ordering is identical at any job count. Requires index < size().
+  [[nodiscard]] LinkShape shape(std::size_t index) const;
 };
 
 /// One sweep cell: a protocol on a link shape, with its 8 scores.
@@ -46,17 +58,24 @@ struct SweepRow {
 /// the link (steps, sender counts, tail fraction...). Protocol specs are
 /// parsed with cc::make_protocol; invalid specs throw before any work runs.
 /// Per-cell evaluation failures are captured as `failed` rows.
+///
+/// `jobs` fans the cells out over a work-stealing pool (util/task_pool.h):
+/// <= 0 resolves via resolve_jobs (AXIOMCC_JOBS env, else hardware), 1 is
+/// the serial path. Output is bit-identical at every job count — each cell
+/// is a pure function of its index and rows keep the serial ordering
+/// (protocol-major, then the grid's row-major link order).
 [[nodiscard]] std::vector<SweepRow> run_metric_sweep(
     const std::vector<std::string>& protocol_specs, const LinkGrid& grid,
-    const core::EvalConfig& base = {});
+    const core::EvalConfig& base = {}, long jobs = 0);
 
 /// Same sweep for externally-built prototypes (the hook tests use to inject
-/// pathological protocols). Prototypes must outlive the call. Named rather
-/// than overloaded: braced string lists would otherwise be ambiguous against
-/// the pointer vector's iterator-pair constructor.
+/// pathological protocols). Prototypes must outlive the call; each cell task
+/// works on its own clone, so one prototype may seed many concurrent cells.
+/// Named rather than overloaded: braced string lists would otherwise be
+/// ambiguous against the pointer vector's iterator-pair constructor.
 [[nodiscard]] std::vector<SweepRow> run_metric_sweep_prototypes(
     const std::vector<const cc::Protocol*>& prototypes, const LinkGrid& grid,
-    const core::EvalConfig& base = {});
+    const core::EvalConfig& base = {}, long jobs = 0);
 
 /// Writes sweep rows as CSV with one column per metric plus a trailing
 /// `status` column ("ok" or the fault kind of a failed cell).

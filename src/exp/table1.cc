@@ -9,6 +9,7 @@
 #include "cc/robust_aimd.h"
 #include "core/theory.h"
 #include "fluid/link.h"
+#include "util/task_pool.h"
 
 namespace axiomcc::exp {
 
@@ -137,51 +138,58 @@ core::MetricReport robust_aimd_theory(double a, double b, double eps,
   return r;
 }
 
-std::vector<Table1Entry> build_table1(const core::EvalConfig& cfg) {
-  std::vector<Table1Entry> rows;
-
-  {
-    const cc::Aimd proto(1.0, 0.5);
-    rows.push_back(Table1Entry{proto.name(), aimd_theory(1.0, 0.5, cfg, false),
+std::vector<Table1Entry> build_table1(const core::EvalConfig& cfg, long jobs) {
+  // Each row is an independent (theory, measurement) cell; the task builds
+  // its own protocol instance, so nothing is shared across worker threads.
+  return parallel_map(
+      std::size_t{6},
+      [&](std::size_t row) -> Table1Entry {
+        switch (row) {
+          case 0: {
+            const cc::Aimd proto(1.0, 0.5);
+            return Table1Entry{proto.name(), aimd_theory(1.0, 0.5, cfg, false),
                                aimd_theory(1.0, 0.5, cfg, true),
-                               core::evaluate_protocol(proto, cfg)});
-  }
-  {
-    const cc::Mimd proto(1.01, 0.875);
-    rows.push_back(Table1Entry{
-        proto.name(), mimd_theory(1.01, 0.875, cfg, false),
-        mimd_theory(1.01, 0.875, cfg, true), core::evaluate_protocol(proto, cfg)});
-  }
-  {
-    // IIAD: inverse-increase additive-decrease, BIN(k=1, l=0).
-    const cc::Binomial proto(1.0, 1.0, 1.0, 0.0);
-    rows.push_back(Table1Entry{
-        proto.name(), bin_theory(1.0, 1.0, 1.0, 0.0, cfg, false),
-        bin_theory(1.0, 1.0, 1.0, 0.0, cfg, true),
-        core::evaluate_protocol(proto, cfg)});
-  }
-  {
-    // SQRT: BIN(k=l=0.5).
-    const cc::Binomial proto(1.0, 0.5, 0.5, 0.5);
-    rows.push_back(Table1Entry{
-        proto.name(), bin_theory(1.0, 0.5, 0.5, 0.5, cfg, false),
-        bin_theory(1.0, 0.5, 0.5, 0.5, cfg, true),
-        core::evaluate_protocol(proto, cfg)});
-  }
-  {
-    const cc::Cubic proto(0.4, 0.8);
-    rows.push_back(Table1Entry{
-        proto.name(), cubic_theory(0.4, 0.8, cfg, false),
-        cubic_theory(0.4, 0.8, cfg, true), core::evaluate_protocol(proto, cfg)});
-  }
-  {
-    const cc::RobustAimd proto(1.0, 0.8, 0.01);
-    rows.push_back(Table1Entry{
-        proto.name(), robust_aimd_theory(1.0, 0.8, 0.01, cfg, false),
-        robust_aimd_theory(1.0, 0.8, 0.01, cfg, true),
-        core::evaluate_protocol(proto, cfg)});
-  }
-  return rows;
+                               core::evaluate_protocol(proto, cfg)};
+          }
+          case 1: {
+            const cc::Mimd proto(1.01, 0.875);
+            return Table1Entry{proto.name(),
+                               mimd_theory(1.01, 0.875, cfg, false),
+                               mimd_theory(1.01, 0.875, cfg, true),
+                               core::evaluate_protocol(proto, cfg)};
+          }
+          case 2: {
+            // IIAD: inverse-increase additive-decrease, BIN(k=1, l=0).
+            const cc::Binomial proto(1.0, 1.0, 1.0, 0.0);
+            return Table1Entry{proto.name(),
+                               bin_theory(1.0, 1.0, 1.0, 0.0, cfg, false),
+                               bin_theory(1.0, 1.0, 1.0, 0.0, cfg, true),
+                               core::evaluate_protocol(proto, cfg)};
+          }
+          case 3: {
+            // SQRT: BIN(k=l=0.5).
+            const cc::Binomial proto(1.0, 0.5, 0.5, 0.5);
+            return Table1Entry{proto.name(),
+                               bin_theory(1.0, 0.5, 0.5, 0.5, cfg, false),
+                               bin_theory(1.0, 0.5, 0.5, 0.5, cfg, true),
+                               core::evaluate_protocol(proto, cfg)};
+          }
+          case 4: {
+            const cc::Cubic proto(0.4, 0.8);
+            return Table1Entry{proto.name(), cubic_theory(0.4, 0.8, cfg, false),
+                               cubic_theory(0.4, 0.8, cfg, true),
+                               core::evaluate_protocol(proto, cfg)};
+          }
+          default: {
+            const cc::RobustAimd proto(1.0, 0.8, 0.01);
+            return Table1Entry{proto.name(),
+                               robust_aimd_theory(1.0, 0.8, 0.01, cfg, false),
+                               robust_aimd_theory(1.0, 0.8, 0.01, cfg, true),
+                               core::evaluate_protocol(proto, cfg)};
+          }
+        }
+      },
+      jobs);
 }
 
 }  // namespace axiomcc::exp

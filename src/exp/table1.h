@@ -24,9 +24,11 @@ struct Table1Entry {
 
 /// The paper's Table 1 rows: AIMD(1,0.5), MIMD(1.01,0.875), two BIN
 /// representatives (IIAD = BIN(1,1,1,0) and SQRT = BIN(1,1,0.5,0.5)),
-/// CUBIC(0.4,0.8), and Robust-AIMD(1,0.8,0.01).
-[[nodiscard]] std::vector<Table1Entry> build_table1(
-    const core::EvalConfig& cfg);
+/// CUBIC(0.4,0.8), and Robust-AIMD(1,0.8,0.01). `jobs` fans the rows out
+/// over a work-stealing pool (<= 0: auto via resolve_jobs, 1: serial); each
+/// row builds its own protocol, so results are bit-identical at any count.
+[[nodiscard]] std::vector<Table1Entry> build_table1(const core::EvalConfig& cfg,
+                                                    long jobs = 0);
 
 /// Theory-only views for one family instance (used by tests).
 [[nodiscard]] core::MetricReport aimd_theory(double a, double b,

@@ -1,9 +1,12 @@
 #include "exp/table2.h"
 
+#include <utility>
+
 #include "cc/presets.h"
 #include "core/metrics.h"
 #include "fluid/link.h"
 #include "sim/dumbbell.h"
+#include "util/task_pool.h"
 
 namespace axiomcc::exp {
 
@@ -19,26 +22,34 @@ core::EvalConfig cell_config(const Table2Config& cfg, int n, double bw_mbps) {
   return ec;
 }
 
+/// The (n, BW) grid in row order: sender counts outermost. Cell i maps back
+/// to its coordinates so every task is a pure function of its index.
+std::pair<int, double> grid_cell(const Table2Config& cfg, std::size_t i) {
+  const std::size_t per_n = cfg.bandwidths_mbps.size();
+  return {cfg.sender_counts[i / per_n], cfg.bandwidths_mbps[i % per_n]};
+}
+
 }  // namespace
 
 std::vector<Table2Cell> build_table2(const Table2Config& cfg) {
-  std::vector<Table2Cell> cells;
-  const auto robust = cc::presets::robust_aimd_table2();
-  const auto pcc = cc::presets::pcc();
-
-  for (int n : cfg.sender_counts) {
-    for (double bw : cfg.bandwidths_mbps) {
-      const core::EvalConfig ec = cell_config(cfg, n, bw);
-      Table2Cell cell;
-      cell.n = n;
-      cell.bandwidth_mbps = bw;
-      cell.robust_aimd_friendliness =
-          core::measure_tcp_friendliness_score(*robust, ec);
-      cell.pcc_friendliness = core::measure_tcp_friendliness_score(*pcc, ec);
-      cells.push_back(cell);
-    }
-  }
-  return cells;
+  return parallel_map(
+      cfg.sender_counts.size() * cfg.bandwidths_mbps.size(),
+      [&](std::size_t i) {
+        const auto [n, bw] = grid_cell(cfg, i);
+        // Presets are built inside the task: cc::Protocol instances are
+        // stateful and must not be shared across threads.
+        const auto robust = cc::presets::robust_aimd_table2();
+        const auto pcc = cc::presets::pcc();
+        const core::EvalConfig ec = cell_config(cfg, n, bw);
+        Table2Cell cell;
+        cell.n = n;
+        cell.bandwidth_mbps = bw;
+        cell.robust_aimd_friendliness =
+            core::measure_tcp_friendliness_score(*robust, ec);
+        cell.pcc_friendliness = core::measure_tcp_friendliness_score(*pcc, ec);
+        return cell;
+      },
+      cfg.jobs);
 }
 
 namespace {
@@ -70,23 +81,22 @@ double packet_friendliness(const cc::Protocol& proto, int n, double bw_mbps,
 
 std::vector<Table2Cell> build_table2_packet(const Table2Config& cfg,
                                             double duration_seconds) {
-  std::vector<Table2Cell> cells;
-  const auto robust = cc::presets::robust_aimd_table2();
-  const auto pcc = cc::presets::pcc();
-
-  for (int n : cfg.sender_counts) {
-    for (double bw : cfg.bandwidths_mbps) {
-      Table2Cell cell;
-      cell.n = n;
-      cell.bandwidth_mbps = bw;
-      cell.robust_aimd_friendliness =
-          packet_friendliness(*robust, n, bw, cfg, duration_seconds);
-      cell.pcc_friendliness =
-          packet_friendliness(*pcc, n, bw, cfg, duration_seconds);
-      cells.push_back(cell);
-    }
-  }
-  return cells;
+  return parallel_map(
+      cfg.sender_counts.size() * cfg.bandwidths_mbps.size(),
+      [&](std::size_t i) {
+        const auto [n, bw] = grid_cell(cfg, i);
+        const auto robust = cc::presets::robust_aimd_table2();
+        const auto pcc = cc::presets::pcc();
+        Table2Cell cell;
+        cell.n = n;
+        cell.bandwidth_mbps = bw;
+        cell.robust_aimd_friendliness =
+            packet_friendliness(*robust, n, bw, cfg, duration_seconds);
+        cell.pcc_friendliness =
+            packet_friendliness(*pcc, n, bw, cfg, duration_seconds);
+        return cell;
+      },
+      cfg.jobs);
 }
 
 }  // namespace axiomcc::exp

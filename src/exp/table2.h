@@ -35,6 +35,11 @@ struct Table2Config {
   double buffer_mss = 100.0;
   long steps = 4000;
   double tail_fraction = 0.5;
+  /// Fan the (n, BW) grid out over a work-stealing pool (util/task_pool.h):
+  /// <= 0 resolves via resolve_jobs (AXIOMCC_JOBS env, else hardware), 1 is
+  /// the serial path. Each cell builds its own protocols, so results are
+  /// bit-identical at every job count.
+  long jobs = 0;
 };
 
 /// Runs the full (n, BW) grid on the fluid model.

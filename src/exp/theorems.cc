@@ -1,6 +1,7 @@
 #include "exp/theorems.h"
 
 #include <sstream>
+#include <utility>
 
 #include "cc/aimd.h"
 #include "cc/binomial.h"
@@ -13,6 +14,7 @@
 #include "core/theory.h"
 #include "fluid/sim.h"
 #include "util/check.h"
+#include "util/task_pool.h"
 
 namespace axiomcc::exp {
 
@@ -30,38 +32,38 @@ std::string describe(const std::string& what, double measured, double bound) {
 
 }  // namespace
 
-Claim1Result check_claim1(const core::EvalConfig& cfg) {
-  const cc::CautiousProbe probe;
+Claim1Result check_claim1(const core::EvalConfig& cfg, long jobs) {
+  // Three independent runs (tail loss, growth at horizon H, growth at 2H);
+  // each task builds its own CautiousProbe.
+  const std::vector<double> measured = parallel_map(
+      std::size_t{3},
+      [&](std::size_t i) {
+        const cc::CautiousProbe probe;
+        if (i == 0) {
+          // 0-loss: after the probe freezes below capacity, congestion loss
+          // stops.
+          const fluid::Trace shared = core::run_shared_link(probe, cfg);
+          return core::measure_loss_avoidance(shared, cfg.estimator());
+        }
+        // Fast-utilization: the frozen window accumulates only a constant
+        // times Δt, so the coefficient 2Σ/Δt² must shrink as the horizon
+        // grows. CautiousProbe never sees loss on an infinite link; bound
+        // the horizon by the SHARED link so it freezes, then measure window
+        // growth afterwards.
+        const long horizon = (i == 1 ? 1 : 2) * cfg.steps;
+        fluid::FluidSimulation sim(cfg.link,
+                                   fluid::SimOptions{horizon, 1.0, 1e9});
+        sim.add_sender(probe, 1.0);
+        const fluid::Trace trace = sim.run();
+        return core::fast_utilization_coefficient(trace.windows(0),
+                                                  cfg.fast_utilization_warmup);
+      },
+      jobs);
 
   Claim1Result result;
-  {
-    // 0-loss: after the probe freezes below capacity, congestion loss stops.
-    const fluid::Trace shared = core::run_shared_link(probe, cfg);
-    result.tail_loss = core::measure_loss_avoidance(shared, cfg.estimator());
-  }
-  {
-    // Fast-utilization: the frozen window accumulates only a constant times
-    // Δt, so the coefficient 2Σ/Δt² must shrink as the horizon grows.
-    // CautiousProbe never sees loss on an infinite link; bound the horizon by
-    // the SHARED link so it freezes, then measure window growth afterwards.
-    core::EvalConfig horizon = cfg;
-    horizon.fast_utilization_steps = cfg.steps;
-    fluid::FluidSimulation sim(cfg.link,
-                               fluid::SimOptions{horizon.fast_utilization_steps,
-                                                 1.0, 1e9});
-    sim.add_sender(probe, 1.0);
-    const fluid::Trace trace = sim.run();
-    result.fast_utilization = core::fast_utilization_coefficient(
-        trace.windows(0), cfg.fast_utilization_warmup);
-
-    fluid::FluidSimulation sim2(
-        cfg.link,
-        fluid::SimOptions{2 * horizon.fast_utilization_steps, 1.0, 1e9});
-    sim2.add_sender(probe, 1.0);
-    const fluid::Trace trace2 = sim2.run();
-    result.fast_utilization_half = core::fast_utilization_coefficient(
-        trace2.windows(0), cfg.fast_utilization_warmup);
-  }
+  result.tail_loss = measured[0];
+  result.fast_utilization = measured[1];
+  result.fast_utilization_half = measured[2];
 
   // 0-loss must hold exactly; the growth coefficient must be negligible and
   // not recover as the horizon doubles (it tends to 0, never to any α > 0).
@@ -70,61 +72,67 @@ Claim1Result check_claim1(const core::EvalConfig& cfg) {
   return result;
 }
 
-std::vector<TheoremCheck> check_theorem1(const core::EvalConfig& cfg) {
-  std::vector<TheoremCheck> checks;
-  const double increases[] = {0.5, 1.0, 2.0};
-  const double decreases[] = {0.3, 0.5, 0.7, 0.9};
-
-  for (double a : increases) {
-    for (double b : decreases) {
-      const cc::Aimd proto(a, b);
-      const fluid::Trace shared = core::run_shared_link(proto, cfg);
-      const double conv = core::measure_convergence(shared, cfg.estimator());
-      const double eff = core::measure_efficiency(shared, cfg.estimator());
-      const double bound = core::theory::thm1_efficiency_lower_bound(conv);
-
-      TheoremCheck c;
-      c.description = describe(proto.name() + " efficiency >= conv/(2-conv)",
-                               eff, bound);
-      c.measured = eff;
-      c.bound = bound;
-      c.holds = eff * kSlack >= bound;
-      checks.push_back(std::move(c));
-    }
+std::vector<TheoremCheck> check_theorem1(const core::EvalConfig& cfg,
+                                         long jobs) {
+  std::vector<std::pair<double, double>> grid;
+  for (const double a : {0.5, 1.0, 2.0}) {
+    for (const double b : {0.3, 0.5, 0.7, 0.9}) grid.emplace_back(a, b);
   }
-  return checks;
+
+  return parallel_map(
+      grid,
+      [&](const std::pair<double, double>& ab) {
+        const cc::Aimd proto(ab.first, ab.second);
+        const fluid::Trace shared = core::run_shared_link(proto, cfg);
+        const double conv = core::measure_convergence(shared, cfg.estimator());
+        const double eff = core::measure_efficiency(shared, cfg.estimator());
+        const double bound = core::theory::thm1_efficiency_lower_bound(conv);
+
+        TheoremCheck c;
+        c.description = describe(
+            proto.name() + " efficiency >= conv/(2-conv)", eff, bound);
+        c.measured = eff;
+        c.bound = bound;
+        c.holds = eff * kSlack >= bound;
+        return c;
+      },
+      jobs);
 }
 
-std::vector<TheoremCheck> check_theorem2(const core::EvalConfig& cfg) {
-  std::vector<TheoremCheck> checks;
-  const double increases[] = {0.5, 1.0, 2.0};
-  const double decreases[] = {0.5, 0.7, 0.9};
-
-  for (double a : increases) {
-    for (double b : decreases) {
-      const cc::Aimd proto(a, b);
-      const double friendliness =
-          core::measure_tcp_friendliness_score(proto, cfg);
-      // AIMD(a,b) is exactly a-fast-utilizing and (worst-case over network
-      // parameters) b-efficient, and the paper notes the Theorem 2 bound is
-      // TIGHT for it — so the measured friendliness should approach the
-      // bound from below.
-      const double bound = core::theory::thm2_friendliness_upper_bound(a, b);
-
-      TheoremCheck c;
-      c.description =
-          describe(proto.name() + " friendliness <= 3(1-b)/(a(1+b))",
-                   friendliness, bound);
-      c.measured = friendliness;
-      c.bound = bound;
-      c.holds = friendliness <= bound * kSlack;
-      checks.push_back(std::move(c));
-    }
+std::vector<TheoremCheck> check_theorem2(const core::EvalConfig& cfg,
+                                         long jobs) {
+  std::vector<std::pair<double, double>> grid;
+  for (const double a : {0.5, 1.0, 2.0}) {
+    for (const double b : {0.5, 0.7, 0.9}) grid.emplace_back(a, b);
   }
-  return checks;
+
+  return parallel_map(
+      grid,
+      [&](const std::pair<double, double>& ab) {
+        const auto [a, b] = ab;
+        const cc::Aimd proto(a, b);
+        const double friendliness =
+            core::measure_tcp_friendliness_score(proto, cfg);
+        // AIMD(a,b) is exactly a-fast-utilizing and (worst-case over network
+        // parameters) b-efficient, and the paper notes the Theorem 2 bound
+        // is TIGHT for it — so the measured friendliness should approach the
+        // bound from below.
+        const double bound = core::theory::thm2_friendliness_upper_bound(a, b);
+
+        TheoremCheck c;
+        c.description =
+            describe(proto.name() + " friendliness <= 3(1-b)/(a(1+b))",
+                     friendliness, bound);
+        c.measured = friendliness;
+        c.bound = bound;
+        c.holds = friendliness <= bound * kSlack;
+        return c;
+      },
+      jobs);
 }
 
-std::vector<TheoremCheck> check_theorem3(const core::EvalConfig& cfg) {
+std::vector<TheoremCheck> check_theorem3(const core::EvalConfig& cfg,
+                                         long jobs) {
   // Theorem 3 is a worst-case statement over all network parameters; a
   // single-scenario friendliness measurement only upper-estimates the true
   // (guaranteed) score, so "measured <= bound" is not checkable directly.
@@ -135,17 +143,27 @@ std::vector<TheoremCheck> check_theorem3(const core::EvalConfig& cfg) {
   //   (c) the Theorem 3 bound is strictly tighter than Theorem 2's.
   std::vector<TheoremCheck> checks;
   const fluid::FluidLink link(cfg.link);
-  const double eps_grid[] = {0.005, 0.007, 0.01};
+  const std::vector<double> eps_grid{0.005, 0.007, 0.01};
 
-  const cc::Aimd base(1.0, 0.8);
-  const double base_friendliness =
-      core::measure_tcp_friendliness_score(base, cfg);
+  // The friendliness measurements are independent (base AIMD at index 0,
+  // one Robust-AIMD per eps after it); the monotonicity CHAIN over the
+  // results stays serial below.
+  const std::vector<double> friendliness_curve = parallel_map(
+      eps_grid.size() + 1,
+      [&](std::size_t i) {
+        if (i == 0) {
+          const cc::Aimd base(1.0, 0.8);
+          return core::measure_tcp_friendliness_score(base, cfg);
+        }
+        const cc::RobustAimd proto(1.0, 0.8, eps_grid[i - 1]);
+        return core::measure_tcp_friendliness_score(proto, cfg);
+      },
+      jobs);
 
-  double previous_friendliness = base_friendliness;
-  for (double eps : eps_grid) {
-    const cc::RobustAimd proto(1.0, 0.8, eps);
-    const double friendliness =
-        core::measure_tcp_friendliness_score(proto, cfg);
+  double previous_friendliness = friendliness_curve[0];
+  for (std::size_t i = 0; i < eps_grid.size(); ++i) {
+    const double friendliness = friendliness_curve[i + 1];
+    const cc::RobustAimd proto(1.0, 0.8, eps_grid[i]);
 
     TheoremCheck c;
     c.description =
@@ -158,7 +176,7 @@ std::vector<TheoremCheck> check_theorem3(const core::EvalConfig& cfg) {
     previous_friendliness = friendliness;
   }
 
-  for (double eps : eps_grid) {
+  for (const double eps : eps_grid) {
     const double thm2 = core::theory::thm2_friendliness_upper_bound(1.0, 0.8);
     const double thm3 = core::theory::thm3_friendliness_upper_bound(
         1.0, 0.8, eps, link.capacity_mss(), link.buffer_mss());
@@ -173,30 +191,54 @@ std::vector<TheoremCheck> check_theorem3(const core::EvalConfig& cfg) {
   return checks;
 }
 
-std::vector<TheoremCheck> check_theorem4(const core::EvalConfig& cfg) {
-  std::vector<TheoremCheck> checks;
-
+std::vector<TheoremCheck> check_theorem4(const core::EvalConfig& cfg,
+                                         long jobs) {
   // P: a friendly AIMD variant. Q candidates: protocols from the AIMD/BIN/
-  // MIMD families that are more aggressive than Reno.
-  const cc::Aimd p(1.0, 0.5);
-  const auto reno = cc::presets::reno();
-
-  const std::unique_ptr<cc::Protocol> aggressors[] = {
-      std::make_unique<cc::Aimd>(2.0, 0.7),
-      std::make_unique<cc::Mimd>(1.01, 0.875),
-      std::make_unique<cc::Aimd>(1.0, 0.875),
+  // MIMD families that are more aggressive than Reno. Task 0 measures P's
+  // friendliness to Reno; tasks 1..3 handle one aggressor each, building
+  // every protocol locally so nothing is shared across threads.
+  const auto make_aggressor = [](std::size_t i) -> std::unique_ptr<cc::Protocol> {
+    switch (i) {
+      case 0: return std::make_unique<cc::Aimd>(2.0, 0.7);
+      case 1: return std::make_unique<cc::Mimd>(1.01, 0.875);
+      default: return std::make_unique<cc::Aimd>(1.0, 0.875);
+    }
   };
+  constexpr std::size_t kNumAggressors = 3;
 
-  const double alpha_vs_reno = core::measure_tcp_friendliness_score(p, cfg);
-  for (const auto& q : aggressors) {
-    AXIOMCC_EXPECTS_MSG(core::is_more_aggressive(*q, *reno, cfg),
-                        "Theorem 4 premise: Q must be more aggressive than "
-                        "Reno");
-    const double alpha_vs_q = core::measure_friendliness_between(p, *q, cfg);
+  struct Measurement {
+    std::string name;
+    double friendliness = 0.0;
+  };
+  const std::vector<Measurement> measured = parallel_map(
+      kNumAggressors + 1,
+      [&](std::size_t i) {
+        const cc::Aimd p(1.0, 0.5);
+        Measurement m;
+        if (i == 0) {
+          m.friendliness = core::measure_tcp_friendliness_score(p, cfg);
+          return m;
+        }
+        const auto q = make_aggressor(i - 1);
+        const auto reno = cc::presets::reno();
+        AXIOMCC_EXPECTS_MSG(core::is_more_aggressive(*q, *reno, cfg),
+                            "Theorem 4 premise: Q must be more aggressive "
+                            "than Reno");
+        m.name = q->name();
+        m.friendliness = core::measure_friendliness_between(p, *q, cfg);
+        return m;
+      },
+      jobs);
 
+  const cc::Aimd p(1.0, 0.5);
+  const double alpha_vs_reno = measured[0].friendliness;
+  std::vector<TheoremCheck> checks;
+  for (std::size_t i = 0; i < kNumAggressors; ++i) {
+    const double alpha_vs_q = measured[i + 1].friendliness;
     TheoremCheck c;
     c.description = describe("friendliness of " + p.name() + " to " +
-                                 q->name() + " >= its friendliness to Reno",
+                                 measured[i + 1].name +
+                                 " >= its friendliness to Reno",
                              alpha_vs_q, alpha_vs_reno);
     c.measured = alpha_vs_q;
     c.bound = alpha_vs_reno;
@@ -206,42 +248,45 @@ std::vector<TheoremCheck> check_theorem4(const core::EvalConfig& cfg) {
   return checks;
 }
 
-std::vector<TheoremCheck> check_theorem5(const core::EvalConfig& cfg) {
-  std::vector<TheoremCheck> checks;
-
-  const cc::VegasLike vegas(2.0, 4.0);
-  const std::unique_ptr<cc::Protocol> loss_based[] = {
-      std::make_unique<cc::Aimd>(1.0, 0.5),
-      std::make_unique<cc::Mimd>(1.01, 0.875),
+std::vector<TheoremCheck> check_theorem5(const core::EvalConfig& cfg,
+                                         long jobs) {
+  const auto make_loss_based =
+      [](std::size_t i) -> std::unique_ptr<cc::Protocol> {
+    if (i == 0) return std::make_unique<cc::Aimd>(1.0, 0.5);
+    return std::make_unique<cc::Mimd>(1.01, 0.875);
   };
 
-  for (const auto& p : loss_based) {
-    // Theorem 5 says P cannot be β-friendly toward Vegas for ANY β > 0 —
-    // an asymptotic statement: Vegas's guaranteed share vanishes as the
-    // network grows (the loss-based sender fills any buffer while Vegas
-    // backs off at the first sign of queueing). Empirically: the share is
-    // already tiny at the base link AND keeps shrinking when capacity and
-    // buffer double.
-    const double friendliness =
-        core::measure_friendliness_between(*p, vegas, cfg);
+  return parallel_map(
+      std::size_t{2},
+      [&](std::size_t i) {
+        const cc::VegasLike vegas(2.0, 4.0);
+        const auto p = make_loss_based(i);
+        // Theorem 5 says P cannot be β-friendly toward Vegas for ANY β > 0 —
+        // an asymptotic statement: Vegas's guaranteed share vanishes as the
+        // network grows (the loss-based sender fills any buffer while Vegas
+        // backs off at the first sign of queueing). Empirically: the share
+        // is already tiny at the base link AND keeps shrinking when capacity
+        // and buffer double.
+        const double friendliness =
+            core::measure_friendliness_between(*p, vegas, cfg);
 
-    core::EvalConfig larger = cfg;
-    larger.link.bandwidth = Bandwidth::from_mss_per_sec(
-        cfg.link.bandwidth.mss_per_sec() * 2.0);
-    larger.link.buffer_mss = cfg.link.buffer_mss * 2.0;
-    const double friendliness_2x =
-        core::measure_friendliness_between(*p, vegas, larger);
+        core::EvalConfig larger = cfg;
+        larger.link.bandwidth = Bandwidth::from_mss_per_sec(
+            cfg.link.bandwidth.mss_per_sec() * 2.0);
+        larger.link.buffer_mss = cfg.link.buffer_mss * 2.0;
+        const double friendliness_2x =
+            core::measure_friendliness_between(*p, vegas, larger);
 
-    TheoremCheck c;
-    c.description = describe(p->name() + " starves " + vegas.name() +
-                                 " (share small and vanishing with scale)",
-                             friendliness, 0.1);
-    c.measured = friendliness;
-    c.bound = 0.1;
-    c.holds = friendliness <= 0.1 && friendliness_2x < friendliness;
-    checks.push_back(std::move(c));
-  }
-  return checks;
+        TheoremCheck c;
+        c.description = describe(p->name() + " starves " + vegas.name() +
+                                     " (share small and vanishing with scale)",
+                                 friendliness, 0.1);
+        c.measured = friendliness;
+        c.bound = 0.1;
+        c.holds = friendliness <= 0.1 && friendliness_2x < friendliness;
+        return c;
+      },
+      jobs);
 }
 
 }  // namespace axiomcc::exp

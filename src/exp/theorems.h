@@ -21,6 +21,12 @@ struct TheoremCheck {
   bool holds = false;        ///< measured respects the bound (with slack)
 };
 
+/// Every check below fans its independent simulation cells out over a
+/// work-stealing pool (util/task_pool.h): `jobs` <= 0 resolves via
+/// resolve_jobs (AXIOMCC_JOBS env, else hardware), 1 restores the serial
+/// path. Each cell builds its own protocols, so check results are
+/// bit-identical at every job count.
+
 /// Claim 1: CautiousProbe is 0-loss from some point onwards, yet its
 /// fast-utilization coefficient tends to 0.
 struct Claim1Result {
@@ -30,31 +36,32 @@ struct Claim1Result {
                                       ///< must shrink (→0 as Δt → ∞)
   bool holds = false;
 };
-[[nodiscard]] Claim1Result check_claim1(const core::EvalConfig& cfg);
+[[nodiscard]] Claim1Result check_claim1(const core::EvalConfig& cfg,
+                                        long jobs = 0);
 
 /// Theorem 1: efficiency >= conv/(2-conv) for α-convergent, β-fast-utilizing
 /// protocols. Checked over an AIMD parameter grid.
 [[nodiscard]] std::vector<TheoremCheck> check_theorem1(
-    const core::EvalConfig& cfg);
+    const core::EvalConfig& cfg, long jobs = 0);
 
 /// Theorem 2: TCP-friendliness <= 3(1-β)/(α(1+β)). Checked over an AIMD grid
 /// (where the bound is tight).
 [[nodiscard]] std::vector<TheoremCheck> check_theorem2(
-    const core::EvalConfig& cfg);
+    const core::EvalConfig& cfg, long jobs = 0);
 
 /// Theorem 3: with ε-robustness the bound tightens. Checked for Robust-AIMD
 /// over its ε grid.
 [[nodiscard]] std::vector<TheoremCheck> check_theorem3(
-    const core::EvalConfig& cfg);
+    const core::EvalConfig& cfg, long jobs = 0);
 
 /// Theorem 4: if P is α-friendly to Reno and Q (an AIMD/BIN/MIMD protocol)
 /// is more aggressive than Reno, then P is α-friendly to Q.
 [[nodiscard]] std::vector<TheoremCheck> check_theorem4(
-    const core::EvalConfig& cfg);
+    const core::EvalConfig& cfg, long jobs = 0);
 
 /// Theorem 5: an efficient loss-based protocol starves any latency-avoiding
 /// protocol (friendliness → 0).
 [[nodiscard]] std::vector<TheoremCheck> check_theorem5(
-    const core::EvalConfig& cfg);
+    const core::EvalConfig& cfg, long jobs = 0);
 
 }  // namespace axiomcc::exp

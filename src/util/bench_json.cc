@@ -1,0 +1,98 @@
+#include "util/bench_json.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.h"
+#include "util/task_pool.h"
+
+namespace axiomcc {
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c; break;
+    }
+  }
+  os << '"';
+}
+
+void append_number(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  os.precision(12);
+  os << v;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  AXIOMCC_EXPECTS(!name_.empty());
+}
+
+void BenchReport::set_jobs(long jobs) { jobs_ = jobs; }
+
+void BenchReport::add_phase(const std::string& phase, double seconds) {
+  phases_.emplace_back(phase, seconds);
+}
+
+void BenchReport::add_counter(const std::string& counter, double value) {
+  counters_.emplace_back(counter, value);
+}
+
+double BenchReport::total_seconds() const {
+  double total = 0.0;
+  for (const auto& [_, seconds] : phases_) total += seconds;
+  return total;
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"bench\": ";
+  append_escaped(os, name_);
+  os << ",\n  \"jobs\": " << jobs_;
+  os << ",\n  \"hardware_jobs\": " << hardware_jobs();
+  os << ",\n  \"total_seconds\": ";
+  append_number(os, total_seconds());
+  os << ",\n  \"phases\": [";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+    append_escaped(os, phases_[i].first);
+    os << ", \"seconds\": ";
+    append_number(os, phases_[i].second);
+    os << "}";
+  }
+  os << (phases_.empty() ? "]" : "\n  ]");
+  os << ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    ";
+    append_escaped(os, counters_[i].first);
+    os << ": ";
+    append_number(os, counters_[i].second);
+  }
+  os << (counters_.empty() ? "}" : "\n  }");
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string BenchReport::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << to_json();
+  if (!out.good()) throw std::runtime_error("short write to " + path);
+  return path;
+}
+
+}  // namespace axiomcc

@@ -1,0 +1,50 @@
+// bench_json.h — machine-readable bench artifacts (BENCH_<name>.json).
+//
+// Every bench binary records its wall-clock per-phase breakdown, the job
+// count it ran with, and workload counters (cells, cells/sec), then writes a
+// BENCH_<name>.json artifact next to its stdout report. The artifacts make
+// the performance trajectory measurable PR-over-PR: diff two checkouts' JSON
+// instead of eyeballing terminal output.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace axiomcc {
+
+/// Collects phases/counters in insertion order and renders a flat JSON
+/// object. Non-finite values render as null (JSON has no inf/nan).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  /// Job count the bench ran with (after resolve_jobs) plus the machine's
+  /// hardware concurrency, so artifacts from different hosts stay comparable.
+  void set_jobs(long jobs);
+
+  /// Appends one wall-clock phase (seconds). Phases render in call order.
+  void add_phase(const std::string& phase, double seconds);
+
+  /// Appends one workload counter (cells, cells_per_sec, speedup...).
+  void add_counter(const std::string& counter, double value);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Total across recorded phases.
+  [[nodiscard]] double total_seconds() const;
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes BENCH_<name>.json into `dir` and returns the path.
+  /// Throws std::runtime_error when the file cannot be written.
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  std::string name_;
+  long jobs_ = 0;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<std::pair<std::string, double>> counters_;
+};
+
+}  // namespace axiomcc

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/task_pool.h"
+
 namespace axiomcc {
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
@@ -56,5 +58,7 @@ long ArgParser::get_int(const std::string& key, long fallback) const {
 bool ArgParser::has(const std::string& key) const {
   return values_.contains(key);
 }
+
+long ArgParser::get_jobs() const { return resolve_jobs(get_int("jobs", 0)); }
 
 }  // namespace axiomcc

@@ -31,6 +31,13 @@ class ArgParser {
   /// True when `--key` was given (with or without a value).
   [[nodiscard]] bool has(const std::string& key) const;
 
+  /// Resolved worker count for the standard `--jobs=N` flag: an explicit
+  /// N > 0 wins; otherwise the AXIOMCC_JOBS environment override (which is
+  /// what makes `ctest -j` safe — the suite pins it low so concurrently
+  /// running benches don't oversubscribe the machine), else hardware
+  /// concurrency. Always >= 1; 1 selects the serial path everywhere.
+  [[nodiscard]] long get_jobs() const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstddef>
 #include <limits>
@@ -15,6 +16,24 @@
 #include "util/check.h"
 
 namespace axiomcc {
+
+/// Monotonic wall-clock stopwatch for bench instrumentation (steady_clock,
+/// immune to system-time adjustments). Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
 
 /// Single-pass mean/variance accumulator (Welford's algorithm).
 class RunningStats {

@@ -1,0 +1,176 @@
+// Determinism regression tests for the parallel experiment engine: a sweep
+// or gauntlet fanned out over the work-stealing pool must be bit-identical
+// to the serial run — same rows, same order, byte-identical CSV.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/gauntlet.h"
+#include "exp/sweep.h"
+#include "exp/table2.h"
+#include "util/check.h"
+
+namespace axiomcc {
+namespace {
+
+exp::LinkGrid small_grid() {
+  exp::LinkGrid grid;
+  grid.bandwidths_mbps = {20.0, 60.0};
+  grid.rtts_ms = {42.0};
+  grid.buffers_mss = {10.0, 100.0};
+  return grid;
+}
+
+core::EvalConfig quick_cfg() {
+  core::EvalConfig cfg;
+  cfg.steps = 1200;
+  cfg.fast_utilization_steps = 600;
+  cfg.robustness_steps = 800;
+  return cfg;
+}
+
+bool reports_identical(const core::MetricReport& a,
+                       const core::MetricReport& b) {
+  // Bitwise comparison via the serialized text would miss NaN==NaN; the
+  // sweeps never produce NaN (flagged as faults), so == is exact here.
+  return a.efficiency == b.efficiency && a.loss_avoidance == b.loss_avoidance &&
+         a.fast_utilization == b.fast_utilization &&
+         a.tcp_friendliness == b.tcp_friendliness && a.fairness == b.fairness &&
+         a.convergence == b.convergence && a.robustness == b.robustness &&
+         a.latency_avoidance == b.latency_avoidance;
+}
+
+// --- LinkGrid::shape ----------------------------------------------------------
+
+TEST(LinkGridShape, MatchesTheSerialIterationOrder) {
+  exp::LinkGrid grid;
+  grid.bandwidths_mbps = {20.0, 30.0, 60.0};
+  grid.rtts_ms = {10.0, 42.0};
+  grid.buffers_mss = {10.0, 100.0};
+  ASSERT_EQ(grid.size(), 12u);
+
+  std::size_t index = 0;
+  for (double bw : grid.bandwidths_mbps) {
+    for (double rtt : grid.rtts_ms) {
+      for (double buffer : grid.buffers_mss) {
+        const exp::LinkShape shape = grid.shape(index++);
+        EXPECT_EQ(shape.bandwidth_mbps, bw);
+        EXPECT_EQ(shape.rtt_ms, rtt);
+        EXPECT_EQ(shape.buffer_mss, buffer);
+      }
+    }
+  }
+}
+
+TEST(LinkGridShape, OutOfRangeIndexViolatesContract) {
+  const exp::LinkGrid grid = small_grid();
+  EXPECT_THROW((void)grid.shape(grid.size()), ContractViolation);
+}
+
+// --- sweep determinism --------------------------------------------------------
+
+TEST(ParallelSweep, RowsIdenticalAcrossJobCounts) {
+  const std::vector<std::string> specs{"reno", "scalable"};
+  const auto serial = exp::run_metric_sweep(specs, small_grid(), quick_cfg(),
+                                            /*jobs=*/1);
+  const auto parallel = exp::run_metric_sweep(specs, small_grid(), quick_cfg(),
+                                              /*jobs=*/4);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].protocol, parallel[i].protocol) << "row " << i;
+    EXPECT_EQ(serial[i].bandwidth_mbps, parallel[i].bandwidth_mbps);
+    EXPECT_EQ(serial[i].rtt_ms, parallel[i].rtt_ms);
+    EXPECT_EQ(serial[i].buffer_mss, parallel[i].buffer_mss);
+    EXPECT_EQ(serial[i].fault.kind, parallel[i].fault.kind);
+    EXPECT_TRUE(reports_identical(serial[i].scores, parallel[i].scores))
+        << "row " << i;
+  }
+}
+
+TEST(ParallelSweep, CsvByteIdenticalAcrossJobCounts) {
+  const std::vector<std::string> specs{"reno", "cubic-linux"};
+  std::ostringstream serial_csv;
+  exp::write_sweep_csv(
+      exp::run_metric_sweep(specs, small_grid(), quick_cfg(), 1), serial_csv);
+  std::ostringstream parallel_csv;
+  exp::write_sweep_csv(
+      exp::run_metric_sweep(specs, small_grid(), quick_cfg(), 4), parallel_csv);
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+}
+
+// --- gauntlet determinism -----------------------------------------------------
+
+exp::GauntletConfig quick_gauntlet(long jobs) {
+  exp::GauntletConfig cfg;
+  cfg.steps = 400;
+  cfg.seeds = {1, 2};
+  cfg.include_axiom_metrics = true;
+  cfg.axiom_cfg.steps = 600;
+  cfg.axiom_cfg.fast_utilization_steps = 400;
+  cfg.axiom_cfg.robustness_steps = 400;
+  cfg.jobs = jobs;
+  return cfg;
+}
+
+TEST(ParallelGauntlet, CellsAndScorecardIdenticalAcrossJobCounts) {
+  const std::vector<std::string> specs{"reno", "vegas(2,4)"};
+  const exp::GauntletResult serial = exp::run_gauntlet(specs, quick_gauntlet(1));
+  const exp::GauntletResult parallel =
+      exp::run_gauntlet(specs, quick_gauntlet(3));
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    const auto& a = serial.cells[i];
+    const auto& b = parallel.cells[i];
+    EXPECT_EQ(a.protocol, b.protocol) << "cell " << i;
+    EXPECT_EQ(a.scenario, b.scenario) << "cell " << i;
+    EXPECT_EQ(a.seed, b.seed) << "cell " << i;
+    EXPECT_EQ(a.fault.kind, b.fault.kind);
+    EXPECT_EQ(a.utilization, b.utilization);
+    EXPECT_EQ(a.throughput_retention, b.throughput_retention);
+    EXPECT_EQ(a.recovery_steps, b.recovery_steps);
+    EXPECT_EQ(a.fairness, b.fairness);
+    EXPECT_EQ(a.loss_rate, b.loss_rate);
+  }
+
+  std::ostringstream serial_csv;
+  exp::write_scorecard_csv(serial.scorecard, serial_csv);
+  std::ostringstream parallel_csv;
+  exp::write_scorecard_csv(parallel.scorecard, parallel_csv);
+  EXPECT_EQ(serial_csv.str(), parallel_csv.str());
+}
+
+// --- table2 determinism -------------------------------------------------------
+
+TEST(ParallelTable2, CellsIdenticalAcrossJobCounts) {
+  exp::Table2Config cfg;
+  cfg.sender_counts = {2, 3};
+  cfg.bandwidths_mbps = {20.0, 60.0};
+  cfg.steps = 1000;
+
+  cfg.jobs = 1;
+  const auto serial = exp::build_table2(cfg);
+  cfg.jobs = 4;
+  const auto parallel = exp::build_table2(cfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), 4u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].n, parallel[i].n);
+    EXPECT_EQ(serial[i].bandwidth_mbps, parallel[i].bandwidth_mbps);
+    EXPECT_EQ(serial[i].robust_aimd_friendliness,
+              parallel[i].robust_aimd_friendliness);
+    EXPECT_EQ(serial[i].pcc_friendliness, parallel[i].pcc_friendliness);
+  }
+  // The grid keeps the serial loop's ordering: n outermost.
+  EXPECT_EQ(serial[0].n, 2);
+  EXPECT_EQ(serial[0].bandwidth_mbps, 20.0);
+  EXPECT_EQ(serial[3].n, 3);
+  EXPECT_EQ(serial[3].bandwidth_mbps, 60.0);
+}
+
+}  // namespace
+}  // namespace axiomcc

@@ -1,0 +1,174 @@
+// Tests for the work-stealing task pool: parallel_map ordering, exception
+// propagation, job resolution (flag > env > hardware), and the deterministic
+// per-task seed derivation.
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/task_pool.h"
+
+namespace axiomcc {
+namespace {
+
+// --- parallel_map -------------------------------------------------------------
+
+TEST(ParallelMap, PreservesInputOrdering) {
+  const auto out = parallel_map(
+      std::size_t{1000}, [](std::size_t i) { return i * i; }, 4);
+  ASSERT_EQ(out.size(), 1000u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, SerialAndParallelAreIdentical) {
+  const auto fn = [](std::size_t i) {
+    // A seed-dependent computation: any schedule dependence would show.
+    return static_cast<double>(derive_task_seed(42, i) % 10007) /
+           static_cast<double>(i + 1);
+  };
+  const auto serial = parallel_map(std::size_t{257}, fn, 1);
+  const auto parallel = parallel_map(std::size_t{257}, fn, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "cell " << i;
+  }
+}
+
+TEST(ParallelMap, EmptyInputYieldsEmptyOutput) {
+  const auto out =
+      parallel_map(std::size_t{0}, [](std::size_t i) { return i; }, 4);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ParallelMap, ItemsOverloadMapsEachItem) {
+  const std::vector<std::string> items{"a", "bb", "ccc"};
+  const auto out = parallel_map(
+      items, [](const std::string& s) { return s.size(); }, 2);
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 2, 3}));
+}
+
+TEST(ParallelMap, WorksForNonDefaultConstructibleResults) {
+  struct NoDefault {
+    explicit NoDefault(int v) : value(v) {}
+    int value;
+  };
+  const auto out = parallel_map(
+      std::size_t{64},
+      [](std::size_t i) { return NoDefault(static_cast<int>(i)); }, 4);
+  ASSERT_EQ(out.size(), 64u);
+  EXPECT_EQ(out[63].value, 63);
+}
+
+TEST(ParallelMap, PropagatesTheLowestIndexException) {
+  std::atomic<int> completed{0};
+  try {
+    (void)parallel_map(
+        std::size_t{100},
+        [&](std::size_t i) {
+          if (i == 17 || i == 63) {
+            throw std::runtime_error("cell " + std::to_string(i));
+          }
+          completed.fetch_add(1);
+          return i;
+        },
+        4);
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 17");
+  }
+  // All healthy tasks ran to completion before the rethrow: no task is
+  // abandoned mid-flight.
+  EXPECT_EQ(completed.load(), 98);
+}
+
+TEST(ParallelMap, SerialPathPropagatesExceptionsToo) {
+  EXPECT_THROW((void)parallel_map(
+                   std::size_t{4},
+                   [](std::size_t i) {
+                     if (i == 2) throw std::invalid_argument("bad cell");
+                     return i;
+                   },
+                   1),
+               std::invalid_argument);
+}
+
+// --- TaskPool -----------------------------------------------------------------
+
+TEST(TaskPool, RunsEverySubmittedTask) {
+  std::atomic<long> sum{0};
+  {
+    TaskPool pool(4);
+    EXPECT_EQ(pool.num_threads(), 4);
+    for (long i = 1; i <= 500; ++i) {
+      pool.submit([&sum, i] { sum.fetch_add(i); });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(sum.load(), 500L * 501L / 2L);
+    // The pool is reusable after wait_idle.
+    pool.submit([&sum] { sum.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(sum.load(), 500L * 501L / 2L + 1L);
+}
+
+TEST(TaskPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  TaskPool pool(2);
+  pool.wait_idle();
+}
+
+// --- job resolution -----------------------------------------------------------
+
+TEST(ResolveJobs, ExplicitRequestWins) {
+  ASSERT_EQ(setenv("AXIOMCC_JOBS", "7", 1), 0);
+  EXPECT_EQ(resolve_jobs(3), 3);
+  unsetenv("AXIOMCC_JOBS");
+}
+
+TEST(ResolveJobs, EnvOverrideAppliesWhenUnspecified) {
+  ASSERT_EQ(setenv("AXIOMCC_JOBS", "3", 1), 0);
+  EXPECT_EQ(resolve_jobs(0), 3);
+  EXPECT_EQ(resolve_jobs(-1), 3);
+  unsetenv("AXIOMCC_JOBS");
+}
+
+TEST(ResolveJobs, MalformedEnvFallsBackToHardware) {
+  ASSERT_EQ(setenv("AXIOMCC_JOBS", "lots", 1), 0);
+  EXPECT_EQ(resolve_jobs(0), hardware_jobs());
+  ASSERT_EQ(setenv("AXIOMCC_JOBS", "0", 1), 0);
+  EXPECT_EQ(resolve_jobs(0), hardware_jobs());
+  unsetenv("AXIOMCC_JOBS");
+}
+
+TEST(ResolveJobs, DefaultsToHardwareConcurrency) {
+  unsetenv("AXIOMCC_JOBS");
+  EXPECT_EQ(resolve_jobs(0), hardware_jobs());
+  EXPECT_GE(hardware_jobs(), 1L);
+}
+
+// --- seed derivation ----------------------------------------------------------
+
+TEST(DeriveTaskSeed, IsDeterministic) {
+  EXPECT_EQ(derive_task_seed(7, 11), derive_task_seed(7, 11));
+  static_assert(derive_task_seed(1, 2) == derive_task_seed(1, 2),
+                "derivation must be usable at compile time");
+}
+
+TEST(DeriveTaskSeed, DistinctIndicesGetDistinctSeeds) {
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    seeds.push_back(derive_task_seed(123, i));
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(DeriveTaskSeed, DependsOnTheBaseSeed) {
+  EXPECT_NE(derive_task_seed(1, 5), derive_task_seed(2, 5));
+}
+
+}  // namespace
+}  // namespace axiomcc
