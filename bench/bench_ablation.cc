@@ -16,6 +16,7 @@
 #include <exception>
 #include <vector>
 
+#include "analysis/telemetry_report.h"
 #include "cc/presets.h"
 #include "cc/robust_aimd.h"
 #include "core/evaluator.h"
@@ -154,6 +155,7 @@ void ablate_robust_eps(long steps, long jobs) {
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    analysis::BenchTelemetry telemetry(args, "ablation");
     const double duration = args.get_double("duration", 20.0);
     const long steps = args.get_int("steps", 3000);
     const long jobs = args.get_jobs();
@@ -176,6 +178,7 @@ int main(int argc, char** argv) {
     bench.add_phase("robust_eps", timer.seconds());
     bench.add_counter("cells", 16.0);  // 4 + 2 + 5 + 5 ablation cells
     bench.add_counter("cells_per_sec", 16.0 / bench.total_seconds());
+    telemetry.finish(bench);
     std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {

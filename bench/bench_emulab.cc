@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <exception>
 
+#include "analysis/telemetry_report.h"
 #include "exp/emulab.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -28,6 +29,7 @@ using namespace axiomcc;
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    analysis::BenchTelemetry telemetry(args, "emulab");
 
     exp::EmulabGridConfig cfg;
     cfg.duration_seconds = args.get_double("duration", 30.0);
@@ -95,6 +97,7 @@ int main(int argc, char** argv) {
     bench.add_counter("cells", static_cast<double>(cells.size()));
     bench.add_counter("cells_per_sec",
                       static_cast<double>(cells.size()) / grid_seconds);
+    telemetry.finish(bench);
     std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {

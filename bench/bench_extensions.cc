@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/telemetry_report.h"
 #include "cc/bbr_like.h"
 #include "cc/presets.h"
 #include "cc/registry.h"
@@ -176,6 +177,7 @@ void bbr_in_the_metric_space(long steps, long jobs) {
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    analysis::BenchTelemetry telemetry(args, "extensions");
     const long steps = args.get_int("steps", 3000);
     const double duration = args.get_double("duration", 20.0);
     const long jobs = args.get_jobs();
@@ -195,6 +197,7 @@ int main(int argc, char** argv) {
     bench.add_phase("bbr_metric_space", timer.seconds());
     bench.add_counter("cells", 18.0);  // 8 + 4 + 3 + 3 extension cells
     bench.add_counter("cells_per_sec", 18.0 / bench.total_seconds());
+    telemetry.finish(bench);
     std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {

@@ -15,6 +15,7 @@
 #include <exception>
 #include <map>
 
+#include "analysis/telemetry_report.h"
 #include "exp/figure1.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -26,6 +27,7 @@ using namespace axiomcc;
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    analysis::BenchTelemetry telemetry(args, "figure1");
     const long jobs = args.get_jobs();
 
     std::printf("=== Figure 1: Pareto frontier of efficiency, friendliness, "
@@ -103,6 +105,7 @@ int main(int argc, char** argv) {
     bench.add_counter("cells_per_sec",
                       static_cast<double>(grid.size() + attainment_cells) /
                           bench.total_seconds());
+    telemetry.finish(bench);
     std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/telemetry_report.h"
 #include "exp/gauntlet.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -59,6 +60,7 @@ std::string fmt(double v, int precision = 3) {
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    analysis::BenchTelemetry telemetry(args, "gauntlet");
 
     exp::GauntletConfig cfg;
     cfg.link = fluid::make_link_mbps(args.get_double("mbps", 30.0),
@@ -103,6 +105,9 @@ int main(int argc, char** argv) {
     bench.add_counter("cells", static_cast<double>(result.cells.size()));
     bench.add_counter("cells_per_sec",
                       static_cast<double>(result.cells.size()) / run_seconds);
+    bench.add_counter("failed_cells",
+                      static_cast<double>(result.failed_cells()));
+    telemetry.finish(bench);  // flame summary goes to stderr; --csv stays pure
     const std::string artifact = bench.write();
 
     if (args.has("csv")) {
@@ -161,17 +166,13 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", table.render(format).c_str());
 
-    int failed = 0;
-    for (const auto& cell : result.cells) {
-      if (!cell.fault.ok()) ++failed;
-    }
     std::printf(
         "Notes:\n"
         " * %d of %zu cells faulted (see --cells for the per-cell matrix,\n"
         "   --csv for machine-readable output).\n"
         " * Retention is tail utilization relative to the protocol's\n"
         "   unperturbed baseline; Recovery is in steps after the outage.\n",
-        failed, result.cells.size());
+        result.failed_cells(), result.cells.size());
     std::printf("Bench artifact: %s\n", artifact.c_str());
     return 0;
   } catch (const std::exception& e) {

@@ -5,16 +5,22 @@
 //
 // Before the google-benchmark suite runs, a task-pool throughput bench
 // measures parallel_map over fluid-simulation cells at jobs = 1, 2, 4, and
-// hardware concurrency, and writes the cells/sec and serial-vs-parallel
-// speedup into BENCH_micro.json. Pass --benchmark_filter=... etc. through to
-// google-benchmark as usual; --skip-pool skips the pool bench.
+// hardware concurrency, and a telemetry-overhead bench times the same
+// workload with probes runtime-disabled vs runtime-enabled. Both land in
+// BENCH_micro.json. Pass --benchmark_filter=... etc. through to
+// google-benchmark as usual; --skip-pool / --skip-overhead skip the
+// respective pre-suite bench, --telemetry[=path] works as in the other
+// benches.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "analysis/telemetry_report.h"
 #include "cc/aimd.h"
 #include "cc/presets.h"
 #include "core/evaluator.h"
@@ -25,7 +31,9 @@
 #include "sim/event.h"
 #include "sim/network.h"
 #include "sim/queue.h"
+#include "telemetry/telemetry.h"
 #include "util/bench_json.h"
+#include "util/cli.h"
 #include "util/stats.h"
 #include "util/task_pool.h"
 
@@ -202,15 +210,13 @@ BENCHMARK(BM_ParallelMapSweepCells)
 /// job count plus the speedup over the serial path. Runs once before the
 /// google-benchmark suite and lands in BENCH_micro.json so the artifact
 /// carries the machine's measured scaling curve.
-void run_pool_throughput_bench() {
+void run_pool_throughput_bench(BenchReport& bench) {
   constexpr std::size_t kCells = 48;
   const long hw = hardware_jobs();
   std::vector<long> job_counts{1, 2, 4};
   if (hw > 4) job_counts.push_back(hw);
 
   std::printf("--- task-pool throughput: %zu fluid sweep cells ---\n", kCells);
-  BenchReport bench("micro");
-  bench.set_jobs(hw);
 
   double serial_seconds = 0.0;
   for (const long jobs : job_counts) {
@@ -229,24 +235,84 @@ void run_pool_throughput_bench() {
     bench.add_counter("speedup" + suffix, speedup);
   }
   bench.add_counter("cells", static_cast<double>(kCells));
-  std::printf("Bench artifact: %s\n\n", bench.write().c_str());
+  std::printf("\n");
+}
+
+/// Times the sweep-cell workload with telemetry probes runtime-disabled vs
+/// runtime-enabled (best-of-N to shave scheduler noise). In an
+/// AXIOMCC_TELEMETRY=OFF build both paths are the identical no-op code, so
+/// the reported overhead is ~0% — that is the number the <3% compiled-out
+/// budget refers to. In the default (compiled-in) build the delta is the
+/// true runtime cost of the probes in the fluid tick loop.
+void run_telemetry_overhead_bench(BenchReport& bench) {
+  constexpr int kReps = 5;
+  constexpr std::size_t kCells = 64;
+  const auto time_workload = [] {
+    WallTimer timer;
+    for (std::size_t i = 0; i < kCells; ++i) {
+      benchmark::DoNotOptimize(sweep_cell(i));
+    }
+    return timer.seconds();
+  };
+  const bool was_enabled = telemetry::enabled();
+  // Warm-up pass, then interleave the two configurations so CPU frequency
+  // ramp and cache warm-up hit both sides equally.
+  telemetry::set_enabled(false);
+  (void)time_workload();
+  double off_seconds = std::numeric_limits<double>::infinity();
+  double on_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    telemetry::set_enabled(false);
+    off_seconds = std::min(off_seconds, time_workload());
+    telemetry::set_enabled(true);
+    on_seconds = std::min(on_seconds, time_workload());
+  }
+  telemetry::set_enabled(was_enabled);
+
+  const double overhead_pct = (on_seconds / off_seconds - 1.0) * 100.0;
+  std::printf("--- telemetry overhead: %zu sweep cells, best of %d ---\n",
+              kCells, kReps);
+  std::printf("probes %s; disabled %.4fs, enabled %.4fs, overhead %+.2f%%\n\n",
+              telemetry::compiled_in() ? "compiled in" : "compiled out",
+              off_seconds, on_seconds, overhead_pct);
+
+  bench.add_counter("telemetry_compiled_in",
+                    telemetry::compiled_in() ? 1.0 : 0.0);
+  bench.add_counter("telemetry_disabled_sec", off_seconds);
+  bench.add_counter("telemetry_enabled_sec", on_seconds);
+  bench.add_counter("telemetry_overhead_pct", overhead_pct);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --skip-pool before handing argv to google-benchmark (it rejects
+  const ArgParser args(argc, argv);
+  analysis::BenchTelemetry telemetry(args, "micro");
+
+  // Strip our own flags before handing argv to google-benchmark (it rejects
   // flags it does not know).
   bool skip_pool = false;
+  bool skip_overhead = false;
   std::vector<char*> filtered;
   for (int i = 0; i < argc; ++i) {
     if (i > 0 && std::strcmp(argv[i], "--skip-pool") == 0) {
       skip_pool = true;
       continue;
     }
+    if (i > 0 && std::strcmp(argv[i], "--skip-overhead") == 0) {
+      skip_overhead = true;
+      continue;
+    }
+    if (i > 0 && std::strncmp(argv[i], "--telemetry", 11) == 0) continue;
     filtered.push_back(argv[i]);
   }
-  if (!skip_pool) run_pool_throughput_bench();
+
+  BenchReport bench("micro");
+  bench.set_jobs(hardware_jobs());
+  if (!skip_pool) run_pool_throughput_bench(bench);
+  if (!skip_overhead) run_telemetry_overhead_bench(bench);
+  telemetry.finish(bench);
+  std::printf("Bench artifact: %s\n\n", bench.write().c_str());
 
   int filtered_argc = static_cast<int>(filtered.size());
   benchmark::Initialize(&filtered_argc, filtered.data());

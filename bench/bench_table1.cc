@@ -5,13 +5,16 @@
 // the fluid model, for all eight metrics.
 //
 // Usage: bench_table1 [--mbps=30] [--rtt-ms=42] [--buffer=100] [--senders=2]
-//                     [--steps=4000] [--jobs=N] [--markdown]
+//                     [--steps=4000] [--jobs=N] [--markdown] [--telemetry[=dir]]
 //
 // --jobs=N fans the rows out over N workers (default: AXIOMCC_JOBS env, else
 // hardware concurrency; 1 = serial). Timing lands in BENCH_table1.json.
+// --telemetry records the metrics registry + trace spans: the snapshot embeds
+// in the artifact and trace_table1.json opens in Perfetto.
 #include <cstdio>
 #include <exception>
 
+#include "analysis/telemetry_report.h"
 #include "exp/table1.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -32,6 +35,7 @@ std::string cell(double nuanced, double worst, double measured) {
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    analysis::BenchTelemetry telemetry(args, "table1");
     core::EvalConfig cfg;
     cfg.link = fluid::make_link_mbps(args.get_double("mbps", 30.0),
                                      args.get_double("rtt-ms", 42.0),
@@ -91,6 +95,7 @@ int main(int argc, char** argv) {
     bench.add_counter("cells", static_cast<double>(rows.size()));
     bench.add_counter("cells_per_sec",
                       static_cast<double>(rows.size()) / build_seconds);
+    telemetry.finish(bench);
     std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {

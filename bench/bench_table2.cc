@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <exception>
 
+#include "analysis/telemetry_report.h"
 #include "exp/table2.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -30,6 +31,7 @@ using namespace axiomcc;
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    analysis::BenchTelemetry telemetry(args, "table2");
     exp::Table2Config cfg;
     cfg.steps = args.get_int("steps", 4000);
     cfg.jobs = args.get_jobs();
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
     bench.add_counter("cells", static_cast<double>(cells.size()));
     bench.add_counter("cells_per_sec",
                       static_cast<double>(cells.size()) / grid_seconds);
+    telemetry.finish(bench);
     std::printf("Bench artifact: %s\n", bench.write().c_str());
     return 0;
   } catch (const std::exception& e) {

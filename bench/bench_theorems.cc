@@ -10,6 +10,7 @@
 #include <exception>
 #include <vector>
 
+#include "analysis/telemetry_report.h"
 #include "exp/theorems.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -39,6 +40,7 @@ int print_checks(const char* title, const std::vector<exp::TheoremCheck>& checks
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    analysis::BenchTelemetry telemetry(args, "theorems");
     core::EvalConfig cfg;
     cfg.steps = args.get_int("steps", 3000);
     const long jobs = args.get_jobs();
@@ -98,6 +100,7 @@ int main(int argc, char** argv) {
     bench.add_counter("cells", static_cast<double>(cells));
     bench.add_counter("cells_per_sec",
                       static_cast<double>(cells) / bench.total_seconds());
+    telemetry.finish(bench);
     std::printf("Bench artifact: %s\n", bench.write().c_str());
     return failures == 0 ? 0 : 1;
   } catch (const std::exception& e) {

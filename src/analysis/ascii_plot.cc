@@ -88,6 +88,36 @@ std::string plot(const std::vector<Series>& series, const PlotOptions& options) 
   return os.str();
 }
 
+std::string bar_chart(const std::vector<Bar>& bars, int width,
+                      const std::string& title) {
+  AXIOMCC_EXPECTS(!bars.empty());
+  AXIOMCC_EXPECTS(width >= 10);
+
+  std::size_t label_width = 0;
+  double max_value = 0.0;
+  for (const Bar& bar : bars) {
+    AXIOMCC_EXPECTS_MSG(bar.value >= 0.0, "bar values must be non-negative");
+    label_width = std::max(label_width, bar.label.size());
+    max_value = std::max(max_value, bar.value);
+  }
+  if (max_value <= 0.0) max_value = 1.0;
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  for (const Bar& bar : bars) {
+    os << "  " << bar.label
+       << std::string(label_width - bar.label.size(), ' ') << " |";
+    const int filled = static_cast<int>(
+        std::lround(bar.value / max_value * static_cast<double>(width)));
+    os << std::string(static_cast<std::size_t>(std::clamp(filled, 0, width)),
+                      '#');
+    char value_text[32];
+    std::snprintf(value_text, sizeof(value_text), " %.6g", bar.value);
+    os << value_text << '\n';
+  }
+  return os.str();
+}
+
 std::string plot_windows(const fluid::Trace& trace, const PlotOptions& options) {
   std::vector<Series> series;
   for (int i = 0; i < trace.num_senders(); ++i) {

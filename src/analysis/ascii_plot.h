@@ -34,4 +34,17 @@ struct Series {
 [[nodiscard]] std::string plot_windows(const fluid::Trace& trace,
                                        const PlotOptions& options = {});
 
+/// One labeled magnitude in a horizontal bar chart.
+struct Bar {
+  std::string label;
+  double value = 0.0;
+};
+
+/// Renders `bars` as right-padded labels plus '#'-bars scaled to the
+/// largest value — the flame-summary style used for telemetry span
+/// rollups. Bars render in the given order. Returns a multi-line string.
+[[nodiscard]] std::string bar_chart(const std::vector<Bar>& bars,
+                                    int width = 50,
+                                    const std::string& title = {});
+
 }  // namespace axiomcc::analysis

@@ -1,0 +1,48 @@
+// telemetry_report.h — per-bench telemetry session.
+//
+// Every bench binary wires telemetry the same way: construct a
+// BenchTelemetry from its parsed arguments right after ArgParser (turning
+// recording on when --telemetry / AXIOMCC_TELEMETRY asks for it), then call
+// finish(bench) just before bench.write(). finish() embeds the registry
+// snapshot into the BENCH_<name>.json artifact, exports the Chrome
+// trace-event file (trace_<name>.json — open in chrome://tracing or
+// https://ui.perfetto.dev), and prints an ASCII flame summary of where the
+// span time went to stderr (stderr so benches with --csv keep stdout pure).
+#pragma once
+
+#include <string>
+
+#include "util/bench_json.h"
+#include "util/cli.h"
+
+namespace axiomcc::analysis {
+
+class BenchTelemetry {
+ public:
+  /// Reads the telemetry request from `args` (see ArgParser::telemetry_dir)
+  /// and, when requested on a telemetry-compiled binary, zeroes the registry
+  /// and tracer and turns recording on.
+  BenchTelemetry(const ArgParser& args, std::string bench_name);
+
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+  /// Whether this run is recording telemetry.
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Stops recording, embeds the registry snapshot into `bench`, writes
+  /// trace_<name>.json next to the artifact, and prints the flame summary
+  /// to stderr. No-op when not active.
+  void finish(BenchReport& bench);
+
+ private:
+  std::string bench_name_;
+  std::string dir_;
+  bool active_ = false;
+};
+
+/// The flame summary itself: total span time per category, widest first,
+/// rendered with ascii_plot's bar_chart. Exposed for tests.
+[[nodiscard]] std::string span_flame_summary();
+
+}  // namespace axiomcc::analysis

@@ -10,6 +10,7 @@
 #include "exp/table1.h"
 #include "fluid/link.h"
 #include "sim/dumbbell.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/task_pool.h"
 
@@ -103,6 +104,10 @@ std::vector<EmulabCell> run_emulab_grid(const EmulabGridConfig& cfg) {
         const int n = cfg.sender_counts[i / per_n];
         const double bw = cfg.bandwidths_mbps[(i / per_bw) % cfg.bandwidths_mbps.size()];
         const std::size_t buffer = cfg.buffers_packets[i % per_bw];
+        TELEMETRY_SPAN_DYN("exp.emulab", "n" + std::to_string(n) + "/bw" +
+                                             std::to_string(bw) + "/buf" +
+                                             std::to_string(buffer));
+        TELEMETRY_COUNT("exp.emulab.cells", 1);
 
         const auto reno = cc::presets::reno();
         const auto cubic = cc::presets::cubic_linux();

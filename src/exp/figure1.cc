@@ -4,6 +4,7 @@
 
 #include "cc/aimd.h"
 #include "core/theory.h"
+#include "telemetry/telemetry.h"
 #include "util/task_pool.h"
 
 namespace axiomcc::exp {
@@ -25,6 +26,10 @@ std::vector<Figure1Verification> verify_attainment(const core::EvalConfig& cfg,
       samples,
       [&](const std::pair<double, double>& sample) {
         const auto [alpha, beta] = sample;
+        TELEMETRY_SPAN_DYN("exp.figure1",
+                           "aimd(" + std::to_string(alpha) + "," +
+                               std::to_string(beta) + ")");
+        TELEMETRY_COUNT("exp.figure1.samples", 1);
         const cc::Aimd proto(alpha, beta);
         Figure1Verification v;
         v.analytic = core::Figure1Point{

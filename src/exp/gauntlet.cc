@@ -9,6 +9,7 @@
 
 #include "cc/registry.h"
 #include "core/metrics.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/task_pool.h"
 
@@ -116,6 +117,9 @@ Baseline run_baseline(const cc::Protocol& proto, const GauntletConfig& cfg) {
 GauntletCell run_cell(const cc::Protocol& proto,
                       const stress::Scenario& scenario, std::uint64_t seed,
                       const Baseline& baseline, const GauntletConfig& cfg) {
+  TELEMETRY_SPAN_DYN("exp.gauntlet", proto.name() + "/" + scenario.name +
+                                         "/s" + std::to_string(seed));
+  TELEMETRY_COUNT("exp.gauntlet.cells", 1);
   GauntletCell cell;
   cell.protocol = proto.name();
   cell.scenario = scenario.name;
@@ -191,6 +195,7 @@ struct ProtocolContext {
 
 ProtocolContext run_protocol_context(const cc::Protocol& proto,
                                      const GauntletConfig& cfg) {
+  TELEMETRY_SPAN_DYN("exp.gauntlet", proto.name() + "/context");
   ProtocolContext ctx;
   ctx.baseline = run_baseline(proto, cfg);
   if (cfg.include_axiom_metrics) {
@@ -327,6 +332,8 @@ GauntletResult run_gauntlet_prototypes(
       score.axioms = contexts[p].axioms;
       score.axiom_fault = contexts[p].axiom_fault;
     }
+    TELEMETRY_COUNT("exp.gauntlet.failed_cells", score.failed_cells);
+    TELEMETRY_COUNT("exp.gauntlet.unrecovered_cells", score.unrecovered_cells);
     result.scorecard.push_back(std::move(score));
   }
   return result;

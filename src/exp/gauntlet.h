@@ -85,6 +85,15 @@ struct GauntletScore {
 struct GauntletResult {
   std::vector<GauntletCell> cells;
   std::vector<GauntletScore> scorecard;
+
+  /// Total failed cells across the scorecard — the one aggregate every
+  /// consumer (bench summary, tests) needs, so it lives here instead of
+  /// being recomputed ad hoc from the cell matrix.
+  [[nodiscard]] int failed_cells() const {
+    int failed = 0;
+    for (const GauntletScore& score : scorecard) failed += score.failed_cells;
+    return failed;
+  }
 };
 
 /// Canonical spec strings covering every registered protocol family (preset

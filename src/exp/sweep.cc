@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "cc/registry.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/task_pool.h"
 
@@ -38,7 +39,10 @@ void flag_non_finite_scores(SweepRow& row) {
 
 /// One sweep cell, evaluated on `proto` (exclusively owned by this call).
 SweepRow run_cell(const cc::Protocol& proto, const LinkShape& shape,
-                  const core::EvalConfig& base) {
+                  std::size_t grid_index, const core::EvalConfig& base) {
+  TELEMETRY_SPAN_DYN("exp.sweep", proto.name() + "/cell" +
+                                      std::to_string(grid_index));
+  TELEMETRY_COUNT("exp.sweep.cells", 1);
   core::EvalConfig cfg = base;
   cfg.link = fluid::make_link_mbps(shape.bandwidth_mbps, shape.rtt_ms,
                                    shape.buffer_mss);
@@ -54,6 +58,7 @@ SweepRow run_cell(const cc::Protocol& proto, const LinkShape& shape,
       [&] { row.scores = core::evaluate_protocol(proto, cfg); });
   if (!row.fault.ok()) row.scores = core::MetricReport{};
   flag_non_finite_scores(row);
+  if (!row.fault.ok()) TELEMETRY_COUNT("exp.sweep.failed_cells", 1);
   return row;
 }
 
@@ -92,7 +97,8 @@ std::vector<SweepRow> run_metric_sweep_prototypes(
   return parallel_map(
       cells,
       [&](std::size_t i) {
-        return run_cell(*clones[i], grid.shape(i % grid.size()), base);
+        const std::size_t g = i % grid.size();
+        return run_cell(*clones[i], grid.shape(g), g, base);
       },
       jobs);
 }

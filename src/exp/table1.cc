@@ -9,6 +9,7 @@
 #include "cc/robust_aimd.h"
 #include "core/theory.h"
 #include "fluid/link.h"
+#include "telemetry/telemetry.h"
 #include "util/task_pool.h"
 
 namespace axiomcc::exp {
@@ -144,6 +145,8 @@ std::vector<Table1Entry> build_table1(const core::EvalConfig& cfg, long jobs) {
   return parallel_map(
       std::size_t{6},
       [&](std::size_t row) -> Table1Entry {
+        TELEMETRY_SPAN_DYN("exp.table1", "row" + std::to_string(row));
+        TELEMETRY_COUNT("exp.table1.rows", 1);
         switch (row) {
           case 0: {
             const cc::Aimd proto(1.0, 0.5);

@@ -13,6 +13,7 @@
 #include "core/metrics.h"
 #include "core/theory.h"
 #include "fluid/sim.h"
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/task_pool.h"
 
@@ -38,6 +39,8 @@ Claim1Result check_claim1(const core::EvalConfig& cfg, long jobs) {
   const std::vector<double> measured = parallel_map(
       std::size_t{3},
       [&](std::size_t i) {
+        TELEMETRY_SPAN_DYN("exp.theorems", "claim1/run" + std::to_string(i));
+        TELEMETRY_COUNT("exp.theorems.cells", 1);
         const cc::CautiousProbe probe;
         if (i == 0) {
           // 0-loss: after the probe freezes below capacity, congestion loss
@@ -82,6 +85,10 @@ std::vector<TheoremCheck> check_theorem1(const core::EvalConfig& cfg,
   return parallel_map(
       grid,
       [&](const std::pair<double, double>& ab) {
+        TELEMETRY_SPAN_DYN("exp.theorems",
+                           "thm1/aimd(" + std::to_string(ab.first) + "," +
+                               std::to_string(ab.second) + ")");
+        TELEMETRY_COUNT("exp.theorems.cells", 1);
         const cc::Aimd proto(ab.first, ab.second);
         const fluid::Trace shared = core::run_shared_link(proto, cfg);
         const double conv = core::measure_convergence(shared, cfg.estimator());
@@ -110,6 +117,10 @@ std::vector<TheoremCheck> check_theorem2(const core::EvalConfig& cfg,
       grid,
       [&](const std::pair<double, double>& ab) {
         const auto [a, b] = ab;
+        TELEMETRY_SPAN_DYN("exp.theorems",
+                           "thm2/aimd(" + std::to_string(a) + "," +
+                               std::to_string(b) + ")");
+        TELEMETRY_COUNT("exp.theorems.cells", 1);
         const cc::Aimd proto(a, b);
         const double friendliness =
             core::measure_tcp_friendliness_score(proto, cfg);
@@ -151,6 +162,8 @@ std::vector<TheoremCheck> check_theorem3(const core::EvalConfig& cfg,
   const std::vector<double> friendliness_curve = parallel_map(
       eps_grid.size() + 1,
       [&](std::size_t i) {
+        TELEMETRY_SPAN_DYN("exp.theorems", "thm3/point" + std::to_string(i));
+        TELEMETRY_COUNT("exp.theorems.cells", 1);
         if (i == 0) {
           const cc::Aimd base(1.0, 0.8);
           return core::measure_tcp_friendliness_score(base, cfg);
@@ -213,6 +226,8 @@ std::vector<TheoremCheck> check_theorem4(const core::EvalConfig& cfg,
   const std::vector<Measurement> measured = parallel_map(
       kNumAggressors + 1,
       [&](std::size_t i) {
+        TELEMETRY_SPAN_DYN("exp.theorems", "thm4/run" + std::to_string(i));
+        TELEMETRY_COUNT("exp.theorems.cells", 1);
         const cc::Aimd p(1.0, 0.5);
         Measurement m;
         if (i == 0) {
@@ -259,6 +274,8 @@ std::vector<TheoremCheck> check_theorem5(const core::EvalConfig& cfg,
   return parallel_map(
       std::size_t{2},
       [&](std::size_t i) {
+        TELEMETRY_SPAN_DYN("exp.theorems", "thm5/run" + std::to_string(i));
+        TELEMETRY_COUNT("exp.theorems.cells", 1);
         const cc::VegasLike vegas(2.0, 4.0);
         const auto p = make_loss_based(i);
         // Theorem 5 says P cannot be β-friendly toward Vegas for ANY β > 0 —

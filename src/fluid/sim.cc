@@ -1,7 +1,9 @@
 #include "fluid/sim.h"
 
 #include <algorithm>
+#include <optional>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace axiomcc::fluid {
@@ -81,7 +83,28 @@ Trace FluidSimulation::run() {
   std::vector<double> pending_rtt_sum(n, 0.0);
   std::vector<long> pending_steps(n, 0);
 
+  TELEMETRY_SPAN("fluid", "sim.run");
+  // Tick/loss tallies accumulate in locals and flush to the registry once
+  // after the loop, so the hot loop never touches shared metric state. The
+  // totals count simulation content and are deterministic at any --jobs.
+  const bool record_telemetry =
+      telemetry::compiled_in() && telemetry::enabled();
+  long ticks = 0;
+  long loss_event_steps = 0;
+  long injected_loss_samples = 0;
+
   for (long step = 0; step < options_.steps; ++step) {
+#ifndef AXIOMCC_TELEMETRY_DISABLED
+    // A tick costs tens of nanoseconds, so timing every one would multiply
+    // the loop's cost; sampling 1-in-64 keeps the distribution while the
+    // untimed ticks pay only the enabled() branch.
+    std::optional<telemetry::ScopedHistogramTimer> tick_timer;
+    if (record_telemetry && (step & 63) == 0) {
+      static telemetry::Histogram& tick_hist =
+          telemetry::Registry::global().latency_histogram("fluid.tick_us");
+      tick_timer.emplace(tick_hist);
+    }
+#endif
     // Churn: senders joining at this step restart from their initial
     // window; departed senders stop contributing immediately.
     for (int i = 0; i < n; ++i) {
@@ -121,10 +144,17 @@ Trace FluidSimulation::run() {
     const Seconds rtt = active->rtt(total);
 
     for (int i = 0; i < n; ++i) {
-      observed_loss[i] =
-          active_at(senders_[i], step)
-              ? combine_loss(congestion_loss, injector_->sample(step, i))
-              : 0.0;
+      if (!active_at(senders_[i], step)) {
+        observed_loss[i] = 0.0;
+        continue;
+      }
+      const double injected = injector_->sample(step, i);
+      observed_loss[i] = combine_loss(congestion_loss, injected);
+      if (record_telemetry && injected > 0.0) ++injected_loss_samples;
+    }
+    if (record_telemetry) {
+      ++ticks;
+      if (congestion_loss > 0.0) ++loss_event_steps;
     }
     trace.add_step(windows, rtt.value(), congestion_loss, observed_loss);
 
@@ -163,6 +193,11 @@ Trace FluidSimulation::run() {
         !step_monitor_(step, windows, rtt.value(), congestion_loss)) {
       break;
     }
+  }
+  if (record_telemetry) {
+    TELEMETRY_COUNT("fluid.ticks", ticks);
+    TELEMETRY_COUNT("fluid.loss_event_steps", loss_event_steps);
+    TELEMETRY_COUNT("fluid.injected_loss_samples", injected_loss_samples);
   }
   return trace;
 }

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "telemetry/telemetry.h"
+
 namespace axiomcc::stress {
 
 const char* fault_kind_name(FaultKind kind) {
@@ -32,11 +34,13 @@ GuardedResult run_guarded(fluid::FluidSimulation& sim,
   sim.set_step_monitor([&fault, &config, capacity](
                            long step, std::span<const double> windows,
                            double /*rtt_seconds*/, double /*congestion_loss*/) {
+    ++fault.steps_observed;
     const auto trip = [&](FaultKind kind, int sender, const std::string& why) {
       fault.kind = kind;
       fault.step = step;
       fault.sender = sender;
       fault.detail = why;
+      TELEMETRY_COUNT("stress.invariant_trips", 1);
       return false;  // stop the run
     };
 
@@ -83,8 +87,11 @@ GuardedResult run_guarded(fluid::FluidSimulation& sim,
   });
 
   const int n = sim.num_senders() > 0 ? sim.num_senders() : 1;
+  TELEMETRY_SPAN("stress", "guarded_run");
+  TELEMETRY_COUNT("stress.guard_runs", 1);
   try {
     fluid::Trace trace = sim.run();
+    TELEMETRY_COUNT("stress.guard_steps", fault.steps_observed);
     return GuardedResult{std::move(trace), std::move(fault)};
   } catch (const ContractViolation& e) {
     fault.kind = FaultKind::kContractViolation;
@@ -93,6 +100,8 @@ GuardedResult run_guarded(fluid::FluidSimulation& sim,
     fault.kind = FaultKind::kException;
     fault.detail = e.what();
   }
+  TELEMETRY_COUNT("stress.guard_exceptions", 1);
+  TELEMETRY_COUNT("stress.guard_steps", fault.steps_observed);
   // The in-progress trace died with the exception; return an empty stand-in
   // so downstream scoring sees zero steps rather than garbage.
   return GuardedResult{

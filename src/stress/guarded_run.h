@@ -38,6 +38,9 @@ struct FaultReport {
   FaultKind kind = FaultKind::kNone;
   long step = -1;    ///< step at which the fault was detected (-1: n/a).
   int sender = -1;   ///< offending sender, when one is identifiable.
+  /// Steps the guard actually watched before the run ended (clean or not);
+  /// scorecards read this instead of recomputing it from the trace.
+  long steps_observed = 0;
   std::string detail;
 
   [[nodiscard]] bool ok() const { return kind == FaultKind::kNone; }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace axiomcc::stress {
@@ -71,13 +72,18 @@ double LossStorm::sample(long step, int /*sender*/) {
   if (in_bad_state_) {
     if (rng_.bernoulli(params_.p_bad_to_good)) in_bad_state_ = false;
   } else {
-    if (rng_.bernoulli(params_.p_good_to_bad)) in_bad_state_ = true;
+    if (rng_.bernoulli(params_.p_good_to_bad)) {
+      in_bad_state_ = true;
+      // Burst count is a function of (seed, steps) only — deterministic.
+      TELEMETRY_COUNT("stress.storm_bursts", 1);
+    }
   }
   return in_bad_state_ ? params_.bad_rate : params_.good_rate;
 }
 
 void apply_scenario(const Scenario& s, fluid::FluidSimulation& sim,
                     const cc::Protocol& churn_prototype, std::uint64_t seed) {
+  TELEMETRY_COUNT("stress.scenarios_applied", 1);
   if (s.bandwidth_scale) sim.set_bandwidth_schedule(s.bandwidth_scale);
   if (s.rtt_scale) sim.set_rtt_schedule(s.rtt_scale);
   if (s.loss_factory) sim.set_loss_injector(s.loss_factory(seed));

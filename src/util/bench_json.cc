@@ -1,41 +1,14 @@
 #include "util/bench_json.h"
 
-#include <cmath>
+#include <algorithm>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 
 #include "util/check.h"
+#include "util/json.h"
 #include "util/task_pool.h"
 
 namespace axiomcc {
-
-namespace {
-
-void append_escaped(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default: os << c; break;
-    }
-  }
-  os << '"';
-}
-
-void append_number(std::ostringstream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << "null";
-    return;
-  }
-  os.precision(12);
-  os << v;
-}
-
-}  // namespace
 
 BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
   AXIOMCC_EXPECTS(!name_.empty());
@@ -51,6 +24,10 @@ void BenchReport::add_counter(const std::string& counter, double value) {
   counters_.emplace_back(counter, value);
 }
 
+void BenchReport::set_telemetry(std::string snapshot_json) {
+  telemetry_json_ = std::move(snapshot_json);
+}
+
 double BenchReport::total_seconds() const {
   double total = 0.0;
   for (const auto& [_, seconds] : phases_) total += seconds;
@@ -58,32 +35,43 @@ double BenchReport::total_seconds() const {
 }
 
 std::string BenchReport::to_json() const {
-  std::ostringstream os;
-  os << "{\n  \"bench\": ";
-  append_escaped(os, name_);
-  os << ",\n  \"jobs\": " << jobs_;
-  os << ",\n  \"hardware_jobs\": " << hardware_jobs();
-  os << ",\n  \"total_seconds\": ";
-  append_number(os, total_seconds());
-  os << ",\n  \"phases\": [";
+  std::string out = "{\n  \"bench\": ";
+  append_json_string(out, name_);
+  out += ",\n  \"jobs\": " + std::to_string(jobs_);
+  out += ",\n  \"hardware_jobs\": " + std::to_string(hardware_jobs());
+  out += ",\n  \"total_seconds\": ";
+  append_json_number(out, total_seconds());
+  out += ",\n  \"phases\": [";
   for (std::size_t i = 0; i < phases_.size(); ++i) {
-    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
-    append_escaped(os, phases_[i].first);
-    os << ", \"seconds\": ";
-    append_number(os, phases_[i].second);
-    os << "}";
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"name\": ";
+    append_json_string(out, phases_[i].first);
+    out += ", \"seconds\": ";
+    append_json_number(out, phases_[i].second);
+    out += "}";
   }
-  os << (phases_.empty() ? "]" : "\n  ]");
-  os << ",\n  \"counters\": {";
-  for (std::size_t i = 0; i < counters_.size(); ++i) {
-    os << (i == 0 ? "\n" : ",\n") << "    ";
-    append_escaped(os, counters_[i].first);
-    os << ": ";
-    append_number(os, counters_[i].second);
+  out += phases_.empty() ? "]" : "\n  ]";
+  // Counters sort by key so the artifact diffs cleanly even when the bench
+  // records them in a run-dependent order.
+  std::vector<std::pair<std::string, double>> sorted = counters_;
+  std::stable_sort(
+      sorted.begin(), sorted.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  out += ",\n  \"counters\": {";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    ";
+    append_json_string(out, sorted[i].first);
+    out += ": ";
+    append_json_number(out, sorted[i].second);
   }
-  os << (counters_.empty() ? "}" : "\n  }");
-  os << "\n}\n";
-  return os.str();
+  out += sorted.empty() ? "}" : "\n  }";
+  if (!telemetry_json_.empty()) {
+    out += ",\n  \"telemetry\": ";
+    out += telemetry_json_;
+  }
+  out += "\n}\n";
+  return out;
 }
 
 std::string BenchReport::write(const std::string& dir) const {

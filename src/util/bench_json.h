@@ -27,7 +27,13 @@ class BenchReport {
   void add_phase(const std::string& phase, double seconds);
 
   /// Appends one workload counter (cells, cells_per_sec, speedup...).
+  /// Counters render sorted by key so artifacts diff cleanly run-to-run.
   void add_counter(const std::string& counter, double value);
+
+  /// Embeds a telemetry registry snapshot (a pre-rendered JSON object, as
+  /// produced by telemetry::RegistrySnapshot::to_json) as the artifact's
+  /// "telemetry" member. Empty string (the default) omits the member.
+  void set_telemetry(std::string snapshot_json);
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -45,6 +51,7 @@ class BenchReport {
   long jobs_ = 0;
   std::vector<std::pair<std::string, double>> phases_;
   std::vector<std::pair<std::string, double>> counters_;
+  std::string telemetry_json_;
 };
 
 }  // namespace axiomcc

@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <cstdlib>
 #include <stdexcept>
 
 #include "util/task_pool.h"
@@ -60,5 +61,17 @@ bool ArgParser::has(const std::string& key) const {
 }
 
 long ArgParser::get_jobs() const { return resolve_jobs(get_int("jobs", 0)); }
+
+std::optional<std::string> ArgParser::telemetry_dir() const {
+  if (const auto flag = get("telemetry")) {
+    return flag->empty() ? std::string(".") : *flag;
+  }
+  const char* env = std::getenv("AXIOMCC_TELEMETRY");
+  if (env == nullptr) return std::nullopt;
+  const std::string value(env);
+  if (value.empty() || value == "0") return std::nullopt;
+  if (value == "1") return std::string(".");
+  return value;
+}
 
 }  // namespace axiomcc

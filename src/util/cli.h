@@ -38,6 +38,14 @@ class ArgParser {
   /// concurrency. Always >= 1; 1 selects the serial path everywhere.
   [[nodiscard]] long get_jobs() const;
 
+  /// Telemetry output directory for the standard `--telemetry[=path]` flag:
+  /// `--telemetry` alone enables recording into the current directory,
+  /// `--telemetry=path` into `path`. Without the flag, the AXIOMCC_TELEMETRY
+  /// environment variable is consulted ("" and "0" mean off, "1" means the
+  /// current directory, anything else is a directory path). nullopt means
+  /// telemetry stays off.
+  [[nodiscard]] std::optional<std::string> telemetry_dir() const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <span>
 #include <vector>
@@ -105,17 +106,70 @@ class RunningStats {
   return *std::max_element(xs.begin(), xs.end());
 }
 
+/// Exact percentile over already-sorted data (linear interpolation between
+/// order statistics). `p` is in [0, 100]; the boundaries are handled
+/// explicitly — p<=0 is the minimum, p>=100 the maximum, and a single
+/// sample is its own every-percentile — so no index arithmetic runs at the
+/// edges where floating-point rounding of the rank could step out of range.
+[[nodiscard]] inline double percentile_sorted(std::span<const double> xs,
+                                              double p) {
+  AXIOMCC_EXPECTS(!xs.empty());
+  AXIOMCC_EXPECTS(p >= 0.0 && p <= 100.0);
+  const std::size_t n = xs.size();
+  if (n == 1 || p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
+  const auto lo =
+      std::min(static_cast<std::size_t>(std::floor(rank)), n - 1);
+  const auto hi = std::min(lo + 1, n - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
 /// Exact percentile (linear interpolation between order statistics).
 /// `p` is in [0, 100].
 [[nodiscard]] inline double percentile(std::vector<double> xs, double p) {
   AXIOMCC_EXPECTS(!xs.empty());
-  AXIOMCC_EXPECTS(p >= 0.0 && p <= 100.0);
   std::sort(xs.begin(), xs.end());
-  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(std::floor(rank));
-  const auto hi = static_cast<std::size_t>(std::ceil(rank));
-  const double frac = rank - static_cast<double>(lo);
-  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+  return percentile_sorted(xs, p);
+}
+
+/// Quantile estimate for a fixed-bucket histogram with upper-inclusive
+/// bucket edges (telemetry::Histogram's layout: `bucket_counts` has one
+/// entry per bound plus a final overflow bucket). Interpolates linearly
+/// inside the containing bucket and clamps the bucket edges to the exact
+/// observed [min_seen, max_seen], which shares the percentile_sorted
+/// boundary conventions: p<=0 is the minimum, p>=100 the maximum, and a
+/// single sample is its own every-percentile. NaN when empty.
+[[nodiscard]] inline double histogram_quantile(
+    std::span<const double> upper_bounds,
+    std::span<const std::uint64_t> bucket_counts, double min_seen,
+    double max_seen, double p) {
+  AXIOMCC_EXPECTS(bucket_counts.size() == upper_bounds.size() + 1);
+  AXIOMCC_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (total == 1 || p <= 0.0) return min_seen;
+  if (p >= 100.0) return max_seen;
+  const double target = p / 100.0 * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < bucket_counts.size(); ++b) {
+    if (bucket_counts[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += bucket_counts[b];
+    if (static_cast<double>(cumulative) < target) continue;
+    const double lower =
+        b == 0 ? min_seen : std::max(upper_bounds[b - 1], min_seen);
+    const double upper =
+        b == upper_bounds.size() ? max_seen
+                                 : std::min(upper_bounds[b], max_seen);
+    const double frac =
+        (target - before) / static_cast<double>(bucket_counts[b]);
+    const double value = lower + (upper - lower) * frac;
+    return std::clamp(value, min_seen, max_seen);
+  }
+  return max_seen;
 }
 
 /// Jain's fairness index: (Σx)² / (n·Σx²). 1 when all equal, →1/n when one

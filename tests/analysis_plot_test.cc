@@ -73,6 +73,22 @@ TEST(AsciiPlot, Contracts) {
   EXPECT_THROW((void)plot({ramp("x", 0, 1, 5)}, tiny), ContractViolation);
 }
 
+TEST(BarChart, ScalesToTheLargestValue) {
+  const std::vector<Bar> bars{{"exp.sweep", 100.0}, {"fluid", 25.0}};
+  const std::string out = bar_chart(bars, 40, "span time by category (ms):");
+  EXPECT_NE(out.find("span time by category (ms):"), std::string::npos);
+  EXPECT_NE(out.find("exp.sweep"), std::string::npos);
+  // The largest bar fills the width; the quarter bar is a quarter of it.
+  EXPECT_NE(out.find(std::string(40, '#')), std::string::npos);
+  EXPECT_NE(out.find(std::string(10, '#') + " 25"), std::string::npos);
+}
+
+TEST(BarChart, Contracts) {
+  EXPECT_THROW((void)bar_chart({}), ContractViolation);
+  EXPECT_THROW((void)bar_chart({{"x", 1.0}}, 2), ContractViolation);
+  EXPECT_THROW((void)bar_chart({{"x", -1.0}}), ContractViolation);
+}
+
 TEST(AsciiPlot, PlotWindowsLabelsSenders) {
   fluid::Trace trace(2, 100.0, 0.04);
   for (int t = 0; t < 30; ++t) {

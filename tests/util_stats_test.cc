@@ -109,6 +109,67 @@ TEST(Percentile, OutOfRangeViolatesContract) {
   EXPECT_THROW((void)percentile({}, 50.0), ContractViolation);
 }
 
+TEST(Percentile, BoundariesAreExactMinAndMax) {
+  // p=0 / p=100 must return the extremes without interpolation-rank
+  // rounding; a single sample is its own every-percentile.
+  const std::vector<double> xs{-4.0, 1.0, 8.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), -4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 8.0);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, 100.0), 7.5);
+}
+
+TEST(PercentileSorted, SkipsTheSortAndMatchesPercentile) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 62.5), percentile(sorted, 62.5));
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 100.0), 50.0);
+  EXPECT_THROW((void)percentile_sorted({}, 50.0), ContractViolation);
+}
+
+TEST(HistogramQuantile, InterpolatesInsideTheContainingBucket) {
+  // 100 uniform samples in (0, 100]: bounds {10, 100}, counts {10, 90, 0}.
+  const std::vector<double> bounds{10.0, 100.0};
+  const std::vector<std::uint64_t> counts{10, 90, 0};
+  const double p50 = histogram_quantile(bounds, counts, 1.0, 100.0, 50.0);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 100.0);
+  EXPECT_NEAR(p50, 50.0, 6.0);
+}
+
+TEST(HistogramQuantile, BoundariesAndClamping) {
+  const std::vector<double> bounds{10.0, 100.0};
+  const std::vector<std::uint64_t> counts{5, 5, 0};
+  // p<=0 is the observed minimum, p>=100 the observed maximum — never the
+  // bucket edges.
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 2.0, 42.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 2.0, 42.0, 100.0),
+                   42.0);
+  // Every estimate stays inside [min_seen, max_seen].
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double q = histogram_quantile(bounds, counts, 2.0, 42.0, p);
+    EXPECT_GE(q, 2.0);
+    EXPECT_LE(q, 42.0);
+  }
+}
+
+TEST(HistogramQuantile, DegenerateInputs) {
+  const std::vector<double> bounds{10.0};
+  const std::vector<std::uint64_t> empty{0, 0};
+  EXPECT_TRUE(std::isnan(histogram_quantile(bounds, empty, 0.0, 0.0, 50.0)));
+  const std::vector<std::uint64_t> one{1, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(bounds, one, 3.0, 3.0, 50.0), 3.0);
+  const std::vector<std::uint64_t> overflow_only{0, 4};
+  const double q = histogram_quantile(bounds, overflow_only, 20.0, 40.0, 75.0);
+  EXPECT_GE(q, 20.0);
+  EXPECT_LE(q, 40.0);
+  // Mismatched bucket count violates the contract.
+  const std::vector<std::uint64_t> short_counts{1};
+  EXPECT_THROW((void)histogram_quantile(bounds, short_counts, 0.0, 1.0, 50.0),
+               ContractViolation);
+}
+
 TEST(JainIndex, EqualSharesGiveOne) {
   const std::vector<double> xs{5.0, 5.0, 5.0, 5.0};
   EXPECT_DOUBLE_EQ(jain_index(xs), 1.0);
