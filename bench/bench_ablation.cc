@@ -6,11 +6,15 @@
 //   3. estimator tail-fraction sensitivity;
 //   4. Robust-AIMD's eps sweep (robustness vs. friendliness trade).
 //
-// Usage: bench_ablation [--duration=20] [--steps=3000] [--jobs=N]
+// Usage: bench_ablation [--duration=20] [--steps=3000]
+//                       [--backend=fluid|packet] [--jobs=N]
 //
 // --jobs=N fans each ablation's independent cells out over N workers
 // (default: AXIOMCC_JOBS env, else hardware concurrency; 1 = serial).
 // Per-ablation timing lands in BENCH_ablation.json.
+// --backend selects the simulator for ablations 3 and 4 (default:
+// AXIOMCC_BACKEND env, else fluid); ablations 1 and 2 are packet-level by
+// construction.
 #include <array>
 #include <cstdio>
 #include <exception>
@@ -20,6 +24,7 @@
 #include "cc/presets.h"
 #include "cc/robust_aimd.h"
 #include "core/evaluator.h"
+#include "engine/scenario.h"
 #include "core/metrics.h"
 #include "sim/dumbbell.h"
 #include "util/bench_json.h"
@@ -98,11 +103,13 @@ void ablate_queue_discipline(double duration, long jobs) {
   std::printf("%s\n", table.render().c_str());
 }
 
-void ablate_tail_fraction(long steps) {
+void ablate_tail_fraction(long steps, engine::BackendKind backend) {
   std::printf("--- ablation 3: estimator tail-fraction sensitivity "
-              "(AIMD(1,0.5), fluid) ---\n");
+              "(AIMD(1,0.5), %s) ---\n",
+              engine::backend_name(backend));
   core::EvalConfig cfg;
   cfg.steps = steps;
+  cfg.backend = backend;
   const auto reno = cc::presets::reno();
   const fluid::Trace trace = core::run_shared_link(*reno, cfg);
 
@@ -119,11 +126,12 @@ void ablate_tail_fraction(long steps) {
               table.render().c_str());
 }
 
-void ablate_robust_eps(long steps, long jobs) {
+void ablate_robust_eps(long steps, engine::BackendKind backend, long jobs) {
   std::printf("--- ablation 4: Robust-AIMD eps sweep (robustness vs "
               "friendliness) ---\n");
   core::EvalConfig cfg;
   cfg.steps = steps;
+  cfg.backend = backend;
 
   const std::vector<double> eps_grid{0.005, 0.007, 0.01, 0.02, 0.05};
   const auto rows = parallel_map(
@@ -158,6 +166,8 @@ int main(int argc, char** argv) {
     analysis::BenchTelemetry telemetry(args, "ablation");
     const double duration = args.get_double("duration", 20.0);
     const long steps = args.get_int("steps", 3000);
+    const engine::BackendKind backend =
+        engine::parse_backend(args.get_backend());
     const long jobs = args.get_jobs();
 
     std::printf("=== ablation benches (DESIGN.md section 5; %ld jobs) ===\n\n",
@@ -171,10 +181,10 @@ int main(int argc, char** argv) {
     ablate_queue_discipline(duration, jobs);
     bench.add_phase("queue_discipline", timer.seconds());
     timer.reset();
-    ablate_tail_fraction(steps);
+    ablate_tail_fraction(steps, backend);
     bench.add_phase("tail_fraction", timer.seconds());
     timer.reset();
-    ablate_robust_eps(steps, jobs);
+    ablate_robust_eps(steps, backend, jobs);
     bench.add_phase("robust_eps", timer.seconds());
     bench.add_counter("cells", 16.0);  // 4 + 2 + 5 + 5 ablation cells
     bench.add_counter("cells_per_sec", 16.0 / bench.total_seconds());

@@ -1,0 +1,168 @@
+// bench_crosscheck — fluid vs packet cross-validation of Table 1.
+//
+// Every Table 1 protocol is evaluated through core::evaluate_protocol on
+// BOTH simulation backends, and the per-metric protocol hierarchies are
+// compared pairwise. Exact scores differ across substrates by design; the
+// paper's ordinal claims ("AIMD loses less than MIMD", ...) are what must
+// survive the substrate change. This is the end-to-end check that the
+// engine layer's two backends describe the same physical situation.
+//
+// Usage: bench_crosscheck [--mbps=30] [--rtt-ms=42] [--buffer=100]
+//                         [--senders=2] [--steps=4000]
+//                         [--protocols=aimd(1,0.5),cubic(0.4,0.8)]
+//                         [--jobs=N] [--csv] [--markdown]
+//
+// --jobs=N fans the protocol × backend matrix out over N workers (default:
+// AXIOMCC_JOBS env, else hardware concurrency; 1 = serial). Timing lands in
+// BENCH_crosscheck.json. The packet side runs under the EvalConfig
+// PacketLimits clamps (see docs/architecture.md); --steps bounds the fluid
+// side only once it exceeds them.
+#include <cstdio>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/telemetry_report.h"
+#include "exp/crosscheck.h"
+#include "util/bench_json.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace axiomcc;
+
+namespace {
+
+/// Splits "aimd(1,0.5),cubic(0.4,0.8)" on the commas BETWEEN specs only
+/// (same rule as bench_gauntlet).
+std::vector<std::string> split_specs(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string token;
+  int depth = 0;
+  for (const char c : csv) {
+    if (c == '(') ++depth;
+    if (c == ')' && depth > 0) --depth;
+    if (c == ',' && depth == 0) {
+      if (!token.empty()) out.push_back(token);
+      token.clear();
+      continue;
+    }
+    token.push_back(c);
+  }
+  if (!token.empty()) out.push_back(token);
+  return out;
+}
+
+std::string fmt(double v) { return TextTable::num(v, 3); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    analysis::BenchTelemetry telemetry(args, "crosscheck");
+
+    exp::CrosscheckConfig cfg;
+    cfg.base.link = fluid::make_link_mbps(args.get_double("mbps", 30.0),
+                                          args.get_double("rtt-ms", 42.0),
+                                          args.get_double("buffer", 100.0));
+    cfg.base.num_senders = static_cast<int>(args.get_int("senders", 2));
+    cfg.base.steps = args.get_int("steps", 4000);
+    if (const auto protocols = args.get("protocols")) {
+      cfg.protocol_specs = split_specs(*protocols);
+    }
+    cfg.jobs = args.get_jobs();
+
+    if (!args.has("csv")) {
+      std::printf("=== Fluid vs packet cross-check (Table 1 protocols) ===\n");
+      std::printf(
+          "Link: %.0f Mbps, %.0f ms RTT, %.0f MSS buffer, %d senders; %ld "
+          "jobs\n\n",
+          args.get_double("mbps", 30.0), args.get_double("rtt-ms", 42.0),
+          args.get_double("buffer", 100.0), cfg.base.num_senders, cfg.jobs);
+    }
+
+    WallTimer timer;
+    const exp::CrosscheckResult result = exp::run_crosscheck(cfg);
+    const double run_seconds = timer.seconds();
+
+    BenchReport bench("crosscheck");
+    bench.set_jobs(cfg.jobs);
+    bench.add_phase("run_crosscheck", run_seconds);
+    bench.add_counter("protocols",
+                      static_cast<double>(result.entries.size()));
+    bench.add_counter("metrics",
+                      static_cast<double>(result.agreements.size()));
+    bench.add_counter("agreeing_metrics",
+                      static_cast<double>(result.agreeing_metrics()));
+    double pairs = 0.0;
+    double agreeing_pairs = 0.0;
+    for (const auto& a : result.agreements) {
+      pairs += a.pairs;
+      agreeing_pairs += a.agreeing_pairs;
+    }
+    bench.add_counter("hierarchy_pairs", pairs);
+    bench.add_counter("agreement_rate",
+                      pairs > 0.0 ? agreeing_pairs / pairs : 1.0);
+    telemetry.finish(bench);
+    const std::string artifact = bench.write();
+
+    if (args.has("csv")) {
+      // stdout stays pure CSV; the artifact path goes to stderr.
+      std::fprintf(stderr, "Bench artifact: %s\n", artifact.c_str());
+      std::ostringstream out;
+      exp::write_crosscheck_csv(result, out);
+      std::printf("%s", out.str().c_str());
+      return 0;
+    }
+
+    const auto format = args.has("markdown") ? TextTable::Format::kMarkdown
+                                             : TextTable::Format::kAscii;
+
+    TextTable scores;
+    scores.set_header({"Protocol", "Backend", "Eff", "Loss", "Fair", "Conv",
+                       "Friendly", "FastUtil", "Robust", "Latency"});
+    for (const auto& e : result.entries) {
+      for (const auto* side : {"fluid", "packet"}) {
+        const core::MetricReport& r =
+            side == std::string("fluid") ? e.fluid : e.packet;
+        scores.add_row({e.protocol, side, fmt(r.efficiency),
+                        fmt(r.loss_avoidance), fmt(r.fairness),
+                        fmt(r.convergence), fmt(r.tcp_friendliness),
+                        fmt(r.fast_utilization), fmt(r.robustness),
+                        fmt(r.latency_avoidance)});
+      }
+    }
+    std::printf("%s\n", scores.render(format).c_str());
+
+    TextTable agreement;
+    agreement.set_header(
+        {"Metric", "Pairs", "Agree", "Match", "Fluid order (worst→best)",
+         "Packet order (worst→best)"});
+    for (const auto& a : result.agreements) {
+      agreement.add_row({core::metric_name(a.metric), std::to_string(a.pairs),
+                         std::to_string(a.agreeing_pairs),
+                         a.matches ? "yes" : "NO", a.fluid_order,
+                         a.packet_order});
+    }
+    std::printf("%s\n", agreement.render(format).c_str());
+
+    std::printf(
+        "Agreement: %d of %zu metrics, %.0f of %.0f hierarchy pairs "
+        "(%.0f%%).\n"
+        "Notes:\n"
+        " * absolute scores are NOT expected to match across substrates —\n"
+        "   only the pairwise orderings the fluid side separates cleanly.\n"
+        " * fast-utilization/robustness/latency columns are informational:\n"
+        "   the packet probes run under PacketLimits clamps, so their\n"
+        "   scales differ (see docs/architecture.md).\n",
+        result.agreeing_metrics(), result.agreements.size(), agreeing_pairs,
+        pairs, pairs > 0.0 ? 100.0 * agreeing_pairs / pairs : 100.0);
+    std::printf("Bench artifact: %s\n", artifact.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

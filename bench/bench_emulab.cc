@@ -14,6 +14,10 @@
 // --jobs=N fans the (n, bandwidth, buffer) grid out over N workers (default:
 // AXIOMCC_JOBS env, else hardware concurrency; 1 = serial). Timing lands in
 // BENCH_emulab.json.
+// This bench is inherently packet-level (it validates fluid-model theory
+// against the packet substrate), so it takes no --backend flag; the grid
+// always runs on engine::PacketBackend and the theory side on the fluid
+// model.
 #include <cstdio>
 #include <exception>
 

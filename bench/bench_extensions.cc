@@ -8,11 +8,15 @@
 //   3. a pacing-style model-based protocol (BBR-like) placed in the
 //      8-metric space next to the loss-based families.
 //
-// Usage: bench_extensions [--steps=3000] [--duration=20] [--jobs=N]
+// Usage: bench_extensions [--steps=3000] [--duration=20]
+//                         [--backend=fluid|packet] [--jobs=N]
 //
 // --jobs=N fans each extension's independent cells out over N workers
 // (default: AXIOMCC_JOBS env, else hardware concurrency; 1 = serial).
 // Per-extension timing lands in BENCH_extensions.json.
+// --backend selects the simulator for extensions 1 and 3 (default:
+// AXIOMCC_BACKEND env, else fluid); extension 2 runs both substrates by
+// construction.
 #include <array>
 #include <cstdio>
 #include <exception>
@@ -27,6 +31,7 @@
 #include "cc/robust_aimd.h"
 #include "core/evaluator.h"
 #include "core/extra_metrics.h"
+#include "engine/scenario.h"
 #include "core/metrics.h"
 #include "fluid/network.h"
 #include "sim/network.h"
@@ -40,10 +45,11 @@ using namespace axiomcc;
 
 namespace {
 
-void extra_axioms(long steps, long jobs) {
+void extra_axioms(long steps, engine::BackendKind backend, long jobs) {
   std::printf("--- extension 1: candidate additional axioms ---\n");
   core::EvalConfig cfg;
   cfg.steps = steps;
+  cfg.backend = backend;
 
   const std::vector<std::string> specs{
       "reno",         "aimd(4,0.5)",              "cubic-linux",
@@ -136,11 +142,13 @@ void parking_lots(long steps, double duration, long jobs) {
               "desynchronization expose the beat-down)\n\n");
 }
 
-void bbr_in_the_metric_space(long steps, long jobs) {
+void bbr_in_the_metric_space(long steps, engine::BackendKind backend,
+                             long jobs) {
   std::printf("--- extension 3: a pacing-style protocol in the 8-metric "
               "space ---\n");
   core::EvalConfig cfg;
   cfg.steps = steps;
+  cfg.backend = backend;
 
   const auto make_proto = [](std::size_t i) -> std::unique_ptr<cc::Protocol> {
     if (i == 0) return cc::presets::reno();
@@ -179,6 +187,8 @@ int main(int argc, char** argv) {
     const ArgParser args(argc, argv);
     analysis::BenchTelemetry telemetry(args, "extensions");
     const long steps = args.get_int("steps", 3000);
+    const engine::BackendKind backend =
+        engine::parse_backend(args.get_backend());
     const double duration = args.get_double("duration", 20.0);
     const long jobs = args.get_jobs();
 
@@ -187,13 +197,13 @@ int main(int argc, char** argv) {
     BenchReport bench("extensions");
     bench.set_jobs(jobs);
     WallTimer timer;
-    extra_axioms(steps, jobs);
+    extra_axioms(steps, backend, jobs);
     bench.add_phase("extra_axioms", timer.seconds());
     timer.reset();
     parking_lots(steps, duration, jobs);
     bench.add_phase("parking_lots", timer.seconds());
     timer.reset();
-    bbr_in_the_metric_space(steps, jobs);
+    bbr_in_the_metric_space(steps, backend, jobs);
     bench.add_phase("bbr_metric_space", timer.seconds());
     bench.add_counter("cells", 18.0);  // 8 + 4 + 3 + 3 extension cells
     bench.add_counter("cells_per_sec", 18.0 / bench.total_seconds());

@@ -5,17 +5,20 @@
 // that no grid point Pareto-dominates another, and measures AIMD(α, β) at
 // sample points to confirm each surface point is attained by a real protocol.
 //
-// Usage: bench_figure1 [--skip-attainment] [--steps=4000] [--jobs=N]
-//                      [--markdown]
+// Usage: bench_figure1 [--skip-attainment] [--steps=4000]
+//                      [--backend=fluid|packet] [--jobs=N] [--markdown]
 //
 // --jobs=N fans the attainment sample points out over N workers (default:
 // AXIOMCC_JOBS env, else hardware concurrency; 1 = serial). Timing lands in
 // BENCH_figure1.json.
+// --backend selects the simulator for the attainment measurements (default:
+// AXIOMCC_BACKEND env, else fluid; the analytic surface itself is exact).
 #include <cstdio>
 #include <exception>
 #include <map>
 
 #include "analysis/telemetry_report.h"
+#include "engine/scenario.h"
 #include "exp/figure1.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
                   jobs);
       core::EvalConfig cfg;
       cfg.steps = args.get_int("steps", 4000);
+      cfg.backend = engine::parse_backend(args.get_backend());
       timer.reset();
       const auto checks = exp::verify_attainment(cfg, jobs);
       bench.add_phase("verify_attainment", timer.seconds());

@@ -9,11 +9,16 @@
 // Usage: bench_gauntlet [--mbps=30] [--rtt-ms=42] [--buffer=100]
 //                       [--senders=2] [--steps=900] [--seeds=3]
 //                       [--protocols=reno,cubic-linux] [--no-axioms]
-//                       [--jobs=N] [--cells] [--csv] [--markdown]
+//                       [--backend=fluid|packet] [--jobs=N] [--cells]
+//                       [--csv] [--markdown]
 //
 // --jobs=N fans the protocol × scenario × seed matrix out over N workers
 // (default: AXIOMCC_JOBS env, else hardware concurrency; 1 = serial). Timing
 // lands in BENCH_gauntlet.json.
+// --backend selects the simulator the cells run on (default: AXIOMCC_BACKEND
+// env, else fluid). The packet backend runs the same scenario matrix on the
+// dumbbell DES; RTT-step scenarios scale only the forward path there (see
+// docs/stress.md).
 #include <cstdio>
 #include <exception>
 #include <sstream>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "analysis/telemetry_report.h"
+#include "engine/scenario.h"
 #include "exp/gauntlet.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -74,6 +80,8 @@ int main(int argc, char** argv) {
       cfg.seeds.push_back(static_cast<std::uint64_t>(s));
     }
     cfg.include_axiom_metrics = !args.has("no-axioms");
+    // The gauntlet propagates the backend into axiom_cfg itself.
+    cfg.backend = engine::parse_backend(args.get_backend());
     cfg.jobs = args.get_jobs();
     // Trimmed axiom evaluation: the gauntlet's own scores carry the
     // stress story; the axiom columns are context.

@@ -9,8 +9,9 @@
 // workload with probes runtime-disabled vs runtime-enabled. Both land in
 // BENCH_micro.json. Pass --benchmark_filter=... etc. through to
 // google-benchmark as usual; --skip-pool / --skip-overhead skip the
-// respective pre-suite bench, --telemetry[=path] works as in the other
-// benches.
+// respective pre-suite bench, --telemetry[=path] and
+// --backend=fluid|packet (AXIOMCC_BACKEND env; drives the EvalConfig-based
+// benches) work as in the other benches.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -25,6 +26,7 @@
 #include "cc/presets.h"
 #include "core/evaluator.h"
 #include "core/metrics.h"
+#include "engine/scenario.h"
 #include "fluid/sim.h"
 #include "sim/dumbbell.h"
 #include "fluid/network.h"
@@ -40,6 +42,11 @@
 using namespace axiomcc;
 
 namespace {
+
+/// Backend for the EvalConfig-driven benches; set from --backend in main
+/// before google-benchmark takes over (its BENCHMARK functions cannot see
+/// argv).
+engine::BackendKind g_backend = engine::BackendKind::kFluid;
 
 void BM_FluidSimulationSteps(benchmark::State& state) {
   const long steps = state.range(0);
@@ -97,6 +104,7 @@ BENCHMARK(BM_PacketSimulation)->Arg(5)->Unit(benchmark::kMillisecond);
 void BM_MetricEstimators(benchmark::State& state) {
   core::EvalConfig cfg;
   cfg.steps = 4000;
+  cfg.backend = g_backend;
   const auto reno = cc::presets::reno();
   const fluid::Trace trace = core::run_shared_link(*reno, cfg);
   for (auto _ : state) {
@@ -166,6 +174,7 @@ void BM_FullProtocolEvaluation(benchmark::State& state) {
   cfg.steps = 2000;
   cfg.fast_utilization_steps = 1000;
   cfg.robustness_steps = 1000;
+  cfg.backend = g_backend;
   const cc::Aimd reno(1.0, 0.5);
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::evaluate_protocol(reno, cfg));
@@ -291,6 +300,8 @@ int main(int argc, char** argv) {
 
   // Strip our own flags before handing argv to google-benchmark (it rejects
   // flags it does not know).
+  g_backend = engine::parse_backend(args.get_backend());
+
   bool skip_pool = false;
   bool skip_overhead = false;
   std::vector<char*> filtered;
@@ -304,6 +315,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (i > 0 && std::strncmp(argv[i], "--telemetry", 11) == 0) continue;
+    if (i > 0 && std::strncmp(argv[i], "--backend", 9) == 0) continue;
     filtered.push_back(argv[i]);
   }
 

@@ -5,16 +5,20 @@
 // the fluid model, for all eight metrics.
 //
 // Usage: bench_table1 [--mbps=30] [--rtt-ms=42] [--buffer=100] [--senders=2]
-//                     [--steps=4000] [--jobs=N] [--markdown] [--telemetry[=dir]]
+//                     [--steps=4000] [--backend=fluid|packet] [--jobs=N]
+//                     [--markdown] [--telemetry[=dir]]
 //
 // --jobs=N fans the rows out over N workers (default: AXIOMCC_JOBS env, else
 // hardware concurrency; 1 = serial). Timing lands in BENCH_table1.json.
+// --backend selects the simulator the measured column runs on (default:
+// AXIOMCC_BACKEND env, else fluid; packet runs under PacketLimits clamps).
 // --telemetry records the metrics registry + trace spans: the snapshot embeds
 // in the artifact and trace_table1.json opens in Perfetto.
 #include <cstdio>
 #include <exception>
 
 #include "analysis/telemetry_report.h"
+#include "engine/scenario.h"
 #include "exp/table1.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -42,7 +46,12 @@ int main(int argc, char** argv) {
                                      args.get_double("buffer", 100.0));
     cfg.num_senders = static_cast<int>(args.get_int("senders", 2));
     cfg.steps = args.get_int("steps", 4000);
+    cfg.backend = engine::parse_backend(args.get_backend());
     const long jobs = args.get_jobs();
+    if (cfg.backend != engine::BackendKind::kFluid) {
+      std::printf("Backend: %s (packet runs under PacketLimits clamps)\n",
+                  engine::backend_name(cfg.backend));
+    }
 
     std::printf("=== Table 1: protocol characterization ===\n");
     std::printf(

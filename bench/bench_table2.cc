@@ -5,12 +5,13 @@
 // Each cell is the improvement factor friendliness(R-AIMD)/friendliness(PCC);
 // the paper reports consistently >1.5×, 1.92× on average.
 //
-// By default the grid runs on the fluid model; --packet re-measures it on
-// the packet-level simulator (the substrate the paper's Emulab numbers came
+// By default the grid runs on the fluid model; --backend=packet (or the
+// legacy --packet alias, or AXIOMCC_BACKEND=packet) re-measures it on the
+// packet-level simulator (the substrate the paper's Emulab numbers came
 // from; a few seconds of CPU).
 //
-// Usage: bench_table2 [--steps=4000] [--packet] [--duration=30] [--jobs=N]
-//                     [--markdown]
+// Usage: bench_table2 [--steps=4000] [--backend=fluid|packet] [--packet]
+//                     [--duration=30] [--jobs=N] [--markdown]
 //
 // --jobs=N fans the (n, BW) grid out over N workers (default: AXIOMCC_JOBS
 // env, else hardware concurrency; 1 = serial). Timing lands in
@@ -20,6 +21,7 @@
 #include <exception>
 
 #include "analysis/telemetry_report.h"
+#include "engine/scenario.h"
 #include "exp/table2.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -36,7 +38,10 @@ int main(int argc, char** argv) {
     cfg.steps = args.get_int("steps", 4000);
     cfg.jobs = args.get_jobs();
 
-    const bool packet = args.has("packet");
+    const bool packet =
+        args.has("packet") ||
+        engine::parse_backend(args.get_backend()) ==
+            engine::BackendKind::kPacket;
     std::printf("=== Table 2: TCP-friendliness of Robust-AIMD(1,0.8,0.01) vs "
                 "PCC (%s substrate) ===\n",
                 packet ? "packet-level" : "fluid");

@@ -1,16 +1,20 @@
 // bench_theorems — empirical verification of Claim 1 and Theorems 1-5
 // (paper Section 4), printed as measured-vs-bound rows.
 //
-// Usage: bench_theorems [--steps=3000] [--jobs=N]
+// Usage: bench_theorems [--steps=3000] [--backend=fluid|packet] [--jobs=N]
 //
 // --jobs=N fans each theorem's independent simulation cells out over N
 // workers (default: AXIOMCC_JOBS env, else hardware concurrency; 1 =
 // serial). Per-theorem timing lands in BENCH_theorems.json.
+// --backend selects the measuring simulator (default: AXIOMCC_BACKEND env,
+// else fluid). The bounds are fluid-model derivations — expect slack, and
+// some failures, when measuring on the packet backend.
 #include <cstdio>
 #include <exception>
 #include <vector>
 
 #include "analysis/telemetry_report.h"
+#include "engine/scenario.h"
 #include "exp/theorems.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -43,7 +47,12 @@ int main(int argc, char** argv) {
     analysis::BenchTelemetry telemetry(args, "theorems");
     core::EvalConfig cfg;
     cfg.steps = args.get_int("steps", 3000);
+    cfg.backend = engine::parse_backend(args.get_backend());
     const long jobs = args.get_jobs();
+    if (cfg.backend != engine::BackendKind::kFluid) {
+      std::printf("Backend: %s (bounds are fluid-model derivations)\n",
+                  engine::backend_name(cfg.backend));
+    }
 
     std::printf("=== Section 4: axiomatic derivations, checked empirically "
                 "(%ld jobs) ===\n\n",

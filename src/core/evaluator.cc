@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "cc/presets.h"
+#include "engine/backend.h"
 #include "fluid/loss_model.h"
 #include "util/check.h"
 
@@ -12,18 +14,75 @@ namespace axiomcc::core {
 
 namespace {
 
-/// A link so large a lone sender never congests it within a run.
-fluid::LinkParams infinite_link(const fluid::LinkParams& base) {
-  fluid::LinkParams huge = base;
-  huge.bandwidth = Bandwidth::from_mss_per_sec(1e15);
-  huge.buffer_mss = 1e15;
+bool is_packet(const EvalConfig& cfg) {
+  return cfg.backend == engine::BackendKind::kPacket;
+}
+
+// Effective scenario dimensions: the fluid configuration, clamped by the
+// PacketLimits when the packet backend runs it (see EvalConfig::PacketLimits).
+long shared_steps(const EvalConfig& cfg) {
+  return is_packet(cfg) ? std::min(cfg.steps, cfg.packet.max_steps)
+                        : cfg.steps;
+}
+
+long fast_utilization_steps(const EvalConfig& cfg) {
+  return is_packet(cfg) ? std::min(cfg.fast_utilization_steps,
+                                   cfg.packet.fast_utilization_steps)
+                        : cfg.fast_utilization_steps;
+}
+
+long robustness_steps(const EvalConfig& cfg) {
+  return is_packet(cfg)
+             ? std::min(cfg.robustness_steps, cfg.packet.robustness_steps)
+             : cfg.robustness_steps;
+}
+
+int robustness_iterations(const EvalConfig& cfg) {
+  return is_packet(cfg) ? std::min(cfg.robustness_search_iterations,
+                                   cfg.packet.robustness_search_iterations)
+                        : cfg.robustness_search_iterations;
+}
+
+double escape_window(const EvalConfig& cfg) {
+  return is_packet(cfg) ? std::min(cfg.robustness_escape_window,
+                                   cfg.packet.robustness_escape_window)
+                        : cfg.robustness_escape_window;
+}
+
+double max_window(const EvalConfig& cfg) {
+  // The fluid default (SimOptions{}.max_window_mss == 1e9) is preserved
+  // exactly so fluid traces stay bit-identical with the pre-engine code.
+  return is_packet(cfg) ? cfg.packet.max_window_mss
+                        : fluid::SimOptions{}.max_window_mss;
+}
+
+/// A link a lone sender never congests within a run. The fluid model takes
+/// this literally (10^15 MSS/s); the packet backend gets a link merely large
+/// enough that the window cap, not the queue, bounds an escaping sender.
+fluid::LinkParams infinite_link(const EvalConfig& cfg) {
+  fluid::LinkParams huge = cfg.link;
+  if (is_packet(cfg)) {
+    const double capacity = cfg.packet.infinite_capacity_mss;
+    const double rtt = cfg.link.propagation_delay.value() * 2.0;
+    huge.bandwidth = Bandwidth::from_mss_per_sec(capacity / rtt);
+    huge.buffer_mss = capacity;
+  } else {
+    huge.bandwidth = Bandwidth::from_mss_per_sec(1e15);
+    huge.buffer_mss = 1e15;
+  }
   return huge;
 }
 
-fluid::SimOptions sim_options(long steps) {
-  fluid::SimOptions opt;
-  opt.steps = steps;
-  return opt;
+engine::ScenarioSpec base_spec(const EvalConfig& cfg, long steps) {
+  engine::ScenarioSpec spec;
+  spec.link = cfg.link;
+  spec.steps = steps;
+  spec.max_window_mss = max_window(cfg);
+  return spec;
+}
+
+const engine::SimBackend& backend(const EvalConfig& cfg) {
+  return engine::backend_for(cfg.backend);
 }
 
 }  // namespace
@@ -31,31 +90,31 @@ fluid::SimOptions sim_options(long steps) {
 fluid::Trace run_shared_link(const cc::Protocol& prototype,
                              const EvalConfig& cfg) {
   AXIOMCC_EXPECTS(cfg.num_senders > 0);
-  fluid::FluidSimulation sim(cfg.link, sim_options(cfg.steps));
-  const double capacity = sim.link().capacity_mss();
+  engine::ScenarioSpec spec = base_spec(cfg, shared_steps(cfg));
+  const double capacity = fluid::FluidLink(cfg.link).capacity_mss();
   for (int i = 0; i < cfg.num_senders; ++i) {
     // Spread-out starts (sender i begins with an i-proportional share) so the
     // run exercises the "for any initial configuration" quantifier.
     const double initial =
         1.0 + capacity * static_cast<double>(i) /
                   (2.0 * static_cast<double>(cfg.num_senders));
-    sim.add_sender(prototype, initial);
+    spec.add_sender(prototype, initial);
   }
-  return sim.run();
+  return backend(cfg).run(spec).trace;
 }
 
 double measure_fast_utilization_score(const cc::Protocol& prototype,
                                       const EvalConfig& cfg) {
-  const fluid::SimOptions options = sim_options(cfg.fast_utilization_steps);
-  fluid::FluidSimulation sim(infinite_link(cfg.link), options);
-  sim.add_sender(prototype, 1.0);
-  const fluid::Trace trace = sim.run();
+  engine::ScenarioSpec spec = base_spec(cfg, fast_utilization_steps(cfg));
+  spec.link = infinite_link(cfg);
+  spec.add_sender(prototype, 1.0);
+  const fluid::Trace trace = backend(cfg).run(spec).trace;
 
   // Protocols with multiplicative growth (PCC's STARTING phase doubles every
   // step) hit the window cap within the run; past that point the series is
   // flat and would mask the growth that happened. Truncate at saturation.
   auto windows = trace.windows(0);
-  const double cap = 0.99 * options.max_window_mss;
+  const double cap = 0.99 * spec.max_window_mss;
   std::size_t truncated = windows.size();
   for (std::size_t t = 0; t < windows.size(); ++t) {
     if (windows[t] >= cap) {
@@ -76,13 +135,16 @@ namespace {
 /// under constant injected loss `rate`?
 bool escapes_under_loss(const cc::Protocol& prototype, const EvalConfig& cfg,
                         double rate) {
-  fluid::FluidSimulation sim(infinite_link(cfg.link),
-                             sim_options(cfg.robustness_steps));
-  sim.add_sender(prototype, 1.0);
-  sim.set_loss_injector(std::make_unique<fluid::ConstantLoss>(rate));
-  const fluid::Trace trace = sim.run();
+  engine::ScenarioSpec spec = base_spec(cfg, robustness_steps(cfg));
+  spec.link = infinite_link(cfg);
+  spec.add_sender(prototype, 1.0);
+  spec.loss = [rate](std::uint64_t /*seed*/) {
+    return std::make_unique<fluid::ConstantLoss>(rate);
+  };
+  const fluid::Trace trace = backend(cfg).run(spec).trace;
   const auto windows = trace.windows(0);
-  return windows.back() >= cfg.robustness_escape_window;
+  if (windows.empty()) return false;
+  return windows.back() >= escape_window(cfg);
 }
 
 }  // namespace
@@ -95,7 +157,8 @@ double measure_robustness_score(const cc::Protocol& prototype,
   double lo = 0.0;                      // known to escape
   double hi = cfg.robustness_max_rate;  // assumed not to escape
   if (escapes_under_loss(prototype, cfg, hi)) return hi;
-  for (int iter = 0; iter < cfg.robustness_search_iterations; ++iter) {
+  const int iterations = robustness_iterations(cfg);
+  for (int iter = 0; iter < iterations; ++iter) {
     const double mid = (lo + hi) / 2.0;
     if (escapes_under_loss(prototype, cfg, mid)) {
       lo = mid;
@@ -119,18 +182,18 @@ struct MixedRun {
 MixedRun run_mixed(const cc::Protocol& p, const cc::Protocol& q, int n_p,
                    int n_q, const EvalConfig& cfg) {
   AXIOMCC_EXPECTS(n_p > 0 && n_q > 0);
-  fluid::FluidSimulation sim(cfg.link, sim_options(cfg.steps));
+  engine::ScenarioSpec spec = base_spec(cfg, shared_steps(cfg));
   MixedRun out{fluid::Trace(1, 1.0, 1.0), {}, {}};
   int index = 0;
   for (int i = 0; i < n_p; ++i, ++index) {
-    sim.add_sender(p, 1.0);
+    spec.add_sender(p, 1.0);
     out.p_senders.push_back(index);
   }
   for (int j = 0; j < n_q; ++j, ++index) {
-    sim.add_sender(q, 1.0);
+    spec.add_sender(q, 1.0);
     out.q_senders.push_back(index);
   }
-  out.trace = sim.run();
+  out.trace = backend(cfg).run(spec).trace;
   return out;
 }
 

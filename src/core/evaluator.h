@@ -13,6 +13,7 @@
 #include "cc/protocol.h"
 #include "core/metric_point.h"
 #include "core/metrics.h"
+#include "engine/backend.h"
 #include "fluid/link.h"
 #include "fluid/sim.h"
 
@@ -46,6 +47,34 @@ struct EvalConfig {
   /// `num_reno_senders` Reno senders on `link`.
   int num_protocol_senders = 1;
   int num_reno_senders = 1;
+
+  /// Which simulator executes the scenarios. The default reproduces the
+  /// paper's fluid model bit-for-bit; kPacket reruns every scenario on the
+  /// packet-level dumbbell (subject to the `packet` clamps below).
+  engine::BackendKind backend = engine::BackendKind::kFluid;
+
+  /// Clamps applied only when `backend == kPacket`. The fluid model's cost
+  /// per step is O(senders) regardless of window size, so it happily runs
+  /// "infinite" links (10^15 MSS/s) and 10^9-MSS window caps; a packet
+  /// simulation's event count is proportional to the number of real packets,
+  /// so those settings would never finish. Each knob is an upper bound: the
+  /// effective value is min(the fluid-configured value, the clamp).
+  struct PacketLimits {
+    /// Replaces the robustness/fast-utilization "infinite" link: capacity
+    /// C = this many MSS at the base link's RTT (buffer equally large).
+    /// Must exceed `max_window_mss` so the cap, not congestion, is what
+    /// flattens an escaping window.
+    double infinite_capacity_mss = 2e3;
+    /// Per-sender cwnd cap (the fluid runs use 10^9).
+    double max_window_mss = 1e3;
+    long max_steps = 1500;               ///< shared-link/mixed horizon cap.
+    long fast_utilization_steps = 300;
+    long robustness_steps = 250;
+    int robustness_search_iterations = 6;
+    /// Escape threshold β; must sit well below `max_window_mss`.
+    double robustness_escape_window = 100.0;
+  };
+  PacketLimits packet;
 
   [[nodiscard]] EstimatorConfig estimator() const {
     return EstimatorConfig{tail_fraction};

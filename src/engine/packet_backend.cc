@@ -1,0 +1,155 @@
+// packet_backend.cc — executes a ScenarioSpec on the packet-level dumbbell.
+//
+// The fluid model's step becomes one RTT of wall-clock time: a spec with S
+// steps runs for S·RTT seconds and samples the trace every RTT, giving a
+// Trace with (up to) S steps that the metric estimators consume exactly as
+// they consume a fluid trace. Scenario elements map as follows:
+//  - injected loss: the fluid per-step loss *rate* becomes a per-packet
+//    Bernoulli drop at that step's rate (InjectedRateLoss below);
+//  - bandwidth schedule: the bottleneck's serialization rate is retargeted
+//    at each step boundary;
+//  - RTT schedule: the forward propagation delay is retargeted so the
+//    two-way delay matches scale·RTT (the reverse path is fixed at RTT/2,
+//    so the scaling is applied asymmetrically — see docs/stress.md);
+//  - step monitor: invoked at each trace sample; returning false stops the
+//    event loop at that sample.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "engine/backend.h"
+#include "sim/dumbbell.h"
+#include "sim/loss.h"
+#include "telemetry/telemetry.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace axiomcc::engine {
+namespace {
+
+/// Adapts a fluid::LossInjector (a per-step, per-sender loss rate) to the
+/// packet world: each forward packet is dropped with the rate the injector
+/// reports for the step containing the current simulation time. The per-flow
+/// rate cache is advanced through every intervening step, so stateful
+/// injectors (Gilbert-Elliott dwell times) keep their step-level dynamics
+/// even when a flow sends nothing for a while.
+class InjectedRateLoss final : public sim::PacketFilter {
+ public:
+  InjectedRateLoss(std::unique_ptr<fluid::LossInjector> injector,
+                   const sim::Simulator& simulator, double step_seconds,
+                   int num_flows, std::uint64_t seed)
+      : injector_(std::move(injector)),
+        simulator_(simulator),
+        step_seconds_(step_seconds),
+        last_step_(static_cast<std::size_t>(num_flows), -1),
+        rate_(static_cast<std::size_t>(num_flows), 0.0),
+        rng_(seed) {
+    AXIOMCC_EXPECTS(injector_ != nullptr);
+    AXIOMCC_EXPECTS(step_seconds > 0.0);
+    AXIOMCC_EXPECTS(num_flows > 0);
+  }
+
+  bool drop(const sim::Packet& p) override {
+    const auto flow = static_cast<std::size_t>(p.flow_id);
+    AXIOMCC_EXPECTS(flow < rate_.size());
+    const long step =
+        static_cast<long>(simulator_.now().seconds() / step_seconds_);
+    while (last_step_[flow] < step) {
+      ++last_step_[flow];
+      rate_[flow] = injector_->sample(last_step_[flow], p.flow_id);
+    }
+    if (rate_[flow] > 0.0 && rng_.bernoulli(rate_[flow])) {
+      count_drop();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<fluid::LossInjector> injector_;
+  const sim::Simulator& simulator_;
+  double step_seconds_;
+  std::vector<long> last_step_;  ///< per-flow step of the cached rate.
+  std::vector<double> rate_;     ///< per-flow cached step loss rate.
+  Rng rng_;
+};
+
+}  // namespace
+
+RunTrace PacketBackend::run(const ScenarioSpec& spec) const {
+  AXIOMCC_EXPECTS_MSG(!spec.senders.empty(),
+                      "scenario needs at least one sender");
+  TELEMETRY_SPAN("engine", "packet.run");
+
+  sim::DumbbellConfig dc =
+      sim::dumbbell_config_from_link(spec.link, options_.mss_bytes);
+  const double step_seconds = dc.rtt_ms / 1e3;
+  dc.duration_seconds = step_seconds * static_cast<double>(spec.steps);
+  dc.seed = spec.seed;
+  dc.tail_fraction = spec.tail_fraction;
+  dc.max_window_mss = std::min(spec.max_window_mss, options_.max_window_mss);
+
+  sim::DumbbellExperiment exp(dc);
+
+  for (const SenderSlot& slot : spec.senders) {
+    AXIOMCC_EXPECTS(slot.prototype != nullptr);
+    const double initial =
+        std::clamp(slot.initial_window_mss, 1.0, dc.max_window_mss);
+    const double start_s = slot.start_step * step_seconds;
+    const double stop_s =
+        slot.stop_step < 0.0 ? -1.0 : slot.stop_step * step_seconds;
+    exp.add_flow(slot.prototype->clone(), start_s, initial, stop_s);
+  }
+
+  if (spec.loss) {
+    // The injector itself is seeded exactly like the fluid backend seeds it
+    // (spec.loss(spec.seed)); the per-packet coin flips draw from a separate
+    // stream so the two stochastic processes stay independent.
+    std::uint64_t s = spec.seed;
+    (void)splitmix64_next(s);  // the dumbbell's own internal stream
+    const std::uint64_t filter_seed = splitmix64_next(s);
+    exp.set_forward_filter(std::make_unique<InjectedRateLoss>(
+        spec.loss(spec.seed), exp.simulator(), step_seconds,
+        static_cast<int>(spec.senders.size()), filter_seed));
+  }
+
+  if (spec.bandwidth_scale || spec.rtt_scale) {
+    sim::Simulator& simulator = exp.simulator();
+    const double base_bps = dc.bottleneck_mbps * 1e6;
+    for (long k = 0; k < spec.steps; ++k) {
+      const auto t = SimTime::from_seconds(
+          static_cast<double>(k) * step_seconds);
+      if (spec.bandwidth_scale) {
+        const double scale = spec.bandwidth_scale(k);
+        AXIOMCC_EXPECTS_MSG(scale > 0.0, "bandwidth scale must be positive");
+        simulator.schedule_at(
+            t, [&link = exp.bottleneck_link(), base_bps, scale] {
+              link.set_rate_bps(base_bps * scale);
+            });
+      }
+      if (spec.rtt_scale) {
+        const double scale = spec.rtt_scale(k);
+        AXIOMCC_EXPECTS_MSG(scale > 0.0, "RTT scale must be positive");
+        // The reverse (ACK) path keeps its RTT/2 delay, so the forward path
+        // absorbs the whole change: fwd = (scale − ½)·RTT, floored at 1% of
+        // the RTT so extreme shrink schedules cannot go non-positive.
+        const double fwd = std::max(scale - 0.5, 0.01) * step_seconds;
+        simulator.schedule_at(t, [&link = exp.bottleneck_link(), fwd] {
+          link.set_propagation_delay(SimTime::from_seconds(fwd));
+        });
+      }
+    }
+  }
+
+  if (spec.step_monitor) exp.set_step_monitor(spec.step_monitor);
+
+  exp.run();
+
+  TELEMETRY_COUNT("engine.packet_runs", 1);
+  return RunTrace{exp.trace(), BackendKind::kPacket, exp.flow_reports(),
+                  exp.bottleneck_utilization()};
+}
+
+}  // namespace axiomcc::engine

@@ -1,0 +1,124 @@
+// scenario.h — a backend-neutral description of one simulation run.
+//
+// The repository has two simulators of the same physical situation: the
+// paper's discrete-time fluid model (src/fluid, 1 step = 1 RTT) and a
+// packet-level discrete-event dumbbell (src/sim). A ScenarioSpec captures
+// everything both need — the link, the senders, the horizon, injected loss,
+// perturbation schedules, and a seed — in the fluid model's units (steps,
+// MSS), and a SimBackend (backend.h) turns it into a run. The packet backend
+// converts steps to wall-clock time via the link RTT.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cc/protocol.h"
+#include "fluid/link.h"
+#include "fluid/loss_model.h"
+#include "fluid/trace.h"
+#include "sim/dumbbell.h"
+#include "util/check.h"
+
+namespace axiomcc::engine {
+
+/// Which simulator executes a ScenarioSpec.
+enum class BackendKind { kFluid, kPacket };
+
+[[nodiscard]] constexpr const char* backend_name(BackendKind kind) {
+  return kind == BackendKind::kFluid ? "fluid" : "packet";
+}
+
+/// Parses a backend name ("fluid" or "packet"); throws std::invalid_argument
+/// with the accepted values on anything else.
+[[nodiscard]] inline BackendKind parse_backend(std::string_view name) {
+  if (name == "fluid") return BackendKind::kFluid;
+  if (name == "packet") return BackendKind::kPacket;
+  throw std::invalid_argument("unknown backend '" + std::string(name) +
+                              "' (expected fluid|packet)");
+}
+
+/// One sender slot. The protocol prototype is NOT owned — it must outlive
+/// the backend run, which clones it (so one prototype can seed many slots,
+/// exactly like fluid::FluidSimulation::add_sender).
+///
+/// `start_step`/`stop_step` are fractional steps: the fluid backend rounds
+/// them to whole steps, the packet backend multiplies by the RTT to get a
+/// wall-clock time (sub-step staggered starts, as the emulab grid uses).
+/// A negative stop means "forever".
+struct SenderSlot {
+  const cc::Protocol* prototype = nullptr;
+  double initial_window_mss = 1.0;
+  double start_step = 0.0;
+  double stop_step = -1.0;
+};
+
+/// Multiplicative perturbation schedule: scale factor as a function of the
+/// step index (stress::StepSchedule has the same shape).
+using StepSchedule = std::function<double(long)>;
+
+/// Builds a loss injector from a seed. Scenarios carry a factory rather than
+/// an injector instance so that each run (and each backend) gets a fresh,
+/// independently seeded loss process.
+using LossFactory =
+    std::function<std::unique_ptr<fluid::LossInjector>(std::uint64_t seed)>;
+
+/// Per-step observer with the same shape as fluid::FluidSimulation's
+/// StepMonitor and sim::DumbbellExperiment's StepMonitorFn: called after each
+/// recorded step with (step, windows, rtt_seconds, congestion_loss);
+/// returning false ends the run early, keeping the steps recorded so far.
+using StepMonitor = std::function<bool(
+    long step, std::span<const double> windows, double rtt_seconds,
+    double congestion_loss)>;
+
+/// Everything a backend needs to execute one run.
+struct ScenarioSpec {
+  fluid::LinkParams link = fluid::make_link_mbps(30.0, 42.0, 100.0);
+  long steps = 2000;
+  /// Window floor/cap. The floor is honoured only by the fluid model (the
+  /// packet sender's floor is 1 packet); the cap applies to both, though the
+  /// packet backend may clamp it further (event count scales with cwnd).
+  double min_window_mss = 1.0;
+  double max_window_mss = 1e9;
+  std::vector<SenderSlot> senders;
+  /// Non-congestion loss (null = none). Called with `seed` at run time.
+  LossFactory loss;
+  /// Link perturbation schedules (null = constant 1).
+  StepSchedule bandwidth_scale;
+  StepSchedule rtt_scale;
+  std::uint64_t seed = 42;
+  StepMonitor step_monitor;
+  /// Scoring-tail fraction for the packet backend's per-flow reports (the
+  /// fluid model computes tails in the estimators instead, so it ignores
+  /// this).
+  double tail_fraction = 0.5;
+
+  /// Convenience: appends a sender slot.
+  void add_sender(const cc::Protocol& prototype, double initial_window_mss,
+                  double start_step = 0.0, double stop_step = -1.0) {
+    AXIOMCC_EXPECTS(initial_window_mss >= 0.0);
+    AXIOMCC_EXPECTS(start_step >= 0.0);
+    senders.push_back(
+        SenderSlot{&prototype, initial_window_mss, start_step, stop_step});
+  }
+};
+
+/// What a backend run produces. The Trace is the common currency the metric
+/// estimators in src/core consume; the packet backend additionally reports
+/// per-flow tail summaries and the measured bottleneck utilization (the
+/// fluid model has no per-packet counters, so those stay empty/-1 there).
+struct RunTrace {
+  fluid::Trace trace;
+  BackendKind backend = BackendKind::kFluid;
+  /// Packet backend only: per-flow tail-of-run reports (empty for fluid).
+  std::vector<sim::FlowReport> flows;
+  /// Packet backend only: delivered bits / capacity·duration (-1 for fluid).
+  double bottleneck_utilization = -1.0;
+};
+
+}  // namespace axiomcc::engine

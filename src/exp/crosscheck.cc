@@ -1,0 +1,180 @@
+#include "exp/crosscheck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+#include <vector>
+
+#include "cc/registry.h"
+#include "engine/scenario.h"
+#include "telemetry/telemetry.h"
+#include "util/check.h"
+#include "util/task_pool.h"
+
+namespace axiomcc::exp {
+
+namespace {
+
+/// Differences below this are ties — same floors the emulab grid uses: loss
+/// rates live near zero, so a relative margin would turn noise into a
+/// "strict" ordering there.
+double tie_threshold(core::Metric m) {
+  return m == core::Metric::kLossAvoidance ? 0.005 : 0.05;
+}
+
+/// Higher-is-better view of one backend's score.
+double oriented(const core::MetricReport& r, core::Metric m) {
+  const double v = r.get(m);
+  return core::lower_is_better(m) ? -v : v;
+}
+
+std::string order_string(const std::vector<CrosscheckEntry>& entries,
+                         const std::vector<double>& scores) {
+  std::vector<std::size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] < scores[b];
+  });
+  std::string out;
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (i > 0) out += " < ";
+    out += entries[idx[i]].protocol;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> default_crosscheck_specs() {
+  return {"aimd(1,0.5)",     "mimd(1.01,0.875)", "bin(1,1,1,0)",
+          "bin(1,1,0.5,0.5)", "cubic(0.4,0.8)",   "robust_aimd(1,0.8,0.01)"};
+}
+
+const std::vector<core::Metric>& crosscheck_metrics() {
+  static const std::vector<core::Metric> metrics{
+      core::Metric::kEfficiency, core::Metric::kLossAvoidance,
+      core::Metric::kFairness, core::Metric::kConvergence,
+      core::Metric::kTcpFriendliness};
+  return metrics;
+}
+
+CrosscheckResult run_crosscheck(const CrosscheckConfig& cfg) {
+  const std::vector<std::string> specs =
+      cfg.protocol_specs.empty() ? default_crosscheck_specs()
+                                 : cfg.protocol_specs;
+  // Parse every spec up front so a typo throws before any simulation runs;
+  // the parsed instances also supply the display names.
+  std::vector<std::string> names;
+  names.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    names.push_back(cc::make_protocol(spec)->name());
+  }
+
+  // Cell i = (protocol i/2, backend i%2). Each cell rebuilds its protocol
+  // from the spec string — cc::Protocol instances are stateful and must not
+  // be shared across worker threads — so the matrix is bit-identical at any
+  // job count.
+  const std::vector<core::MetricReport> reports = parallel_map(
+      specs.size() * 2,
+      [&](std::size_t i) {
+        const std::string& spec = specs[i / 2];
+        const engine::BackendKind backend = (i % 2 == 0)
+                                                ? engine::BackendKind::kFluid
+                                                : engine::BackendKind::kPacket;
+        TELEMETRY_SPAN_DYN("exp.crosscheck",
+                           std::string(engine::backend_name(backend)) + "/" +
+                               spec);
+        TELEMETRY_COUNT("exp.crosscheck.cells", 1);
+        const auto proto = cc::make_protocol(spec);
+        core::EvalConfig ec = cfg.base;
+        ec.backend = backend;
+        return core::evaluate_protocol(*proto, ec);
+      },
+      cfg.jobs);
+
+  CrosscheckResult result;
+  result.entries.reserve(specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    result.entries.push_back(
+        CrosscheckEntry{names[p], reports[2 * p], reports[2 * p + 1]});
+  }
+  result.agreements = check_crosscheck_agreement(result.entries);
+  return result;
+}
+
+std::vector<MetricAgreement> check_crosscheck_agreement(
+    const std::vector<CrosscheckEntry>& entries) {
+  AXIOMCC_EXPECTS(!entries.empty());
+  // Same pairwise-margin logic the emulab grid uses against real traces:
+  // fluid-side separations beyond a tie threshold are hierarchy claims; the
+  // packet side agrees unless it inverts the pair beyond slack.
+  constexpr double kFluidMargin = 0.05;
+  constexpr double kPacketSlack = 0.02;
+
+  const std::size_t n = entries.size();
+  std::vector<MetricAgreement> agreements;
+  for (core::Metric m : crosscheck_metrics()) {
+    std::vector<double> fl(n);
+    std::vector<double> pk(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      fl[i] = oriented(entries[i].fluid, m);
+      pk[i] = oriented(entries[i].packet, m);
+    }
+
+    MetricAgreement a;
+    a.metric = m;
+    a.fluid_order = order_string(entries, fl);
+    a.packet_order = order_string(entries, pk);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double scale =
+            std::max({std::fabs(fl[i]), std::fabs(fl[j]), 1e-9});
+        const double threshold =
+            std::max(kFluidMargin * scale, tie_threshold(m));
+        if (fl[i] - fl[j] <= threshold) continue;  // tie: no claim made
+        ++a.pairs;
+        // Packet-side congestion noise (queueing granularity, slow start)
+        // is larger than the fluid model's: an inversion only counts once
+        // it exceeds a FULL tie threshold, not the half the emulab grid
+        // uses against its much longer averaging windows.
+        const double pscale =
+            std::max({std::fabs(pk[i]), std::fabs(pk[j]), 1e-9});
+        const double slack =
+            std::max(kPacketSlack * pscale, tie_threshold(m));
+        if (pk[i] - pk[j] >= -slack) ++a.agreeing_pairs;
+      }
+    }
+    a.matches = a.agreeing_pairs == a.pairs;
+    agreements.push_back(std::move(a));
+  }
+  return agreements;
+}
+
+void write_crosscheck_csv(const CrosscheckResult& result, std::ostream& out) {
+  out << "protocol,backend,efficiency,fast_utilization,loss_avoidance,"
+         "fairness,convergence,robustness,tcp_friendliness,"
+         "latency_avoidance\n";
+  const auto row = [&out](const std::string& name, const char* backend,
+                          const core::MetricReport& r) {
+    out << name << ',' << backend;
+    for (std::size_t i = 0; i < core::kNumMetrics; ++i) {
+      out << ',' << r.get(static_cast<core::Metric>(i));
+    }
+    out << '\n';
+  };
+  for (const CrosscheckEntry& e : result.entries) {
+    row(e.protocol, "fluid", e.fluid);
+    row(e.protocol, "packet", e.packet);
+  }
+  out << "\nmetric,pairs,agreeing_pairs,matches,fluid_order,packet_order\n";
+  for (const MetricAgreement& a : result.agreements) {
+    out << core::metric_name(a.metric) << ',' << a.pairs << ','
+        << a.agreeing_pairs << ',' << (a.matches ? 1 : 0) << ',' << '"'
+        << a.fluid_order << '"' << ',' << '"' << a.packet_order << '"'
+        << '\n';
+  }
+}
+
+}  // namespace axiomcc::exp

@@ -7,9 +7,9 @@
 #include "cc/presets.h"
 #include "core/evaluator.h"
 #include "core/metrics.h"
+#include "engine/backend.h"
 #include "exp/table1.h"
 #include "fluid/link.h"
-#include "sim/dumbbell.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/task_pool.h"
@@ -18,17 +18,26 @@ namespace axiomcc::exp {
 
 namespace {
 
-sim::DumbbellConfig cell_dumbbell(const EmulabGridConfig& cfg, int n_unused,
-                                  double bw, std::size_t buffer) {
-  (void)n_unused;
-  sim::DumbbellConfig dc;
-  dc.bottleneck_mbps = bw;
-  dc.rtt_ms = cfg.rtt_ms;
-  dc.buffer_packets = buffer;
-  dc.duration_seconds = cfg.duration_seconds;
-  dc.tail_fraction = cfg.tail_fraction;
-  dc.seed = cfg.seed;
-  return dc;
+/// The cell's scenario skeleton: its link and horizon in engine terms. The
+/// grid's wall-clock duration becomes a step count at one step per RTT.
+engine::ScenarioSpec cell_spec(const EmulabGridConfig& cfg, double bw,
+                               std::size_t buffer) {
+  engine::ScenarioSpec spec;
+  spec.link =
+      fluid::make_link_mbps(bw, cfg.rtt_ms, static_cast<double>(buffer));
+  spec.steps = std::lround(cfg.duration_seconds / (cfg.rtt_ms / 1e3));
+  spec.seed = cfg.seed;
+  spec.tail_fraction = cfg.tail_fraction;
+  return spec;
+}
+
+/// Staggered start in fractional steps: flow i joins at 0.05·i seconds.
+double stagger_step(const EmulabGridConfig& cfg, int i) {
+  return 0.05 * static_cast<double>(i) / (cfg.rtt_ms / 1e3);
+}
+
+const engine::SimBackend& packet_backend() {
+  return engine::backend_for(engine::BackendKind::kPacket);
 }
 
 /// Homogeneous run of `n` copies of `proto`; fills the efficiency, loss,
@@ -36,8 +45,8 @@ sim::DumbbellConfig cell_dumbbell(const EmulabGridConfig& cfg, int n_unused,
 void measure_homogeneous(const EmulabGridConfig& cfg, double bw,
                          std::size_t buffer, int n, const cc::Protocol& proto,
                          EmulabScores& out) {
-  sim::DumbbellExperiment exp(cell_dumbbell(cfg, n, bw, buffer));
-  const double capacity = exp.capacity_mss();
+  engine::ScenarioSpec spec = cell_spec(cfg, bw, buffer);
+  const double capacity = fluid::FluidLink(spec.link).capacity_mss();
   for (int i = 0; i < n; ++i) {
     // Spread-out initial windows mirror the fluid scenario's "for any
     // initial configuration" quantifier (it is what exposes MIMD's
@@ -46,37 +55,38 @@ void measure_homogeneous(const EmulabGridConfig& cfg, double bw,
     const double initial =
         std::max(2.0, capacity * static_cast<double>(i) /
                           (2.0 * static_cast<double>(n)));
-    exp.add_flow(proto.clone(), 0.05 * static_cast<double>(i), initial);
+    spec.add_sender(proto, initial, stagger_step(cfg, i));
   }
-  exp.run();
+  const engine::RunTrace rt = packet_backend().run(spec);
 
   core::EstimatorConfig est{cfg.tail_fraction};
   est.outlier_fraction = 0.02;  // absorb packet-level sampling noise
-  out.efficiency = core::measure_efficiency(exp.trace(), est);
-  out.fairness = core::measure_fairness(exp.trace(), est);
-  out.convergence = core::measure_convergence(exp.trace(), est);
+  out.efficiency = core::measure_efficiency(rt.trace, est);
+  out.fairness = core::measure_fairness(rt.trace, est);
+  out.convergence = core::measure_convergence(rt.trace, est);
 
   double loss_sum = 0.0;
-  const auto reports = exp.flow_reports();
-  for (const auto& r : reports) loss_sum += r.loss_rate;
-  out.loss_rate = loss_sum / static_cast<double>(reports.size());
+  for (const auto& r : rt.flows) loss_sum += r.loss_rate;
+  out.loss_rate = loss_sum / static_cast<double>(rt.flows.size());
 }
 
 /// Mixed run: (n−1) protocol senders + 1 Reno; fills tcp_friendliness.
 void measure_friendliness(const EmulabGridConfig& cfg, double bw,
                           std::size_t buffer, int n, const cc::Protocol& proto,
                           EmulabScores& out) {
-  sim::DumbbellExperiment exp(cell_dumbbell(cfg, n, bw, buffer));
+  engine::ScenarioSpec spec = cell_spec(cfg, bw, buffer);
+  const auto reno = cc::presets::reno();
   std::vector<int> p_idx;
   std::vector<int> q_idx;
   for (int i = 0; i + 1 < n; ++i) {
-    p_idx.push_back(exp.add_flow(proto.clone(), 0.05 * static_cast<double>(i)));
+    spec.add_sender(proto, 2.0, stagger_step(cfg, i));
+    p_idx.push_back(i);
   }
-  q_idx.push_back(exp.add_flow(cc::presets::reno(),
-                               0.05 * static_cast<double>(n - 1)));
-  exp.run();
+  spec.add_sender(*reno, 2.0, stagger_step(cfg, n - 1));
+  q_idx.push_back(n - 1);
+  const engine::RunTrace rt = packet_backend().run(spec);
   out.tcp_friendliness = core::measure_friendliness(
-      exp.trace(), p_idx, q_idx, core::EstimatorConfig{cfg.tail_fraction});
+      rt.trace, p_idx, q_idx, core::EstimatorConfig{cfg.tail_fraction});
 }
 
 EmulabScores measure_protocol(const EmulabGridConfig& cfg, double bw,

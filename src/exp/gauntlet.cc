@@ -82,16 +82,21 @@ double recovery_steps_after(const fluid::Trace& trace, long recover_from,
   return kInf;
 }
 
-/// Evenly spread initial windows, matching the evaluator's shared-link runs.
-void add_base_senders(fluid::FluidSimulation& sim, const cc::Protocol& proto,
-                      int num_senders) {
-  const double capacity = sim.link().capacity_mss();
-  for (int i = 0; i < num_senders; ++i) {
+/// The cell's base scenario: `num_senders` clones of `proto` with evenly
+/// spread initial windows, matching the evaluator's shared-link runs.
+engine::ScenarioSpec make_cell_spec(const cc::Protocol& proto,
+                                    const GauntletConfig& cfg) {
+  engine::ScenarioSpec spec;
+  spec.link = cfg.link;
+  spec.steps = cfg.steps;
+  const double capacity = fluid::FluidLink(cfg.link).capacity_mss();
+  for (int i = 0; i < cfg.num_senders; ++i) {
     const double initial =
         1.0 + capacity * static_cast<double>(i) /
-                  (2.0 * static_cast<double>(num_senders));
-    sim.add_sender(proto, initial);
+                  (2.0 * static_cast<double>(cfg.num_senders));
+    spec.add_sender(proto, initial);
   }
+  return spec;
 }
 
 struct Baseline {
@@ -101,11 +106,9 @@ struct Baseline {
 };
 
 Baseline run_baseline(const cc::Protocol& proto, const GauntletConfig& cfg) {
-  fluid::SimOptions options;
-  options.steps = cfg.steps;
-  fluid::FluidSimulation sim(cfg.link, options);
-  add_base_senders(sim, proto, cfg.num_senders);
-  const stress::GuardedResult result = stress::run_guarded(sim, cfg.guard);
+  const stress::GuardedResult result =
+      stress::run_guarded(engine::backend_for(cfg.backend),
+                          make_cell_spec(proto, cfg), cfg.guard);
   Baseline base;
   if (!result.fault.ok()) return base;
   base.ok = true;
@@ -125,13 +128,11 @@ GauntletCell run_cell(const cc::Protocol& proto,
   cell.scenario = scenario.name;
   cell.seed = seed;
 
-  fluid::SimOptions options;
-  options.steps = cfg.steps;
-  fluid::FluidSimulation sim(cfg.link, options);
-  add_base_senders(sim, proto, cfg.num_senders);
-  stress::apply_scenario(scenario, sim, proto, seed);
+  engine::ScenarioSpec spec = make_cell_spec(proto, cfg);
+  stress::apply_scenario(scenario, spec, proto, seed);
 
-  const stress::GuardedResult result = stress::run_guarded(sim, cfg.guard);
+  const stress::GuardedResult result = stress::run_guarded(
+      engine::backend_for(cfg.backend), std::move(spec), cfg.guard);
   cell.fault = result.fault;
   if (!cell.fault.ok()) return cell;
 
@@ -201,6 +202,7 @@ ProtocolContext run_protocol_context(const cc::Protocol& proto,
   if (cfg.include_axiom_metrics) {
     core::EvalConfig axiom_cfg = cfg.axiom_cfg;
     axiom_cfg.link = cfg.link;
+    axiom_cfg.backend = cfg.backend;
     ctx.axiom_fault = stress::guard_invoke(
         [&] { ctx.axioms = core::evaluate_protocol(proto, axiom_cfg); });
     if (ctx.axiom_fault.ok()) {

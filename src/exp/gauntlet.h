@@ -29,6 +29,9 @@ struct GauntletConfig {
   fluid::LinkParams link = fluid::make_link_mbps(30.0, 42.0, 100.0);
   int num_senders = 2;     ///< base (non-churned) flows per cell.
   long steps = 900;        ///< fluid steps per cell.
+  /// Which simulator runs the cells (and, via axiom_cfg, the axiom metrics).
+  /// The fluid default reproduces the pre-engine gauntlet bit-for-bit.
+  engine::BackendKind backend = engine::BackendKind::kFluid;
   std::vector<std::uint64_t> seeds{1, 2, 3};
   double tail_fraction = 0.5;
   stress::GuardConfig guard;

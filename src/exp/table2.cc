@@ -1,11 +1,12 @@
 #include "exp/table2.h"
 
+#include <cmath>
 #include <utility>
 
 #include "cc/presets.h"
 #include "core/metrics.h"
+#include "engine/backend.h"
 #include "fluid/link.h"
-#include "sim/dumbbell.h"
 #include "telemetry/telemetry.h"
 #include "util/task_pool.h"
 
@@ -59,25 +60,26 @@ std::vector<Table2Cell> build_table2(const Table2Config& cfg) {
 namespace {
 
 /// Friendliness of (n−1) `proto` senders toward one Reno sender on the
-/// packet-level dumbbell.
+/// packet-level dumbbell, run through the engine's packet backend.
 double packet_friendliness(const cc::Protocol& proto, int n, double bw_mbps,
                            const Table2Config& cfg, double duration_seconds) {
-  sim::DumbbellConfig dc;
-  dc.bottleneck_mbps = bw_mbps;
-  dc.rtt_ms = cfg.rtt_ms;
-  dc.buffer_packets = static_cast<std::size_t>(cfg.buffer_mss);
-  dc.duration_seconds = duration_seconds;
-  dc.tail_fraction = cfg.tail_fraction;
+  engine::ScenarioSpec spec;
+  spec.link = fluid::make_link_mbps(bw_mbps, cfg.rtt_ms, cfg.buffer_mss);
+  const double step_seconds = cfg.rtt_ms / 1e3;
+  spec.steps = std::lround(duration_seconds / step_seconds);
+  spec.tail_fraction = cfg.tail_fraction;
 
-  sim::DumbbellExperiment exp(dc);
+  const auto reno = cc::presets::reno();
   std::vector<int> p_idx;
   for (int i = 0; i + 1 < n; ++i) {
-    p_idx.push_back(exp.add_flow(proto.clone(), 0.05 * i));
+    spec.add_sender(proto, 2.0, 0.05 * i / step_seconds);
+    p_idx.push_back(i);
   }
-  const std::vector<int> q_idx{
-      exp.add_flow(cc::presets::reno(), 0.05 * (n - 1))};
-  exp.run();
-  return core::measure_friendliness(exp.trace(), p_idx, q_idx,
+  spec.add_sender(*reno, 2.0, 0.05 * (n - 1) / step_seconds);
+  const std::vector<int> q_idx{n - 1};
+  const engine::RunTrace rt =
+      engine::backend_for(engine::BackendKind::kPacket).run(spec);
+  return core::measure_friendliness(rt.trace, p_idx, q_idx,
                                     core::EstimatorConfig{cfg.tail_fraction});
 }
 

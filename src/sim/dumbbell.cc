@@ -1,11 +1,28 @@
 #include "sim/dumbbell.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/check.h"
 
 namespace axiomcc::sim {
+
+DumbbellConfig dumbbell_config_from_link(const fluid::LinkParams& link,
+                                         int mss_bytes) {
+  AXIOMCC_EXPECTS(mss_bytes > 0);
+  DumbbellConfig dc;
+  dc.mss_bytes = mss_bytes;
+  // B (MSS/s) -> Mbps via the shared Bandwidth unit, so the round-trip
+  // through make_link_mbps is exact.
+  dc.bottleneck_mbps = link.bandwidth.mbps(mss_bytes);
+  // Θ is one-way; the dumbbell's rtt_ms is the two-way propagation delay.
+  dc.rtt_ms = (link.propagation_delay * 2.0).millis();
+  // Buffer: MSS -> whole packets (1 MSS = 1 packet); never below 1 packet.
+  dc.buffer_packets = static_cast<std::size_t>(
+      std::max<long long>(1, std::llround(link.buffer_mss)));
+  return dc;
+}
 
 DumbbellExperiment::DumbbellExperiment(const DumbbellConfig& config)
     : config_(config) {
@@ -47,10 +64,12 @@ std::uint64_t DumbbellExperiment::splitmix_seed() {
 }
 
 int DumbbellExperiment::add_flow(std::unique_ptr<cc::Protocol> protocol,
-                                 double start_seconds, double initial_window) {
+                                 double start_seconds, double initial_window,
+                                 double stop_seconds) {
   AXIOMCC_EXPECTS_MSG(!ran_, "add_flow must precede run()");
   AXIOMCC_EXPECTS(protocol != nullptr);
   AXIOMCC_EXPECTS(start_seconds >= 0.0);
+  AXIOMCC_EXPECTS(stop_seconds < 0.0 || stop_seconds > start_seconds);
 
   const int flow_id = num_flows();
 
@@ -58,6 +77,7 @@ int DumbbellExperiment::add_flow(std::unique_ptr<cc::Protocol> protocol,
   sc.flow_id = flow_id;
   sc.mss_bytes = config_.mss_bytes;
   sc.initial_window = initial_window;
+  sc.max_window = config_.max_window_mss;
   // Before the first RTT sample, pace MIs at something of the order of the
   // configured propagation RTT.
   sc.initial_mi = SimTime::from_millis(config_.rtt_ms);
@@ -74,7 +94,21 @@ int DumbbellExperiment::add_flow(std::unique_ptr<cc::Protocol> protocol,
       simulator_, sc, std::move(protocol),
       [this](const Packet& p) { bottleneck_->send(p); }));
   flow_start_seconds_.push_back(start_seconds);
+  flow_stop_seconds_.push_back(stop_seconds);
   return flow_id;
+}
+
+void DumbbellExperiment::set_step_monitor(StepMonitorFn monitor) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "set_step_monitor must precede run()");
+  AXIOMCC_EXPECTS(monitor != nullptr);
+  step_monitor_ = std::move(monitor);
+}
+
+void DumbbellExperiment::set_forward_filter(
+    std::unique_ptr<PacketFilter> filter) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "set_forward_filter must precede run()");
+  AXIOMCC_EXPECTS(filter != nullptr);
+  forward_loss_ = std::move(filter);
 }
 
 double DumbbellExperiment::capacity_mss() const {
@@ -92,7 +126,9 @@ void DumbbellExperiment::sample_trace() {
 
   for (int i = 0; i < n; ++i) {
     const Sender& s = *senders_[i];
-    windows[i] = s.cwnd();
+    // A flow that has not started yet (or was churned away) contributes no
+    // window — matching the fluid model's churn semantics.
+    windows[i] = s.active() ? s.cwnd() : 0.0;
     // Advance to the most recently evaluated monitor interval.
     const auto& records = s.history();
     std::size_t& frontier = eval_frontier_[i];
@@ -123,6 +159,15 @@ void DumbbellExperiment::sample_trace() {
       rtt_count > 0 ? rtt_sum / static_cast<double>(rtt_count)
                     : config_.rtt_ms / 1e3;
   trace_->add_step(windows, rtt, congestion_loss, observed_loss);
+
+  if (step_monitor_ && !monitor_stopped_) {
+    const long step = static_cast<long>(trace_->num_steps()) - 1;
+    if (!step_monitor_(step, std::span<const double>(windows), rtt,
+                       congestion_loss)) {
+      monitor_stopped_ = true;
+      simulator_.request_stop();
+    }
+  }
 }
 
 void DumbbellExperiment::run() {
@@ -137,6 +182,9 @@ void DumbbellExperiment::run() {
 
   for (int i = 0; i < n; ++i) {
     senders_[i]->start(SimTime::from_seconds(flow_start_seconds_[i]));
+    if (flow_stop_seconds_[i] >= 0.0) {
+      senders_[i]->stop_at(SimTime::from_seconds(flow_stop_seconds_[i]));
+    }
   }
 
   const double interval_ms = config_.sample_interval_ms > 0.0

@@ -11,11 +11,14 @@
 // estimators in src/core run unchanged on packet-level data.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cc/protocol.h"
+#include "fluid/link.h"
 #include "fluid/trace.h"
 #include "sim/event.h"
 #include "sim/link.h"
@@ -40,7 +43,19 @@ struct DumbbellConfig {
   /// Window-sampling cadence for the fluid::Trace view; 0 selects one RTT.
   double sample_interval_ms = 0.0;
   double tail_fraction = 0.5;
+  /// Hard cwnd cap passed to every sender. The fluid model tolerates
+  /// essentially unbounded windows; a packet simulation's event count scales
+  /// with the real window, so runaway protocols must be capped.
+  double max_window_mss = 1e7;
 };
+
+/// Converts the fluid model's link parameters into a packet-level dumbbell
+/// configuration. This is the ONE place where the MSS-denominated fluid units
+/// (B in MSS/s, Θ one-way seconds, buffer in MSS) become packet-level units
+/// (Mbps, two-way ms, whole packets) — keep any future conversion tweaks
+/// here so both simulators stay in agreement about what a "link" means.
+[[nodiscard]] DumbbellConfig dumbbell_config_from_link(
+    const fluid::LinkParams& link, int mss_bytes = 1500);
 
 /// Tail-of-run summary for one flow.
 struct FlowReport {
@@ -58,9 +73,24 @@ class DumbbellExperiment {
   DumbbellExperiment(const DumbbellExperiment&) = delete;
   DumbbellExperiment& operator=(const DumbbellExperiment&) = delete;
 
-  /// Adds a flow; returns its id. Must be called before run().
+  /// Adds a flow; returns its id. Must be called before run(). A
+  /// non-negative `stop_seconds` removes the flow at that time (flow churn).
   int add_flow(std::unique_ptr<cc::Protocol> protocol,
-               double start_seconds = 0.0, double initial_window = 2.0);
+               double start_seconds = 0.0, double initial_window = 2.0,
+               double stop_seconds = -1.0);
+
+  /// Same shape as fluid::FluidSimulation's StepMonitor: called after every
+  /// trace sample with (step, windows, rtt_seconds, congestion_loss);
+  /// returning false stops the simulation at that sample (the trace keeps
+  /// the steps recorded so far). Must be set before run().
+  using StepMonitorFn = std::function<bool(
+      long step, std::span<const double> windows, double rtt_seconds,
+      double congestion_loss)>;
+  void set_step_monitor(StepMonitorFn monitor);
+
+  /// Replaces the forward-path loss filter (default: Bernoulli at
+  /// `random_loss_rate`). Must be called before run().
+  void set_forward_filter(std::unique_ptr<PacketFilter> filter);
 
   /// Runs the experiment for the configured duration. Call once.
   void run();
@@ -83,6 +113,9 @@ class DumbbellExperiment {
   [[nodiscard]] const Sender& sender(int flow) const;
   [[nodiscard]] Simulator& simulator() { return simulator_; }
   [[nodiscard]] const SimLink& bottleneck() const { return *bottleneck_; }
+  /// Mutable bottleneck access for mid-run perturbation (rate or delay
+  /// schedules installed by the engine backend).
+  [[nodiscard]] SimLink& bottleneck_link() { return *bottleneck_; }
 
  private:
   void sample_trace();
@@ -90,11 +123,15 @@ class DumbbellExperiment {
 
   DumbbellConfig config_;
   Simulator simulator_;
-  std::unique_ptr<BernoulliPacketLoss> forward_loss_;
+  std::unique_ptr<PacketFilter> forward_loss_;
   std::unique_ptr<SimLink> bottleneck_;
   std::vector<std::unique_ptr<Sender>> senders_;
   std::vector<std::unique_ptr<Receiver>> receivers_;
   std::vector<double> flow_start_seconds_;
+  std::vector<double> flow_stop_seconds_;
+
+  StepMonitorFn step_monitor_;
+  bool monitor_stopped_ = false;
 
   std::unique_ptr<fluid::Trace> trace_;
   std::vector<std::size_t> eval_frontier_;  ///< per-sender evaluated-MI cursor.

@@ -16,8 +16,9 @@ void Simulator::schedule_in(SimTime delay, EventFn fn) {
 }
 
 std::size_t Simulator::run_until(SimTime end) {
+  stop_requested_ = false;
   std::size_t executed = 0;
-  while (!queue_.empty() && queue_.top().time <= end) {
+  while (!stop_requested_ && !queue_.empty() && queue_.top().time <= end) {
     // Copy out before pop: the callback may schedule new events.
     Event event = queue_.top();
     queue_.pop();
@@ -26,13 +27,14 @@ std::size_t Simulator::run_until(SimTime end) {
     ++executed;
     event.fn();
   }
-  if (now_ < end) now_ = end;
+  if (!stop_requested_ && now_ < end) now_ = end;
   return executed;
 }
 
 std::size_t Simulator::run() {
+  stop_requested_ = false;
   std::size_t executed = 0;
-  while (!queue_.empty()) {
+  while (!stop_requested_ && !queue_.empty()) {
     Event event = queue_.top();
     queue_.pop();
     now_ = event.time;

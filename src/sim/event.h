@@ -39,6 +39,15 @@ class Simulator {
   /// Runs until the event queue is empty.
   std::size_t run();
 
+  /// Asks the current run loop to stop after the event being executed
+  /// returns; pending events stay queued. The next run()/run_until() call
+  /// clears the flag and resumes normally. The hook backend step monitors
+  /// use to end a guarded run early (divergence caught mid-simulation).
+  void request_stop() { stop_requested_ = true; }
+
+  /// True when request_stop() was called during the current/last run.
+  [[nodiscard]] bool stop_requested() const { return stop_requested_; }
+
   /// Total events executed over the simulator's lifetime.
   [[nodiscard]] std::size_t events_processed() const {
     return events_processed_;
@@ -63,6 +72,7 @@ class Simulator {
   SimTime now_{0};
   std::uint64_t next_sequence_ = 0;
   std::size_t events_processed_ = 0;
+  bool stop_requested_ = false;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -39,6 +39,14 @@ class SimLink {
     rate_bps_ = rate_bps;
   }
   [[nodiscard]] SimTime propagation_delay() const { return propagation_delay_; }
+
+  /// Retargets the propagation delay (stress scenarios: RTT inflation after
+  /// a path change). Takes effect for packets delivered from now on; packets
+  /// already past the queue keep their original delay.
+  void set_propagation_delay(SimTime delay) {
+    AXIOMCC_EXPECTS(delay.ns() >= 0);
+    propagation_delay_ = delay;
+  }
   [[nodiscard]] const QueueDiscipline& queue() const { return *queue_; }
 
   [[nodiscard]] std::size_t packets_accepted() const { return accepted_; }

@@ -29,9 +29,15 @@ void Sender::start(SimTime at) {
   AXIOMCC_EXPECTS_MSG(!started_, "sender already started");
   started_ = true;
   simulator_.schedule_at(at, [this] {
+    begun_ = true;
     begin_monitor_interval();
     try_send();
   });
+}
+
+void Sender::stop_at(SimTime at) {
+  AXIOMCC_EXPECTS_MSG(started_, "stop_at requires start first");
+  simulator_.schedule_at(at, [this] { stopped_ = true; });
 }
 
 SimTime Sender::current_mi_duration() const {
@@ -62,7 +68,9 @@ void Sender::end_monitor_interval(std::uint64_t mi) {
   if (rec.ended) return;  // force-ended by loss detection; timer is stale
   rec.ended = true;
   rec.end = simulator_.now();
-  begin_monitor_interval();  // the next MI starts immediately
+  // The next MI starts immediately — unless the flow was churned away, in
+  // which case the MI chain (and its timer events) ends here.
+  if (!stopped_) begin_monitor_interval();
 
   // Give the tail of the finished MI one-and-a-half RTTs for its ACKs; if
   // everything resolves earlier (all ACKed, or a loss is detected via the
@@ -160,6 +168,7 @@ void Sender::finalize_monitor_interval(std::uint64_t mi) {
 }
 
 void Sender::try_send() {
+  if (stopped_) return;  // churned away: in-flight packets just drain.
   // ACK-clocked: keep at most floor-with-tolerance(cwnd) packets in flight —
   // but never blast more than max_burst_packets back-to-back; the remainder
   // of a large window jump is micro-paced across a fraction of the RTT.

@@ -78,6 +78,16 @@ class Sender {
   /// Begins sending at absolute time `at`.
   void start(SimTime at);
 
+  /// Stops the flow at absolute time `at` (flow-churn scenarios): no packets
+  /// are emitted from then on, in-flight packets simply drain, and the
+  /// protocol is no longer consulted. Must be called before the stop time.
+  void stop_at(SimTime at);
+
+  /// True from the scheduled start time until the scheduled stop (the window
+  /// a trace sample should report this sender's cwnd; outside it the flow
+  /// contributes nothing and samples read 0).
+  [[nodiscard]] bool active() const { return begun_ && !stopped_; }
+
   /// Delivery point for returning ACKs.
   void on_ack(const Packet& ack);
 
@@ -121,6 +131,8 @@ class Sender {
   SendFn send_;
 
   bool started_ = false;
+  bool begun_ = false;    ///< the start event has fired.
+  bool stopped_ = false;  ///< the stop event has fired.
   double cwnd_;
   bool in_slow_start_ = false;
   double ssthresh_ = 1e9;

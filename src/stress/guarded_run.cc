@@ -22,18 +22,18 @@ const char* fault_kind_name(FaultKind kind) {
   return "unknown";
 }
 
-GuardedResult run_guarded(fluid::FluidSimulation& sim,
-                          const GuardConfig& config) {
-  AXIOMCC_EXPECTS(config.max_window_mss > 0.0);
-  AXIOMCC_EXPECTS(config.max_aggregate_window_mss >= config.max_window_mss);
-  AXIOMCC_EXPECTS(config.step_budget > 0);
+namespace {
 
-  FaultReport fault;
-  const double capacity = sim.link().capacity_mss();
-
-  sim.set_step_monitor([&fault, &config, capacity](
-                           long step, std::span<const double> windows,
-                           double /*rtt_seconds*/, double /*congestion_loss*/) {
+/// The guard's step monitor: watches every step for invariant violations and
+/// records the first one in `fault` (which must outlive the run). Shared by
+/// the fluid-specific and the backend-generic runners — the monitor shape is
+/// identical on both sides of the engine.
+engine::StepMonitor make_guard_monitor(FaultReport& fault,
+                                       const GuardConfig& config,
+                                       double capacity) {
+  return [&fault, config, capacity](long step, std::span<const double> windows,
+                                    double /*rtt_seconds*/,
+                                    double /*congestion_loss*/) {
     ++fault.steps_observed;
     const auto trip = [&](FaultKind kind, int sender, const std::string& why) {
       fault.kind = kind;
@@ -84,7 +84,24 @@ GuardedResult run_guarded(fluid::FluidSimulation& sim,
       return trip(FaultKind::kQueueGrowth, -1, os.str());
     }
     return true;
-  });
+  };
+}
+
+void check_guard_config(const GuardConfig& config) {
+  AXIOMCC_EXPECTS(config.max_window_mss > 0.0);
+  AXIOMCC_EXPECTS(config.max_aggregate_window_mss >= config.max_window_mss);
+  AXIOMCC_EXPECTS(config.step_budget > 0);
+}
+
+}  // namespace
+
+GuardedResult run_guarded(fluid::FluidSimulation& sim,
+                          const GuardConfig& config) {
+  check_guard_config(config);
+
+  FaultReport fault;
+  sim.set_step_monitor(
+      make_guard_monitor(fault, config, sim.link().capacity_mss()));
 
   const int n = sim.num_senders() > 0 ? sim.num_senders() : 1;
   TELEMETRY_SPAN("stress", "guarded_run");
@@ -107,6 +124,39 @@ GuardedResult run_guarded(fluid::FluidSimulation& sim,
   return GuardedResult{
       fluid::Trace(n, sim.link().capacity_mss(),
                    sim.link().min_rtt().value()),
+      std::move(fault)};
+}
+
+GuardedResult run_guarded(const engine::SimBackend& backend,
+                          engine::ScenarioSpec spec,
+                          const GuardConfig& config) {
+  check_guard_config(config);
+  AXIOMCC_EXPECTS_MSG(spec.step_monitor == nullptr,
+                      "the guard owns the spec's step monitor");
+
+  FaultReport fault;
+  const fluid::FluidLink link(spec.link);
+  spec.step_monitor = make_guard_monitor(fault, config, link.capacity_mss());
+
+  const int n =
+      spec.senders.empty() ? 1 : static_cast<int>(spec.senders.size());
+  TELEMETRY_SPAN("stress", "guarded_run");
+  TELEMETRY_COUNT("stress.guard_runs", 1);
+  try {
+    engine::RunTrace rt = backend.run(spec);
+    TELEMETRY_COUNT("stress.guard_steps", fault.steps_observed);
+    return GuardedResult{std::move(rt.trace), std::move(fault)};
+  } catch (const ContractViolation& e) {
+    fault.kind = FaultKind::kContractViolation;
+    fault.detail = e.what();
+  } catch (const std::exception& e) {
+    fault.kind = FaultKind::kException;
+    fault.detail = e.what();
+  }
+  TELEMETRY_COUNT("stress.guard_exceptions", 1);
+  TELEMETRY_COUNT("stress.guard_steps", fault.steps_observed);
+  return GuardedResult{
+      fluid::Trace(n, link.capacity_mss(), link.min_rtt().value()),
       std::move(fault)};
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 
+#include "engine/backend.h"
 #include "fluid/sim.h"
 #include "fluid/trace.h"
 #include "util/check.h"
@@ -70,6 +71,16 @@ struct GuardedResult {
 /// an exception, the trace up to the fault step and a populated report.
 /// Installs the simulation's step monitor — callers must not set their own.
 [[nodiscard]] GuardedResult run_guarded(fluid::FluidSimulation& sim,
+                                        const GuardConfig& config = {});
+
+/// Backend-generic guarded run: executes `spec` on `backend` (fluid or
+/// packet) with the guard installed as the spec's step monitor — the spec
+/// must not carry its own. Taken by value because the runner owns the
+/// monitor it installs. Fault semantics match the fluid overload; on an
+/// escaping exception the trace is an empty stand-in with the spec's sender
+/// count and link geometry.
+[[nodiscard]] GuardedResult run_guarded(const engine::SimBackend& backend,
+                                        engine::ScenarioSpec spec,
                                         const GuardConfig& config = {});
 
 /// Invokes `fn` and converts an escaping exception into a FaultReport

@@ -97,6 +97,20 @@ void apply_scenario(const Scenario& s, fluid::FluidSimulation& sim,
   }
 }
 
+void apply_scenario(const Scenario& s, engine::ScenarioSpec& spec,
+                    const cc::Protocol& churn_prototype, std::uint64_t seed) {
+  TELEMETRY_COUNT("stress.scenarios_applied", 1);
+  if (s.bandwidth_scale) spec.bandwidth_scale = s.bandwidth_scale;
+  if (s.rtt_scale) spec.rtt_scale = s.rtt_scale;
+  if (s.loss_factory) spec.loss = s.loss_factory;
+  spec.seed = seed;
+  for (const ChurnSlot& slot : s.churn.slots) {
+    spec.add_sender(churn_prototype, slot.initial_window_mss,
+                    static_cast<double>(slot.start_step),
+                    static_cast<double>(slot.stop_step));
+  }
+}
+
 std::vector<Scenario> standard_gauntlet(long steps) {
   AXIOMCC_EXPECTS(steps >= 100);
   std::vector<Scenario> out;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "cc/protocol.h"
+#include "engine/scenario.h"
 #include "fluid/loss_model.h"
 #include "fluid/sim.h"
 #include "sim/event.h"
@@ -124,6 +125,13 @@ struct Scenario {
 /// schedules, the loss injector (seeded from `seed`), and one extra sender
 /// per churn slot, cloned from `churn_prototype`.
 void apply_scenario(const Scenario& s, fluid::FluidSimulation& sim,
+                    const cc::Protocol& churn_prototype, std::uint64_t seed);
+
+/// Backend-neutral variant: installs the perturbations onto a ScenarioSpec
+/// (schedules, loss factory, the run seed, one churn sender slot per churn
+/// slot). `churn_prototype` is referenced, not cloned — it must outlive the
+/// backend run, like every other slot prototype.
+void apply_scenario(const Scenario& s, engine::ScenarioSpec& spec,
                     const cc::Protocol& churn_prototype, std::uint64_t seed);
 
 /// The standard adversarial scenario library for a run of `steps` steps:

@@ -62,6 +62,20 @@ bool ArgParser::has(const std::string& key) const {
 
 long ArgParser::get_jobs() const { return resolve_jobs(get_int("jobs", 0)); }
 
+std::string ArgParser::get_backend() const {
+  std::string value = "fluid";
+  if (const auto flag = get("backend")) {
+    value = *flag;
+  } else if (const char* env = std::getenv("AXIOMCC_BACKEND")) {
+    if (*env != '\0') value = env;
+  }
+  if (value != "fluid" && value != "packet") {
+    throw std::invalid_argument("unknown backend '" + value +
+                                "' (expected fluid|packet)");
+  }
+  return value;
+}
+
 std::optional<std::string> ArgParser::telemetry_dir() const {
   if (const auto flag = get("telemetry")) {
     return flag->empty() ? std::string(".") : *flag;

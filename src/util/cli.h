@@ -46,6 +46,14 @@ class ArgParser {
   /// telemetry stays off.
   [[nodiscard]] std::optional<std::string> telemetry_dir() const;
 
+  /// Simulation backend for the standard `--backend=NAME` flag: an explicit
+  /// flag wins; otherwise the AXIOMCC_BACKEND environment variable, else
+  /// "fluid". The value is validated here ("fluid" or "packet"; anything
+  /// else throws std::invalid_argument) but returned as a string — util
+  /// cannot depend on the engine layer, so callers convert with
+  /// engine::parse_backend.
+  [[nodiscard]] std::string get_backend() const;
+
   [[nodiscard]] const std::vector<std::string>& positional() const {
     return positional_;
   }

@@ -1,0 +1,119 @@
+// Tests for exp/crosscheck.h: the fluid and packet backends must tell the
+// same ordinal story for the paper's headline AIMD-vs-CUBIC comparisons,
+// and the experiment must be bit-identical at any job count.
+#include "exp/crosscheck.h"
+
+#include <gtest/gtest.h>
+
+#include <exception>
+
+namespace axiomcc::exp {
+namespace {
+
+/// A trimmed grid: long enough for tail estimators to stabilize on both
+/// substrates, short enough for CI.
+CrosscheckConfig small_config() {
+  CrosscheckConfig cfg;
+  cfg.base.steps = 1200;
+  cfg.base.fast_utilization_steps = 300;
+  cfg.base.robustness_steps = 250;
+  cfg.base.robustness_search_iterations = 5;
+  cfg.protocol_specs = {"aimd(1,0.5)", "cubic(0.4,0.8)"};
+  cfg.jobs = 1;
+  return cfg;
+}
+
+const MetricAgreement& find(const CrosscheckResult& result, core::Metric m) {
+  for (const MetricAgreement& a : result.agreements) {
+    if (a.metric == m) return a;
+  }
+  ADD_FAILURE() << "metric missing from agreement table";
+  return result.agreements.front();
+}
+
+TEST(Crosscheck, DefaultSpecsAreTheTableOneRows) {
+  const auto specs = default_crosscheck_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs.front(), "aimd(1,0.5)");
+}
+
+TEST(Crosscheck, InvalidSpecThrowsBeforeRunning) {
+  CrosscheckConfig cfg = small_config();
+  cfg.protocol_specs = {"aimd(1,0.5)", "warpspeed(9)"};
+  EXPECT_THROW((void)run_crosscheck(cfg), std::exception);
+}
+
+TEST(Crosscheck, AimdVsCubicHierarchiesAgreeAcrossBackends) {
+  const CrosscheckResult result = run_crosscheck(small_config());
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0].protocol, "AIMD(1,0.5)");
+  EXPECT_EQ(result.entries[1].protocol, "CUBIC(0.4,0.8)");
+
+  // Both sides produced real measurements.
+  for (const CrosscheckEntry& e : result.entries) {
+    EXPECT_GT(e.fluid.efficiency, 0.5);
+    EXPECT_GT(e.packet.efficiency, 0.5);
+    EXPECT_GT(e.fluid.fairness, 0.0);
+    EXPECT_GT(e.packet.fairness, 0.0);
+  }
+
+  // The paper's ordinal claims survive the substrate change on the three
+  // headline metrics (efficiency is typically a tie at saturation — the
+  // check is that NO counted pair disagrees).
+  for (const core::Metric m :
+       {core::Metric::kEfficiency, core::Metric::kLossAvoidance,
+        core::Metric::kFairness}) {
+    const MetricAgreement& a = find(result, m);
+    EXPECT_TRUE(a.matches) << core::metric_name(m) << ": fluid says ["
+                           << a.fluid_order << "], packet says ["
+                           << a.packet_order << "]";
+  }
+}
+
+TEST(Crosscheck, BitIdenticalAcrossJobCounts) {
+  CrosscheckConfig serial = small_config();
+  CrosscheckConfig parallel = small_config();
+  parallel.jobs = 4;
+  const CrosscheckResult a = run_crosscheck(serial);
+  const CrosscheckResult b = run_crosscheck(parallel);
+
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].protocol, b.entries[i].protocol);
+    for (std::size_t m = 0; m < core::kNumMetrics; ++m) {
+      const auto metric = static_cast<core::Metric>(m);
+      // Bit-identical, not approximately equal: the memcmp-style check via
+      // EXPECT_EQ on doubles is deliberate.
+      EXPECT_EQ(a.entries[i].fluid.get(metric), b.entries[i].fluid.get(metric))
+          << a.entries[i].protocol << " fluid " << core::metric_name(metric);
+      EXPECT_EQ(a.entries[i].packet.get(metric),
+                b.entries[i].packet.get(metric))
+          << a.entries[i].protocol << " packet " << core::metric_name(metric);
+    }
+  }
+}
+
+TEST(Crosscheck, AgreementLogicCountsInversions) {
+  // Hand-built entries: fluid cleanly separates fairness, packet inverts it.
+  CrosscheckEntry a;
+  a.protocol = "A";
+  a.fluid.fairness = 1.0;
+  a.packet.fairness = 0.2;
+  CrosscheckEntry b;
+  b.protocol = "B";
+  b.fluid.fairness = 0.3;
+  b.packet.fairness = 0.9;
+  const auto agreements = check_crosscheck_agreement({a, b});
+  bool checked = false;
+  for (const MetricAgreement& m : agreements) {
+    if (m.metric != core::Metric::kFairness) continue;
+    checked = true;
+    EXPECT_EQ(m.pairs, 1);
+    EXPECT_EQ(m.agreeing_pairs, 0);
+    EXPECT_FALSE(m.matches);
+  }
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace axiomcc::exp

@@ -155,5 +155,59 @@ TEST(Dumbbell, ConfigContracts) {
   EXPECT_THROW(DumbbellExperiment{bad2}, ContractViolation);
 }
 
+TEST(Dumbbell, ChurnedFlowStopsSendingAndFreesTheLink) {
+  DumbbellExperiment exp(small_config());
+  const int keeper = exp.add_flow(cc::presets::reno());
+  const int churned =
+      exp.add_flow(cc::presets::reno(), /*start_seconds=*/0.0,
+                   /*initial_window_mss=*/2.0, /*stop_seconds=*/6.0);
+  exp.run();
+
+  // The churned flow's window samples as 0 after its stop time while the
+  // survivor keeps the link busy.
+  const auto& trace = exp.trace();
+  const auto gone = trace.windows(churned);
+  const auto kept = trace.windows(keeper);
+  ASSERT_GT(gone.size(), 400u);  // 20 s at one sample per 40 ms RTT
+  double early = 0.0;
+  for (std::size_t t = 10; t < 140; ++t) early += gone[t];
+  EXPECT_GT(early, 0.0);
+  for (std::size_t t = 160; t < gone.size(); ++t) {
+    ASSERT_EQ(gone[t], 0.0) << "sample " << t;
+  }
+  double late_kept = 0.0;
+  for (std::size_t t = 300; t < kept.size(); ++t) late_kept += kept[t];
+  EXPECT_GT(late_kept, 0.0);
+  EXPECT_GT(exp.bottleneck_utilization(), 0.5);
+}
+
+TEST(Dumbbell, StepMonitorCanStopTheRunEarly) {
+  DumbbellExperiment exp(small_config());
+  exp.add_flow(cc::presets::reno());
+  long seen = 0;
+  exp.set_step_monitor(
+      [&](long step, std::span<const double> windows, double rtt, double) {
+        EXPECT_EQ(windows.size(), 1u);
+        EXPECT_GT(rtt, 0.0);
+        seen = step;
+        return step < 100;
+      });
+  exp.run();
+  // 20 s would give ~500 samples; the monitor cut it at ~101.
+  EXPECT_GE(seen, 100);
+  EXPECT_LT(exp.trace().num_steps(), 120u);
+  // Reports still cover the truncated run.
+  ASSERT_EQ(exp.flow_reports().size(), 1u);
+}
+
+TEST(Dumbbell, StopSecondsContract) {
+  DumbbellExperiment exp(small_config());
+  // stop must be after start.
+  EXPECT_THROW(exp.add_flow(cc::presets::reno(), /*start_seconds=*/5.0,
+                            /*initial_window_mss=*/2.0,
+                            /*stop_seconds=*/5.0),
+               ContractViolation);
+}
+
 }  // namespace
 }  // namespace axiomcc::sim

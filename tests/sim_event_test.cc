@@ -95,6 +95,35 @@ TEST(Simulator, CountsProcessedEvents) {
   EXPECT_EQ(sim.events_processed(), 7u);
 }
 
+TEST(Simulator, RequestStopEndsTheLoopAndFreezesTime) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime(5), [&] { ++fired; });
+  sim.schedule_at(SimTime(10), [&] {
+    ++fired;
+    sim.request_stop();
+  });
+  sim.schedule_at(SimTime(20), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(sim.stop_requested());
+  EXPECT_EQ(sim.now(), SimTime(10));
+}
+
+TEST(Simulator, RunUntilHonorsRequestStop) {
+  Simulator sim;
+  sim.schedule_at(SimTime(3), [&] { sim.request_stop(); });
+  sim.run_until(SimTime(100));
+  // Stopped runs do not fast-forward now() to the horizon.
+  EXPECT_EQ(sim.now(), SimTime(3));
+  // A fresh run clears the flag and drains the remaining events.
+  int late = 0;
+  sim.schedule_at(SimTime(50), [&] { ++late; });
+  sim.run();
+  EXPECT_FALSE(sim.stop_requested());
+  EXPECT_EQ(late, 1);
+}
+
 TEST(Simulator, ZeroDelaySelfSchedulingAtSameTimeRunsAfterSiblings) {
   // A zero-delay event scheduled from within an event at time T runs at T but
   // after already-queued time-T events (FIFO by insertion).

@@ -180,6 +180,49 @@ TEST(GuardInvoke, MapsOutcomes) {
   EXPECT_EQ(generic.detail, "bang");
 }
 
+TEST(GuardedRunBackend, CleanRunOnBothBackends) {
+  const cc::Aimd aimd(1.0, 0.5);
+  for (const auto kind :
+       {engine::BackendKind::kFluid, engine::BackendKind::kPacket}) {
+    engine::ScenarioSpec spec;
+    spec.link = paper_link();
+    spec.steps = 200;
+    spec.add_sender(aimd, 2.0);
+    spec.add_sender(aimd, 8.0);
+    const GuardedResult result =
+        run_guarded(engine::backend_for(kind), std::move(spec));
+    EXPECT_TRUE(result.fault.ok()) << engine::backend_name(kind) << ": "
+                                   << result.fault.detail;
+    EXPECT_GT(result.trace.num_steps(), 150u) << engine::backend_name(kind);
+  }
+}
+
+TEST(GuardedRunBackend, TripsTheWindowGuardOnTheFluidBackend) {
+  const BlowupProtocol blowup;
+  engine::ScenarioSpec spec;
+  spec.link = paper_link();
+  spec.steps = 400;
+  spec.add_sender(blowup, 2.0);
+  const GuardedResult result =
+      run_guarded(engine::backend_for(engine::BackendKind::kFluid),
+                  std::move(spec));
+  EXPECT_EQ(result.fault.kind, FaultKind::kAggregateBlowup);
+  // The guard stopped the run early; the partial trace survives.
+  EXPECT_GT(result.trace.num_steps(), 0u);
+  EXPECT_LT(result.trace.num_steps(), 400u);
+}
+
+TEST(GuardedRunBackend, ConvertsBackendContractViolations) {
+  engine::ScenarioSpec spec;  // no senders: the backend rejects it
+  spec.link = paper_link();
+  spec.steps = 50;
+  const GuardedResult result =
+      run_guarded(engine::backend_for(engine::BackendKind::kFluid),
+                  std::move(spec));
+  EXPECT_EQ(result.fault.kind, FaultKind::kContractViolation);
+  EXPECT_EQ(result.trace.num_steps(), 0u);
+}
+
 TEST(FaultKindNames, AreStableIdentifiers) {
   EXPECT_STREQ(fault_kind_name(FaultKind::kNone), "ok");
   EXPECT_STREQ(fault_kind_name(FaultKind::kNonFiniteWindow),

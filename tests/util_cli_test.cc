@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <stdexcept>
+
 namespace axiomcc {
 namespace {
 
@@ -51,6 +54,35 @@ TEST(ArgParser, PositionalArguments) {
 TEST(ArgParser, ValueContainingEquals) {
   const auto args = parse({"--spec=aimd(a=1,b=0.5)"});
   EXPECT_EQ(args.get_or("spec", ""), "aimd(a=1,b=0.5)");
+}
+
+TEST(ArgParser, BackendDefaultsToFluid) {
+  unsetenv("AXIOMCC_BACKEND");
+  EXPECT_EQ(parse({}).get_backend(), "fluid");
+}
+
+TEST(ArgParser, BackendFlagWinsOverEnv) {
+  ASSERT_EQ(setenv("AXIOMCC_BACKEND", "fluid", 1), 0);
+  EXPECT_EQ(parse({"--backend=packet"}).get_backend(), "packet");
+  unsetenv("AXIOMCC_BACKEND");
+}
+
+TEST(ArgParser, BackendEnvFallback) {
+  ASSERT_EQ(setenv("AXIOMCC_BACKEND", "packet", 1), 0);
+  EXPECT_EQ(parse({}).get_backend(), "packet");
+  // Empty env value means unset.
+  ASSERT_EQ(setenv("AXIOMCC_BACKEND", "", 1), 0);
+  EXPECT_EQ(parse({}).get_backend(), "fluid");
+  unsetenv("AXIOMCC_BACKEND");
+}
+
+TEST(ArgParser, UnknownBackendThrows) {
+  unsetenv("AXIOMCC_BACKEND");
+  EXPECT_THROW((void)parse({"--backend=ns3"}).get_backend(),
+               std::invalid_argument);
+  ASSERT_EQ(setenv("AXIOMCC_BACKEND", "quantum", 1), 0);
+  EXPECT_THROW((void)parse({}).get_backend(), std::invalid_argument);
+  unsetenv("AXIOMCC_BACKEND");
 }
 
 }  // namespace
