@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/telemetry_report.h"
+#include "ledger/ledger.h"
 #include "cc/presets.h"
 #include "cc/robust_aimd.h"
 #include "core/evaluator.h"
@@ -189,7 +190,9 @@ int main(int argc, char** argv) {
     bench.add_counter("cells", 16.0);  // 4 + 2 + 5 + 5 ablation cells
     bench.add_counter("cells_per_sec", 16.0 / bench.total_seconds());
     telemetry.finish(bench);
-    std::printf("Bench artifact: %s\n", bench.write().c_str());
+    std::printf("Bench artifact: %s\n",
+                bench.write(args.artifacts_dir()).c_str());
+    ledger::maybe_append(args, bench, args.get_backend());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

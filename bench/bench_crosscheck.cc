@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "analysis/telemetry_report.h"
+#include "ledger/ledger.h"
 #include "exp/crosscheck.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -106,7 +107,8 @@ int main(int argc, char** argv) {
     bench.add_counter("agreement_rate",
                       pairs > 0.0 ? agreeing_pairs / pairs : 1.0);
     telemetry.finish(bench);
-    const std::string artifact = bench.write();
+    const std::string artifact = bench.write(args.artifacts_dir());
+    ledger::maybe_append(args, bench, "both");
 
     if (args.has("csv")) {
       // stdout stays pure CSV; the artifact path goes to stderr.

@@ -22,6 +22,7 @@
 #include <exception>
 
 #include "analysis/telemetry_report.h"
+#include "ledger/ledger.h"
 #include "exp/emulab.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
@@ -102,7 +103,9 @@ int main(int argc, char** argv) {
     bench.add_counter("cells_per_sec",
                       static_cast<double>(cells.size()) / grid_seconds);
     telemetry.finish(bench);
-    std::printf("Bench artifact: %s\n", bench.write().c_str());
+    std::printf("Bench artifact: %s\n",
+                bench.write(args.artifacts_dir()).c_str());
+    ledger::maybe_append(args, bench, "packet");
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "analysis/telemetry_report.h"
+#include "ledger/ledger.h"
 #include "cc/bbr_like.h"
 #include "cc/presets.h"
 #include "cc/registry.h"
@@ -208,7 +209,9 @@ int main(int argc, char** argv) {
     bench.add_counter("cells", 18.0);  // 8 + 4 + 3 + 3 extension cells
     bench.add_counter("cells_per_sec", 18.0 / bench.total_seconds());
     telemetry.finish(bench);
-    std::printf("Bench artifact: %s\n", bench.write().c_str());
+    std::printf("Bench artifact: %s\n",
+                bench.write(args.artifacts_dir()).c_str());
+    ledger::maybe_append(args, bench, args.get_backend());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -18,6 +18,7 @@
 #include <map>
 
 #include "analysis/telemetry_report.h"
+#include "ledger/ledger.h"
 #include "engine/scenario.h"
 #include "exp/figure1.h"
 #include "util/bench_json.h"
@@ -110,7 +111,9 @@ int main(int argc, char** argv) {
                       static_cast<double>(grid.size() + attainment_cells) /
                           bench.total_seconds());
     telemetry.finish(bench);
-    std::printf("Bench artifact: %s\n", bench.write().c_str());
+    std::printf("Bench artifact: %s\n",
+                bench.write(args.artifacts_dir()).c_str());
+    ledger::maybe_append(args, bench, args.get_backend());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

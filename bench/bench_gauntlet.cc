@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "analysis/telemetry_report.h"
+#include "ledger/ledger.h"
 #include "engine/scenario.h"
 #include "exp/gauntlet.h"
 #include "util/bench_json.h"
@@ -116,7 +117,8 @@ int main(int argc, char** argv) {
     bench.add_counter("failed_cells",
                       static_cast<double>(result.failed_cells()));
     telemetry.finish(bench);  // flame summary goes to stderr; --csv stays pure
-    const std::string artifact = bench.write();
+    const std::string artifact = bench.write(args.artifacts_dir());
+    ledger::maybe_append(args, bench, args.get_backend());
 
     if (args.has("csv")) {
       // Keep stdout pure CSV (byte-comparable across job counts); the

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "analysis/telemetry_report.h"
+#include "ledger/ledger.h"
 #include "cc/aimd.h"
 #include "cc/presets.h"
 #include "core/evaluator.h"
@@ -316,6 +317,9 @@ int main(int argc, char** argv) {
     }
     if (i > 0 && std::strncmp(argv[i], "--telemetry", 11) == 0) continue;
     if (i > 0 && std::strncmp(argv[i], "--backend", 9) == 0) continue;
+    if (i > 0 && std::strncmp(argv[i], "--ledger", 8) == 0) continue;
+    if (i > 0 && std::strncmp(argv[i], "--out", 5) == 0) continue;
+    if (i > 0 && std::strncmp(argv[i], "--jobs", 6) == 0) continue;
     filtered.push_back(argv[i]);
   }
 
@@ -324,7 +328,9 @@ int main(int argc, char** argv) {
   if (!skip_pool) run_pool_throughput_bench(bench);
   if (!skip_overhead) run_telemetry_overhead_bench(bench);
   telemetry.finish(bench);
-  std::printf("Bench artifact: %s\n\n", bench.write().c_str());
+  std::printf("Bench artifact: %s\n\n",
+              bench.write(args.artifacts_dir()).c_str());
+  ledger::maybe_append(args, bench, args.get_backend());
 
   int filtered_argc = static_cast<int>(filtered.size());
   benchmark::Initialize(&filtered_argc, filtered.data());

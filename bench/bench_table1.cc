@@ -6,7 +6,8 @@
 //
 // Usage: bench_table1 [--mbps=30] [--rtt-ms=42] [--buffer=100] [--senders=2]
 //                     [--steps=4000] [--backend=fluid|packet] [--jobs=N]
-//                     [--markdown] [--telemetry[=dir]]
+//                     [--markdown] [--telemetry[=dir]] [--out=dir]
+//                     [--ledger[=path]]
 //
 // --jobs=N fans the rows out over N workers (default: AXIOMCC_JOBS env, else
 // hardware concurrency; 1 = serial). Timing lands in BENCH_table1.json.
@@ -20,6 +21,7 @@
 #include "analysis/telemetry_report.h"
 #include "engine/scenario.h"
 #include "exp/table1.h"
+#include "ledger/ledger.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
 #include "util/stats.h"
@@ -105,7 +107,9 @@ int main(int argc, char** argv) {
     bench.add_counter("cells_per_sec",
                       static_cast<double>(rows.size()) / build_seconds);
     telemetry.finish(bench);
-    std::printf("Bench artifact: %s\n", bench.write().c_str());
+    std::printf("Bench artifact: %s\n",
+                bench.write(args.artifacts_dir()).c_str());
+    ledger::maybe_append(args, bench, args.get_backend());
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

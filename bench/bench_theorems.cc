@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "analysis/telemetry_report.h"
+#include "ledger/ledger.h"
 #include "engine/scenario.h"
 #include "exp/theorems.h"
 #include "util/bench_json.h"
@@ -110,7 +111,9 @@ int main(int argc, char** argv) {
     bench.add_counter("cells_per_sec",
                       static_cast<double>(cells) / bench.total_seconds());
     telemetry.finish(bench);
-    std::printf("Bench artifact: %s\n", bench.write().c_str());
+    std::printf("Bench artifact: %s\n",
+                bench.write(args.artifacts_dir()).c_str());
+    ledger::maybe_append(args, bench, args.get_backend());
     return failures == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

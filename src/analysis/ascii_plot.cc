@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <string_view>
 
 #include "util/check.h"
 
@@ -116,6 +117,38 @@ std::string bar_chart(const std::vector<Bar>& bars, int width,
     os << value_text << '\n';
   }
   return os.str();
+}
+
+std::string sparkline(const std::vector<double>& values, int max_width) {
+  AXIOMCC_EXPECTS(max_width >= 1);
+  if (values.empty()) return {};
+  static constexpr std::string_view kRamp = "_.:-=+*#@";
+  const std::vector<double> sampled =
+      values.size() > static_cast<std::size_t>(max_width)
+          ? resample(values, max_width)
+          : values;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const double v : sampled) {
+    if (!std::isfinite(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  out.reserve(sampled.size());
+  for (const double v : sampled) {
+    if (!std::isfinite(v)) {
+      out.push_back(' ');
+    } else if (hi <= lo) {
+      out.push_back(kRamp[kRamp.size() / 2]);
+    } else {
+      const double fraction = (v - lo) / (hi - lo);
+      const auto level = static_cast<std::size_t>(std::lround(
+          fraction * static_cast<double>(kRamp.size() - 1)));
+      out.push_back(kRamp[std::min(level, kRamp.size() - 1)]);
+    }
+  }
+  return out;
 }
 
 std::string plot_windows(const fluid::Trace& trace, const PlotOptions& options) {

@@ -47,4 +47,12 @@ struct Bar {
                                     int width = 50,
                                     const std::string& title = {});
 
+/// One-line ASCII trend: values min-max normalized onto the glyph ramp
+/// `_.:-=+*#@` (lowest to highest), resampled by bin-averaging when longer
+/// than `max_width`. All-equal series render as a flat mid-ramp line; an
+/// empty series renders as "". Non-finite values render as a space. Used by
+/// axiomcc-benchdiff to show a metric's ledger history inline.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values,
+                                    int max_width = 32);
+
 }  // namespace axiomcc::analysis

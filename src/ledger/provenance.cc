@@ -1,0 +1,49 @@
+#include "ledger/provenance.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace axiomcc::ledger {
+
+namespace {
+
+std::string run_git_rev_parse() {
+  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[128];
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return looks_like_git_sha(out) ? out : std::string("unknown");
+}
+
+}  // namespace
+
+bool looks_like_git_sha(const std::string& sha) {
+  if (sha.size() < 7 || sha.size() > 64) return false;
+  for (const char c : sha) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  return true;
+}
+
+Provenance current_provenance() {
+  Provenance prov;
+#ifdef AXIOMCC_BUILD_FLAVOR
+  prov.build_flavor = AXIOMCC_BUILD_FLAVOR;
+#endif
+  if (const char* env = std::getenv("AXIOMCC_GIT_SHA");
+      env != nullptr && *env != '\0') {
+    prov.git_sha = env;
+    return prov;
+  }
+  static const std::string detected = run_git_rev_parse();
+  prov.git_sha = detected;
+  return prov;
+}
+
+}  // namespace axiomcc::ledger

@@ -1,0 +1,383 @@
+#include "ledger/sentinel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace axiomcc::ledger {
+
+namespace {
+
+/// How a timing metric's direction is read. Durations gate the build;
+/// rates and percentages are derived from the same wall-clock (cells/sec
+/// is the inverse of the phase that produced it), so flagging them too
+/// would double-count every regression — they stay informational.
+enum class TimingRole { kDuration, kInformational };
+
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::optional<TimingRole> timing_role(const std::string& name) {
+  if (name.find("per_sec") != std::string::npos ||
+      name.find("speedup") != std::string::npos || ends_with(name, "_pct")) {
+    return TimingRole::kInformational;
+  }
+  if (ends_with(name, "_sec") || ends_with(name, "_seconds") ||
+      ends_with(name, "_us") || ends_with(name, "_ms")) {
+    return TimingRole::kDuration;
+  }
+  return std::nullopt;
+}
+
+double delta_pct_of(double baseline, double current) {
+  if (baseline == 0.0) return current == 0.0 ? 0.0 : 100.0;
+  return (current - baseline) / std::abs(baseline) * 100.0;
+}
+
+std::string short_sha(const std::string& sha) {
+  return sha.size() > 9 ? sha.substr(0, 9) : sha;
+}
+
+std::string record_label(const LedgerRecord& record) {
+  return "sha " + short_sha(record.git_sha) + " (" + record.build_flavor +
+         ", jobs=" + std::to_string(record.jobs) + ")";
+}
+
+/// Verdict for one duration-style timing value against a band centered on
+/// `center` with half-width `band` (both in the metric's own units).
+Verdict duration_verdict(double center, double current, double band,
+                         double floor, bool is_seconds) {
+  if (is_seconds && center < floor && current < floor) {
+    return Verdict::kWithinNoise;
+  }
+  if (current > center + band) return Verdict::kRegressed;
+  if (current < center - band) return Verdict::kImproved;
+  return Verdict::kWithinNoise;
+}
+
+struct TimingSource {
+  double value = 0.0;
+  bool is_seconds = false;  ///< phases/total_seconds: the floor applies
+  TimingRole role = TimingRole::kDuration;
+};
+
+/// Flattens a record's timing metrics into name -> value (+role). Phases
+/// and total_seconds are durations in seconds; counters carry the role
+/// their name implies.
+std::map<std::string, TimingSource> timing_metrics(
+    const LedgerRecord& record) {
+  std::map<std::string, TimingSource> out;
+  for (const auto& [name, seconds] : record.phases) {
+    out["phase/" + name] = {seconds, true, TimingRole::kDuration};
+  }
+  out["total_seconds"] = {record.total_seconds, true, TimingRole::kDuration};
+  for (const auto& [name, value] : record.counters) {
+    if (const auto role = timing_role(name)) {
+      out["counter/" + name] = {value, false, *role};
+    }
+  }
+  return out;
+}
+
+/// Flattens a record's exact metrics into name -> value. Deterministic
+/// telemetry counters are prefixed to keep the namespace unambiguous.
+std::map<std::string, double> exact_metrics(const LedgerRecord& record) {
+  std::map<std::string, double> out;
+  for (const auto& [name, value] : record.counters) {
+    if (!timing_role(name)) out["counter/" + name] = value;
+  }
+  for (const auto& [name, value] : record.deterministic_counters) {
+    out["det/" + name] = static_cast<double>(value);
+  }
+  return out;
+}
+
+MetricDelta::Kind exact_kind(const std::string& flat_name) {
+  return flat_name.rfind("det/", 0) == 0 ? MetricDelta::Kind::kDeterministic
+                                         : MetricDelta::Kind::kExact;
+}
+
+/// Exact comparison common to both diff flavors: key union of baseline vs
+/// current, kMismatch on any value difference.
+void diff_exact(const std::map<std::string, double>& baseline,
+                const std::map<std::string, double>& current,
+                DiffReport& report) {
+  for (const auto& [name, base_value] : baseline) {
+    MetricDelta delta;
+    delta.name = name;
+    delta.kind = exact_kind(name);
+    delta.baseline = base_value;
+    const auto it = current.find(name);
+    if (it == current.end()) {
+      delta.current = std::nan("");
+      delta.verdict = Verdict::kRemoved;
+      delta.note = "absent in current run";
+    } else {
+      delta.current = it->second;
+      const bool equal =
+          base_value == it->second ||
+          (std::isnan(base_value) && std::isnan(it->second));
+      delta.delta_pct = delta_pct_of(base_value, it->second);
+      delta.verdict = equal ? Verdict::kIdentical : Verdict::kMismatch;
+      if (!equal) {
+        delta.note = delta.kind == MetricDelta::Kind::kDeterministic
+                         ? "deterministic counter drifted"
+                         : "exact counter drifted";
+      }
+    }
+    report.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [name, value] : current) {
+    if (baseline.contains(name)) continue;
+    MetricDelta delta;
+    delta.name = name;
+    delta.kind = exact_kind(name);
+    delta.baseline = std::nan("");
+    delta.current = value;
+    delta.verdict = Verdict::kAdded;
+    delta.note = "absent in baseline";
+    report.deltas.push_back(std::move(delta));
+  }
+}
+
+void apply_timing_verdict(MetricDelta& delta, const TimingSource& current,
+                          double center, double band,
+                          const SentinelOptions& options) {
+  delta.delta_pct = delta_pct_of(center, current.value);
+  if (current.role == TimingRole::kInformational) {
+    // Rates invert: a drop is the interesting direction, but they never
+    // gate (see TimingRole). Report the band position as a note only.
+    delta.verdict = Verdict::kWithinNoise;
+    if (current.value < center - band) {
+      delta.note = "rate dropped (informational; durations gate)";
+    } else if (current.value > center + band) {
+      delta.note = "rate rose (informational)";
+    }
+    return;
+  }
+  delta.verdict =
+      duration_verdict(center, current.value, band,
+                       options.timing_floor_seconds, current.is_seconds);
+  if (delta.verdict == Verdict::kRegressed) {
+    char note[96];
+    std::snprintf(note, sizeof(note), "outside band: > %+.1f%% over baseline",
+                  band / (center > 0.0 ? center : 1.0) * 100.0);
+    delta.note = note;
+  }
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kIdentical: return "identical";
+    case Verdict::kWithinNoise: return "within-noise";
+    case Verdict::kImproved: return "improved";
+    case Verdict::kRegressed: return "REGRESSED";
+    case Verdict::kMismatch: return "MISMATCH";
+    case Verdict::kAdded: return "added";
+    case Verdict::kRemoved: return "removed";
+    case Verdict::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+bool is_timing_counter(const std::string& name) {
+  return timing_role(name).has_value();
+}
+
+bool DiffReport::regression() const {
+  return std::any_of(deltas.begin(), deltas.end(), [](const MetricDelta& d) {
+    return d.verdict == Verdict::kRegressed || d.verdict == Verdict::kMismatch;
+  });
+}
+
+std::size_t DiffReport::count(Verdict verdict) const {
+  return static_cast<std::size_t>(
+      std::count_if(deltas.begin(), deltas.end(),
+                    [verdict](const MetricDelta& d) {
+                      return d.verdict == verdict;
+                    }));
+}
+
+DiffReport diff_records(const LedgerRecord& baseline,
+                        const LedgerRecord& current,
+                        const SentinelOptions& options) {
+  DiffReport report;
+  report.bench = current.bench;
+  report.baseline_label = record_label(baseline);
+  report.current_label = record_label(current);
+  report.timings_compared = baseline.jobs == current.jobs &&
+                            baseline.build_flavor == current.build_flavor;
+
+  diff_exact(exact_metrics(baseline), exact_metrics(current), report);
+
+  const auto base_timings = timing_metrics(baseline);
+  for (const auto& [name, cur] : timing_metrics(current)) {
+    MetricDelta delta;
+    delta.name = name;
+    delta.kind = MetricDelta::Kind::kTiming;
+    delta.current = cur.value;
+    const auto it = base_timings.find(name);
+    if (it == base_timings.end()) {
+      delta.baseline = std::nan("");
+      delta.verdict = Verdict::kAdded;
+      delta.note = "absent in baseline";
+    } else if (!report.timings_compared) {
+      delta.baseline = it->second.value;
+      delta.verdict = Verdict::kSkipped;
+      delta.note = "wall-clock not comparable (jobs/flavor differ)";
+    } else {
+      delta.baseline = it->second.value;
+      const double band =
+          options.timing_threshold * std::abs(it->second.value);
+      apply_timing_verdict(delta, cur, it->second.value, band, options);
+    }
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+DiffReport diff_against_window(std::span<const LedgerRecord> window,
+                               const LedgerRecord& current,
+                               const SentinelOptions& options) {
+  AXIOMCC_EXPECTS(!window.empty());
+  if (window.size() == 1) {
+    DiffReport report = diff_records(window.front(), current, options);
+    // Single-record windows still carry a two-point history so the
+    // sparkline shows direction.
+    for (MetricDelta& delta : report.deltas) {
+      if (std::isfinite(delta.baseline) && std::isfinite(delta.current)) {
+        delta.history = {delta.baseline, delta.current};
+      }
+    }
+    return report;
+  }
+
+  DiffReport report;
+  report.bench = current.bench;
+  report.baseline_label =
+      "window of " + std::to_string(window.size()) + " runs (newest " +
+      short_sha(window.back().git_sha) + ")";
+  report.current_label = record_label(current);
+
+  // Exact metrics compare against the newest window record; their history
+  // spans the whole window (determinism holds across jobs levels).
+  diff_exact(exact_metrics(window.back()), exact_metrics(current), report);
+  for (MetricDelta& delta : report.deltas) {
+    for (const LedgerRecord& record : window) {
+      const auto metrics = exact_metrics(record);
+      const auto it = metrics.find(delta.name);
+      if (it != metrics.end()) delta.history.push_back(it->second);
+    }
+    if (std::isfinite(delta.current)) delta.history.push_back(delta.current);
+  }
+
+  // Timing metrics compare against the median ± max(k·MAD, threshold·median)
+  // of the wall-clock-comparable window records.
+  std::vector<const LedgerRecord*> comparable;
+  for (const LedgerRecord& record : window) {
+    if (record.jobs == current.jobs &&
+        record.build_flavor == current.build_flavor) {
+      comparable.push_back(&record);
+    }
+  }
+  report.timings_compared = !comparable.empty();
+
+  for (const auto& [name, cur] : timing_metrics(current)) {
+    MetricDelta delta;
+    delta.name = name;
+    delta.kind = MetricDelta::Kind::kTiming;
+    delta.current = cur.value;
+
+    std::vector<double> values;
+    for (const LedgerRecord* record : comparable) {
+      const auto metrics = timing_metrics(*record);
+      const auto it = metrics.find(name);
+      if (it != metrics.end()) values.push_back(it->second.value);
+    }
+    // History shows every comparable prior value plus the current one.
+    delta.history = values;
+    delta.history.push_back(cur.value);
+
+    if (values.empty()) {
+      delta.baseline = std::nan("");
+      delta.verdict = report.timings_compared ? Verdict::kAdded
+                                              : Verdict::kSkipped;
+      delta.note = report.timings_compared
+                       ? "absent in window"
+                       : "no wall-clock-comparable window runs";
+    } else {
+      const double median = median_of(values);
+      const double mad = mad_of(values, median);
+      const double band = std::max(options.mad_k * mad,
+                                   options.timing_threshold * std::abs(median));
+      delta.baseline = median;
+      apply_timing_verdict(delta, cur, median, band, options);
+    }
+    report.deltas.push_back(std::move(delta));
+  }
+  return report;
+}
+
+std::string render_report(
+    const DiffReport& report,
+    const std::function<std::string(const std::vector<double>&)>& spark) {
+  std::ostringstream os;
+  os << "=== benchdiff: " << report.bench << " — " << report.current_label
+     << " vs " << report.baseline_label << " ===\n";
+  if (!report.timings_compared) {
+    os << "(timings skipped: runs are not wall-clock comparable)\n";
+  }
+
+  std::size_t name_width = 6;
+  for (const MetricDelta& delta : report.deltas) {
+    name_width = std::max(name_width, delta.name.size());
+  }
+
+  const auto kind_name = [](MetricDelta::Kind kind) {
+    switch (kind) {
+      case MetricDelta::Kind::kTiming: return "timing";
+      case MetricDelta::Kind::kExact: return "exact ";
+      case MetricDelta::Kind::kDeterministic: return "determ";
+    }
+    return "?     ";
+  };
+
+  for (const MetricDelta& delta : report.deltas) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-*s  %s  %12.6g  %12.6g  %+7.1f%%  %-12s",
+                  static_cast<int>(name_width), delta.name.c_str(),
+                  kind_name(delta.kind), delta.baseline, delta.current,
+                  delta.delta_pct, verdict_name(delta.verdict));
+    os << line;
+    if (spark && delta.history.size() >= 2) {
+      os << "  " << spark(delta.history);
+    }
+    if (!delta.note.empty()) os << "  [" << delta.note << "]";
+    os << '\n';
+  }
+
+  const std::size_t regressed = report.count(Verdict::kRegressed);
+  const std::size_t mismatched = report.count(Verdict::kMismatch);
+  os << "verdict: " << regressed << " regressed, " << mismatched
+     << " mismatched, " << report.count(Verdict::kImproved) << " improved, "
+     << report.count(Verdict::kWithinNoise) + report.count(Verdict::kIdentical)
+     << " steady";
+  if (report.count(Verdict::kSkipped) > 0) {
+    os << ", " << report.count(Verdict::kSkipped) << " skipped";
+  }
+  os << " — " << (report.regression() ? "REGRESSION" : "OK") << '\n';
+  return os.str();
+}
+
+}  // namespace axiomcc::ledger

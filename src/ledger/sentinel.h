@@ -1,0 +1,103 @@
+// sentinel.h — the regression sentinel: noise-aware diffing of ledger runs.
+//
+// Two classes of metric, two rules:
+//
+//  * exact metrics — deterministic telemetry counters and workload counters
+//    (cells, agreement counts). Any difference is a kMismatch: these are
+//    byte-identical by construction for the same workload at any --jobs
+//    level, so a drift is a real behavior change, never noise.
+//  * timing metrics — phases, total_seconds, and counters whose name marks
+//    them as rate/time-derived (*_sec, *per_sec, *_us, *_ms, *speedup*,
+//    *_pct). Wall-clock is noisy, so a single-baseline compare flags only
+//    deltas beyond `timing_threshold` (default 20%), and a window compare
+//    flags only values outside median ± max(mad_k·MAD, threshold·median)
+//    of the rolling window. Timings below `timing_floor_seconds` are never
+//    flagged (the noise floor of sub-10ms phases swamps any signal), and
+//    timings are skipped entirely when the two runs used different --jobs
+//    or build flavors — wall-clock across those is not comparable.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ledger/ledger.h"
+
+namespace axiomcc::ledger {
+
+enum class Verdict {
+  kIdentical,    ///< exact metric, equal
+  kWithinNoise,  ///< timing metric inside the band
+  kImproved,     ///< timing metric below the band (informational)
+  kRegressed,    ///< timing metric above the band — fails the gate
+  kMismatch,     ///< exact metric differs — fails the gate
+  kAdded,        ///< present now, absent in baseline (informational)
+  kRemoved,      ///< present in baseline, absent now (informational)
+  kSkipped,      ///< timing metric, runs not wall-clock comparable
+};
+
+[[nodiscard]] const char* verdict_name(Verdict verdict);
+
+/// One compared metric.
+struct MetricDelta {
+  enum class Kind { kTiming, kExact, kDeterministic };
+  std::string name;
+  Kind kind = Kind::kExact;
+  double baseline = 0.0;  ///< window compares: the rolling median
+  double current = 0.0;
+  double delta_pct = 0.0;  ///< (current - baseline) / |baseline| * 100
+  Verdict verdict = Verdict::kIdentical;
+  std::string note;
+  /// The metric's values across the window, oldest first, current last —
+  /// what axiomcc-benchdiff renders as a sparkline. Empty in two-record
+  /// compares.
+  std::vector<double> history;
+};
+
+struct SentinelOptions {
+  double timing_threshold = 0.20;    ///< relative band half-width
+  double mad_k = 3.0;                ///< MAD multiplier for window bands
+  double timing_floor_seconds = 0.01;  ///< timings below are never flagged
+};
+
+/// A full comparison of one run against a baseline (or window).
+struct DiffReport {
+  std::string bench;
+  std::string baseline_label;  ///< e.g. "sha 7538765 (jobs=4)" or "window of 5"
+  std::string current_label;
+  bool timings_compared = true;  ///< false when jobs/flavor differ
+  std::vector<MetricDelta> deltas;
+
+  /// True when any delta fails the gate (kRegressed or kMismatch).
+  [[nodiscard]] bool regression() const;
+  [[nodiscard]] std::size_t count(Verdict verdict) const;
+};
+
+/// Classifies a bench counter name as time-derived (see file comment).
+[[nodiscard]] bool is_timing_counter(const std::string& name);
+
+/// Diffs `current` against a single `baseline` record.
+[[nodiscard]] DiffReport diff_records(const LedgerRecord& baseline,
+                                      const LedgerRecord& current,
+                                      const SentinelOptions& options = {});
+
+/// Diffs `current` against a window of prior records (oldest first).
+/// Exact metrics compare against the most recent window record; timing
+/// metrics against the window's median ± max(mad_k·MAD, threshold·median),
+/// using only window records that are wall-clock comparable with `current`
+/// (same jobs and build flavor). Expects a non-empty window.
+[[nodiscard]] DiffReport diff_against_window(
+    std::span<const LedgerRecord> window, const LedgerRecord& current,
+    const SentinelOptions& options = {});
+
+/// Renders the report as an aligned ASCII table plus a verdict summary
+/// line — what axiomcc-benchdiff prints. When `spark` is set, each metric
+/// with a window history gets it appended rendered by `spark` (a
+/// values->string function injected so ledger does not depend on the
+/// analysis layer).
+[[nodiscard]] std::string render_report(
+    const DiffReport& report,
+    const std::function<std::string(const std::vector<double>&)>& spark = {});
+
+}  // namespace axiomcc::ledger

@@ -1,6 +1,8 @@
 #include "util/bench_json.h"
 
 #include <algorithm>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -10,8 +12,23 @@
 
 namespace axiomcc {
 
-BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+std::string iso8601_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), timestamp_(iso8601_utc_now()) {
   AXIOMCC_EXPECTS(!name_.empty());
+}
+
+void BenchReport::set_timestamp_utc(std::string timestamp) {
+  AXIOMCC_EXPECTS(!timestamp.empty());
+  timestamp_ = std::move(timestamp);
 }
 
 void BenchReport::set_jobs(long jobs) { jobs_ = jobs; }
@@ -35,8 +52,12 @@ double BenchReport::total_seconds() const {
 }
 
 std::string BenchReport::to_json() const {
-  std::string out = "{\n  \"bench\": ";
+  std::string out = "{\n  \"schema_version\": ";
+  out += std::to_string(kBenchSchemaVersion);
+  out += ",\n  \"bench\": ";
   append_json_string(out, name_);
+  out += ",\n  \"timestamp_utc\": ";
+  append_json_string(out, timestamp_);
   out += ",\n  \"jobs\": " + std::to_string(jobs_);
   out += ",\n  \"hardware_jobs\": " + std::to_string(hardware_jobs());
   out += ",\n  \"total_seconds\": ";
@@ -75,6 +96,8 @@ std::string BenchReport::to_json() const {
 }
 
 std::string BenchReport::write(const std::string& dir) const {
+  std::error_code ec;  // best-effort mkdir -p; the open below reports failure
+  std::filesystem::create_directories(dir, ec);
   const std::string path = dir + "/BENCH_" + name_ + ".json";
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot write " + path);

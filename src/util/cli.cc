@@ -76,6 +76,28 @@ std::string ArgParser::get_backend() const {
   return value;
 }
 
+std::string ArgParser::artifacts_dir() const {
+  if (const auto flag = get("out")) {
+    if (!flag->empty()) return *flag;
+  }
+  if (const char* env = std::getenv("AXIOMCC_ARTIFACTS")) {
+    if (*env != '\0') return env;
+  }
+  return "artifacts";
+}
+
+std::optional<std::string> ArgParser::ledger_path() const {
+  std::optional<std::string> value = get("ledger");
+  if (!value) {
+    const char* env = std::getenv("AXIOMCC_LEDGER");
+    if (env == nullptr) return std::nullopt;
+    value = std::string(env);
+    if (value->empty() || *value == "0") return std::nullopt;
+  }
+  if (value->empty() || *value == "1") return artifacts_dir() + "/ledger.jsonl";
+  return value;
+}
+
 std::optional<std::string> ArgParser::telemetry_dir() const {
   if (const auto flag = get("telemetry")) {
     return flag->empty() ? std::string(".") : *flag;

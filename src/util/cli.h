@@ -46,6 +46,20 @@ class ArgParser {
   /// telemetry stays off.
   [[nodiscard]] std::optional<std::string> telemetry_dir() const;
 
+  /// Artifact output directory for the standard `--out=dir` flag: an
+  /// explicit flag wins; otherwise the AXIOMCC_ARTIFACTS environment
+  /// variable (when non-empty), else "artifacts". This is where benches
+  /// drop BENCH_<name>.json and where a bare `--ledger` puts the run
+  /// ledger. The directory is created on first write, not here.
+  [[nodiscard]] std::string artifacts_dir() const;
+
+  /// Run-ledger path for the standard `--ledger[=path]` flag: `--ledger`
+  /// alone appends to `<artifacts_dir()>/ledger.jsonl`, `--ledger=path` to
+  /// `path`. Without the flag, the AXIOMCC_LEDGER environment variable is
+  /// consulted ("" and "0" mean off, "1" means the default path, anything
+  /// else is a file path). nullopt means no ledger record is appended.
+  [[nodiscard]] std::optional<std::string> ledger_path() const;
+
   /// Simulation backend for the standard `--backend=NAME` flag: an explicit
   /// flag wins; otherwise the AXIOMCC_BACKEND environment variable, else
   /// "fluid". The value is validated here ("fluid" or "packet"; anything

@@ -172,6 +172,34 @@ class RunningStats {
   return max_seen;
 }
 
+/// Median of a span (copies and sorts); even sizes average the two middle
+/// order statistics. NaN for an empty span.
+[[nodiscard]] inline double median_of(std::span<const double> xs) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+/// Median absolute deviation around `center` (pass median_of(xs) for the
+/// classic MAD). A robust spread estimate: unlike stddev, one outlier in the
+/// window cannot inflate it, which is what makes median ± k·MAD a usable
+/// noise band for wall-clock timings. NaN for an empty span.
+[[nodiscard]] inline double mad_of(std::span<const double> xs, double center) {
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> deviations;
+  deviations.reserve(xs.size());
+  for (const double x : xs) deviations.push_back(std::abs(x - center));
+  return median_of(deviations);
+}
+
+/// mad_of around the span's own median.
+[[nodiscard]] inline double mad_of(std::span<const double> xs) {
+  return mad_of(xs, median_of(xs));
+}
+
 /// Jain's fairness index: (Σx)² / (n·Σx²). 1 when all equal, →1/n when one
 /// sender dominates. Returns 1 for an empty span by convention.
 [[nodiscard]] inline double jain_index(std::span<const double> xs) {

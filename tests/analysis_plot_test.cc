@@ -1,6 +1,9 @@
 // Tests for the ASCII plotter.
 #include "analysis/ascii_plot.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "util/check.h"
@@ -87,6 +90,58 @@ TEST(BarChart, Contracts) {
   EXPECT_THROW((void)bar_chart({}), ContractViolation);
   EXPECT_THROW((void)bar_chart({{"x", 1.0}}, 2), ContractViolation);
   EXPECT_THROW((void)bar_chart({{"x", -1.0}}), ContractViolation);
+}
+
+TEST(BarChart, AllZeroValuesRenderWithoutBars) {
+  const std::string out = bar_chart({{"a", 0.0}, {"b", 0.0}});
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(Sparkline, EmptyInputRendersNothing) {
+  EXPECT_EQ(sparkline({}), "");
+}
+
+TEST(Sparkline, AllEqualValuesUseTheMidGlyph) {
+  const std::string out = sparkline({3.0, 3.0, 3.0, 3.0});
+  ASSERT_EQ(out.size(), 4u);
+  for (const char c : out) EXPECT_EQ(c, '=');  // "_.:-=+*#@"[4]
+}
+
+TEST(Sparkline, RampSpansTheGlyphRange) {
+  std::vector<double> values;
+  for (int i = 0; i < 9; ++i) values.push_back(double(i));
+  const std::string out = sparkline(values);
+  ASSERT_EQ(out.size(), 9u);
+  EXPECT_EQ(out.front(), '_');  // minimum
+  EXPECT_EQ(out.back(), '@');   // maximum
+  // Monotone input -> non-decreasing glyph levels.
+  const std::string ramp = "_.:-=+*#@";
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(ramp.find(out[i]), ramp.find(out[i - 1]));
+  }
+}
+
+TEST(Sparkline, ResamplesToMaxWidth) {
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(double(i));
+  const std::string out = sparkline(values, 16);
+  EXPECT_EQ(out.size(), 16u);
+  EXPECT_EQ(out.front(), '_');
+  EXPECT_EQ(out.back(), '@');
+}
+
+TEST(Sparkline, NonFiniteValuesRenderAsBlanks) {
+  const std::string out =
+      sparkline({1.0, std::nan(""), 2.0, std::numeric_limits<double>::infinity()});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[1], ' ');
+  EXPECT_EQ(out[3], ' ');
+  EXPECT_NE(out[0], ' ');
+}
+
+TEST(Sparkline, ContractRequiresPositiveWidth) {
+  EXPECT_THROW((void)sparkline({1.0}, 0), ContractViolation);
 }
 
 TEST(AsciiPlot, PlotWindowsLabelsSenders) {

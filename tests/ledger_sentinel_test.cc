@@ -1,0 +1,308 @@
+// Tests for the regression sentinel: exact-metric mismatch detection,
+// noise-aware timing bands, jobs/flavor comparability gating, and report
+// rendering.
+#include "ledger/sentinel.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace axiomcc::ledger {
+namespace {
+
+LedgerRecord base_record() {
+  LedgerRecord record;
+  record.timestamp_utc = "2026-08-06T00:00:00Z";
+  record.bench = "table1";
+  record.git_sha = "0123456789abcdef0123456789abcdef01234567";
+  record.build_flavor = "Release";
+  record.backend = "fluid";
+  record.jobs = 4;
+  record.total_seconds = 2.0;
+  record.phases = {{"run", 2.0}};
+  record.counters = {{"cells", 600.0}, {"cells_per_sec", 300.0}};
+  record.deterministic_counters = {{"fluid.ticks", 184200}};
+  return record;
+}
+
+/// Finds a delta by its flattened name; fails the test when absent.
+const MetricDelta& find_delta(const DiffReport& report,
+                              const std::string& name) {
+  for (const MetricDelta& delta : report.deltas) {
+    if (delta.name == name) return delta;
+  }
+  ADD_FAILURE() << "delta not found: " << name;
+  static const MetricDelta missing{};
+  return missing;
+}
+
+TEST(TimingCounterClassifier, RecognizesTimeDerivedNames) {
+  EXPECT_TRUE(is_timing_counter("build_sec"));
+  EXPECT_TRUE(is_timing_counter("elapsed_seconds"));
+  EXPECT_TRUE(is_timing_counter("latency_us"));
+  EXPECT_TRUE(is_timing_counter("rtt_ms"));
+  EXPECT_TRUE(is_timing_counter("cells_per_sec"));
+  EXPECT_TRUE(is_timing_counter("speedup"));
+  EXPECT_TRUE(is_timing_counter("overhead_pct"));
+  EXPECT_FALSE(is_timing_counter("cells"));
+  EXPECT_FALSE(is_timing_counter("rows"));
+  EXPECT_FALSE(is_timing_counter("agreement_count"));
+}
+
+TEST(DiffRecords, IdenticalRunsAreClean) {
+  const LedgerRecord a = base_record();
+  const DiffReport report = diff_records(a, a);
+  EXPECT_FALSE(report.regression());
+  EXPECT_EQ(report.count(Verdict::kRegressed), 0u);
+  EXPECT_EQ(report.count(Verdict::kMismatch), 0u);
+  EXPECT_EQ(find_delta(report, "det/fluid.ticks").verdict, Verdict::kIdentical);
+  EXPECT_EQ(find_delta(report, "counter/cells").verdict, Verdict::kIdentical);
+}
+
+TEST(DiffRecords, DeterministicCounterDriftIsAMismatch) {
+  const LedgerRecord a = base_record();
+  LedgerRecord b = base_record();
+  b.deterministic_counters = {{"fluid.ticks", 184201}};  // off by one
+  const DiffReport report = diff_records(a, b);
+  EXPECT_TRUE(report.regression());
+  const MetricDelta& delta = find_delta(report, "det/fluid.ticks");
+  EXPECT_EQ(delta.verdict, Verdict::kMismatch);
+  EXPECT_EQ(delta.kind, MetricDelta::Kind::kDeterministic);
+}
+
+TEST(DiffRecords, ExactWorkloadCounterDriftIsAMismatch) {
+  const LedgerRecord a = base_record();
+  LedgerRecord b = base_record();
+  b.counters[0].second = 601.0;  // cells
+  const DiffReport report = diff_records(a, b);
+  EXPECT_TRUE(report.regression());
+  EXPECT_EQ(find_delta(report, "counter/cells").verdict, Verdict::kMismatch);
+}
+
+TEST(DiffRecords, TimingBeyondThresholdRegressesOrImproves) {
+  const LedgerRecord a = base_record();
+  LedgerRecord slower = base_record();
+  slower.total_seconds = 2.5;  // +25% > 20% threshold
+  slower.phases[0].second = 2.5;
+  const DiffReport worse = diff_records(a, slower);
+  EXPECT_TRUE(worse.regression());
+  EXPECT_EQ(find_delta(worse, "total_seconds").verdict, Verdict::kRegressed);
+  EXPECT_EQ(find_delta(worse, "phase/run").verdict, Verdict::kRegressed);
+
+  LedgerRecord faster = base_record();
+  faster.total_seconds = 1.5;  // -25%
+  faster.phases[0].second = 1.5;
+  const DiffReport better = diff_records(a, faster);
+  EXPECT_FALSE(better.regression());
+  EXPECT_EQ(find_delta(better, "total_seconds").verdict, Verdict::kImproved);
+}
+
+TEST(DiffRecords, TimingInsideThresholdIsWithinNoise) {
+  const LedgerRecord a = base_record();
+  LedgerRecord b = base_record();
+  b.total_seconds = 2.2;  // +10% < 20% threshold
+  b.phases[0].second = 2.2;
+  const DiffReport report = diff_records(a, b);
+  EXPECT_FALSE(report.regression());
+  EXPECT_EQ(find_delta(report, "total_seconds").verdict, Verdict::kWithinNoise);
+}
+
+TEST(DiffRecords, DifferentJobsSkipsTimingsButStillComparesExact) {
+  const LedgerRecord a = base_record();
+  LedgerRecord b = base_record();
+  b.jobs = 1;  // deterministic counters stay identical across jobs levels
+  b.total_seconds = 9.0;  // wildly different wall-clock, must not gate
+  b.phases[0].second = 9.0;
+  const DiffReport report = diff_records(a, b);
+  EXPECT_FALSE(report.regression());
+  EXPECT_FALSE(report.timings_compared);
+  EXPECT_EQ(find_delta(report, "total_seconds").verdict, Verdict::kSkipped);
+  EXPECT_EQ(find_delta(report, "det/fluid.ticks").verdict, Verdict::kIdentical);
+
+  // ...and a drift still fails even when timings are skipped.
+  b.deterministic_counters = {{"fluid.ticks", 1}};
+  EXPECT_TRUE(diff_records(a, b).regression());
+}
+
+TEST(DiffRecords, DifferentBuildFlavorSkipsTimings) {
+  const LedgerRecord a = base_record();
+  LedgerRecord b = base_record();
+  b.build_flavor = "Debug+asan";
+  b.total_seconds = 20.0;
+  b.phases[0].second = 20.0;
+  const DiffReport report = diff_records(a, b);
+  EXPECT_FALSE(report.regression());
+  EXPECT_FALSE(report.timings_compared);
+}
+
+TEST(DiffRecords, SubFloorTimingsAreNeverFlagged) {
+  LedgerRecord a = base_record();
+  a.total_seconds = 0.002;
+  a.phases = {{"run", 0.002}};
+  LedgerRecord b = a;
+  b.total_seconds = 0.008;  // 4x — but both below the 10ms noise floor
+  b.phases[0].second = 0.008;
+  const DiffReport report = diff_records(a, b);
+  EXPECT_FALSE(report.regression());
+  EXPECT_EQ(find_delta(report, "total_seconds").verdict, Verdict::kWithinNoise);
+}
+
+TEST(DiffRecords, RateCountersNeverGate) {
+  const LedgerRecord a = base_record();
+  LedgerRecord b = base_record();
+  b.counters[1].second = 100.0;  // cells_per_sec collapsed to a third
+  const DiffReport report = diff_records(a, b);
+  EXPECT_FALSE(report.regression());
+  const MetricDelta& delta = find_delta(report, "counter/cells_per_sec");
+  EXPECT_EQ(delta.verdict, Verdict::kWithinNoise);
+  EXPECT_FALSE(delta.note.empty());  // still mentioned, just informational
+}
+
+TEST(DiffRecords, AddedAndRemovedMetricsAreInformational) {
+  const LedgerRecord a = base_record();
+  LedgerRecord b = base_record();
+  b.counters.emplace_back("new_counter", 1.0);
+  b.deterministic_counters.clear();
+  const DiffReport report = diff_records(a, b);
+  EXPECT_FALSE(report.regression());
+  EXPECT_EQ(find_delta(report, "counter/new_counter").verdict, Verdict::kAdded);
+  EXPECT_EQ(find_delta(report, "det/fluid.ticks").verdict, Verdict::kRemoved);
+}
+
+TEST(DiffAgainstWindow, MedianBandIsRobustToOneOutlier) {
+  // Window of five runs at ~2.0s with one 4.0s outlier. The median stays at
+  // 2.0 and the MAD band stays tight, so a 2.1s current run is steady while
+  // a 3.0s run regresses — a mean-based band would have absorbed both.
+  std::vector<LedgerRecord> window;
+  for (const double seconds : {2.0, 1.98, 4.0, 2.02, 2.0}) {
+    LedgerRecord r = base_record();
+    r.total_seconds = seconds;
+    r.phases[0].second = seconds;
+    window.push_back(r);
+  }
+
+  LedgerRecord steady = base_record();
+  steady.total_seconds = 2.1;
+  steady.phases[0].second = 2.1;
+  const DiffReport ok = diff_against_window(window, steady);
+  EXPECT_FALSE(ok.regression());
+  EXPECT_EQ(find_delta(ok, "total_seconds").verdict, Verdict::kWithinNoise);
+
+  LedgerRecord slow = base_record();
+  slow.total_seconds = 3.0;
+  slow.phases[0].second = 3.0;
+  const DiffReport bad = diff_against_window(window, slow);
+  EXPECT_TRUE(bad.regression());
+  EXPECT_EQ(find_delta(bad, "total_seconds").verdict, Verdict::kRegressed);
+}
+
+TEST(DiffAgainstWindow, HistoryCarriesWindowPlusCurrent) {
+  std::vector<LedgerRecord> window;
+  for (const double seconds : {2.0, 2.1, 1.9}) {
+    LedgerRecord r = base_record();
+    r.total_seconds = seconds;
+    window.push_back(r);
+  }
+  LedgerRecord current = base_record();
+  current.total_seconds = 2.05;
+  const DiffReport report = diff_against_window(window, current);
+  const MetricDelta& delta = find_delta(report, "total_seconds");
+  ASSERT_EQ(delta.history.size(), 4u);
+  EXPECT_DOUBLE_EQ(delta.history.front(), 2.0);
+  EXPECT_DOUBLE_EQ(delta.history.back(), 2.05);
+}
+
+TEST(DiffAgainstWindow, OnlyComparableRunsFeedTheTimingBand) {
+  // Window mixes jobs=1 and jobs=4 runs; only the jobs=4 ones (2.0s-ish)
+  // may shape the band for a jobs=4 current run. If the slow jobs=1 runs
+  // leaked in, the 3.0s current would pass.
+  std::vector<LedgerRecord> window;
+  for (const double seconds : {8.0, 2.0, 8.2, 2.02, 1.98}) {
+    LedgerRecord r = base_record();
+    r.jobs = seconds > 4.0 ? 1 : 4;
+    r.total_seconds = seconds;
+    r.phases[0].second = seconds;
+    window.push_back(r);
+  }
+  LedgerRecord current = base_record();
+  current.total_seconds = 3.0;
+  current.phases[0].second = 3.0;
+  const DiffReport report = diff_against_window(window, current);
+  EXPECT_TRUE(report.regression());
+  EXPECT_NEAR(find_delta(report, "total_seconds").baseline, 2.0, 0.05);
+}
+
+TEST(DiffAgainstWindow, NoComparableRunsSkipsTimingsButKeepsExactGate) {
+  std::vector<LedgerRecord> window;
+  LedgerRecord prior = base_record();
+  prior.jobs = 1;
+  window.push_back(prior);
+  window.push_back(prior);
+
+  LedgerRecord current = base_record();  // jobs=4: nothing comparable
+  current.total_seconds = 99.0;
+  const DiffReport report = diff_against_window(window, current);
+  EXPECT_FALSE(report.regression());
+  EXPECT_FALSE(report.timings_compared);
+  EXPECT_EQ(find_delta(report, "total_seconds").verdict, Verdict::kSkipped);
+
+  current.deterministic_counters = {{"fluid.ticks", 0}};
+  EXPECT_TRUE(diff_against_window(window, current).regression());
+}
+
+TEST(DiffAgainstWindow, SingleRecordWindowGetsTwoPointHistory) {
+  const std::vector<LedgerRecord> window = {base_record()};
+  LedgerRecord current = base_record();
+  current.total_seconds = 2.1;
+  const DiffReport report = diff_against_window(window, current);
+  const MetricDelta& delta = find_delta(report, "total_seconds");
+  ASSERT_EQ(delta.history.size(), 2u);
+  EXPECT_DOUBLE_EQ(delta.history[0], 2.0);
+  EXPECT_DOUBLE_EQ(delta.history[1], 2.1);
+}
+
+TEST(DiffAgainstWindow, EmptyWindowViolatesTheContract) {
+  EXPECT_THROW((void)diff_against_window({}, base_record()),
+               ContractViolation);
+}
+
+TEST(RenderReport, NamesTheFailureAndTheVerdictCounts) {
+  const LedgerRecord a = base_record();
+  LedgerRecord b = base_record();
+  b.deterministic_counters = {{"fluid.ticks", 1}};
+  b.total_seconds = 3.0;
+  b.phases[0].second = 3.0;
+  const std::string text = render_report(diff_records(a, b));
+  EXPECT_NE(text.find("det/fluid.ticks"), std::string::npos);
+  EXPECT_NE(text.find("MISMATCH"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+
+  const std::string clean = render_report(diff_records(a, a));
+  EXPECT_NE(clean.find("— OK"), std::string::npos);
+  EXPECT_EQ(clean.find("REGRESSION"), std::string::npos);
+}
+
+TEST(RenderReport, InjectedSparklineRendersHistories) {
+  std::vector<LedgerRecord> window;
+  for (const double seconds : {2.0, 2.1, 1.9}) {
+    LedgerRecord r = base_record();
+    r.total_seconds = seconds;
+    window.push_back(r);
+  }
+  const DiffReport report = diff_against_window(window, base_record());
+  const std::string text = render_report(
+      report, [](const std::vector<double>& values) {
+        return "<spark:" + std::to_string(values.size()) + ">";
+      });
+  EXPECT_NE(text.find("<spark:4>"), std::string::npos);
+  // Without an injected renderer, no placeholder appears.
+  EXPECT_EQ(render_report(report).find("<spark"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace axiomcc::ledger

@@ -101,6 +101,40 @@ TEST(BenchReport, TelemetryBlockEmbedsVerbatim) {
   EXPECT_EQ(telemetry->find("counters")->find("fluid.ticks")->number, 12.0);
 }
 
+TEST(BenchReport, SelfDescribesWithSchemaVersionAndTimestamp) {
+  const JsonValue doc = parse_json(BenchReport("stamped").to_json());
+  const JsonValue* version = doc.find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(static_cast<int>(version->number), kBenchSchemaVersion);
+
+  const JsonValue* stamp = doc.find("timestamp_utc");
+  ASSERT_NE(stamp, nullptr);
+  // ISO-8601 UTC: "YYYY-MM-DDTHH:MM:SSZ".
+  const std::string& ts = stamp->string;
+  ASSERT_EQ(ts.size(), 20u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+TEST(BenchReport, TimestampOverrideForDeterministicArtifacts) {
+  BenchReport bench("pinned");
+  bench.set_timestamp_utc("2026-08-06T00:00:00Z");
+  EXPECT_EQ(bench.timestamp_utc(), "2026-08-06T00:00:00Z");
+  const JsonValue doc = parse_json(bench.to_json());
+  EXPECT_EQ(doc.find("timestamp_utc")->string, "2026-08-06T00:00:00Z");
+}
+
+TEST(Iso8601Now, LooksLikeAnIsoStamp) {
+  const std::string now = iso8601_utc_now();
+  ASSERT_EQ(now.size(), 20u);
+  EXPECT_EQ(now[10], 'T');
+  EXPECT_EQ(now.back(), 'Z');
+}
+
 TEST(BenchReport, EmptyReportIsStillValidJson) {
   const JsonValue doc = parse_json(BenchReport("empty").to_json());
   EXPECT_TRUE(doc.find("phases")->is_array());

@@ -76,6 +76,54 @@ TEST(ArgParser, BackendEnvFallback) {
   unsetenv("AXIOMCC_BACKEND");
 }
 
+TEST(ArgParser, ArtifactsDirFlagEnvAndDefault) {
+  unsetenv("AXIOMCC_ARTIFACTS");
+  EXPECT_EQ(parse({}).artifacts_dir(), "artifacts");
+  EXPECT_EQ(parse({"--out=bench_out"}).artifacts_dir(), "bench_out");
+  ASSERT_EQ(setenv("AXIOMCC_ARTIFACTS", "/tmp/art", 1), 0);
+  EXPECT_EQ(parse({}).artifacts_dir(), "/tmp/art");
+  // The flag still wins over the environment.
+  EXPECT_EQ(parse({"--out=flag_dir"}).artifacts_dir(), "flag_dir");
+  unsetenv("AXIOMCC_ARTIFACTS");
+}
+
+TEST(ArgParser, LedgerOffByDefault) {
+  unsetenv("AXIOMCC_LEDGER");
+  unsetenv("AXIOMCC_ARTIFACTS");
+  EXPECT_FALSE(parse({}).ledger_path().has_value());
+}
+
+TEST(ArgParser, LedgerFlagVariants) {
+  unsetenv("AXIOMCC_LEDGER");
+  unsetenv("AXIOMCC_ARTIFACTS");
+  // Bare flag -> default path under the artifacts dir.
+  EXPECT_EQ(parse({"--ledger"}).ledger_path().value_or(""),
+            "artifacts/ledger.jsonl");
+  // Explicit path.
+  EXPECT_EQ(parse({"--ledger=/tmp/run.jsonl"}).ledger_path().value_or(""),
+            "/tmp/run.jsonl");
+  // Bare flag follows --out.
+  EXPECT_EQ(parse({"--ledger", "--out=o"}).ledger_path().value_or(""),
+            "o/ledger.jsonl");
+}
+
+TEST(ArgParser, LedgerEnvVariants) {
+  unsetenv("AXIOMCC_ARTIFACTS");
+  ASSERT_EQ(setenv("AXIOMCC_LEDGER", "1", 1), 0);
+  EXPECT_EQ(parse({}).ledger_path().value_or(""), "artifacts/ledger.jsonl");
+  ASSERT_EQ(setenv("AXIOMCC_LEDGER", "/tmp/env.jsonl", 1), 0);
+  EXPECT_EQ(parse({}).ledger_path().value_or(""), "/tmp/env.jsonl");
+  ASSERT_EQ(setenv("AXIOMCC_LEDGER", "0", 1), 0);
+  EXPECT_FALSE(parse({}).ledger_path().has_value());
+  ASSERT_EQ(setenv("AXIOMCC_LEDGER", "", 1), 0);
+  EXPECT_FALSE(parse({}).ledger_path().has_value());
+  // The flag wins over the environment.
+  ASSERT_EQ(setenv("AXIOMCC_LEDGER", "/tmp/env.jsonl", 1), 0);
+  EXPECT_EQ(parse({"--ledger=/tmp/flag.jsonl"}).ledger_path().value_or(""),
+            "/tmp/flag.jsonl");
+  unsetenv("AXIOMCC_LEDGER");
+}
+
 TEST(ArgParser, UnknownBackendThrows) {
   unsetenv("AXIOMCC_BACKEND");
   EXPECT_THROW((void)parse({"--backend=ns3"}).get_backend(),

@@ -154,6 +154,56 @@ TEST(HistogramQuantile, BoundariesAndClamping) {
   }
 }
 
+TEST(MedianOf, OddEvenAndEmpty) {
+  EXPECT_TRUE(std::isnan(median_of({})));
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(median_of(one), 7.0);
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median_of(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median_of(even), 2.5);
+}
+
+TEST(MadOf, MeasuresSpreadAroundTheMedian) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  // Median 3, absolute deviations {2,1,0,1,2} -> MAD 1.
+  EXPECT_DOUBLE_EQ(mad_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(mad_of(xs, 3.0), 1.0);
+  EXPECT_TRUE(std::isnan(mad_of({})));
+  const std::vector<double> flat{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(mad_of(flat), 0.0);
+}
+
+TEST(MadOf, IgnoresASingleOutlier) {
+  // One wild value must not inflate the MAD the way it inflates stddev.
+  const std::vector<double> xs{2.0, 2.0, 2.0, 2.0, 1000.0};
+  EXPECT_DOUBLE_EQ(median_of(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mad_of(xs), 0.0);
+}
+
+TEST(HistogramQuantile, SingleBucketHistogram) {
+  // No finite bounds: one bucket holding everything (plus no overflow
+  // split). Every quantile interpolates between min_seen and max_seen.
+  const std::vector<double> no_bounds{};
+  const std::vector<std::uint64_t> counts{8};
+  const double q25 = histogram_quantile(no_bounds, counts, 10.0, 20.0, 25.0);
+  EXPECT_GE(q25, 10.0);
+  EXPECT_LE(q25, 20.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(no_bounds, counts, 10.0, 20.0, 0.0),
+                   10.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(no_bounds, counts, 10.0, 20.0, 100.0),
+                   20.0);
+}
+
+TEST(HistogramQuantile, AllEqualSamplesCollapseToThatValue) {
+  // Every sample is 5.0: min_seen == max_seen pins every quantile.
+  const std::vector<double> bounds{10.0};
+  const std::vector<std::uint64_t> counts{12, 0};
+  for (double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(histogram_quantile(bounds, counts, 5.0, 5.0, p), 5.0);
+  }
+}
+
 TEST(HistogramQuantile, DegenerateInputs) {
   const std::vector<double> bounds{10.0};
   const std::vector<std::uint64_t> empty{0, 0};

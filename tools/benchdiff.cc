@@ -1,0 +1,189 @@
+// axiomcc-benchdiff — the regression sentinel's CLI.
+//
+// Compares bench runs recorded by the run ledger (--ledger on any bench
+// binary) or raw BENCH_<name>.json artifacts, and reports per-metric deltas
+// with noise-aware verdicts: deterministic telemetry counters must be
+// byte-identical, workload counters must match exactly, and wall-clock
+// timings are judged against a rolling median ± MAD band (window mode) or a
+// relative threshold (two-record mode). Timings are skipped when the runs
+// are not wall-clock comparable (different --jobs or build flavor), which
+// is what keeps a same-SHA rerun at a different job count green.
+//
+// Usage:
+//   axiomcc-benchdiff [--ledger[=path]] [--bench=NAME] [--window=8]
+//                     [--threshold=0.20] [--mad-k=3] [--no-spark]
+//   axiomcc-benchdiff [options] BASELINE CURRENT
+//
+// Ledger mode (no positionals): loads the ledger (default
+// <artifacts>/ledger.jsonl; --out / AXIOMCC_ARTIFACTS move <artifacts>),
+// groups records by (bench, backend), and diffs each group's newest record
+// against the window of prior runs. --bench restricts to one bench.
+//
+// Two-file mode: BASELINE and CURRENT are each either a BENCH_<name>.json
+// artifact or a JSONL ledger (its last record — --bench filtered — is
+// used).
+//
+// Exit codes: 0 clean, 1 any regression or deterministic mismatch,
+// 2 usage/IO error.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <utility>
+
+#include "analysis/ascii_plot.h"
+#include "ledger/ledger.h"
+#include "ledger/sentinel.h"
+#include "util/cli.h"
+#include "util/json.h"
+
+using namespace axiomcc;
+
+namespace {
+
+/// Records loaded from one input file, any format.
+std::vector<ledger::LedgerRecord> load_records(const std::string& path,
+                                               const std::string& bench) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  std::vector<ledger::LedgerRecord> records;
+  // The whole file parsing as one JSON document means a single record: a
+  // BENCH_<name>.json artifact when "phases" is an array (the artifact
+  // layout), a one-line ledger when it is an object. Otherwise treat the
+  // file as multi-line JSONL.
+  std::optional<ledger::LedgerRecord> single;
+  try {
+    const JsonValue doc = parse_json(content);
+    const JsonValue* phases = doc.find("phases");
+    single = (phases != nullptr && phases->is_array())
+                 ? ledger::record_from_artifact(content)
+                 : ledger::parse_record(content);
+  } catch (const std::runtime_error&) {
+    single = std::nullopt;
+  }
+  if (single) {
+    records.push_back(std::move(*single));
+  } else {
+    const ledger::LedgerFile file = ledger::read_ledger(path);
+    if (file.skipped_lines > 0) {
+      std::fprintf(stderr, "[benchdiff] %s: skipped %zu unparseable line(s)\n",
+                   path.c_str(), file.skipped_lines);
+    }
+    records = file.records;
+  }
+  if (!bench.empty()) {
+    std::erase_if(records, [&bench](const ledger::LedgerRecord& r) {
+      return r.bench != bench;
+    });
+  }
+  return records;
+}
+
+int run(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  ledger::SentinelOptions options;
+  options.timing_threshold = args.get_double("threshold", 0.20);
+  options.mad_k = args.get_double("mad-k", 3.0);
+  options.timing_floor_seconds = args.get_double("floor", 0.01);
+  const long window_size = args.get_int("window", 8);
+  const std::string bench_filter = args.get_or("bench", "");
+
+  const auto spark = args.has("no-spark")
+                         ? std::function<std::string(const std::vector<double>&)>()
+                         : [](const std::vector<double>& values) {
+                             return analysis::sparkline(values, 24);
+                           };
+
+  const auto& positional = args.positional();
+  bool regression = false;
+  bool compared_anything = false;
+
+  if (positional.size() == 2) {
+    // Two-file mode: last (filtered) record of each input.
+    const auto baseline = load_records(positional[0], bench_filter);
+    const auto current = load_records(positional[1], bench_filter);
+    if (baseline.empty() || current.empty()) {
+      std::fprintf(stderr, "error: no comparable records in %s\n",
+                   (baseline.empty() ? positional[0] : positional[1]).c_str());
+      return 2;
+    }
+    const ledger::DiffReport report =
+        ledger::diff_records(baseline.back(), current.back(), options);
+    std::fputs(ledger::render_report(report, spark).c_str(), stdout);
+    return report.regression() ? 1 : 0;
+  }
+  if (!positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: axiomcc-benchdiff [options] [BASELINE CURRENT]\n"
+                 "       (exactly zero or two positional files)\n");
+    return 2;
+  }
+
+  // Ledger mode.
+  const std::string path =
+      args.ledger_path().value_or(args.artifacts_dir() + "/ledger.jsonl");
+  const ledger::LedgerFile file = ledger::read_ledger(path);
+  if (file.skipped_lines > 0) {
+    std::fprintf(stderr, "[benchdiff] %s: skipped %zu unparseable line(s)\n",
+                 path.c_str(), file.skipped_lines);
+  }
+
+  std::map<std::pair<std::string, std::string>,
+           std::vector<ledger::LedgerRecord>>
+      groups;
+  for (const ledger::LedgerRecord& record : file.records) {
+    if (!bench_filter.empty() && record.bench != bench_filter) continue;
+    groups[{record.bench, record.backend}].push_back(record);
+  }
+  if (groups.empty()) {
+    std::fprintf(stderr, "error: no records%s%s in %s\n",
+                 bench_filter.empty() ? "" : " for bench ",
+                 bench_filter.c_str(), path.c_str());
+    return 2;
+  }
+
+  for (const auto& [key, records] : groups) {
+    if (records.size() < 2) {
+      std::printf("=== benchdiff: %s — first recorded run (%s), nothing to "
+                  "compare ===\n",
+                  key.first.c_str(), records.back().timestamp_utc.c_str());
+      continue;
+    }
+    compared_anything = true;
+    const std::size_t prior = records.size() - 1;
+    const std::size_t take = std::min(
+        prior, static_cast<std::size_t>(window_size > 0 ? window_size : 1));
+    const std::span<const ledger::LedgerRecord> window(
+        records.data() + (prior - take), take);
+    const ledger::DiffReport report =
+        ledger::diff_against_window(window, records.back(), options);
+    std::fputs(ledger::render_report(report, spark).c_str(), stdout);
+    std::printf("\n");
+    regression = regression || report.regression();
+  }
+
+  if (!compared_anything) return 0;  // a fresh ledger is not a failure
+  return regression ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
