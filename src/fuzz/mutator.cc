@@ -1,0 +1,435 @@
+#include "fuzz/mutator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "telemetry/telemetry.h"
+
+namespace axiomcc::fuzz {
+
+namespace {
+
+/// Picks a uniformly random element.
+template <typename T>
+const T& pick(const std::vector<T>& values, Rng& rng) {
+  return values[rng.uniform_index(values.size())];
+}
+
+/// Multiplies `v` by a random factor in [0.5, 2) — the generic "perturb
+/// magnitude" move.
+double perturb(double v, Rng& rng) { return v * rng.uniform(0.5, 2.0); }
+
+/// A random breakpoint step within the run.
+long random_step(const ScenarioDesc& desc, Rng& rng) {
+  return static_cast<long>(
+      rng.uniform_index(static_cast<std::uint64_t>(desc.steps)));
+}
+
+void mutate_schedule(ScheduleDesc& schedule, const ScenarioDesc& desc,
+                     Rng& rng) {
+  const std::uint64_t op = rng.uniform_index(schedule.points.empty() ? 2 : 5);
+  switch (op) {
+    case 0:  // add a breakpoint with a dictionary scale
+      schedule.points.push_back(SchedulePoint{
+          random_step(desc, rng), pick(Mutator::scale_dictionary(), rng)});
+      break;
+    case 1: {  // install a canonical gauntlet shape
+      const std::uint64_t shape = rng.uniform_index(3);
+      const long start = random_step(desc, rng);
+      const long span = std::max<long>(desc.steps / 8, 10);
+      schedule.points.clear();
+      if (shape == 0) {  // outage: drop to a residual, then restore
+        schedule.points = {SchedulePoint{start, 1e-3},
+                           SchedulePoint{start + span, 1.0}};
+      } else if (shape == 1) {  // flap: square wave
+        double level = 1.0;
+        for (long at = start, i = 0; i < 6; ++i, at += span / 2 + 1) {
+          level = level == 1.0 ? 0.05 : 1.0;
+          schedule.points.push_back(SchedulePoint{at, level});
+        }
+      } else {  // sawtooth ramp
+        for (long i = 0; i < 6; ++i) {
+          schedule.points.push_back(SchedulePoint{
+              start + i * (span / 3 + 1), 0.25 + 0.15 * static_cast<double>(i)});
+        }
+      }
+      break;
+    }
+    case 2:  // remove a breakpoint
+      schedule.points.erase(schedule.points.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                rng.uniform_index(schedule.points.size())));
+      break;
+    case 3: {  // perturb a breakpoint's scale
+      SchedulePoint& p =
+          schedule.points[rng.uniform_index(schedule.points.size())];
+      p.scale = rng.bernoulli(0.5) ? perturb(p.scale, rng)
+                                   : pick(Mutator::scale_dictionary(), rng);
+      break;
+    }
+    case 4: {  // move a breakpoint in time
+      SchedulePoint& p =
+          schedule.points[rng.uniform_index(schedule.points.size())];
+      p.at = random_step(desc, rng);
+      break;
+    }
+  }
+}
+
+void mutate_loss(LossDesc& loss, const ScenarioDesc& desc, Rng& rng) {
+  if (loss.kind == LossDesc::Kind::kNone || rng.bernoulli(0.4)) {
+    // Switch to a fresh model with dictionary parameters.
+    const std::uint64_t kind = 1 + rng.uniform_index(4);
+    loss = LossDesc{};
+    loss.kind = static_cast<LossDesc::Kind>(kind);
+    loss.rate = pick(Mutator::loss_rate_dictionary(), rng);
+    loss.prob = rng.uniform(0.05, 0.5);
+    loss.p_gb = rng.uniform(0.05, 0.4);
+    loss.p_bg = rng.uniform(0.05, 0.4);
+    loss.good_rate = rng.bernoulli(0.5) ? 0.0 : 0.01;
+    loss.bad_rate = pick(Mutator::loss_rate_dictionary(), rng);
+    loss.start = random_step(desc, rng);
+    loss.end = loss.start + std::max<long>(desc.steps / 6, 10);
+    return;
+  }
+  // Perturb the existing model's magnitudes.
+  loss.rate = perturb(loss.rate, rng);
+  loss.prob = perturb(loss.prob, rng);
+  loss.p_gb = perturb(loss.p_gb, rng);
+  loss.p_bg = perturb(loss.p_bg, rng);
+  loss.bad_rate = perturb(loss.bad_rate, rng);
+}
+
+void mutate_sender(SenderDesc& sender, const ScenarioDesc& desc, Rng& rng) {
+  switch (rng.uniform_index(4)) {
+    case 0:
+      sender.protocol = pick(Mutator::protocol_dictionary(), rng);
+      break;
+    case 1:
+      sender.initial_window_mss =
+          rng.bernoulli(0.5) ? perturb(sender.initial_window_mss, rng)
+                             : rng.uniform(1.0, 120.0);
+      break;
+    case 2:
+      sender.start_step = static_cast<double>(random_step(desc, rng));
+      break;
+    case 3:
+      // A finite stop, sometimes immediately after the start (the nasty
+      // join-then-leave edge), sometimes forever.
+      if (rng.bernoulli(0.3)) {
+        sender.stop_step = -1.0;
+      } else {
+        sender.stop_step =
+            sender.start_step +
+            (rng.bernoulli(0.2) ? 1.0
+                                : static_cast<double>(random_step(desc, rng)));
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+ScenarioDesc Mutator::mutate(const ScenarioDesc& base, Rng& rng) const {
+  ScenarioDesc out = base;
+  const std::uint64_t edits = 1 + rng.uniform_index(3);
+  for (std::uint64_t edit = 0; edit < edits; ++edit) {
+    TELEMETRY_COUNT("fuzz.mutations", 1);
+    switch (rng.uniform_index(10)) {
+      case 0:
+        out.bandwidth_mbps = rng.bernoulli(0.3)
+                                 ? rng.uniform(limits_.min_mbps, limits_.max_mbps)
+                                 : perturb(out.bandwidth_mbps, rng);
+        break;
+      case 1:
+        out.rtt_ms = rng.bernoulli(0.3)
+                         ? rng.uniform(limits_.min_rtt_ms, limits_.max_rtt_ms)
+                         : perturb(out.rtt_ms, rng);
+        break;
+      case 2:
+        // Buffers: perturbed, or the nasty extremes (none / one packet).
+        out.buffer_mss = rng.bernoulli(0.3)
+                             ? (rng.bernoulli(0.5) ? 0.0 : 1.0)
+                             : perturb(out.buffer_mss, rng);
+        break;
+      case 3:
+        out.steps = static_cast<long>(
+            static_cast<double>(out.steps) * rng.uniform(0.6, 1.6));
+        break;
+      case 4:  // add a sender
+        out.senders.push_back(SenderDesc{
+            pick(protocol_dictionary(), rng), rng.uniform(1.0, 60.0),
+            static_cast<double>(random_step(out, rng)), -1.0});
+        break;
+      case 5:  // remove a sender
+        if (out.senders.size() > 1) {
+          out.senders.erase(out.senders.begin() +
+                            static_cast<std::ptrdiff_t>(
+                                rng.uniform_index(out.senders.size())));
+        }
+        break;
+      case 6:
+        mutate_sender(out.senders[rng.uniform_index(out.senders.size())], out,
+                      rng);
+        break;
+      case 7:
+        mutate_loss(out.loss, out, rng);
+        break;
+      case 8:
+        mutate_schedule(
+            rng.bernoulli(0.5) ? out.bandwidth_scale : out.rtt_scale, out,
+            rng);
+        break;
+      case 9:
+        out.seed = rng();
+        break;
+    }
+  }
+  sanitize(out);
+  return out;
+}
+
+ScenarioDesc Mutator::splice(const ScenarioDesc& a, const ScenarioDesc& b,
+                             Rng& rng) const {
+  TELEMETRY_COUNT("fuzz.splices", 1);
+  const ScenarioDesc& x = a;
+  const ScenarioDesc& y = b;
+  ScenarioDesc out;
+  const ScenarioDesc& link_src = rng.bernoulli(0.5) ? x : y;
+  out.bandwidth_mbps = link_src.bandwidth_mbps;
+  out.rtt_ms = link_src.rtt_ms;
+  out.buffer_mss = link_src.buffer_mss;
+  out.steps = (rng.bernoulli(0.5) ? x : y).steps;
+  out.min_window_mss = link_src.min_window_mss;
+  out.max_window_mss = link_src.max_window_mss;
+  out.tail_fraction = link_src.tail_fraction;
+  out.seed = (rng.bernoulli(0.5) ? x : y).seed;
+  out.senders = (rng.bernoulli(0.5) ? x : y).senders;
+  out.loss = (rng.bernoulli(0.5) ? x : y).loss;
+
+  // Schedules splice at a cut step: one parent's breakpoints before the
+  // cut, the other's after.
+  const auto splice_schedule = [&rng, &out](const ScheduleDesc& from_a,
+                                            const ScheduleDesc& from_b) {
+    if (rng.bernoulli(0.5)) return rng.bernoulli(0.5) ? from_a : from_b;
+    const long cut = static_cast<long>(rng.uniform_index(
+        static_cast<std::uint64_t>(std::max<long>(out.steps, 1))));
+    ScheduleDesc spliced;
+    for (const SchedulePoint& p : from_a.points) {
+      if (p.at < cut) spliced.points.push_back(p);
+    }
+    for (const SchedulePoint& p : from_b.points) {
+      if (p.at >= cut) spliced.points.push_back(p);
+    }
+    return spliced;
+  };
+  out.bandwidth_scale = splice_schedule(x.bandwidth_scale, y.bandwidth_scale);
+  out.rtt_scale = splice_schedule(x.rtt_scale, y.rtt_scale);
+
+  sanitize(out);
+  return out;
+}
+
+void Mutator::sanitize(ScenarioDesc& desc) const {
+  desc.bandwidth_mbps =
+      std::clamp(desc.bandwidth_mbps, limits_.min_mbps, limits_.max_mbps);
+  desc.rtt_ms = std::clamp(desc.rtt_ms, limits_.min_rtt_ms, limits_.max_rtt_ms);
+  desc.buffer_mss = std::clamp(desc.buffer_mss, 0.0, limits_.max_buffer_mss);
+  desc.steps = std::clamp(desc.steps, limits_.min_steps, limits_.max_steps);
+  desc.min_window_mss = std::clamp(desc.min_window_mss, 0.0, 10.0);
+  desc.max_window_mss = std::clamp(desc.max_window_mss, 100.0, 1e9);
+  desc.tail_fraction = std::clamp(desc.tail_fraction, 0.1, 1.0);
+  desc.expect = ExpectDesc{};  // mutants are untriaged by definition
+
+  if (desc.senders.empty()) desc.senders.push_back(SenderDesc{});
+  if (desc.senders.size() > limits_.max_senders) {
+    desc.senders.resize(limits_.max_senders);
+  }
+  const double max_step = static_cast<double>(desc.steps);
+  for (SenderDesc& s : desc.senders) {
+    s.initial_window_mss =
+        std::clamp(s.initial_window_mss, 1.0, limits_.max_initial_window_mss);
+    s.start_step = std::clamp(s.start_step, 0.0, max_step);
+    if (s.stop_step >= 0.0) {
+      s.stop_step = std::clamp(s.stop_step, s.start_step, max_step);
+    } else {
+      s.stop_step = -1.0;
+    }
+  }
+
+  // Canonicalize the loss descriptor: clamp the active fields and zero the
+  // inactive ones, so two descs that serialize identically compare equal
+  // (the text format only carries the active kind's parameters).
+  LossDesc loss;
+  loss.kind = desc.loss.kind;
+  switch (loss.kind) {
+    case LossDesc::Kind::kNone:
+      break;
+    case LossDesc::Kind::kConstant:
+      loss.rate = std::clamp(desc.loss.rate, 0.0, limits_.max_loss_rate);
+      break;
+    case LossDesc::Kind::kBernoulli:
+      loss.prob = std::clamp(desc.loss.prob, 0.0, 1.0);
+      loss.rate = std::clamp(desc.loss.rate, 0.0, limits_.max_loss_rate);
+      break;
+    case LossDesc::Kind::kStorm:
+      loss.start = std::clamp<long>(desc.loss.start, 0, desc.steps);
+      loss.end = std::clamp<long>(desc.loss.end, loss.start, desc.steps);
+      [[fallthrough]];
+    case LossDesc::Kind::kGilbertElliott:
+      loss.p_gb = std::clamp(desc.loss.p_gb, 0.0, 1.0);
+      loss.p_bg = std::clamp(desc.loss.p_bg, 0.0, 1.0);
+      loss.good_rate =
+          std::clamp(desc.loss.good_rate, 0.0, limits_.max_loss_rate);
+      loss.bad_rate =
+          std::clamp(desc.loss.bad_rate, 0.0, limits_.max_loss_rate);
+      break;
+  }
+  desc.loss = loss;
+
+  for (ScheduleDesc* schedule : {&desc.bandwidth_scale, &desc.rtt_scale}) {
+    std::vector<SchedulePoint>& points = schedule->points;
+    for (SchedulePoint& p : points) {
+      p.at = std::clamp<long>(p.at, 0, desc.steps - 1);
+      p.scale = std::clamp(p.scale, limits_.min_scale, limits_.max_scale);
+    }
+    std::sort(points.begin(), points.end(),
+              [](const SchedulePoint& a, const SchedulePoint& b) {
+                return a.at < b.at;
+              });
+    // Strictly increasing timestamps: keep the last point written at each
+    // step (later mutations win).
+    std::vector<SchedulePoint> unique;
+    unique.reserve(points.size());
+    for (const SchedulePoint& p : points) {
+      if (!unique.empty() && unique.back().at == p.at) {
+        unique.back() = p;
+      } else {
+        unique.push_back(p);
+      }
+    }
+    points = std::move(unique);
+    if (points.size() > limits_.max_schedule_points) {
+      points.resize(limits_.max_schedule_points);
+    }
+  }
+}
+
+std::vector<ScenarioDesc> Mutator::seed_corpus() {
+  std::vector<ScenarioDesc> seeds;
+
+  {  // Plain homogeneous baseline.
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"reno", 1.0, 0.0, -1.0},
+                 SenderDesc{"reno", 40.0, 0.0, -1.0}};
+    seeds.push_back(d);
+  }
+  {  // Deep mid-run outage.
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"aimd(1,0.5)", 1.0, 0.0, -1.0},
+                 SenderDesc{"aimd(1,0.5)", 30.0, 0.0, -1.0}};
+    d.bandwidth_scale.points = {SchedulePoint{150, 1e-3},
+                                SchedulePoint{200, 1.0}};
+    seeds.push_back(d);
+  }
+  {  // Link flap (square wave).
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"cubic(0.4,0.8)", 1.0, 0.0, -1.0},
+                 SenderDesc{"reno", 20.0, 0.0, -1.0}};
+    for (long i = 0; i < 8; ++i) {
+      d.bandwidth_scale.points.push_back(
+          SchedulePoint{100 + i * 25, i % 2 == 0 ? 0.05 : 1.0});
+    }
+    seeds.push_back(d);
+  }
+  {  // Loss storm over a protocol mix.
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"mimd(1.01,0.875)", 1.0, 0.0, -1.0},
+                 SenderDesc{"aimd(1,0.5)", 20.0, 0.0, -1.0}};
+    d.loss.kind = LossDesc::Kind::kStorm;
+    d.loss.start = 120;
+    d.loss.end = 240;
+    d.loss.p_gb = 0.2;
+    d.loss.p_bg = 0.3;
+    d.loss.good_rate = 0.0;
+    d.loss.bad_rate = 0.3;
+    seeds.push_back(d);
+  }
+  {  // Persistent RTT inflation step.
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"vegas(2,4)", 1.0, 0.0, -1.0},
+                 SenderDesc{"reno", 10.0, 0.0, -1.0}};
+    d.rtt_scale.points = {SchedulePoint{200, 3.0}};
+    seeds.push_back(d);
+  }
+  {  // Flow churn: staggered joins and leaves over a standing flow.
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"reno", 1.0, 0.0, -1.0},
+                 SenderDesc{"cubic(0.4,0.8)", 1.0, 80.0, 280.0},
+                 SenderDesc{"aimd(1,0.5)", 1.0, 160.0, 360.0},
+                 SenderDesc{"mimd(1.01,0.875)", 1.0, 240.0, -1.0}};
+    seeds.push_back(d);
+  }
+  {  // Constant random loss (the Metric VI shape) on a lone sender.
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"robust_aimd(1,0.8,0.01)", 1.0, 0.0, -1.0}};
+    d.loss.kind = LossDesc::Kind::kConstant;
+    d.loss.rate = 0.05;
+    seeds.push_back(d);
+  }
+  {  // Bursty wireless-style loss under a BBR-like/PCC mix.
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"bbr", 1.0, 0.0, -1.0},
+                 SenderDesc{"pcc", 10.0, 0.0, -1.0}};
+    d.loss.kind = LossDesc::Kind::kBernoulli;
+    d.loss.prob = 0.1;
+    d.loss.rate = 0.3;
+    seeds.push_back(d);
+  }
+
+  Mutator mutator;
+  for (ScenarioDesc& d : seeds) mutator.sanitize(d);
+  return seeds;
+}
+
+const std::vector<std::string>& Mutator::protocol_dictionary() {
+  static const std::vector<std::string> dictionary{
+      "reno",
+      "aimd(1,0.5)",
+      "aimd(10,0.9)",
+      "aimd(0.2,0.1)",
+      "mimd(1.01,0.875)",
+      "mimd(1.25,0.5)",
+      "bin(1,1,1,0.5)",
+      "bin(1,1,0.5,0.5)",
+      "cubic(0.4,0.8)",
+      "cubic(4,0.9)",
+      "robust_aimd(1,0.8,0.01)",
+      "vegas(2,4)",
+      "pcc",
+      "bbr",
+      "cautious",
+      "highspeed",
+      "westwood",
+      "illinois",
+      "veno",
+      "scalable",
+      "cubic-linux",
+  };
+  return dictionary;
+}
+
+const std::vector<double>& Mutator::scale_dictionary() {
+  static const std::vector<double> dictionary{
+      1e-3, 0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 1.5, 2.0, 4.0, 8.0};
+  return dictionary;
+}
+
+const std::vector<double>& Mutator::loss_rate_dictionary() {
+  static const std::vector<double> dictionary{0.001, 0.01, 0.05,
+                                              0.1,   0.3,  0.5};
+  return dictionary;
+}
+
+}  // namespace axiomcc::fuzz

@@ -1,0 +1,88 @@
+// mutator.h — seedable, structure-aware mutation over every scenario axis.
+//
+// The mutator is where the fuzzer's search moves live. Each call applies a
+// small number of randomly chosen structural edits to a ScenarioDesc — link
+// and horizon perturbations, sender add/remove/retune, protocol swaps from
+// a dictionary covering every registered family, loss-model switches, and
+// schedule edits (add/remove/perturb breakpoints, install a canonical
+// outage/flap/sawtooth shape, splice two scenarios' schedules) — then
+// clamps the result into the limits box so every mutant compiles and runs
+// in bounded time on the packet backend. All randomness draws from the
+// caller's Rng, so a fuzz round is a pure function of (corpus, seed).
+//
+// The dictionaries carry known-nasty values drawn from the stress gauntlet:
+// outage residuals, flap scales, storm loss rates, aggressive protocol
+// parameterizations — the values hand-written scenarios have already shown
+// to be interesting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fuzz/scenario_text.h"
+#include "util/rng.h"
+
+namespace axiomcc::fuzz {
+
+/// The box every mutant is clamped into. Bounds are chosen so the packet
+/// backend's event count stays small enough for thousands of execs per
+/// minute (bandwidth × steps bounds the packets simulated per run).
+struct MutatorLimits {
+  double min_mbps = 0.5;
+  double max_mbps = 100.0;
+  double min_rtt_ms = 2.0;
+  double max_rtt_ms = 400.0;
+  double max_buffer_mss = 500.0;
+  long min_steps = 80;
+  long max_steps = 480;
+  std::size_t max_senders = 5;
+  std::size_t max_schedule_points = 10;
+  double min_scale = 1e-3;   ///< deepest outage residual.
+  double max_scale = 8.0;
+  double max_initial_window_mss = 300.0;
+  double max_loss_rate = 0.6;
+};
+
+class Mutator {
+ public:
+  explicit Mutator(const MutatorLimits& limits = {}) : limits_(limits) {}
+
+  [[nodiscard]] const MutatorLimits& limits() const { return limits_; }
+
+  /// Applies 1–3 random structural edits to `base` and returns the
+  /// sanitized mutant. Deterministic in (base, rng state).
+  [[nodiscard]] ScenarioDesc mutate(const ScenarioDesc& base, Rng& rng) const;
+
+  /// Crossover: a new scenario taking each axis (link, senders, loss,
+  /// each schedule) from `a` or `b` at random, with schedules optionally
+  /// spliced at a cut step. Sanitized like mutate.
+  [[nodiscard]] ScenarioDesc splice(const ScenarioDesc& a,
+                                    const ScenarioDesc& b, Rng& rng) const;
+
+  /// Clamps every field of `desc` into the limits box, sorts and dedups
+  /// schedule breakpoints, and truncates sender/breakpoint counts. After
+  /// sanitize, validate_scenario and compile_scenario always succeed
+  /// (protocol specs are only ever drawn from the dictionary or the input).
+  void sanitize(ScenarioDesc& desc) const;
+
+  /// Hand-written starting corpus: the gauntlet's scenario shapes (outage,
+  /// flap, sawtooth, loss storm, RTT step, churn, random-loss) expressed as
+  /// ScenarioDescs, plus a plain baseline.
+  [[nodiscard]] static std::vector<ScenarioDesc> seed_corpus();
+
+  /// Protocol spec strings covering every registered family, including
+  /// aggressive parameterizations.
+  [[nodiscard]] static const std::vector<std::string>& protocol_dictionary();
+
+  /// Known-nasty schedule scale factors (outage residuals, flap lows,
+  /// surge highs).
+  [[nodiscard]] static const std::vector<double>& scale_dictionary();
+
+  /// Known-nasty injected-loss rates.
+  [[nodiscard]] static const std::vector<double>& loss_rate_dictionary();
+
+ private:
+  MutatorLimits limits_;
+};
+
+}  // namespace axiomcc::fuzz

@@ -1,0 +1,35 @@
+// report.h — markdown trend tables over the whole run ledger.
+//
+// The sentinel (sentinel.h) answers "did the newest run regress?"; the
+// report answers "what has this branch been doing?" — one markdown table
+// per (bench, backend) group showing each metric's newest value against the
+// median of its history, with a sparkline of the trajectory. The output is
+// GitHub-flavored markdown, sized for pasting straight into a PR
+// description (`axiomcc-benchdiff --report`).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ledger/ledger.h"
+
+namespace axiomcc::ledger {
+
+struct ReportOptions {
+  /// Newest records per (bench, backend) group feeding the trend columns.
+  std::size_t max_history = 12;
+  /// Restrict to one bench name; empty reports every group.
+  std::string bench_filter;
+};
+
+/// Renders the trend report for `records` (a full ledger, file order =
+/// chronological). `spark` renders a metric's history column when provided
+/// (injected so ledger stays independent of the analysis layer); without it
+/// the Trend column is omitted. Returns a note string when there is nothing
+/// to report (empty ledger or filter matches nothing).
+[[nodiscard]] std::string render_ledger_report(
+    const std::vector<LedgerRecord>& records, const ReportOptions& options = {},
+    const std::function<std::string(const std::vector<double>&)>& spark = {});
+
+}  // namespace axiomcc::ledger

@@ -37,23 +37,37 @@ std::string ArgParser::get_or(const std::string& key,
 double ArgParser::get_double(const std::string& key, double fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
-  std::size_t pos = 0;
-  const double parsed = std::stod(*v, &pos);
-  if (pos != v->size()) {
-    throw std::invalid_argument("malformed number for --" + key + ": " + *v);
+  // stod itself throws bare "stod" messages on empty/garbage/overflow input;
+  // translate everything into one message naming the flag and its value.
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(*v, &pos);
+    if (pos == v->size()) return parsed;
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("value out of range for --" + key + ": '" +
+                                *v + "' (expected a real number)");
+  } catch (const std::invalid_argument&) {
   }
-  return parsed;
+  throw std::invalid_argument("malformed number for --" + key + ": '" + *v +
+                              "' (expected a real number, e.g. --" + key +
+                              "=2.5)");
 }
 
 long ArgParser::get_int(const std::string& key, long fallback) const {
   const auto v = get(key);
   if (!v) return fallback;
-  std::size_t pos = 0;
-  const long parsed = std::stol(*v, &pos);
-  if (pos != v->size()) {
-    throw std::invalid_argument("malformed integer for --" + key + ": " + *v);
+  try {
+    std::size_t pos = 0;
+    const long parsed = std::stol(*v, &pos);
+    if (pos == v->size()) return parsed;
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("value out of range for --" + key + ": '" +
+                                *v + "' (expected an integer)");
+  } catch (const std::invalid_argument&) {
   }
-  return parsed;
+  throw std::invalid_argument("malformed integer for --" + key + ": '" + *v +
+                              "' (expected an integer, e.g. --" + key +
+                              "=4)");
 }
 
 bool ArgParser::has(const std::string& key) const {

@@ -1,0 +1,57 @@
+// Replays every checked-in corpus entry (tests/corpus/*.scn) and checks it
+// still reproduces its triaged `expect` line. A behavior change in either
+// backend, the guarded runner, or the metric estimators surfaces here as a
+// loud mismatch instead of silently shifting the fuzzer's baseline.
+//
+// AXIOMCC_CORPUS_DIR is injected by CMake and points at the source tree's
+// tests/corpus directory.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+namespace axiomcc::fuzz {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  return list_corpus_files(AXIOMCC_CORPUS_DIR);
+}
+
+TEST(FuzzCorpus, CorpusIsNotEmpty) {
+  EXPECT_FALSE(corpus_files().empty())
+      << "no .scn files under " << AXIOMCC_CORPUS_DIR;
+}
+
+TEST(FuzzCorpus, EveryEntryIsTriaged) {
+  for (const std::string& file : corpus_files()) {
+    const ScenarioDesc desc = load_scenario_file(file);
+    EXPECT_FALSE(desc.expect.empty())
+        << file << " has no expect line — triage it before checking it in";
+  }
+}
+
+TEST(FuzzCorpus, EveryEntryRoundTripsThroughText) {
+  for (const std::string& file : corpus_files()) {
+    const ScenarioDesc desc = load_scenario_file(file);
+    // Comments are not preserved, but the parsed content must be.
+    EXPECT_EQ(parse_scenario(serialize_scenario(desc)), desc) << file;
+  }
+}
+
+TEST(FuzzCorpus, EveryEntryReproducesItsExpectedOutcome) {
+  for (const std::string& file : corpus_files()) {
+    const ScenarioDesc desc = load_scenario_file(file);
+    ASSERT_FALSE(desc.expect.empty()) << file;
+    const RunOutcome outcome = run_scenario(desc);
+    EXPECT_TRUE(matches_expect(outcome, desc.expect))
+        << file << ": expected '" << desc.expect.outcome << " "
+        << desc.expect.detail << "', got '"
+        << outcome_kind_name(outcome.kind) << "' (divergence "
+        << outcome.divergence << ")";
+  }
+}
+
+}  // namespace
+}  // namespace axiomcc::fuzz

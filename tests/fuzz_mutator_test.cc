@@ -1,0 +1,111 @@
+// Tests for the scenario mutator: determinism, dictionary validity, and the
+// guarantee that every sanitized mutant validates and compiles.
+#include "fuzz/mutator.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/registry.h"
+#include "fuzz/scenario_text.h"
+#include "util/rng.h"
+
+namespace axiomcc::fuzz {
+namespace {
+
+TEST(FuzzMutator, SeedCorpusValidatesAndCompiles) {
+  const std::vector<ScenarioDesc> seeds = Mutator::seed_corpus();
+  ASSERT_GT(seeds.size(), 3u);
+  for (const ScenarioDesc& seed : seeds) {
+    EXPECT_NO_THROW(validate_scenario(seed));
+    EXPECT_NO_THROW((void)compile_scenario(seed));
+  }
+}
+
+TEST(FuzzMutator, ProtocolDictionaryAllConstructible) {
+  for (const std::string& spec : Mutator::protocol_dictionary()) {
+    EXPECT_NO_THROW((void)cc::make_protocol(spec)) << spec;
+  }
+}
+
+TEST(FuzzMutator, MutationIsDeterministic) {
+  const Mutator mutator;
+  const ScenarioDesc base;
+  Rng rng_a(99);
+  Rng rng_b(99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(mutator.mutate(base, rng_a), mutator.mutate(base, rng_b));
+  }
+}
+
+TEST(FuzzMutator, MutantsAlwaysValidateAndCompile) {
+  const Mutator mutator;
+  Rng rng(7);
+  ScenarioDesc current;
+  // Walk a deep mutation chain so edits compound into weird corners.
+  for (int i = 0; i < 300; ++i) {
+    current = mutator.mutate(current, rng);
+    ASSERT_NO_THROW(validate_scenario(current)) << serialize_scenario(current);
+    ASSERT_NO_THROW((void)compile_scenario(current))
+        << serialize_scenario(current);
+  }
+}
+
+TEST(FuzzMutator, MutantsStayInsideLimits) {
+  MutatorLimits limits;
+  limits.max_steps = 200;
+  limits.max_senders = 3;
+  const Mutator mutator(limits);
+  Rng rng(11);
+  ScenarioDesc current;
+  for (int i = 0; i < 200; ++i) {
+    current = mutator.mutate(current, rng);
+    EXPECT_GE(current.steps, limits.min_steps);
+    EXPECT_LE(current.steps, limits.max_steps);
+    EXPECT_LE(current.senders.size(), limits.max_senders);
+    EXPECT_GE(current.bandwidth_mbps, limits.min_mbps);
+    EXPECT_LE(current.bandwidth_mbps, limits.max_mbps);
+    EXPECT_LE(current.bandwidth_scale.points.size(),
+              limits.max_schedule_points);
+  }
+}
+
+TEST(FuzzMutator, MutantsRoundTripThroughText) {
+  const Mutator mutator;
+  Rng rng(23);
+  ScenarioDesc current;
+  for (int i = 0; i < 100; ++i) {
+    current = mutator.mutate(current, rng);
+    const std::string text = serialize_scenario(current);
+    EXPECT_EQ(parse_scenario(text), current) << text;
+  }
+}
+
+TEST(FuzzMutator, SpliceIsDeterministicAndValid) {
+  const Mutator mutator;
+  const std::vector<ScenarioDesc> seeds = Mutator::seed_corpus();
+  Rng rng_a(5);
+  Rng rng_b(5);
+  for (std::size_t i = 0; i + 1 < seeds.size(); ++i) {
+    const ScenarioDesc child_a = mutator.splice(seeds[i], seeds[i + 1], rng_a);
+    const ScenarioDesc child_b = mutator.splice(seeds[i], seeds[i + 1], rng_b);
+    EXPECT_EQ(child_a, child_b);
+    EXPECT_NO_THROW(validate_scenario(child_a));
+    EXPECT_NO_THROW((void)compile_scenario(child_a));
+  }
+}
+
+TEST(FuzzMutator, SanitizeClearsExpectAndSortsSchedules) {
+  const Mutator mutator;
+  ScenarioDesc desc;
+  desc.expect = ExpectDesc{"divergence", ""};
+  desc.bandwidth_scale.points = {{200, 0.5}, {100, 2.0}, {200, 3.0}};
+  mutator.sanitize(desc);
+  EXPECT_TRUE(desc.expect.empty());
+  ASSERT_EQ(desc.bandwidth_scale.points.size(), 2u);
+  EXPECT_EQ(desc.bandwidth_scale.points[0].at, 100);
+  EXPECT_EQ(desc.bandwidth_scale.points[1].at, 200);
+  // Of the duplicate at=200 entries, the later one wins.
+  EXPECT_DOUBLE_EQ(desc.bandwidth_scale.points[1].scale, 3.0);
+}
+
+}  // namespace
+}  // namespace axiomcc::fuzz

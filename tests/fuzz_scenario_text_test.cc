@@ -1,0 +1,188 @@
+// Tests for the fuzz scenario text format: byte-identical round-trips,
+// schedule edge cases, parser rejection paths, and compilation down to a
+// runnable ScenarioSpec.
+#include "fuzz/scenario_text.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace axiomcc::fuzz {
+namespace {
+
+ScenarioDesc complex_desc() {
+  ScenarioDesc desc;
+  desc.bandwidth_mbps = 72.5;
+  desc.rtt_ms = 66.0;
+  desc.buffer_mss = 48.0;
+  desc.steps = 240;
+  desc.min_window_mss = 2.0;
+  desc.max_window_mss = 5000.0;
+  desc.tail_fraction = 0.25;
+  desc.seed = 1234567;
+  desc.senders = {
+      SenderDesc{"cubic(0.4,0.8)", 10.0, 0.0, -1.0},
+      SenderDesc{"aimd(1, 0.5)", 1.0, 40.0, 200.0},
+  };
+  desc.loss.kind = LossDesc::Kind::kGilbertElliott;
+  desc.loss.p_gb = 0.01;
+  desc.loss.p_bg = 0.3;
+  desc.loss.good_rate = 0.0;
+  desc.loss.bad_rate = 0.1;
+  desc.bandwidth_scale.points = {{100, 0.001}, {150, 1.0}};
+  desc.rtt_scale.points = {{60, 3.0}};
+  desc.expect = ExpectDesc{"divergence", ""};
+  return desc;
+}
+
+TEST(FuzzScenarioText, DefaultRoundTripsByteIdentical) {
+  const ScenarioDesc desc;
+  const std::string text = serialize_scenario(desc);
+  const ScenarioDesc parsed = parse_scenario(text);
+  EXPECT_EQ(parsed, desc);
+  EXPECT_EQ(serialize_scenario(parsed), text);
+}
+
+TEST(FuzzScenarioText, ComplexRoundTripsByteIdentical) {
+  const ScenarioDesc desc = complex_desc();
+  const std::string text = serialize_scenario(desc);
+  const ScenarioDesc parsed = parse_scenario(text);
+  EXPECT_EQ(parsed, desc);
+  EXPECT_EQ(serialize_scenario(parsed), text);
+}
+
+TEST(FuzzScenarioText, AllLossKindsRoundTrip) {
+  for (const LossDesc::Kind kind :
+       {LossDesc::Kind::kNone, LossDesc::Kind::kConstant,
+        LossDesc::Kind::kBernoulli, LossDesc::Kind::kGilbertElliott,
+        LossDesc::Kind::kStorm}) {
+    ScenarioDesc desc;
+    desc.loss.kind = kind;
+    desc.loss.rate = 0.05;
+    desc.loss.prob = 0.2;
+    desc.loss.p_gb = 0.01;
+    desc.loss.p_bg = 0.25;
+    desc.loss.good_rate = 0.001;
+    desc.loss.bad_rate = 0.3;
+    desc.loss.start = 100;
+    desc.loss.end = 180;
+    const std::string text = serialize_scenario(desc);
+    const ScenarioDesc parsed = parse_scenario(text);
+    EXPECT_EQ(parsed.loss.kind, kind);
+    EXPECT_EQ(serialize_scenario(parsed), text) << text;
+  }
+}
+
+TEST(FuzzScenarioText, FormatDoubleIsShortestExact) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e-3, 42.0, 1e9, 0.0, 2.5e-17}) {
+    const std::string s = format_double(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+  EXPECT_EQ(format_double(42.0), "42");
+  EXPECT_EQ(format_double(0.1), "0.1");
+}
+
+TEST(FuzzScenarioText, EmptyScheduleIsIdentity) {
+  const ScheduleDesc schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_DOUBLE_EQ(schedule.eval(0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.eval(1000), 1.0);
+}
+
+TEST(FuzzScenarioText, SingleStepScheduleHoldsFromBreakpoint) {
+  ScheduleDesc schedule;
+  schedule.points = {{100, 0.5}};
+  EXPECT_DOUBLE_EQ(schedule.eval(0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.eval(99), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.eval(100), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.eval(5000), 0.5);
+}
+
+TEST(FuzzScenarioText, LeadingCommentsBeforeHeaderAccepted) {
+  const std::string text =
+      "# triage note\n\n# another\n" + serialize_scenario(ScenarioDesc{});
+  EXPECT_EQ(parse_scenario(text), ScenarioDesc{});
+}
+
+TEST(FuzzScenarioText, MissingHeaderRejected) {
+  EXPECT_THROW(parse_scenario("link 30 42 100\n"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario(""), std::invalid_argument);
+}
+
+TEST(FuzzScenarioText, OutOfOrderScheduleTimestampsRejected) {
+  const std::string base =
+      "axiomcc-scenario v1\nsender 1 0 -1 reno\n";
+  EXPECT_THROW(parse_scenario(base + "bw 100 0.5 50 2\n"),
+               std::invalid_argument);
+  // Duplicate timestamps are out-of-order too (strictly increasing).
+  EXPECT_THROW(parse_scenario(base + "rtt 100 0.5 100 2\n"),
+               std::invalid_argument);
+}
+
+TEST(FuzzScenarioText, DuplicateScalarLineRejected) {
+  EXPECT_THROW(
+      parse_scenario("axiomcc-scenario v1\nsteps 100\nsteps 200\n"
+                     "sender 1 0 -1 reno\n"),
+      std::invalid_argument);
+}
+
+TEST(FuzzScenarioText, MalformedNumberRejected) {
+  EXPECT_THROW(
+      parse_scenario("axiomcc-scenario v1\nsteps banana\nsender 1 0 -1 reno\n"),
+      std::invalid_argument);
+  EXPECT_THROW(
+      parse_scenario("axiomcc-scenario v1\nlink 30 nan 100\n"
+                     "sender 1 0 -1 reno\n"),
+      std::invalid_argument);
+}
+
+TEST(FuzzScenarioText, UnknownDirectiveRejected) {
+  EXPECT_THROW(
+      parse_scenario("axiomcc-scenario v1\nfrobnicate 3\nsender 1 0 -1 reno\n"),
+      std::invalid_argument);
+}
+
+TEST(FuzzScenarioText, ScenarioWithoutSendersRejected) {
+  EXPECT_THROW(parse_scenario("axiomcc-scenario v1\nsteps 100\n"),
+               std::invalid_argument);
+}
+
+TEST(FuzzScenarioText, DomainViolationsRejected) {
+  ScenarioDesc desc;
+  desc.bandwidth_mbps = -1.0;
+  EXPECT_THROW(validate_scenario(desc), std::invalid_argument);
+  desc = ScenarioDesc{};
+  desc.tail_fraction = 0.0;
+  EXPECT_THROW(validate_scenario(desc), std::invalid_argument);
+  desc = ScenarioDesc{};
+  desc.loss.kind = LossDesc::Kind::kConstant;
+  desc.loss.rate = 1.0;
+  EXPECT_THROW(validate_scenario(desc), std::invalid_argument);
+  desc = ScenarioDesc{};
+  desc.bandwidth_scale.points = {{10, -2.0}};
+  EXPECT_THROW(validate_scenario(desc), std::invalid_argument);
+}
+
+TEST(FuzzScenarioText, CompilesToRunnableSpec) {
+  ScenarioDesc desc = complex_desc();
+  const CompiledScenario compiled = compile_scenario(desc);
+  EXPECT_EQ(compiled.spec.steps, desc.steps);
+  EXPECT_EQ(compiled.spec.senders.size(), desc.senders.size());
+  EXPECT_EQ(compiled.prototypes.size(), desc.senders.size());
+  ASSERT_TRUE(compiled.spec.bandwidth_scale);
+  EXPECT_DOUBLE_EQ(compiled.spec.bandwidth_scale(120), 0.001);
+  EXPECT_DOUBLE_EQ(compiled.spec.bandwidth_scale(0), 1.0);
+  ASSERT_TRUE(compiled.spec.rtt_scale);
+  EXPECT_DOUBLE_EQ(compiled.spec.rtt_scale(60), 3.0);
+  ASSERT_TRUE(compiled.spec.loss);
+}
+
+TEST(FuzzScenarioText, CompileRejectsBadProtocolSpec) {
+  ScenarioDesc desc;
+  desc.senders = {SenderDesc{"no-such-protocol", 1.0, 0.0, -1.0}};
+  EXPECT_THROW((void)compile_scenario(desc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace axiomcc::fuzz

@@ -1,0 +1,111 @@
+// Tests for the markdown ledger trend report.
+#include "ledger/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace axiomcc::ledger {
+namespace {
+
+LedgerRecord make_record(const std::string& bench, const std::string& ts,
+                         double phase_seconds, double cells) {
+  LedgerRecord record;
+  record.bench = bench;
+  record.backend = "fluid";
+  record.timestamp_utc = ts;
+  record.git_sha = "abcdef0123456789";
+  record.build_flavor = "Release";
+  record.jobs = 4;
+  record.phases = {{"run", phase_seconds}};
+  record.counters = {{"cells", cells}, {"cells_per_sec", cells / phase_seconds}};
+  record.deterministic_counters = {{"sim.steps", 1000}};
+  return record;
+}
+
+TEST(LedgerReport, EmptyLedgerSaysSo) {
+  const std::string out = render_ledger_report({});
+  EXPECT_NE(out.find("Empty ledger"), std::string::npos) << out;
+}
+
+TEST(LedgerReport, FilterMissReportsBenchName) {
+  ReportOptions options;
+  options.bench_filter = "nope";
+  const std::string out = render_ledger_report(
+      {make_record("fuzz", "2026-08-08T00:00:00Z", 1.0, 10)}, options);
+  EXPECT_NE(out.find("No records for bench `nope`"), std::string::npos) << out;
+}
+
+TEST(LedgerReport, RendersGroupTableWithClassesAndDelta) {
+  const std::vector<LedgerRecord> records = {
+      make_record("fuzz", "2026-08-08T00:00:00Z", 1.0, 100),
+      make_record("fuzz", "2026-08-08T00:01:00Z", 1.0, 100),
+      make_record("fuzz", "2026-08-08T00:02:00Z", 2.0, 110),
+  };
+  const std::string out = render_ledger_report(records);
+  EXPECT_NE(out.find("## `fuzz` — backend `fluid`"), std::string::npos) << out;
+  // Phases are timing-class, counters exact unless rate-named,
+  // deterministic counters their own class.
+  EXPECT_NE(out.find("| `run (s)` | timing |"), std::string::npos) << out;
+  EXPECT_NE(out.find("| `cells` | exact | 110 | 100 | +10.0% |"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("| `cells_per_sec` | timing |"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("| `sim.steps` | det | 1000 | 1000 | = |"),
+            std::string::npos)
+      << out;
+  // Markdown table header present (PR-pasteable output).
+  EXPECT_NE(out.find("| Metric | Class | Newest | Median |"),
+            std::string::npos)
+      << out;
+}
+
+TEST(LedgerReport, GroupsByBenchAndBackend) {
+  LedgerRecord packet = make_record("fuzz", "2026-08-08T00:00:00Z", 1.0, 5);
+  packet.backend = "packet";
+  const std::string out = render_ledger_report(
+      {make_record("fuzz", "2026-08-08T00:00:00Z", 1.0, 5), packet,
+       make_record("gauntlet", "2026-08-08T00:00:10Z", 3.0, 50)});
+  EXPECT_NE(out.find("## `fuzz` — backend `fluid`"), std::string::npos) << out;
+  EXPECT_NE(out.find("## `fuzz` — backend `packet`"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("## `gauntlet`"), std::string::npos) << out;
+  EXPECT_NE(out.find("3 bench group(s)"), std::string::npos) << out;
+}
+
+TEST(LedgerReport, SparkColumnOnlyWhenProvided) {
+  const std::vector<LedgerRecord> records = {
+      make_record("fuzz", "2026-08-08T00:00:00Z", 1.0, 100),
+      make_record("fuzz", "2026-08-08T00:01:00Z", 2.0, 110),
+  };
+  const std::string without = render_ledger_report(records);
+  EXPECT_EQ(without.find("Trend"), std::string::npos) << without;
+  const std::string with = render_ledger_report(
+      records, {},
+      [](const std::vector<double>& values) {
+        return std::string(values.size(), '*');
+      });
+  EXPECT_NE(with.find("Trend"), std::string::npos) << with;
+  EXPECT_NE(with.find("**"), std::string::npos) << with;
+}
+
+TEST(LedgerReport, HistoryWindowIsBounded) {
+  std::vector<LedgerRecord> records;
+  for (int i = 0; i < 20; ++i) {
+    records.push_back(make_record(
+        "fuzz", "2026-08-08T00:00:" + std::to_string(10 + i) + "Z", 1.0,
+        100.0 + i));
+  }
+  ReportOptions options;
+  options.max_history = 4;
+  const std::string out = render_ledger_report(records, options);
+  EXPECT_NE(out.find("showing last 4"), std::string::npos) << out;
+  // Median over the 3 prior of the last 4 runs: 116, 117, 118 -> 117.
+  EXPECT_NE(out.find("| `cells` | exact | 119 | 117 |"), std::string::npos)
+      << out;
+}
+
+}  // namespace
+}  // namespace axiomcc::ledger

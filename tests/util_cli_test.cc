@@ -44,6 +44,50 @@ TEST(ArgParser, MalformedNumbersThrow) {
   EXPECT_THROW((void)args.get_int("count", 0), std::invalid_argument);
 }
 
+TEST(ArgParser, MalformedNumberMessagesNameFlagAndValue) {
+  // Empty and fully non-numeric values used to escape as bare stod/stol
+  // exceptions ("stod"); every numeric failure must name the flag.
+  const auto args = parse({"--rate=", "--count=banana"});
+  try {
+    (void)args.get_double("rate", 0.0);
+    FAIL() << "empty --rate should throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--rate"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("real number"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)args.get_int("count", 0);
+    FAIL() << "--count=banana should throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--count"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("integer"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ArgParser, OutOfRangeNumbersThrowNamedErrors) {
+  const auto args = parse({"--rate=1e999", "--count=99999999999999999999"});
+  try {
+    (void)args.get_double("rate", 0.0);
+    FAIL() << "overflowing --rate should throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("--rate"), std::string::npos)
+        << e.what();
+  }
+  try {
+    (void)args.get_int("count", 0);
+    FAIL() << "overflowing --count should throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(ArgParser, PositionalArguments) {
   const auto args = parse({"alpha", "--k=v", "beta"});
   ASSERT_EQ(args.positional().size(), 2u);
@@ -126,8 +170,16 @@ TEST(ArgParser, LedgerEnvVariants) {
 
 TEST(ArgParser, UnknownBackendThrows) {
   unsetenv("AXIOMCC_BACKEND");
-  EXPECT_THROW((void)parse({"--backend=ns3"}).get_backend(),
-               std::invalid_argument);
+  try {
+    (void)parse({"--backend=ns3"}).get_backend();
+    FAIL() << "--backend=ns3 should throw";
+  } catch (const std::invalid_argument& e) {
+    // The message must list the accepted values.
+    EXPECT_NE(std::string(e.what()).find("fluid|packet"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("ns3"), std::string::npos)
+        << e.what();
+  }
   ASSERT_EQ(setenv("AXIOMCC_BACKEND", "quantum", 1), 0);
   EXPECT_THROW((void)parse({}).get_backend(), std::invalid_argument);
   unsetenv("AXIOMCC_BACKEND");

@@ -12,12 +12,18 @@
 // Usage:
 //   axiomcc-benchdiff [--ledger[=path]] [--bench=NAME] [--window=8]
 //                     [--threshold=0.20] [--mad-k=3] [--no-spark]
+//   axiomcc-benchdiff --report [--ledger[=path]] [--bench=NAME] [--window=12]
 //   axiomcc-benchdiff [options] BASELINE CURRENT
 //
 // Ledger mode (no positionals): loads the ledger (default
 // <artifacts>/ledger.jsonl; --out / AXIOMCC_ARTIFACTS move <artifacts>),
 // groups records by (bench, backend), and diffs each group's newest record
 // against the window of prior runs. --bench restricts to one bench.
+//
+// Report mode (--report): instead of diffing, renders markdown trend
+// tables across the whole ledger — one table per (bench, backend) group,
+// newest value vs the rolling median plus a sparkline — ready to paste
+// into a PR description. Always exits 0 (informational).
 //
 // Two-file mode: BASELINE and CURRENT are each either a BENCH_<name>.json
 // artifact or a JSONL ledger (its last record — --bench filtered — is
@@ -40,6 +46,7 @@
 
 #include "analysis/ascii_plot.h"
 #include "ledger/ledger.h"
+#include "ledger/report.h"
 #include "ledger/sentinel.h"
 #include "util/cli.h"
 #include "util/json.h"
@@ -108,6 +115,31 @@ int run(int argc, char** argv) {
   const auto& positional = args.positional();
   bool regression = false;
   bool compared_anything = false;
+
+  if (args.has("report")) {
+    if (!positional.empty()) {
+      std::fprintf(stderr,
+                   "usage: axiomcc-benchdiff --report [--ledger[=path]] "
+                   "[--bench=NAME] [--window=12]\n");
+      return 2;
+    }
+    const std::string path =
+        args.ledger_path().value_or(args.artifacts_dir() + "/ledger.jsonl");
+    const ledger::LedgerFile file = ledger::read_ledger(path);
+    if (file.skipped_lines > 0) {
+      std::fprintf(stderr, "[benchdiff] %s: skipped %zu unparseable line(s)\n",
+                   path.c_str(), file.skipped_lines);
+    }
+    ledger::ReportOptions report_options;
+    report_options.bench_filter = bench_filter;
+    report_options.max_history = static_cast<std::size_t>(
+        std::max(1L, args.get_int("window", 12)));
+    std::fputs(
+        ledger::render_ledger_report(file.records, report_options, spark)
+            .c_str(),
+        stdout);
+    return 0;
+  }
 
   if (positional.size() == 2) {
     // Two-file mode: last (filtered) record of each input.
