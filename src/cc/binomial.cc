@@ -1,5 +1,6 @@
 #include "cc/binomial.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -23,6 +24,19 @@ double Binomial::next_window(const Observation& obs) {
     return x - b_ * std::pow(x, l_);
   }
   return x + a_ / std::pow(x, k_);
+}
+
+void Binomial::next_window_batch(std::span<const double> window,
+                                 std::span<const double> loss,
+                                 std::span<const double> /*rtt*/,
+                                 std::span<double> /*state*/,
+                                 std::span<double> out) const {
+  const std::size_t n = window.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = std::max(window[i], 1e-9);
+    out[i] = loss[i] > 0.0 ? x - b_ * std::pow(x, l_)
+                           : x + a_ / std::pow(x, k_);
+  }
 }
 
 std::string Binomial::name() const {

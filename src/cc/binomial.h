@@ -8,13 +8,15 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
+#include "cc/batch.h"
 #include "cc/protocol.h"
 
 namespace axiomcc::cc {
 
-class Binomial final : public Protocol {
+class Binomial final : public Protocol, public BatchProtocol {
  public:
   /// Requires a > 0, 0 < b <= 1, k >= 0, l in [0, 1].
   Binomial(double a, double b, double k, double l);
@@ -24,6 +26,13 @@ class Binomial final : public Protocol {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
   void reset() override {}
+  [[nodiscard]] const BatchProtocol* batch_kernel() const override {
+    return this;
+  }
+  void next_window_batch(std::span<const double> window,
+                         std::span<const double> loss,
+                         std::span<const double> rtt, std::span<double> state,
+                         std::span<double> out) const override;
 
   [[nodiscard]] double a() const { return a_; }
   [[nodiscard]] double b() const { return b_; }

@@ -44,6 +44,22 @@ double HighSpeed::next_window(const Observation& obs) {
   return obs.window + additive_increase(obs.window);
 }
 
+void HighSpeed::next_window_batch(std::span<const double> window,
+                                  std::span<const double> loss,
+                                  std::span<const double> /*rtt*/,
+                                  std::span<double> /*state*/,
+                                  std::span<double> out) const {
+  // The response-function helpers carry log/pow calls, so this kernel wins
+  // on dispatch and locality rather than SIMD; it reuses the scalar helpers
+  // to keep the arithmetic bit-identical.
+  const std::size_t n = window.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = loss[i] > 0.0
+                 ? window[i] * (1.0 - decrease_fraction(window[i]))
+                 : window[i] + additive_increase(window[i]);
+  }
+}
+
 std::string HighSpeed::name() const {
   std::ostringstream os;
   os << "HighSpeed(" << low_window_ << "," << high_window_ << ","

@@ -13,13 +13,15 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
+#include "cc/batch.h"
 #include "cc/protocol.h"
 
 namespace axiomcc::cc {
 
-class HighSpeed final : public Protocol {
+class HighSpeed final : public Protocol, public BatchProtocol {
  public:
   /// RFC 3649 defaults: low_window 38, high_window 83000, high_decrease 0.1.
   HighSpeed(double low_window = 38.0, double high_window = 83000.0,
@@ -30,6 +32,13 @@ class HighSpeed final : public Protocol {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
   void reset() override {}
+  [[nodiscard]] const BatchProtocol* batch_kernel() const override {
+    return this;
+  }
+  void next_window_batch(std::span<const double> window,
+                         std::span<const double> loss,
+                         std::span<const double> rtt, std::span<double> state,
+                         std::span<double> out) const override;
 
   /// The decrease FRACTION at window w (the window shrinks to (1−b(w))·w).
   [[nodiscard]] double decrease_fraction(double window) const;

@@ -16,6 +16,17 @@ double Mimd::next_window(const Observation& obs) {
   return obs.window * a_;
 }
 
+void Mimd::next_window_batch(std::span<const double> window,
+                             std::span<const double> loss,
+                             std::span<const double> /*rtt*/,
+                             std::span<double> /*state*/,
+                             std::span<double> out) const {
+  const std::size_t n = window.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = loss[i] > 0.0 ? window[i] * b_ : window[i] * a_;
+  }
+}
+
 std::string Mimd::name() const {
   std::ostringstream os;
   os << "MIMD(" << a_ << "," << b_ << ")";

@@ -6,13 +6,15 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
+#include "cc/batch.h"
 #include "cc/protocol.h"
 
 namespace axiomcc::cc {
 
-class Mimd final : public Protocol {
+class Mimd final : public Protocol, public BatchProtocol {
  public:
   /// Requires a > 1 and 0 < b < 1.
   Mimd(double a, double b);
@@ -22,6 +24,13 @@ class Mimd final : public Protocol {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
   void reset() override {}
+  [[nodiscard]] const BatchProtocol* batch_kernel() const override {
+    return this;
+  }
+  void next_window_batch(std::span<const double> window,
+                         std::span<const double> loss,
+                         std::span<const double> rtt, std::span<double> state,
+                         std::span<double> out) const override;
 
   [[nodiscard]] double increase() const { return a_; }
   [[nodiscard]] double decrease() const { return b_; }

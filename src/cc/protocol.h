@@ -13,6 +13,8 @@
 
 namespace axiomcc::cc {
 
+class BatchProtocol;  // batch.h — SoA batch execution for closed-form families
+
 /// Abstract window-based congestion-control protocol.
 ///
 /// Contract:
@@ -47,6 +49,14 @@ class Protocol {
 
   /// Clears per-connection history so the instance can be reused.
   virtual void reset() = 0;
+
+  /// The protocol's SoA batch kernel, or nullptr when only the scalar path
+  /// exists. A non-null kernel must satisfy the bit-identity contract in
+  /// batch.h; the fluid simulator uses it to advance homogeneous cohorts in
+  /// one pass instead of n virtual calls.
+  [[nodiscard]] virtual const BatchProtocol* batch_kernel() const {
+    return nullptr;
+  }
 };
 
 }  // namespace axiomcc::cc

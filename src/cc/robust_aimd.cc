@@ -20,6 +20,17 @@ double RobustAimd::next_window(const Observation& obs) {
   return obs.window + a_;
 }
 
+void RobustAimd::next_window_batch(std::span<const double> window,
+                                   std::span<const double> loss,
+                                   std::span<const double> /*rtt*/,
+                                   std::span<double> /*state*/,
+                                   std::span<double> out) const {
+  const std::size_t n = window.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = loss[i] >= eps_ ? window[i] * b_ : window[i] + a_;
+  }
+}
+
 std::string RobustAimd::name() const {
   std::ostringstream os;
   os << "Robust-AIMD(" << a_ << "," << b_ << "," << eps_ << ")";

@@ -9,13 +9,15 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
+#include "cc/batch.h"
 #include "cc/protocol.h"
 
 namespace axiomcc::cc {
 
-class RobustAimd final : public Protocol {
+class RobustAimd final : public Protocol, public BatchProtocol {
  public:
   /// Requires a > 0, 0 < b < 1, eps in (0, 1).
   RobustAimd(double a, double b, double eps);
@@ -25,6 +27,13 @@ class RobustAimd final : public Protocol {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
   void reset() override {}
+  [[nodiscard]] const BatchProtocol* batch_kernel() const override {
+    return this;
+  }
+  void next_window_batch(std::span<const double> window,
+                         std::span<const double> loss,
+                         std::span<const double> rtt, std::span<double> state,
+                         std::span<double> out) const override;
 
   [[nodiscard]] double increase() const { return a_; }
   [[nodiscard]] double decrease() const { return b_; }

@@ -32,6 +32,38 @@ double SlowStartWrapper::next_window(const Observation& obs) {
   return inner_->next_window(obs);
 }
 
+const BatchProtocol* SlowStartWrapper::batch_kernel() const {
+  const BatchProtocol* inner = inner_->batch_kernel();
+  return inner != nullptr && inner->state_size() == 0 ? this : nullptr;
+}
+
+void SlowStartWrapper::next_window_batch(std::span<const double> window,
+                                         std::span<const double> loss,
+                                         std::span<const double> rtt,
+                                         std::span<double> state,
+                                         std::span<double> out) const {
+  // The inner kernel is stateless (batch_kernel() guarantees it), so running
+  // it for every sender — including those still in slow start — is pure;
+  // the slow-start pass then overwrites the senders it governs. state[i] is
+  // 1.0 while sender i is in slow start.
+  inner_->batch_kernel()->next_window_batch(window, loss, rtt, {}, out);
+  const std::size_t n = window.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state[i] == 0.0) continue;
+    if (loss[i] > 0.0) {
+      state[i] = 0.0;  // exit on loss; out[i] already holds inner's choice
+      continue;
+    }
+    const double doubled = window[i] * 2.0;
+    if (doubled >= ssthresh_) {
+      state[i] = 0.0;
+      out[i] = std::min(doubled, ssthresh_);
+    } else {
+      out[i] = doubled;
+    }
+  }
+}
+
 bool SlowStartWrapper::loss_based() const { return inner_->loss_based(); }
 
 std::string SlowStartWrapper::name() const {

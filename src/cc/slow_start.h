@@ -12,13 +12,15 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
+#include "cc/batch.h"
 #include "cc/protocol.h"
 
 namespace axiomcc::cc {
 
-class SlowStartWrapper final : public Protocol {
+class SlowStartWrapper final : public Protocol, public BatchProtocol {
  public:
   /// Wraps `inner`. Slow start ends at the first lossy observation or when
   /// the window reaches `ssthresh`.
@@ -29,6 +31,17 @@ class SlowStartWrapper final : public Protocol {
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::unique_ptr<Protocol> clone() const override;
   void reset() override;
+
+  /// Batchable when the wrapped protocol has a stateless kernel: the wrapper
+  /// then carries one double per sender (the in-slow-start flag) and defers
+  /// to the inner kernel once slow start ends.
+  [[nodiscard]] const BatchProtocol* batch_kernel() const override;
+  [[nodiscard]] int state_size() const override { return 1; }
+  void init_state(std::span<double> state) const override { state[0] = 1.0; }
+  void next_window_batch(std::span<const double> window,
+                         std::span<const double> loss,
+                         std::span<const double> rtt, std::span<double> state,
+                         std::span<double> out) const override;
 
   [[nodiscard]] bool in_slow_start() const { return in_slow_start_; }
   [[nodiscard]] const Protocol& inner() const { return *inner_; }

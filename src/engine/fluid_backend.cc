@@ -23,6 +23,10 @@ RunTrace FluidBackend::run(const ScenarioSpec& spec) const {
   options.steps = spec.steps;
   options.min_window_mss = spec.min_window_mss;
   options.max_window_mss = spec.max_window_mss;
+  options.trace_detail = spec.trace_detail;
+  options.tracked_senders = spec.tracked_senders;
+  options.batch = spec.batch;
+  options.jobs = spec.jobs;
 
   fluid::FluidSimulation sim(spec.link, options);
   for (const SenderSlot& slot : spec.senders) {
@@ -34,7 +38,8 @@ RunTrace FluidBackend::run(const ScenarioSpec& spec) const {
     // round to the nearest whole fluid step.
     fs.start_step = std::lround(slot.start_step);
     fs.stop_step = slot.stop_step < 0.0 ? -1 : std::lround(slot.stop_step);
-    sim.add_sender(std::move(fs));
+    // A slot is one cohort: count senders share the single cloned prototype.
+    sim.add_senders(std::move(fs), slot.count);
   }
   if (spec.loss) sim.set_loss_injector(spec.loss(spec.seed));
   if (spec.bandwidth_scale) sim.set_bandwidth_schedule(spec.bandwidth_scale);

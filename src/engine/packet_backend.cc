@@ -100,7 +100,10 @@ RunTrace PacketBackend::run(const ScenarioSpec& spec) const {
     const double start_s = slot.start_step * step_seconds;
     const double stop_s =
         slot.stop_step < 0.0 ? -1.0 : slot.stop_step * step_seconds;
-    exp.add_flow(slot.prototype->clone(), start_s, initial, stop_s);
+    // Cohort slots expand to count independent flows of the same protocol.
+    for (long j = 0; j < slot.count; ++j) {
+      exp.add_flow(slot.prototype->clone(), start_s, initial, stop_s);
+    }
   }
 
   if (spec.loss) {
@@ -112,7 +115,7 @@ RunTrace PacketBackend::run(const ScenarioSpec& spec) const {
     const std::uint64_t filter_seed = splitmix64_next(s);
     exp.set_forward_filter(std::make_unique<InjectedRateLoss>(
         spec.loss(spec.seed), exp.simulator(), step_seconds,
-        static_cast<int>(spec.senders.size()), filter_seed));
+        static_cast<int>(spec.total_senders()), filter_seed));
   }
 
   if (spec.bandwidth_scale || spec.rtt_scale) {
@@ -148,7 +151,17 @@ RunTrace PacketBackend::run(const ScenarioSpec& spec) const {
   exp.run();
 
   TELEMETRY_COUNT("engine.packet_runs", 1);
-  return RunTrace{exp.trace(), BackendKind::kPacket, exp.flow_reports(),
+  // The dumbbell experiment records full per-flow series internally; an
+  // aggregate-detail request is honoured by reducing post-hoc, so both
+  // backends hand the caller the same trace shape.
+  fluid::Trace trace =
+      spec.trace_detail == fluid::TraceDetail::kAggregate
+          ? fluid::Trace::aggregated(
+                exp.trace(),
+                fluid::default_tracked_senders(exp.trace().num_senders(),
+                                               spec.tracked_senders))
+          : exp.trace();
+  return RunTrace{std::move(trace), BackendKind::kPacket, exp.flow_reports(),
                   exp.bottleneck_utilization()};
 }
 

@@ -56,6 +56,11 @@ struct SenderSlot {
   double initial_window_mss = 1.0;
   double start_step = 0.0;
   double stop_step = -1.0;
+  /// Senders this slot expands to (a homogeneous cohort sharing the
+  /// prototype). The fluid backend keeps the cohort intact — one prototype,
+  /// O(1) allocations on the batch path; the packet backend adds `count`
+  /// flows.
+  long count = 1;
 };
 
 /// Multiplicative perturbation schedule: scale factor as a function of the
@@ -97,6 +102,15 @@ struct ScenarioSpec {
   /// fluid model computes tails in the estimators instead, so it ignores
   /// this).
   double tail_fraction = 0.5;
+  /// Trace retention: kAggregate keeps per-step population statistics plus
+  /// `tracked_senders` full series instead of every sender's series (the
+  /// packet backend reduces its full trace post-hoc).
+  fluid::TraceDetail trace_detail = fluid::TraceDetail::kFull;
+  int tracked_senders = 8;
+  /// Fluid backend only: opt into the SoA cohort execution path
+  /// (bit-identical to the scalar path) and its shard count (0 = hardware).
+  bool batch = false;
+  long jobs = 1;
 
   /// Convenience: appends a sender slot.
   void add_sender(const cc::Protocol& prototype, double initial_window_mss,
@@ -105,6 +119,24 @@ struct ScenarioSpec {
     AXIOMCC_EXPECTS(start_step >= 0.0);
     senders.push_back(
         SenderSlot{&prototype, initial_window_mss, start_step, stop_step});
+  }
+
+  /// Convenience: appends a homogeneous cohort of `count` senders.
+  void add_senders(const cc::Protocol& prototype, long count,
+                   double initial_window_mss, double start_step = 0.0,
+                   double stop_step = -1.0) {
+    AXIOMCC_EXPECTS(count >= 1);
+    AXIOMCC_EXPECTS(initial_window_mss >= 0.0);
+    AXIOMCC_EXPECTS(start_step >= 0.0);
+    senders.push_back(SenderSlot{&prototype, initial_window_mss, start_step,
+                                 stop_step, count});
+  }
+
+  /// Total senders across all slots (slots expand by their cohort count).
+  [[nodiscard]] long total_senders() const {
+    long total = 0;
+    for (const SenderSlot& slot : senders) total += slot.count;
+    return total;
   }
 };
 

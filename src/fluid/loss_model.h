@@ -21,6 +21,12 @@ class LossInjector {
   /// The injected loss rate observed by `sender` during step `step`.
   [[nodiscard]] virtual double sample(long step, int sender) = 0;
   [[nodiscard]] virtual std::unique_ptr<LossInjector> clone() const = 0;
+  /// True when sample() is a pure function of the step — every sender sees
+  /// the same value and no internal RNG or channel state advances per call.
+  /// The batch simulator uses this to broadcast one sample per cohort (and
+  /// to keep homogeneous cohorts provably uniform); stateful injectors keep
+  /// the scalar path's exact ascending call sequence.
+  [[nodiscard]] virtual bool stateless() const { return false; }
 };
 
 /// No injected loss (the default).
@@ -30,6 +36,7 @@ class NoLoss final : public LossInjector {
   [[nodiscard]] std::unique_ptr<LossInjector> clone() const override {
     return std::make_unique<NoLoss>();
   }
+  [[nodiscard]] bool stateless() const override { return true; }
 };
 
 /// Constant injected loss rate — the paper's Metric VI setting.
@@ -42,6 +49,7 @@ class ConstantLoss final : public LossInjector {
   [[nodiscard]] std::unique_ptr<LossInjector> clone() const override {
     return std::make_unique<ConstantLoss>(rate_);
   }
+  [[nodiscard]] bool stateless() const override { return true; }
 
  private:
   double rate_;

@@ -4,6 +4,18 @@
 // step the link computes the RTT and the synchronized droptail loss rate from
 // the aggregate window; every sender observes them (plus any injected
 // non-congestion loss) and picks its next window via its Protocol.
+//
+// Two execution paths produce bit-identical traces:
+//  - the scalar path (default): one virtual Protocol::next_window call per
+//    sender per step, exactly the original tick loop;
+//  - the batch path (SimOptions::batch): senders grouped into homogeneous
+//    cohorts advance through SoA kernels (cc::BatchProtocol) in one pass per
+//    cohort, with the per-sender elementwise loops sharded across
+//    util/task_pool in fixed-size chunks. Families without a kernel fall
+//    back to per-sender virtual dispatch inside their cohort. Determinism:
+//    the aggregate-window fold and stateful loss sampling stay serial in
+//    ascending sender order, and sharded loops are pure elementwise writes
+//    over fixed ranges, so any jobs count yields the scalar path's bytes.
 #pragma once
 
 #include <functional>
@@ -46,6 +58,17 @@ struct SimOptions {
   long steps = 2000;             ///< number of RTT steps to simulate.
   double min_window_mss = 1.0;   ///< window floor (avoids x^-k singularities).
   double max_window_mss = 1e9;   ///< the paper's M (1 << M).
+  /// Trace retention: kFull keeps every sender's series; kAggregate keeps
+  /// per-step population statistics plus `tracked_senders` full series, so
+  /// trace memory is independent of the population size.
+  TraceDetail trace_detail = TraceDetail::kFull;
+  int tracked_senders = 8;       ///< k for kAggregate (clamped to n).
+  /// Opts into the SoA cohort execution path (bit-identical to scalar).
+  bool batch = false;
+  /// Shard count for the batch path's elementwise loops: >0 explicit, 0 =
+  /// resolve_jobs (AXIOMCC_JOBS / hardware). Traces are identical at any
+  /// value; this is purely a throughput knob.
+  long jobs = 1;
 };
 
 /// Runs the fluid model and records a Trace.
@@ -57,6 +80,15 @@ class FluidSimulation {
   /// seed many senders.
   void add_sender(const cc::Protocol& prototype, double initial_window_mss);
   void add_sender(SenderSpec spec);
+
+  /// Adds `count` senders sharing one spec. The cohort stores ONE prototype
+  /// regardless of count — the batch path runs kernel cohorts without any
+  /// per-sender clone, and the scalar path clones per sender lazily at run
+  /// time — so constructing a million-sender population is O(1) protocol
+  /// allocations for batchable families.
+  void add_senders(SenderSpec spec, long count);
+  void add_senders(const cc::Protocol& prototype, long count,
+                   double initial_window_mss);
 
   /// Installs a non-congestion loss injector (applies to all senders).
   /// Default: no injected loss.
@@ -87,7 +119,7 @@ class FluidSimulation {
 
   /// Number of senders added so far.
   [[nodiscard]] int num_senders() const {
-    return static_cast<int>(senders_.size());
+    return static_cast<int>(total_senders_);
   }
 
   [[nodiscard]] const FluidLink& link() const { return link_; }
@@ -97,9 +129,24 @@ class FluidSimulation {
   [[nodiscard]] Trace run();
 
  private:
+  /// A contiguous run of `count` senders sharing one SenderSpec (the
+  /// protocol member is the shared prototype). add_sender makes count-1
+  /// groups, so the sender index space is the concatenation of groups in
+  /// insertion order — identical to the historical flat vector.
+  struct SenderGroup {
+    SenderSpec spec;
+    long count = 1;
+  };
+
+  [[nodiscard]] Trace make_trace() const;
+  [[nodiscard]] Trace run_scalar();
+  [[nodiscard]] Trace run_batch();
+  [[nodiscard]] Trace run_batch_uniform();
+
   FluidLink link_;
   SimOptions options_;
-  std::vector<SenderSpec> senders_;
+  std::vector<SenderGroup> groups_;
+  long total_senders_ = 0;
   std::unique_ptr<LossInjector> injector_;
   std::function<double(long)> bandwidth_scale_;
   std::function<double(long)> rtt_scale_;

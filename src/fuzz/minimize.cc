@@ -78,6 +78,35 @@ MinimizeResult minimize_finding(const ScenarioDesc& desc,
       }
     }
 
+    // Shrink cohorts: halve counts toward single senders.
+    for (std::size_t i = 0; i < res.desc.senders.size(); ++i) {
+      while (res.desc.senders[i].count > 1) {
+        ScenarioDesc cand = res.desc;
+        cand.senders[i].count /= 2;
+        if (!try_accept(cand)) break;
+        progressed = true;
+      }
+    }
+
+    // Prefer the plainest execution mode that still reproduces: scalar
+    // execution with a full trace (a finding that needs the batch path or
+    // aggregate retention keeps the axis, loudly).
+    if (res.desc.batch || res.desc.aggregate_trace) {
+      ScenarioDesc cand = res.desc;
+      cand.batch = false;
+      cand.aggregate_trace = false;
+      if (try_accept(cand)) {
+        progressed = true;
+      } else {
+        for (auto member : {&ScenarioDesc::batch, &ScenarioDesc::aggregate_trace}) {
+          if (!(res.desc.*member)) continue;
+          cand = res.desc;
+          cand.*member = false;
+          if (try_accept(cand)) progressed = true;
+        }
+      }
+    }
+
     // Drop the injected-loss process entirely, or failing that collapse a
     // structured process to constant loss at its worst rate.
     if (res.desc.loss.kind != LossDesc::Kind::kNone) {

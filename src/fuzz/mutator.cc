@@ -102,7 +102,7 @@ void mutate_loss(LossDesc& loss, const ScenarioDesc& desc, Rng& rng) {
 }
 
 void mutate_sender(SenderDesc& sender, const ScenarioDesc& desc, Rng& rng) {
-  switch (rng.uniform_index(4)) {
+  switch (rng.uniform_index(5)) {
     case 0:
       sender.protocol = pick(Mutator::protocol_dictionary(), rng);
       break;
@@ -126,6 +126,12 @@ void mutate_sender(SenderDesc& sender, const ScenarioDesc& desc, Rng& rng) {
                                 : static_cast<double>(random_step(desc, rng)));
       }
       break;
+    case 4:
+      // Expand to a homogeneous cohort (or collapse back to one sender) —
+      // sanitize clamps into the limits box.
+      sender.count =
+          rng.bernoulli(0.3) ? 1 : 1 + static_cast<long>(rng.uniform_index(12));
+      break;
   }
 }
 
@@ -136,7 +142,7 @@ ScenarioDesc Mutator::mutate(const ScenarioDesc& base, Rng& rng) const {
   const std::uint64_t edits = 1 + rng.uniform_index(3);
   for (std::uint64_t edit = 0; edit < edits; ++edit) {
     TELEMETRY_COUNT("fuzz.mutations", 1);
-    switch (rng.uniform_index(10)) {
+    switch (rng.uniform_index(11)) {
       case 0:
         out.bandwidth_mbps = rng.bernoulli(0.3)
                                  ? rng.uniform(limits_.min_mbps, limits_.max_mbps)
@@ -184,6 +190,16 @@ ScenarioDesc Mutator::mutate(const ScenarioDesc& base, Rng& rng) const {
       case 9:
         out.seed = rng();
         break;
+      case 10:
+        // Flip an execution axis: aggregate trace retention or the fluid
+        // batch path. Both preserve the outcome class by contract, so this
+        // move widens code coverage, not behavior space.
+        if (rng.bernoulli(0.5)) {
+          out.aggregate_trace = !out.aggregate_trace;
+        } else {
+          out.batch = !out.batch;
+        }
+        break;
     }
   }
   sanitize(out);
@@ -205,6 +221,8 @@ ScenarioDesc Mutator::splice(const ScenarioDesc& a, const ScenarioDesc& b,
   out.max_window_mss = link_src.max_window_mss;
   out.tail_fraction = link_src.tail_fraction;
   out.seed = (rng.bernoulli(0.5) ? x : y).seed;
+  out.aggregate_trace = (rng.bernoulli(0.5) ? x : y).aggregate_trace;
+  out.batch = (rng.bernoulli(0.5) ? x : y).batch;
   out.senders = (rng.bernoulli(0.5) ? x : y).senders;
   out.loss = (rng.bernoulli(0.5) ? x : y).loss;
 
@@ -247,7 +265,17 @@ void Mutator::sanitize(ScenarioDesc& desc) const {
     desc.senders.resize(limits_.max_senders);
   }
   const double max_step = static_cast<double>(desc.steps);
+  // Cohort clamp: each slot into [1, max_cohort_count], and the expanded
+  // population into max_total_senders — later slots give way first, but
+  // every slot keeps at least one sender.
+  long budget = std::max<long>(limits_.max_total_senders,
+                               static_cast<long>(desc.senders.size()));
+  long slots_left = static_cast<long>(desc.senders.size());
   for (SenderDesc& s : desc.senders) {
+    --slots_left;
+    s.count = std::clamp<long>(s.count, 1, limits_.max_cohort_count);
+    s.count = std::min(s.count, std::max<long>(1, budget - slots_left));
+    budget -= s.count;
     s.initial_window_mss =
         std::clamp(s.initial_window_mss, 1.0, limits_.max_initial_window_mss);
     s.start_step = std::clamp(s.start_step, 0.0, max_step);
@@ -385,6 +413,15 @@ std::vector<ScenarioDesc> Mutator::seed_corpus() {
     d.loss.kind = LossDesc::Kind::kBernoulli;
     d.loss.prob = 0.1;
     d.loss.rate = 0.3;
+    seeds.push_back(d);
+  }
+  {  // A homogeneous cohort on the batch path with an aggregate trace —
+    // seeds the execution-axis space (SoA kernels + population statistics).
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"aimd(1,0.5)", 1.0, 0.0, -1.0, 8},
+                 SenderDesc{"cubic(0.4,0.8)", 20.0, 0.0, -1.0}};
+    d.aggregate_trace = true;
+    d.batch = true;
     seeds.push_back(d);
   }
 

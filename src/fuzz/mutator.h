@@ -36,6 +36,11 @@ struct MutatorLimits {
   long min_steps = 80;
   long max_steps = 480;
   std::size_t max_senders = 5;
+  /// Cohort bounds: per-slot count and the population across all slots
+  /// (the packet backend expands cohorts into real flows, so the total
+  /// bounds its event count like max_senders used to).
+  long max_cohort_count = 12;
+  long max_total_senders = 24;
   std::size_t max_schedule_points = 10;
   double min_scale = 1e-3;   ///< deepest outage residual.
   double max_scale = 8.0;

@@ -76,9 +76,7 @@ std::uint64_t log_bucket(double v, double floor) {
       9, 1 + static_cast<std::uint64_t>(std::max(0.0, decades)));
 }
 
-std::uint64_t novelty_key_for(const RunOutcome& o,
-                              std::size_t num_senders,
-                              LossDesc::Kind loss_kind) {
+std::uint64_t novelty_key_for(const RunOutcome& o, const ScenarioDesc& desc) {
   std::uint64_t key = 0;
   const auto push = [&key](std::uint64_t value, unsigned bits) {
     key = (key << bits) | value;
@@ -102,8 +100,17 @@ std::uint64_t novelty_key_for(const RunOutcome& o,
   push(std::min<std::uint64_t>(
            15, static_cast<std::uint64_t>(std::max(0.0, o.divergence) * 4.0)),
        4);
-  push(std::min<std::uint64_t>(3, num_senders - 1), 2);
-  push(static_cast<std::uint64_t>(loss_kind), 3);
+  long population = 0;
+  for (const SenderDesc& s : desc.senders) population += s.count;
+  push(std::min<std::uint64_t>(3, static_cast<std::uint64_t>(population) - 1),
+       2);
+  push(static_cast<std::uint64_t>(desc.loss.kind), 3);
+  // The execution axes: a scenario that reproduces under the batch path or
+  // aggregate retention is novel relative to its scalar/full twin, so the
+  // corpus keeps both and the fuzzer keeps dragging the new machinery
+  // through the scenario space.
+  push(desc.aggregate_trace ? 1 : 0, 1);
+  push(desc.batch ? 1 : 0, 1);
   return key;
 }
 
@@ -158,7 +165,7 @@ RunOutcome run_scenario(const ScenarioDesc& desc, const RunnerConfig& config) {
     out.kind = fluid_ok ? OutcomeKind::kPacketFault : OutcomeKind::kFluidFault;
   }
 
-  out.novelty_key = novelty_key_for(out, desc.senders.size(), desc.loss.kind);
+  out.novelty_key = novelty_key_for(out, desc);
   if (out.is_finding()) TELEMETRY_COUNT("fuzz.findings", 1);
   return out;
 }

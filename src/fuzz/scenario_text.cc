@@ -162,8 +162,17 @@ std::string serialize_scenario(const ScenarioDesc& desc) {
          format_double(desc.max_window_mss) + '\n';
   out += "tail " + format_double(desc.tail_fraction) + '\n';
   out += "seed " + std::to_string(desc.seed) + '\n';
+  // Execution axes are emitted only when non-default, so every pre-axis
+  // corpus file still round-trips byte-identically.
+  if (desc.aggregate_trace) out += "trace aggregate\n";
+  if (desc.batch) out += "exec batch\n";
   for (const SenderDesc& s : desc.senders) {
-    out += "sender " + format_double(s.initial_window_mss) + ' ' +
+    if (s.count > 1) {
+      out += "senders " + std::to_string(s.count) + ' ';
+    } else {
+      out += "sender ";
+    }
+    out += format_double(s.initial_window_mss) + ' ' +
            format_double(s.start_step) + ' ' + format_double(s.stop_step) +
            ' ' + s.protocol + '\n';
   }
@@ -269,19 +278,50 @@ ScenarioDesc parse_scenario(const std::string& text) {
       once("seed");
       require_argc(1);
       desc.seed = parse_u64(tok[1], line_no);
-    } else if (directive == "sender") {
+    } else if (directive == "sender" || directive == "senders") {
       // The protocol spec is the rest of the line (specs contain commas and
-      // parens, never spaces the serializer cares about).
-      if (tok.size() < 5) {
-        fail(line_no, "'sender' expects <init_w> <start> <stop> <protocol>");
+      // parens, never spaces the serializer cares about). "senders" carries
+      // a leading cohort count.
+      const bool cohort = directive == "senders";
+      const std::size_t base = cohort ? 2 : 1;
+      if (tok.size() < base + 4) {
+        fail(line_no, cohort ? "'senders' expects <count> <init_w> <start> "
+                               "<stop> <protocol>"
+                             : "'sender' expects <init_w> <start> <stop> "
+                               "<protocol>");
       }
       SenderDesc s;
-      s.initial_window_mss = parse_num(tok[1], line_no);
-      s.start_step = parse_num(tok[2], line_no);
-      s.stop_step = parse_num(tok[3], line_no);
-      s.protocol = tok[4];
-      for (std::size_t i = 5; i < tok.size(); ++i) s.protocol += " " + tok[i];
+      if (cohort) s.count = parse_long(tok[1], line_no);
+      s.initial_window_mss = parse_num(tok[base], line_no);
+      s.start_step = parse_num(tok[base + 1], line_no);
+      s.stop_step = parse_num(tok[base + 2], line_no);
+      s.protocol = tok[base + 3];
+      for (std::size_t i = base + 4; i < tok.size(); ++i) {
+        s.protocol += " " + tok[i];
+      }
       desc.senders.push_back(std::move(s));
+    } else if (directive == "trace") {
+      once("trace");
+      require_argc(1);
+      if (tok[1] == "aggregate") {
+        desc.aggregate_trace = true;
+      } else if (tok[1] == "full") {
+        desc.aggregate_trace = false;
+      } else {
+        fail(line_no,
+             "unknown trace detail '" + tok[1] + "' (expected full|aggregate)");
+      }
+    } else if (directive == "exec") {
+      once("exec");
+      require_argc(1);
+      if (tok[1] == "batch") {
+        desc.batch = true;
+      } else if (tok[1] == "scalar") {
+        desc.batch = false;
+      } else {
+        fail(line_no,
+             "unknown exec mode '" + tok[1] + "' (expected scalar|batch)");
+      }
     } else if (directive == "loss") {
       once("loss");
       if (tok.size() < 2) fail(line_no, "'loss' expects a kind");
@@ -385,6 +425,10 @@ void validate_scenario(const ScenarioDesc& desc) {
     if (s.protocol.empty()) {
       throw std::invalid_argument("sender protocol spec is empty");
     }
+    if (s.count < 1) {
+      throw std::invalid_argument("sender cohort count must be >= 1, got " +
+                                  std::to_string(s.count));
+    }
   }
   switch (desc.loss.kind) {
     case LossDesc::Kind::kNone:
@@ -429,8 +473,21 @@ CompiledScenario compile_scenario(const ScenarioDesc& desc) {
     out.prototypes.push_back(cc::make_protocol(s.protocol));
     out.spec.senders.push_back(engine::SenderSlot{
         out.prototypes.back().get(), s.initial_window_mss, s.start_step,
-        s.stop_step});
+        s.stop_step, s.count});
   }
+
+  // The execution axes must not change what the oracle can see: an
+  // aggregate trace tracks the whole population (fuzz scenarios are small,
+  // so the estimators keep reading every sender's series and classify
+  // exactly as they would a full trace), and the batch path runs at jobs=1
+  // — already byte-identical to any job count, and keeping run_scenario
+  // pure for the fuzz loop's own fan-out.
+  if (desc.aggregate_trace) {
+    out.spec.trace_detail = fluid::TraceDetail::kAggregate;
+    out.spec.tracked_senders = static_cast<int>(out.spec.total_senders());
+  }
+  out.spec.batch = desc.batch;
+  out.spec.jobs = 1;
 
   if (!desc.bandwidth_scale.empty()) {
     out.spec.bandwidth_scale = [schedule = desc.bandwidth_scale](long step) {

@@ -70,11 +70,15 @@ struct LossDesc {
 };
 
 /// One sender slot, with the protocol as a cc::make_protocol spec string.
+/// `count` > 1 makes the slot a homogeneous cohort (engine::SenderSlot's
+/// cohort expansion — the fluid batch path keeps it as one cohort, the
+/// packet backend adds `count` flows).
 struct SenderDesc {
   std::string protocol = "reno";
   double initial_window_mss = 1.0;
   double start_step = 0.0;
   double stop_step = -1.0;  ///< negative: stays until the end of the run.
+  long count = 1;
 
   friend bool operator==(const SenderDesc&, const SenderDesc&) = default;
 };
@@ -102,6 +106,13 @@ struct ScenarioDesc {
   double max_window_mss = 1e9;
   double tail_fraction = 0.5;
   std::uint64_t seed = 42;
+  /// Execution axes: an aggregate trace (per-step population statistics
+  /// plus tracked series) and/or the fluid backend's SoA batch path. Both
+  /// are byte-identity-preserving by contract, so they change which code
+  /// runs, never the expected outcome class — the axes exist to drag the
+  /// batch/aggregate machinery through the fuzzer's scenario space.
+  bool aggregate_trace = false;
+  bool batch = false;
   std::vector<SenderDesc> senders{SenderDesc{}};
   LossDesc loss;
   ScheduleDesc bandwidth_scale;

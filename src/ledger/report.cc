@@ -151,14 +151,22 @@ std::string render_ledger_report(
            ".\n\n";
 
     const bool trend = static_cast<bool>(spark);
-    out += trend ? "| Metric | Class | Newest | Median | Δ | Trend |\n"
-                   "|:--|:--|--:|--:|--:|:--|\n"
-                 : "| Metric | Class | Newest | Median | Δ |\n"
-                   "|:--|:--|--:|--:|--:|\n";
+    out += trend ? "| Metric | Class | Newest | Per-core | Median | Δ | "
+                   "Trend |\n|:--|:--|--:|--:|--:|--:|:--|\n"
+                 : "| Metric | Class | Newest | Per-core | Median | Δ |\n"
+                   "|:--|:--|--:|--:|--:|--:|\n";
 
     for (const Series& s : collect_series(window)) {
       if (s.history.empty()) continue;
       const double newest_value = s.history.back();
+      // Rate counters also get a per-core normalization (value / the newest
+      // run's job count), so throughput is comparable across machines with
+      // different core counts.
+      const bool is_rate = s.name.find("_per_sec") != std::string::npos;
+      const std::string per_core =
+          is_rate && newest.jobs > 0
+              ? fmt_value(newest_value / static_cast<double>(newest.jobs))
+              : "";
       // Median of the prior runs; with a single run the newest is its own
       // baseline and the delta column shows "=".
       const std::span<const double> prior(s.history.data(),
@@ -166,8 +174,9 @@ std::string render_ledger_report(
       const double median =
           prior.empty() ? newest_value : median_of(prior);
       out += "| `" + s.name + "` | " + s.cls + " | " +
-             fmt_value(newest_value) + " | " + fmt_value(median) + " | " +
-             fmt_delta(newest_value, median) + " |";
+             fmt_value(newest_value) + " | " + per_core + " | " +
+             fmt_value(median) + " | " + fmt_delta(newest_value, median) +
+             " |";
       if (trend) {
         out += " " + (s.history.size() > 1 ? spark(s.history) : "") + " |";
       }

@@ -53,6 +53,8 @@ TEST(FuzzMutator, MutantsStayInsideLimits) {
   MutatorLimits limits;
   limits.max_steps = 200;
   limits.max_senders = 3;
+  limits.max_cohort_count = 4;
+  limits.max_total_senders = 6;
   const Mutator mutator(limits);
   Rng rng(11);
   ScenarioDesc current;
@@ -65,7 +67,54 @@ TEST(FuzzMutator, MutantsStayInsideLimits) {
     EXPECT_LE(current.bandwidth_mbps, limits.max_mbps);
     EXPECT_LE(current.bandwidth_scale.points.size(),
               limits.max_schedule_points);
+    long population = 0;
+    for (const SenderDesc& s : current.senders) {
+      EXPECT_GE(s.count, 1);
+      EXPECT_LE(s.count, limits.max_cohort_count);
+      population += s.count;
+    }
+    EXPECT_LE(population, limits.max_total_senders);
   }
+}
+
+TEST(FuzzMutator, MutationReachesExecutionAxesAndCohorts) {
+  // The new axes must actually be reachable moves, not dead dictionary
+  // entries: a modest mutation walk visits aggregate traces, the batch
+  // path, and multi-sender cohorts.
+  const Mutator mutator;
+  Rng rng(31);
+  ScenarioDesc current;
+  bool saw_aggregate = false;
+  bool saw_batch = false;
+  bool saw_cohort = false;
+  for (int i = 0; i < 300; ++i) {
+    current = mutator.mutate(current, rng);
+    saw_aggregate = saw_aggregate || current.aggregate_trace;
+    saw_batch = saw_batch || current.batch;
+    for (const SenderDesc& s : current.senders) {
+      saw_cohort = saw_cohort || s.count > 1;
+    }
+  }
+  EXPECT_TRUE(saw_aggregate);
+  EXPECT_TRUE(saw_batch);
+  EXPECT_TRUE(saw_cohort);
+}
+
+TEST(FuzzMutator, SanitizeTrimsCohortBudgetKeepingOnePerSlot) {
+  MutatorLimits limits;
+  limits.max_cohort_count = 8;
+  limits.max_total_senders = 10;
+  const Mutator mutator(limits);
+  ScenarioDesc desc;
+  desc.senders = {SenderDesc{"reno", 1.0, 0.0, -1.0, 50},
+                  SenderDesc{"reno", 1.0, 0.0, -1.0, 50},
+                  SenderDesc{"reno", 1.0, 0.0, -1.0, 50}};
+  mutator.sanitize(desc);
+  // First slot takes the cohort cap, later slots absorb the budget squeeze,
+  // and every slot keeps at least one sender.
+  EXPECT_EQ(desc.senders[0].count, 8);
+  EXPECT_EQ(desc.senders[1].count, 1);
+  EXPECT_EQ(desc.senders[2].count, 1);
 }
 
 TEST(FuzzMutator, MutantsRoundTripThroughText) {

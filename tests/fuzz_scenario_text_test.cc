@@ -24,7 +24,10 @@ ScenarioDesc complex_desc() {
   desc.senders = {
       SenderDesc{"cubic(0.4,0.8)", 10.0, 0.0, -1.0},
       SenderDesc{"aimd(1, 0.5)", 1.0, 40.0, 200.0},
+      SenderDesc{"aimd(1,0.5)", 2.0, 0.0, -1.0, 6},
   };
+  desc.aggregate_trace = true;
+  desc.batch = true;
   desc.loss.kind = LossDesc::Kind::kGilbertElliott;
   desc.loss.p_gb = 0.01;
   desc.loss.p_bg = 0.3;
@@ -99,6 +102,44 @@ TEST(FuzzScenarioText, SingleStepScheduleHoldsFromBreakpoint) {
   EXPECT_DOUBLE_EQ(schedule.eval(5000), 0.5);
 }
 
+TEST(FuzzScenarioText, ExecutionAxesEmittedOnlyWhenNonDefault) {
+  // Pre-axis corpus files must keep round-tripping byte-identically, so the
+  // default (scalar execution, full trace, singleton senders) serializes
+  // without any of the new directives.
+  const std::string plain = serialize_scenario(ScenarioDesc{});
+  EXPECT_EQ(plain.find("trace "), std::string::npos) << plain;
+  EXPECT_EQ(plain.find("exec "), std::string::npos) << plain;
+  EXPECT_EQ(plain.find("senders "), std::string::npos) << plain;
+
+  ScenarioDesc desc;
+  desc.aggregate_trace = true;
+  desc.batch = true;
+  desc.senders = {SenderDesc{"reno", 1.0, 0.0, -1.0, 4}};
+  const std::string text = serialize_scenario(desc);
+  EXPECT_NE(text.find("trace aggregate\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("exec batch\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("senders 4 1 0 -1 reno\n"), std::string::npos) << text;
+  EXPECT_EQ(parse_scenario(text), desc);
+}
+
+TEST(FuzzScenarioText, ExplicitDefaultAxesParseBackToDefaults) {
+  const ScenarioDesc parsed = parse_scenario(
+      "axiomcc-scenario v1\ntrace full\nexec scalar\nsender 1 0 -1 reno\n");
+  EXPECT_EQ(parsed, ScenarioDesc{});
+}
+
+TEST(FuzzScenarioText, BadAxisValuesRejected) {
+  EXPECT_THROW(parse_scenario("axiomcc-scenario v1\ntrace sometimes\n"
+                              "sender 1 0 -1 reno\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("axiomcc-scenario v1\nexec warp\n"
+                              "sender 1 0 -1 reno\n"),
+               std::invalid_argument);
+  // Cohort counts below one are a domain violation.
+  EXPECT_THROW(parse_scenario("axiomcc-scenario v1\nsenders 0 1 0 -1 reno\n"),
+               std::invalid_argument);
+}
+
 TEST(FuzzScenarioText, LeadingCommentsBeforeHeaderAccepted) {
   const std::string text =
       "# triage note\n\n# another\n" + serialize_scenario(ScenarioDesc{});
@@ -170,6 +211,15 @@ TEST(FuzzScenarioText, CompilesToRunnableSpec) {
   EXPECT_EQ(compiled.spec.steps, desc.steps);
   EXPECT_EQ(compiled.spec.senders.size(), desc.senders.size());
   EXPECT_EQ(compiled.prototypes.size(), desc.senders.size());
+  // The cohort slot keeps its count; the aggregate trace tracks the whole
+  // (expanded) population so the estimators see every sender's series; the
+  // batch flag passes through at jobs=1.
+  EXPECT_EQ(compiled.spec.senders.back().count, 6);
+  EXPECT_EQ(compiled.spec.total_senders(), 8);
+  EXPECT_EQ(compiled.spec.trace_detail, fluid::TraceDetail::kAggregate);
+  EXPECT_EQ(compiled.spec.tracked_senders, 8);
+  EXPECT_TRUE(compiled.spec.batch);
+  EXPECT_EQ(compiled.spec.jobs, 1);
   ASSERT_TRUE(compiled.spec.bandwidth_scale);
   EXPECT_DOUBLE_EQ(compiled.spec.bandwidth_scale(120), 0.001);
   EXPECT_DOUBLE_EQ(compiled.spec.bandwidth_scale(0), 1.0);

@@ -48,16 +48,19 @@ TEST(LedgerReport, RendersGroupTableWithClassesAndDelta) {
   // Phases are timing-class, counters exact unless rate-named,
   // deterministic counters their own class.
   EXPECT_NE(out.find("| `run (s)` | timing |"), std::string::npos) << out;
-  EXPECT_NE(out.find("| `cells` | exact | 110 | 100 | +10.0% |"),
+  EXPECT_NE(out.find("| `cells` | exact | 110 |  | 100 | +10.0% |"),
             std::string::npos)
       << out;
-  EXPECT_NE(out.find("| `cells_per_sec` | timing |"), std::string::npos)
+  // Rate counters (`*_per_sec`) additionally report value / jobs (jobs=4,
+  // newest 110 cells over 2s = 55/s -> 13.75 per core).
+  EXPECT_NE(out.find("| `cells_per_sec` | timing | 55 | 13.75 |"),
+            std::string::npos)
       << out;
-  EXPECT_NE(out.find("| `sim.steps` | det | 1000 | 1000 | = |"),
+  EXPECT_NE(out.find("| `sim.steps` | det | 1000 |  | 1000 | = |"),
             std::string::npos)
       << out;
   // Markdown table header present (PR-pasteable output).
-  EXPECT_NE(out.find("| Metric | Class | Newest | Median |"),
+  EXPECT_NE(out.find("| Metric | Class | Newest | Per-core | Median |"),
             std::string::npos)
       << out;
 }
@@ -103,7 +106,7 @@ TEST(LedgerReport, HistoryWindowIsBounded) {
   const std::string out = render_ledger_report(records, options);
   EXPECT_NE(out.find("showing last 4"), std::string::npos) << out;
   // Median over the 3 prior of the last 4 runs: 116, 117, 118 -> 117.
-  EXPECT_NE(out.find("| `cells` | exact | 119 | 117 |"), std::string::npos)
+  EXPECT_NE(out.find("| `cells` | exact | 119 |  | 117 |"), std::string::npos)
       << out;
 }
 
