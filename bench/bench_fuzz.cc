@@ -114,6 +114,13 @@ int main(int argc, char** argv) {
     cfg.minimize = !args.has("no-minimize");
     cfg.runner.divergence_threshold =
         args.get_double("divergence-threshold", 0.35);
+    // --record[=dir]: flight-record every oracle run and auto-dump a
+    // post-mortem (reproducer + both backends' recorded tails) for each
+    // finding next to the other artifacts.
+    if (const auto record = args.record_dir()) {
+      cfg.runner.record.enabled = true;
+      cfg.runner.postmortem_dir = *record;
+    }
 
     const auto format = args.has("markdown") ? TextTable::Format::kMarkdown
                                              : TextTable::Format::kAscii;

@@ -84,6 +84,12 @@ int main(int argc, char** argv) {
     // The gauntlet propagates the backend into axiom_cfg itself.
     cfg.backend = engine::parse_backend(args.get_backend());
     cfg.jobs = args.get_jobs();
+    // --record[=dir]: flight-record every cell and dump a post-mortem for
+    // each faulting one next to the other artifacts.
+    if (const auto record = args.record_dir()) {
+      cfg.record.enabled = true;
+      cfg.record_dir = *record;
+    }
     // Trimmed axiom evaluation: the gauntlet's own scores carry the
     // stress story; the axiom columns are context.
     cfg.axiom_cfg.steps = 2000;

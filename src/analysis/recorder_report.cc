@@ -1,0 +1,210 @@
+#include "analysis/recorder_report.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "analysis/ascii_plot.h"
+
+namespace axiomcc::analysis {
+
+namespace {
+
+std::string format_value(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+std::string subject_tag(const recorder::Event& event) {
+  std::string tag = recorder::subject_name(event.subject_kind);
+  if (event.subject >= 0) {
+    tag += '[';
+    tag += std::to_string(event.subject);
+    tag += ']';
+  }
+  return tag;
+}
+
+bool is_sampled(const recorder::Event& event) {
+  return (event.cls == recorder::EventClass::kWindow) ||
+         (event.cls == recorder::EventClass::kGuard &&
+          event.code == recorder::EventCode::kCheck);
+}
+
+void append_spark(std::string& out, const char* label,
+                  const std::vector<double>& values, int width) {
+  if (values.empty()) return;
+  double lo = values.front();
+  double hi = values.front();
+  for (double v : values) {
+    lo = v < lo ? v : lo;
+    hi = v > hi ? v : hi;
+  }
+  out += "  ";
+  out += label;
+  out += ' ';
+  out += sparkline(values, width);
+  out += "  [";
+  out += format_value(lo);
+  out += ", ";
+  out += format_value(hi);
+  out += "]\n";
+}
+
+}  // namespace
+
+std::string event_line(const recorder::Event& event) {
+  char head[64];
+  std::snprintf(head, sizeof(head), "  step %7ld  %-8s %-9s %-10s",
+                event.step, recorder::event_class_name(event.cls),
+                recorder::event_code_name(event.code),
+                subject_tag(event).c_str());
+  std::string line = head;
+  line += " a=";
+  line += format_value(event.a);
+  if (event.b != 0.0) {
+    line += " b=";
+    line += format_value(event.b);
+  }
+  return line;
+}
+
+std::string render_timeline(const recorder::Recording& recording,
+                            const TimelineOptions& options) {
+  std::string out = "recording";
+  if (!recording.backend.empty()) out += " backend=" + recording.backend;
+  out += " senders=" + std::to_string(recording.senders);
+  out += " steps=" + std::to_string(recording.steps);
+  out += " events=" + std::to_string(recording.events.size());
+  out += " stride=" + std::to_string(recording.options.sample_stride);
+  if (recording.dropped > 0) {
+    out += " dropped=" + std::to_string(recording.dropped);
+  }
+  out += '\n';
+  if (recording.empty()) {
+    out += "  (no events)\n";
+    return out;
+  }
+
+  // Sampled run-lane series render as sparklines: the aggregate window is
+  // the one series every capture has, the guard-check series appears when a
+  // guarded runner drove the recording.
+  std::vector<double> totals;
+  std::vector<double> checks;
+  std::vector<long> class_counts(recorder::kNumEventClasses, 0);
+  long discrete = 0;
+  for (const recorder::Event& event : recording.events) {
+    ++class_counts[static_cast<int>(event.cls)];
+    if (event.cls == recorder::EventClass::kWindow &&
+        event.code == recorder::EventCode::kTotal) {
+      totals.push_back(event.a);
+    } else if (event.cls == recorder::EventClass::kGuard &&
+               event.code == recorder::EventCode::kCheck) {
+      checks.push_back(event.a);
+    }
+    if (!is_sampled(event)) ++discrete;
+  }
+  append_spark(out, "total window", totals, options.spark_width);
+  append_spark(out, "guard check ", checks, options.spark_width);
+
+  std::vector<Bar> bars;
+  for (int c = 0; c < recorder::kNumEventClasses; ++c) {
+    if (class_counts[c] == 0) continue;
+    bars.push_back(Bar{
+        recorder::event_class_name(static_cast<recorder::EventClass>(c)),
+        static_cast<double>(class_counts[c])});
+  }
+  if (!bars.empty()) out += bar_chart(bars, 40, "events by class");
+
+  if (discrete > 0) {
+    out += "discrete events";
+    long skip = discrete - options.max_events;
+    if (skip > 0) {
+      out += " (oldest " + std::to_string(skip) + " elided)";
+    } else {
+      skip = 0;
+    }
+    out += ":\n";
+    for (const recorder::Event& event : recording.events) {
+      if (is_sampled(event)) continue;
+      if (skip > 0) {
+        --skip;
+        continue;
+      }
+      out += event_line(event);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string render_alignment(const recorder::AlignResult& result,
+                             const std::string& left_label,
+                             const std::string& right_label) {
+  std::string out;
+  if (!result.diverged) {
+    out += "aligned: " + left_label + " and " + right_label + " agree over " +
+           std::to_string(result.steps_compared) + " steps (from step " +
+           std::to_string(result.compare_start) + ")\n";
+    return out;
+  }
+  out += "DIVERGED at step " + std::to_string(result.first_divergence_step) +
+         " (" + recorder::event_class_name(result.trigger) + "): " +
+         result.reason + '\n';
+  out += "  compared " + std::to_string(result.steps_compared) +
+         " steps from step " + std::to_string(result.compare_start) + '\n';
+  const auto dump_side = [&out](const std::string& label,
+                                const std::vector<recorder::Event>& events) {
+    out += label + " events near the divergence:\n";
+    if (events.empty()) {
+      out += "  (none recorded)\n";
+      return;
+    }
+    for (const recorder::Event& event : events) {
+      out += event_line(event);
+      out += '\n';
+    }
+  };
+  dump_side(left_label, result.left_events);
+  dump_side(right_label, result.right_events);
+  return out;
+}
+
+std::string render_postmortem(const recorder::PostMortem& pm,
+                              const TimelineOptions& options) {
+  std::string out = "post-mortem kind=" + pm.kind;
+  if (!pm.title.empty()) out += " title=" + pm.title;
+  if (pm.divergence > 0.0) out += " divergence=" + format_value(pm.divergence);
+  out += '\n';
+  if (!pm.scenario_text.empty()) {
+    out += "reproducer:\n";
+    // Indent the embedded .scn so it reads as a quoted block.
+    std::string::size_type pos = 0;
+    while (pos < pm.scenario_text.size()) {
+      auto end = pm.scenario_text.find('\n', pos);
+      if (end == std::string::npos) end = pm.scenario_text.size();
+      out += "  | ";
+      out.append(pm.scenario_text, pos, end - pos);
+      out += '\n';
+      pos = end + 1;
+    }
+  }
+  for (const recorder::PostMortemSide& side : pm.sides) {
+    out += "--- side " + side.label;
+    if (side.fault_kind.empty()) {
+      out += " (clean)";
+    } else {
+      out += " FAULT " + side.fault_kind + " at step " +
+             std::to_string(side.fault_step);
+      if (side.fault_sender >= 0) {
+        out += " sender " + std::to_string(side.fault_sender);
+      }
+      if (!side.detail.empty()) out += ": " + side.detail;
+    }
+    out += '\n';
+    out += render_timeline(side.recording, options);
+  }
+  return out;
+}
+
+}  // namespace axiomcc::analysis

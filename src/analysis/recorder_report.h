@@ -1,0 +1,46 @@
+// recorder_report.h — terminal rendering for flight recordings.
+//
+// Turns the recorder's raw timelines into the same terminal idiom the rest
+// of the analysis layer speaks: sparklines for sampled lanes, a bar chart
+// of event-class volume, and a step-stamped listing of the discrete events.
+// Everything returns plain multi-line strings so axiomcc-inspect, tests,
+// and doc examples can all consume the exact same rendering.
+#pragma once
+
+#include <string>
+
+#include "recorder/align.h"
+#include "recorder/postmortem.h"
+#include "recorder/recorder.h"
+
+namespace axiomcc::analysis {
+
+struct TimelineOptions {
+  int spark_width = 64;  ///< sparkline width for sampled lanes
+  long max_events = 40;  ///< discrete-event lines shown (newest kept)
+};
+
+/// One event as a step-stamped single line, e.g.
+/// "  step   1200  loss     onset     run        a=0.0183".
+[[nodiscard]] std::string event_line(const recorder::Event& event);
+
+/// Renders one recording: a metadata header, sparklines of the sampled
+/// run-lane series (aggregate window, guard checks), a bar chart of event
+/// volume per class, and the discrete-event listing (truncated to the
+/// newest `max_events` with a note).
+[[nodiscard]] std::string render_timeline(const recorder::Recording& recording,
+                                          const TimelineOptions& options = {});
+
+/// Renders an alignment verdict: the comparable range, the first
+/// divergence step and its triggering event class, and the surrounding
+/// events from both sides.
+[[nodiscard]] std::string render_alignment(const recorder::AlignResult& result,
+                                           const std::string& left_label,
+                                           const std::string& right_label);
+
+/// Renders a post-mortem: classification header, the embedded reproducer
+/// (if any), and each side's fault line plus timeline.
+[[nodiscard]] std::string render_postmortem(const recorder::PostMortem& pm,
+                                            const TimelineOptions& options = {});
+
+}  // namespace axiomcc::analysis

@@ -27,6 +27,7 @@ RunTrace FluidBackend::run(const ScenarioSpec& spec) const {
   options.tracked_senders = spec.tracked_senders;
   options.batch = spec.batch;
   options.jobs = spec.jobs;
+  options.record_sink = spec.record_sink;
 
   fluid::FluidSimulation sim(spec.link, options);
   for (const SenderSlot& slot : spec.senders) {

@@ -22,6 +22,7 @@
 #include "fluid/link.h"
 #include "fluid/loss_model.h"
 #include "fluid/trace.h"
+#include "recorder/recorder.h"
 #include "sim/dumbbell.h"
 #include "util/check.h"
 
@@ -111,6 +112,14 @@ struct ScenarioSpec {
   /// (bit-identical to the scalar path) and its shard count (0 = hardware).
   bool batch = false;
   long jobs = 1;
+  /// Flight-recorder capture options (event classes, ring depth, sample
+  /// stride). `record.enabled` is the master switch; the sink below must
+  /// also be installed for a backend to emit anything.
+  recorder::RecordOptions record;
+  /// Non-owning event sink for this run (one Recorder per run; emission
+  /// happens from the serial sections of the backend loops). Callers build
+  /// one with `make_recorder(spec)` and attach it here.
+  recorder::Recorder* record_sink = nullptr;
 
   /// Convenience: appends a sender slot.
   void add_sender(const cc::Protocol& prototype, double initial_window_mss,
@@ -139,6 +148,16 @@ struct ScenarioSpec {
     return total;
   }
 };
+
+/// Builds the recorder a spec asks for, or null when recording is off (or
+/// the capture path is compiled out). The caller owns the recorder and
+/// attaches it: `auto rec = make_recorder(spec); spec.record_sink = rec.get();`
+[[nodiscard]] inline std::unique_ptr<recorder::Recorder> make_recorder(
+    const ScenarioSpec& spec) {
+  if (!spec.record.enabled || !recorder::compiled_in()) return nullptr;
+  recorder::RecordOptions options = spec.record;
+  return std::make_unique<recorder::Recorder>(options);
+}
 
 /// What a backend run produces. The Trace is the common currency the metric
 /// estimators in src/core consume; the packet backend additionally reports

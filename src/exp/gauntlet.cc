@@ -82,6 +82,21 @@ double recovery_steps_after(const fluid::Trace& trace, long recover_from,
   return kInf;
 }
 
+/// File-name-safe cell label for post-mortem dumps: protocol spec strings
+/// carry parentheses and commas ("aimd(1,0.5)"), which make awkward shell
+/// citizens as file names.
+std::string sanitize_label(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (const char c : label) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    out.push_back(keep ? c : '_');
+  }
+  return out;
+}
+
 /// The cell's base scenario: `num_senders` clones of `proto` with evenly
 /// spread initial windows, matching the evaluator's shared-link runs.
 engine::ScenarioSpec make_cell_spec(const cc::Protocol& proto,
@@ -131,8 +146,19 @@ GauntletCell run_cell(const cc::Protocol& proto,
   engine::ScenarioSpec spec = make_cell_spec(proto, cfg);
   stress::apply_scenario(scenario, spec, proto, seed);
 
+  spec.record = cfg.record;
+  const auto rec = engine::make_recorder(spec);
+  spec.record_sink = rec.get();
+  stress::GuardConfig guard = cfg.guard;
+  if (rec != nullptr && !cfg.record_dir.empty()) {
+    guard.postmortem_dir = cfg.record_dir;
+    guard.postmortem_label = sanitize_label(cell.protocol + "-" +
+                                            cell.scenario + "-s" +
+                                            std::to_string(seed));
+  }
+
   const stress::GuardedResult result = stress::run_guarded(
-      engine::backend_for(cfg.backend), std::move(spec), cfg.guard);
+      engine::backend_for(cfg.backend), std::move(spec), guard);
   cell.fault = result.fault;
   if (!cell.fault.ok()) return cell;
 

@@ -46,6 +46,12 @@ struct GauntletConfig {
   /// serial path. Each cell's scenario seed comes from the cell tuple, so
   /// results are bit-identical at every job count.
   long jobs = 0;
+  /// Flight-recorder capture per cell. When `record.enabled`, every cell
+  /// runs with a recorder attached, and a faulting cell dumps a
+  /// post-mortem (`postmortem-<protocol>-<scenario>-s<seed>.jsonl`) into
+  /// `record_dir` (when non-empty). No-op with AXIOMCC_RECORDER=OFF.
+  recorder::RecordOptions record;
+  std::string record_dir;
 };
 
 /// One (protocol, scenario, seed) cell of the gauntlet matrix.

@@ -64,6 +64,173 @@ class ScheduledLink {
   bool cached_ = false;
 };
 
+/// Flight-recorder emission, shared by all three run paths. Everything is
+/// derived from the sender specs, the schedules, and the per-step values the
+/// trace records — never from path-specific execution state — so the three
+/// paths produce byte-identical recordings for the same scenario. All calls
+/// happen in the serial sections of the loops, keeping recordings identical
+/// at any job count. When the capture path is compiled out the stub
+/// Recorder's `wants` is a constant false and every block below folds away.
+class StepRecorder {
+ public:
+  struct CohortRef {
+    const SenderSpec* spec;
+    long begin;
+    long count;
+  };
+
+  template <typename GroupVec>
+  StepRecorder(recorder::Recorder* sink, const GroupVec& groups,
+               const std::function<double(long)>& bw,
+               const std::function<double(long)>& rtt, bool aggregate,
+               long total_senders)
+      : sink_(sink), bw_(&bw), rtt_(&rtt), aggregate_(aggregate) {
+    if (sink_ == nullptr) return;
+    sink_->set_backend("fluid");
+    sink_->set_senders(total_senders);
+    long begin = 0;
+    for (const auto& group : groups) {
+      cohorts_.push_back(CohortRef{&group.spec, begin, group.count});
+      begin += group.count;
+    }
+    churn_active_.assign(cohorts_.size(), 0);
+    injected_visible_.assign(cohorts_.size(), 0);
+  }
+
+  [[nodiscard]] bool recording() const { return sink_ != nullptr; }
+
+  /// Batch-path execution decision (kernel / fallback / uniform), one
+  /// setup event per cohort. The scalar path emits none, and the aligner
+  /// masks this class by default — execution mode is metadata, not
+  /// simulated behaviour.
+  void cohort_mode(std::size_t cohort, recorder::EventCode mode) {
+    if (sink_ == nullptr || !sink_->wants(recorder::EventClass::kCohort)) {
+      return;
+    }
+    sink_->emit({0, recorder::EventClass::kCohort, mode,
+                 recorder::Subject::kCohort, static_cast<int>(cohort),
+                 static_cast<double>(cohorts_[cohort].count), 0.0});
+  }
+
+  /// Called once per step at the trace-record point, with the values the
+  /// trace sees (pre-update windows). `cohort_window`/`cohort_observed`
+  /// map (cohort index, begin) to the cohort representative's values;
+  /// `sender_window` maps a sender index to its window (full detail only).
+  template <typename CohortWindow, typename CohortObserved,
+            typename SenderWindow>
+  void on_step(long step, double total, double rtt_value,
+               double congestion_loss, CohortWindow&& cohort_window,
+               CohortObserved&& cohort_observed, SenderWindow&& sender_window,
+               long num_senders) {
+    using recorder::EventClass;
+    using recorder::EventCode;
+    using recorder::Subject;
+    if (sink_ == nullptr) return;
+    sink_->note_step(step);
+
+    const auto active_at = [step](const CohortRef& c) {
+      return step >= c.spec->start_step &&
+             (c.spec->stop_step < 0 || step < c.spec->stop_step);
+    };
+
+    if (sink_->wants(EventClass::kChurn)) {
+      for (std::size_t ci = 0; ci < cohorts_.size(); ++ci) {
+        const bool active = active_at(cohorts_[ci]);
+        if (active != static_cast<bool>(churn_active_[ci])) {
+          sink_->emit({step, EventClass::kChurn,
+                       active ? EventCode::kJoin : EventCode::kLeave,
+                       Subject::kCohort, static_cast<int>(ci),
+                       static_cast<double>(cohorts_[ci].count), 0.0});
+          churn_active_[ci] = active ? 1 : 0;
+        }
+      }
+    }
+
+    if (sink_->wants(EventClass::kSchedule)) {
+      if (*bw_) {
+        const double scale = (*bw_)(step);
+        if (scale != last_bw_scale_) {
+          sink_->emit({step, EventClass::kSchedule, EventCode::kBandwidth,
+                       Subject::kRun, -1, scale, last_bw_scale_});
+          last_bw_scale_ = scale;
+        }
+      }
+      if (*rtt_) {
+        const double scale = (*rtt_)(step);
+        if (scale != last_rtt_scale_) {
+          sink_->emit({step, EventClass::kSchedule, EventCode::kRtt,
+                       Subject::kRun, -1, scale, last_rtt_scale_});
+          last_rtt_scale_ = scale;
+        }
+      }
+    }
+
+    if (sink_->wants(EventClass::kLoss)) {
+      const bool lossy = congestion_loss > 0.0;
+      if (lossy != loss_active_) {
+        sink_->emit({step, EventClass::kLoss,
+                     lossy ? EventCode::kOnset : EventCode::kClear,
+                     Subject::kRun, -1,
+                     lossy ? congestion_loss : last_loss_, 0.0});
+        loss_active_ = lossy;
+      }
+      if (lossy) last_loss_ = congestion_loss;
+      // Injected (non-congestion) loss becoming visible to a cohort:
+      // combine_loss is strictly increasing in the injected component, so
+      // observed > congestion exactly when the injector contributed.
+      for (std::size_t ci = 0; ci < cohorts_.size(); ++ci) {
+        const bool active = active_at(cohorts_[ci]);
+        const double observed =
+            active ? cohort_observed(ci, cohorts_[ci].begin) : 0.0;
+        const bool visible = active && observed > congestion_loss;
+        if (visible != static_cast<bool>(injected_visible_[ci])) {
+          sink_->emit({step, EventClass::kLoss,
+                       visible ? EventCode::kInjected : EventCode::kClear,
+                       Subject::kCohort, static_cast<int>(ci), observed,
+                       congestion_loss});
+          injected_visible_[ci] = visible ? 1 : 0;
+        }
+      }
+    }
+
+    if (sink_->wants(EventClass::kWindow) && sink_->sample_due(step)) {
+      sink_->emit({step, EventClass::kWindow, EventCode::kTotal, Subject::kRun,
+                   -1, total, rtt_value});
+      if (aggregate_) {
+        for (std::size_t ci = 0; ci < cohorts_.size(); ++ci) {
+          if (!active_at(cohorts_[ci])) continue;
+          const double w = cohort_window(ci, cohorts_[ci].begin);
+          if (w > 0.0) {
+            sink_->emit({step, EventClass::kWindow, EventCode::kSample,
+                         Subject::kCohort, static_cast<int>(ci), w, 0.0});
+          }
+        }
+      } else {
+        for (long i = 0; i < num_senders; ++i) {
+          const double w = sender_window(i);
+          if (w > 0.0) {
+            sink_->emit({step, EventClass::kWindow, EventCode::kSample,
+                         Subject::kSender, static_cast<int>(i), w, 0.0});
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  recorder::Recorder* sink_;
+  const std::function<double(long)>* bw_;
+  const std::function<double(long)>* rtt_;
+  bool aggregate_;
+  std::vector<CohortRef> cohorts_;
+  std::vector<char> churn_active_;
+  std::vector<char> injected_visible_;
+  double last_bw_scale_ = 1.0;
+  double last_rtt_scale_ = 1.0;
+  bool loss_active_ = false;
+  double last_loss_ = 0.0;
+};
+
 }  // namespace
 
 FluidSimulation::FluidSimulation(const LinkParams& link, SimOptions options)
@@ -146,6 +313,7 @@ Trace FluidSimulation::run() {
 }
 
 Trace FluidSimulation::run_scalar() {
+  TELEMETRY_SPAN("fluid", "sim.tick_loop.scalar");
   const long n = total_senders_;
 
   // Flatten groups into the historical per-sender view: count-1 groups use
@@ -205,6 +373,9 @@ Trace FluidSimulation::run_scalar() {
   long injected_loss_samples = 0;
 
   ScheduledLink sched(link_, bandwidth_scale_, rtt_scale_);
+  StepRecorder srec(options_.record_sink, groups_, bandwidth_scale_,
+                    rtt_scale_,
+                    options_.trace_detail == TraceDetail::kAggregate, n);
 
   for (long step = 0; step < options_.steps; ++step) {
 #ifndef AXIOMCC_TELEMETRY_DISABLED
@@ -250,6 +421,11 @@ Trace FluidSimulation::run_scalar() {
       if (congestion_loss > 0.0) ++loss_event_steps;
     }
     trace.add_step(windows, rtt.value(), congestion_loss, observed_loss);
+    srec.on_step(
+        step, total, rtt.value(), congestion_loss,
+        [&](std::size_t, long begin) { return windows[begin]; },
+        [&](std::size_t, long begin) { return observed_loss[begin]; },
+        [&](long i) { return windows[i]; }, n);
 
     for (long i = 0; i < n; ++i) {
       const SenderSpec& spec = *senders[i].spec;
@@ -309,6 +485,7 @@ Trace FluidSimulation::run_batch() {
   if (aggregate && !step_monitor_ && injector_->stateless()) {
     return run_batch_uniform();
   }
+  TELEMETRY_SPAN("fluid", "sim.tick_loop.batch");
   const long n = total_senders_;
 
   // One cohort per sender group. Kernel cohorts advance through the SoA
@@ -421,6 +598,13 @@ Trace FluidSimulation::run_batch() {
   const bool uniform_injector = injector_->stateless();
 
   ScheduledLink sched(link_, bandwidth_scale_, rtt_scale_);
+  StepRecorder srec(options_.record_sink, groups_, bandwidth_scale_,
+                    rtt_scale_, aggregate, n);
+  for (std::size_t ci = 0; ci < cohorts.size(); ++ci) {
+    srec.cohort_mode(ci, cohorts[ci].kernel != nullptr
+                             ? recorder::EventCode::kKernel
+                             : recorder::EventCode::kFallback);
+  }
 
   for (long step = 0; step < options_.steps; ++step) {
 #ifndef AXIOMCC_TELEMETRY_DISABLED
@@ -516,6 +700,11 @@ Trace FluidSimulation::run_batch() {
     } else {
       trace.add_step(windows, rtt_value, congestion_loss, observed);
     }
+    srec.on_step(
+        step, total, rtt_value, congestion_loss,
+        [&](std::size_t, long begin) { return windows[begin]; },
+        [&](std::size_t, long begin) { return observed[begin]; },
+        [&](long i) { return windows[i]; }, n);
 
     // Window update, cohort by cohort.
     for (Cohort& c : cohorts) {
@@ -622,6 +811,7 @@ Trace FluidSimulation::run_batch() {
 }
 
 Trace FluidSimulation::run_batch_uniform() {
+  TELEMETRY_SPAN("fluid", "sim.tick_loop.uniform");
   // Uniform-cohort engine: aggregate trace, no step monitor, stateless
   // injector (see the dispatch in run_batch). State is one representative
   // sender per cohort — O(cohorts + tracked) memory regardless of the
@@ -705,6 +895,11 @@ Trace FluidSimulation::run_batch_uniform() {
   long injected_loss_samples = 0;
 
   ScheduledLink sched(link_, bandwidth_scale_, rtt_scale_);
+  StepRecorder srec(options_.record_sink, groups_, bandwidth_scale_,
+                    rtt_scale_, /*aggregate=*/true, total_senders_);
+  for (std::size_t ci = 0; ci < cohorts.size(); ++ci) {
+    srec.cohort_mode(ci, recorder::EventCode::kUniform);
+  }
 
   for (long step = 0; step < options_.steps; ++step) {
 #ifndef AXIOMCC_TELEMETRY_DISABLED
@@ -776,6 +971,11 @@ Trace FluidSimulation::run_batch_uniform() {
     trace.add_step_aggregate_tracked(total, window_min, window_max,
                                      active_senders, rtt_value,
                                      congestion_loss, tracked_w, tracked_obs);
+    srec.on_step(
+        step, total, rtt_value, congestion_loss,
+        [&](std::size_t ci, long) { return cohorts[ci].w; },
+        [&](std::size_t ci, long) { return cohorts[ci].obs; },
+        [](long) { return 0.0; }, total_senders_);
 
     for (UniformCohort& c : cohorts) {
       if (!c.active) continue;

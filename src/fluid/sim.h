@@ -27,6 +27,7 @@
 #include "fluid/link.h"
 #include "fluid/loss_model.h"
 #include "fluid/trace.h"
+#include "recorder/recorder.h"
 
 namespace axiomcc::fluid {
 
@@ -69,6 +70,11 @@ struct SimOptions {
   /// resolve_jobs (AXIOMCC_JOBS / hardware). Traces are identical at any
   /// value; this is purely a throughput knob.
   long jobs = 1;
+  /// Non-owning flight-recorder sink (null = no recording). All emission
+  /// happens from the serial sections of the tick loops — churn/schedule/
+  /// loss transitions plus stride-sampled windows — so recordings are
+  /// byte-identical across execution paths and job counts.
+  recorder::Recorder* record_sink = nullptr;
 };
 
 /// Runs the fluid model and records a Trace.
@@ -123,6 +129,8 @@ class FluidSimulation {
   }
 
   [[nodiscard]] const FluidLink& link() const { return link_; }
+
+  [[nodiscard]] const SimOptions& options() const { return options_; }
 
   /// Runs the configured number of steps and returns the trace.
   /// Requires at least one sender. May be called once per simulation object.

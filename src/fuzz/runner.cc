@@ -6,6 +6,8 @@
 
 #include "core/metrics.h"
 #include "engine/backend.h"
+#include "fuzz/fuzzer.h"
+#include "recorder/postmortem.h"
 #include "telemetry/telemetry.h"
 
 namespace axiomcc::fuzz {
@@ -128,28 +130,50 @@ const char* outcome_kind_name(OutcomeKind kind) {
 }
 
 RunOutcome run_scenario(const ScenarioDesc& desc, const RunnerConfig& config) {
+  return run_scenario_recorded(desc, config).outcome;
+}
+
+RecordedScenario run_scenario_recorded(const ScenarioDesc& desc,
+                                       const RunnerConfig& config) {
   TELEMETRY_COUNT("fuzz.runs", 1);
 
-  RunOutcome out;
+  RecordedScenario rs;
+  RunOutcome& out = rs.outcome;
+
+  // A post-mortem needs a timeline to dump, so a non-empty dump directory
+  // implies capture even when the caller left `record.enabled` off.
+  const bool want_record =
+      recorder::compiled_in() &&
+      (config.record.enabled || !config.postmortem_dir.empty());
+  recorder::RecordOptions ropts = config.record;
+  ropts.enabled = want_record;
 
   {
     CompiledScenario fluid = compile_scenario(desc);
+    fluid.spec.record = ropts;
+    const auto rec = engine::make_recorder(fluid.spec);
+    fluid.spec.record_sink = rec.get();
     const stress::GuardedResult result = stress::run_guarded(
         engine::backend_for(engine::BackendKind::kFluid), fluid.spec,
         config.guard);
     out.fluid_fault = result.fault;
     out.fluid = reduce_trace(result, desc.tail_fraction, out.fluid_fault);
+    if (rec) rs.fluid = rec->snapshot();
   }
   {
     CompiledScenario packet = compile_scenario(desc);
     packet.spec.max_window_mss =
         std::min(packet.spec.max_window_mss, config.packet_max_window_mss);
+    packet.spec.record = ropts;
+    const auto rec = engine::make_recorder(packet.spec);
+    packet.spec.record_sink = rec.get();
     const engine::PacketBackend backend(engine::PacketBackend::Options{
         1500, config.packet_max_window_mss});
     const stress::GuardedResult result =
         stress::run_guarded(backend, packet.spec, config.guard);
     out.packet_fault = result.fault;
     out.packet = reduce_trace(result, desc.tail_fraction, out.packet_fault);
+    if (rec) rs.packet = rec->snapshot();
   }
 
   const bool fluid_ok = out.fluid_fault.ok();
@@ -167,7 +191,41 @@ RunOutcome run_scenario(const ScenarioDesc& desc, const RunnerConfig& config) {
 
   out.novelty_key = novelty_key_for(out, desc);
   if (out.is_finding()) TELEMETRY_COUNT("fuzz.findings", 1);
-  return out;
+
+  if (out.is_finding() && want_record && !config.postmortem_dir.empty()) {
+    recorder::PostMortem pm;
+    pm.kind = outcome_kind_name(out.kind);
+    pm.divergence = out.divergence;
+    pm.scenario_text = serialize_scenario(desc);
+    const auto side = [](std::string label, const stress::FaultReport& fault,
+                         recorder::Recording recording) {
+      recorder::PostMortemSide s;
+      s.label = std::move(label);
+      if (!fault.ok()) {
+        s.fault_kind = stress::fault_kind_name(fault.kind);
+        s.fault_step = fault.step;
+        s.fault_sender = fault.sender;
+        s.detail = fault.detail;
+      }
+      s.recording = std::move(recording);
+      return s;
+    };
+    pm.sides.push_back(side("fluid", out.fluid_fault, rs.fluid));
+    pm.sides.push_back(side("packet", out.packet_fault, rs.packet));
+    // Name the dump after the corpus entry it reproduces from, so a CI
+    // triage can pair postmortem-scn-<hash>.jsonl with scn-<hash>.scn.
+    std::string name = corpus_file_name(desc);
+    pm.title = name;
+    if (name.size() > 4) name.resize(name.size() - 4);  // drop ".scn"
+    const stress::FaultReport write_fault = stress::guard_invoke([&] {
+      out.postmortem_path =
+          recorder::write_postmortem(config.postmortem_dir, name, pm);
+    });
+    if (!write_fault.ok()) {
+      TELEMETRY_COUNT("fuzz.postmortem_write_failures", 1);
+    }
+  }
+  return rs;
 }
 
 ExpectDesc expect_for(const RunOutcome& outcome) {

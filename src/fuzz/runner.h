@@ -26,6 +26,7 @@
 #include <string>
 
 #include "fuzz/scenario_text.h"
+#include "recorder/recorder.h"
 #include "stress/guarded_run.h"
 
 namespace axiomcc::fuzz {
@@ -65,6 +66,9 @@ struct RunOutcome {
   /// Bucketed position in metric space + outcome classification; equal keys
   /// mean "nothing new here" to the corpus.
   std::uint64_t novelty_key = 0;
+  /// Where the finding's post-mortem JSONL landed; "" when none was dumped
+  /// (clean run, no `postmortem_dir`, or the recorder is compiled out).
+  std::string postmortem_path;
 
   [[nodiscard]] bool is_finding() const { return kind != OutcomeKind::kClean; }
 };
@@ -78,6 +82,16 @@ struct RunnerConfig {
   /// Packet-side cwnd clamp (the fluid side happily runs 1e9-MSS windows;
   /// packet event counts are proportional to real packets).
   double packet_max_window_mss = 2000.0;
+  /// Flight-recorder capture options for both backends. Capture runs when
+  /// `record.enabled` is set OR `postmortem_dir` is non-empty (the dump
+  /// needs a timeline to dump); otherwise the runner attaches no recorder
+  /// and costs exactly what it did before the recorder existed.
+  recorder::RecordOptions record;
+  /// When non-empty, every finding (fault or divergence) dumps a
+  /// schema-versioned post-mortem — the byte-exact `.scn` reproducer plus
+  /// the last recorded events from each backend — into this directory as
+  /// `postmortem-scn-<hash>.jsonl`, mirroring the corpus file name.
+  std::string postmortem_dir;
 };
 
 /// Runs `desc` on both backends and classifies the outcome. Throws only on
@@ -85,6 +99,20 @@ struct RunnerConfig {
 /// captured in the outcome, never thrown.
 [[nodiscard]] RunOutcome run_scenario(const ScenarioDesc& desc,
                                       const RunnerConfig& config = {});
+
+/// A dual-backend run plus both captured timelines (empty when capture was
+/// off or the recorder is compiled out). `axiomcc-inspect --align` uses
+/// this to re-execute a reproducer and step-align the two backends.
+struct RecordedScenario {
+  RunOutcome outcome;
+  recorder::Recording fluid;
+  recorder::Recording packet;
+};
+
+/// `run_scenario` with the recordings kept. Identical classification; the
+/// outcome of the two entry points is the same for the same (desc, config).
+[[nodiscard]] RecordedScenario run_scenario_recorded(
+    const ScenarioDesc& desc, const RunnerConfig& config = {});
 
 /// The expectation a triaged corpus entry should carry for `outcome`.
 [[nodiscard]] ExpectDesc expect_for(const RunOutcome& outcome);

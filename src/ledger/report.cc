@@ -20,7 +20,18 @@ struct Series {
   std::string name;
   const char* cls = "exact";       ///< "timing" | "exact" | "det"
   std::vector<double> history;     ///< oldest first, newest last.
+  /// Per-record core divisor aligned with `history`: the record's own job
+  /// count, falling back to the hardware concurrency RECORDED IN THAT RUN
+  /// — never the reporting machine's — so a ledger carried across machines
+  /// normalizes each run by the cores it actually used.
+  std::vector<double> divisors;
 };
+
+double record_divisor(const LedgerRecord& record) {
+  if (record.jobs > 0) return static_cast<double>(record.jobs);
+  if (record.hardware_jobs > 0) return static_cast<double>(record.hardware_jobs);
+  return 1.0;
+}
 
 std::string fmt_value(double v) {
   if (v == std::floor(v) && std::abs(v) < 1e15) {
@@ -64,29 +75,31 @@ std::vector<Series> collect_series(
     for (const LedgerRecord& record : window) {
       if (const auto v = find_metric(record.*member, s.name)) {
         s.history.push_back(*v);
+        s.divisors.push_back(record_divisor(record));
       }
     }
   };
 
   for (const auto& [name, seconds] : newest.phases) {
     (void)seconds;
-    Series s{name + " (s)", "timing", {}};
+    Series s{name + " (s)", "timing", {}, {}};
     for (const LedgerRecord& record : window) {
       if (const auto v = find_metric(record.phases, name)) {
         s.history.push_back(*v);
+        s.divisors.push_back(record_divisor(record));
       }
     }
     series.push_back(std::move(s));
   }
   for (const auto& [name, value] : newest.counters) {
     (void)value;
-    Series s{name, is_timing_counter(name) ? "timing" : "exact", {}};
+    Series s{name, is_timing_counter(name) ? "timing" : "exact", {}, {}};
     push_history(s, &LedgerRecord::counters);
     series.push_back(std::move(s));
   }
   for (const auto& [name, value] : newest.deterministic_counters) {
     (void)value;
-    Series s{name, "det", {}};
+    Series s{name, "det", {}, {}};
     push_history(s, &LedgerRecord::deterministic_counters);
     series.push_back(std::move(s));
   }
@@ -159,26 +172,35 @@ std::string render_ledger_report(
     for (const Series& s : collect_series(window)) {
       if (s.history.empty()) continue;
       const double newest_value = s.history.back();
-      // Rate counters also get a per-core normalization (value / the newest
-      // run's job count), so throughput is comparable across machines with
-      // different core counts.
+      // Rate counters get a per-core normalization using EACH record's own
+      // recorded core count (its --jobs, else the hardware concurrency it
+      // ran with), so throughput compares across runs from machines with
+      // different core counts — and the Median/Δ/Trend columns for a rate
+      // row compare the normalized values, not raw rates that silently mix
+      // job counts.
       const bool is_rate = s.name.find("_per_sec") != std::string::npos;
+      std::vector<double> normalized;
+      if (is_rate) {
+        normalized.reserve(s.history.size());
+        for (std::size_t i = 0; i < s.history.size(); ++i) {
+          normalized.push_back(s.history[i] / s.divisors[i]);
+        }
+      }
+      const std::vector<double>& compared = is_rate ? normalized : s.history;
       const std::string per_core =
-          is_rate && newest.jobs > 0
-              ? fmt_value(newest_value / static_cast<double>(newest.jobs))
-              : "";
+          is_rate ? fmt_value(normalized.back()) : "";
       // Median of the prior runs; with a single run the newest is its own
       // baseline and the delta column shows "=".
-      const std::span<const double> prior(s.history.data(),
-                                          s.history.size() - 1);
+      const std::span<const double> prior(compared.data(),
+                                          compared.size() - 1);
       const double median =
-          prior.empty() ? newest_value : median_of(prior);
+          prior.empty() ? compared.back() : median_of(prior);
       out += "| `" + s.name + "` | " + s.cls + " | " +
              fmt_value(newest_value) + " | " + per_core + " | " +
-             fmt_value(median) + " | " + fmt_delta(newest_value, median) +
+             fmt_value(median) + " | " + fmt_delta(compared.back(), median) +
              " |";
       if (trend) {
-        out += " " + (s.history.size() > 1 ? spark(s.history) : "") + " |";
+        out += " " + (compared.size() > 1 ? spark(compared) : "") + " |";
       }
       out += "\n";
     }

@@ -1,0 +1,81 @@
+#include "recorder/event.h"
+
+#include <cstring>
+
+namespace axiomcc::recorder {
+
+const char* event_class_name(EventClass cls) {
+  switch (cls) {
+    case EventClass::kWindow: return "window";
+    case EventClass::kLoss: return "loss";
+    case EventClass::kSchedule: return "schedule";
+    case EventClass::kChurn: return "churn";
+    case EventClass::kCohort: return "cohort";
+    case EventClass::kGuard: return "guard";
+  }
+  return "window";
+}
+
+const char* event_code_name(EventCode code) {
+  switch (code) {
+    case EventCode::kSample: return "sample";
+    case EventCode::kTotal: return "total";
+    case EventCode::kOnset: return "onset";
+    case EventCode::kClear: return "clear";
+    case EventCode::kInjected: return "injected";
+    case EventCode::kBandwidth: return "bandwidth";
+    case EventCode::kRtt: return "rtt";
+    case EventCode::kJoin: return "join";
+    case EventCode::kLeave: return "leave";
+    case EventCode::kKernel: return "kernel";
+    case EventCode::kFallback: return "fallback";
+    case EventCode::kUniform: return "uniform";
+    case EventCode::kCheck: return "check";
+    case EventCode::kTrip: return "trip";
+  }
+  return "sample";
+}
+
+const char* subject_name(Subject subject) {
+  switch (subject) {
+    case Subject::kRun: return "run";
+    case Subject::kCohort: return "cohort";
+    case Subject::kSender: return "sender";
+  }
+  return "run";
+}
+
+bool event_class_from_name(const char* name, EventClass& out) {
+  for (int i = 0; i < kNumEventClasses; ++i) {
+    const auto cls = static_cast<EventClass>(i);
+    if (std::strcmp(name, event_class_name(cls)) == 0) {
+      out = cls;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool event_code_from_name(const char* name, EventCode& out) {
+  for (int i = 0; i <= static_cast<int>(EventCode::kTrip); ++i) {
+    const auto code = static_cast<EventCode>(i);
+    if (std::strcmp(name, event_code_name(code)) == 0) {
+      out = code;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool subject_from_name(const char* name, Subject& out) {
+  for (int i = 0; i <= static_cast<int>(Subject::kSender); ++i) {
+    const auto subject = static_cast<Subject>(i);
+    if (std::strcmp(name, subject_name(subject)) == 0) {
+      out = subject;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace axiomcc::recorder

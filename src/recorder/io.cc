@@ -1,0 +1,161 @@
+#include "recorder/io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.h"
+
+namespace axiomcc::recorder {
+
+namespace {
+
+void append_header_json(std::string& out, const Recording& r) {
+  out += "{\"schema\":";
+  append_json_string(out, kRecordingSchema);
+  out += ",\"version\":" + std::to_string(r.version);
+  out += ",\"backend\":";
+  append_json_string(out, r.backend);
+  out += ",\"senders\":" + std::to_string(r.senders);
+  out += ",\"steps\":" + std::to_string(r.steps);
+  out += ",\"classes\":" + std::to_string(r.options.classes);
+  out += ",\"ring_depth\":" + std::to_string(r.options.ring_depth);
+  out += ",\"sample_stride\":" + std::to_string(r.options.sample_stride);
+  out += ",\"dropped\":" + std::to_string(r.dropped);
+  out += "}";
+}
+
+double number_field(const JsonValue& value, const char* key) {
+  const JsonValue* field = value.find(key);
+  if (field == nullptr || field->kind != JsonValue::Kind::kNumber) {
+    throw std::runtime_error(std::string("recording: missing numeric field '") +
+                             key + "'");
+  }
+  return field->number;
+}
+
+std::string string_field(const JsonValue& value, const char* key) {
+  const JsonValue* field = value.find(key);
+  if (field == nullptr || field->kind != JsonValue::Kind::kString) {
+    throw std::runtime_error(std::string("recording: missing string field '") +
+                             key + "'");
+  }
+  return field->string;
+}
+
+}  // namespace
+
+void append_event_json(std::string& out, const Event& event) {
+  out += "{\"step\":" + std::to_string(event.step);
+  out += ",\"class\":";
+  append_json_string(out, event_class_name(event.cls));
+  out += ",\"code\":";
+  append_json_string(out, event_code_name(event.code));
+  out += ",\"lane\":";
+  append_json_string(out, subject_name(event.subject_kind));
+  out += ",\"subject\":" + std::to_string(event.subject);
+  out += ",\"a\":";
+  append_json_number(out, event.a);
+  out += ",\"b\":";
+  append_json_number(out, event.b);
+  out += "}";
+}
+
+Event parse_event_json(const JsonValue& value) {
+  Event event;
+  event.step = static_cast<long>(number_field(value, "step"));
+  const std::string cls = string_field(value, "class");
+  const std::string code = string_field(value, "code");
+  const std::string lane = string_field(value, "lane");
+  if (!event_class_from_name(cls.c_str(), event.cls)) {
+    throw std::runtime_error("recording: unknown event class '" + cls + "'");
+  }
+  if (!event_code_from_name(code.c_str(), event.code)) {
+    throw std::runtime_error("recording: unknown event code '" + code + "'");
+  }
+  if (!subject_from_name(lane.c_str(), event.subject_kind)) {
+    throw std::runtime_error("recording: unknown lane '" + lane + "'");
+  }
+  event.subject = static_cast<int>(number_field(value, "subject"));
+  event.a = number_field(value, "a");
+  event.b = number_field(value, "b");
+  return event;
+}
+
+std::string recording_to_jsonl(const Recording& recording) {
+  std::string out;
+  out.reserve(64 + recording.events.size() * 96);
+  append_header_json(out, recording);
+  out.push_back('\n');
+  for (const Event& event : recording.events) {
+    append_event_json(out, event);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Recording parse_recording_jsonl(std::string_view text) {
+  Recording out;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const JsonValue value = parse_json(line);
+    if (!saw_header) {
+      if (string_field(value, "schema") != kRecordingSchema) {
+        throw std::runtime_error("recording: unexpected schema");
+      }
+      out.version = static_cast<int>(number_field(value, "version"));
+      if (out.version != kRecordingVersion) {
+        throw std::runtime_error("recording: unknown schema version " +
+                                 std::to_string(out.version));
+      }
+      out.backend = string_field(value, "backend");
+      out.senders = static_cast<long>(number_field(value, "senders"));
+      out.steps = static_cast<long>(number_field(value, "steps"));
+      out.options.enabled = true;
+      out.options.classes =
+          static_cast<unsigned>(number_field(value, "classes"));
+      out.options.ring_depth =
+          static_cast<long>(number_field(value, "ring_depth"));
+      out.options.sample_stride =
+          static_cast<long>(number_field(value, "sample_stride"));
+      out.dropped = static_cast<std::uint64_t>(number_field(value, "dropped"));
+      saw_header = true;
+      continue;
+    }
+    out.events.push_back(parse_event_json(value));
+  }
+  if (!saw_header) {
+    throw std::runtime_error("recording: empty input (no header line)");
+  }
+  return out;
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_text_file(const std::string& path, std::string_view contents) {
+  const std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(fs_path.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  if (!out) throw std::runtime_error("short write to " + path);
+}
+
+}  // namespace axiomcc::recorder

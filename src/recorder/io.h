@@ -1,0 +1,44 @@
+#ifndef AXIOMCC_RECORDER_IO_H_
+#define AXIOMCC_RECORDER_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "recorder/recorder.h"
+#include "util/json.h"
+
+namespace axiomcc::recorder {
+
+/// Schema stamped into every recording header line. Bump `version` (in
+/// `Recording`) on any incompatible field change; the reader rejects
+/// versions it does not know.
+inline constexpr std::string_view kRecordingSchema = "axiomcc-recording";
+inline constexpr int kRecordingVersion = 1;
+
+/// Serializes a recording as JSONL: one header object (schema, version,
+/// backend, run metadata, capture options, drop count) followed by one
+/// object per event in emission order. Numbers use the deterministic
+/// "%.12g" writer, so identical recordings yield identical bytes.
+[[nodiscard]] std::string recording_to_jsonl(const Recording& recording);
+
+/// Appends one event as a JSON object (no trailing newline) to `out`.
+/// Exposed for the post-mortem writer, which tags event lines with a side.
+void append_event_json(std::string& out, const Event& event);
+
+/// Parses an event object produced by `append_event_json`. Throws
+/// std::runtime_error on unknown names or missing fields.
+[[nodiscard]] Event parse_event_json(const JsonValue& value);
+
+/// Inverse of `recording_to_jsonl`. Throws std::runtime_error on malformed
+/// lines, a wrong schema, or an unknown schema version.
+[[nodiscard]] Recording parse_recording_jsonl(std::string_view text);
+
+/// Whole-file helpers shared by the post-mortem writer and the inspect
+/// CLI. `write_text_file` creates parent directories; both throw
+/// std::runtime_error on I/O failure.
+[[nodiscard]] std::string read_text_file(const std::string& path);
+void write_text_file(const std::string& path, std::string_view contents);
+
+}  // namespace axiomcc::recorder
+
+#endif  // AXIOMCC_RECORDER_IO_H_

@@ -1,0 +1,154 @@
+#include "recorder/postmortem.h"
+
+#include <stdexcept>
+
+#include "recorder/io.h"
+#include "util/json.h"
+
+namespace axiomcc::recorder {
+
+namespace {
+
+double number_field(const JsonValue& value, const char* key) {
+  const JsonValue* field = value.find(key);
+  if (field == nullptr || field->kind != JsonValue::Kind::kNumber) {
+    throw std::runtime_error(
+        std::string("postmortem: missing numeric field '") + key + "'");
+  }
+  return field->number;
+}
+
+std::string string_field(const JsonValue& value, const char* key) {
+  const JsonValue* field = value.find(key);
+  if (field == nullptr || field->kind != JsonValue::Kind::kString) {
+    throw std::runtime_error(
+        std::string("postmortem: missing string field '") + key + "'");
+  }
+  return field->string;
+}
+
+}  // namespace
+
+std::string postmortem_to_jsonl(const PostMortem& pm, long last_k) {
+  std::string out;
+  out += "{\"schema\":";
+  append_json_string(out, kPostMortemSchema);
+  out += ",\"version\":" + std::to_string(pm.version);
+  out += ",\"kind\":";
+  append_json_string(out, pm.kind);
+  out += ",\"title\":";
+  append_json_string(out, pm.title);
+  out += ",\"divergence\":";
+  append_json_number(out, pm.divergence);
+  out += ",\"scenario\":";
+  append_json_string(out, pm.scenario_text);
+  out += "}\n";
+  for (const PostMortemSide& side : pm.sides) {
+    const Recording& r = side.recording;
+    std::size_t first = 0;
+    if (last_k >= 0 && r.events.size() > static_cast<std::size_t>(last_k)) {
+      first = r.events.size() - static_cast<std::size_t>(last_k);
+    }
+    out += "{\"side\":";
+    append_json_string(out, side.label);
+    out += ",\"fault\":";
+    append_json_string(out, side.fault_kind);
+    out += ",\"fault_step\":" + std::to_string(side.fault_step);
+    out += ",\"fault_sender\":" + std::to_string(side.fault_sender);
+    out += ",\"detail\":";
+    append_json_string(out, side.detail);
+    out += ",\"backend\":";
+    append_json_string(out, r.backend);
+    out += ",\"senders\":" + std::to_string(r.senders);
+    out += ",\"steps\":" + std::to_string(r.steps);
+    out += ",\"classes\":" + std::to_string(r.options.classes);
+    out += ",\"ring_depth\":" + std::to_string(r.options.ring_depth);
+    out += ",\"sample_stride\":" + std::to_string(r.options.sample_stride);
+    out += ",\"dropped\":" +
+           std::to_string(r.dropped + first);  // trimmed events count as lost
+    out += ",\"events\":" + std::to_string(r.events.size() - first);
+    out += "}\n";
+    for (std::size_t i = first; i < r.events.size(); ++i) {
+      std::string line = "{\"side\":";
+      append_json_string(line, side.label);
+      line += ",";
+      std::string event_json;
+      append_event_json(event_json, r.events[i]);
+      line += event_json.substr(1);  // splice the side tag into the object
+      out += line;
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+PostMortem parse_postmortem_jsonl(std::string_view text) {
+  PostMortem out;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+    const JsonValue value = parse_json(line);
+    if (!saw_header) {
+      if (string_field(value, "schema") != kPostMortemSchema) {
+        throw std::runtime_error("postmortem: unexpected schema");
+      }
+      out.version = static_cast<int>(number_field(value, "version"));
+      if (out.version != kPostMortemVersion) {
+        throw std::runtime_error("postmortem: unknown schema version " +
+                                 std::to_string(out.version));
+      }
+      out.kind = string_field(value, "kind");
+      out.title = string_field(value, "title");
+      out.divergence = number_field(value, "divergence");
+      out.scenario_text = string_field(value, "scenario");
+      saw_header = true;
+      continue;
+    }
+    if (value.find("fault") != nullptr) {
+      PostMortemSide side;
+      side.label = string_field(value, "side");
+      side.fault_kind = string_field(value, "fault");
+      side.fault_step = static_cast<long>(number_field(value, "fault_step"));
+      side.fault_sender =
+          static_cast<int>(number_field(value, "fault_sender"));
+      side.detail = string_field(value, "detail");
+      side.recording.backend = string_field(value, "backend");
+      side.recording.senders =
+          static_cast<long>(number_field(value, "senders"));
+      side.recording.steps = static_cast<long>(number_field(value, "steps"));
+      side.recording.options.enabled = true;
+      side.recording.options.classes =
+          static_cast<unsigned>(number_field(value, "classes"));
+      side.recording.options.ring_depth =
+          static_cast<long>(number_field(value, "ring_depth"));
+      side.recording.options.sample_stride =
+          static_cast<long>(number_field(value, "sample_stride"));
+      side.recording.dropped =
+          static_cast<std::uint64_t>(number_field(value, "dropped"));
+      out.sides.push_back(std::move(side));
+      continue;
+    }
+    if (out.sides.empty()) {
+      throw std::runtime_error("postmortem: event line before any side");
+    }
+    out.sides.back().recording.events.push_back(parse_event_json(value));
+  }
+  if (!saw_header) {
+    throw std::runtime_error("postmortem: empty input (no header line)");
+  }
+  return out;
+}
+
+std::string write_postmortem(const std::string& dir, const std::string& name,
+                             const PostMortem& pm, long last_k) {
+  const std::string path = dir + "/postmortem-" + name + ".jsonl";
+  write_text_file(path, postmortem_to_jsonl(pm, last_k));
+  return path;
+}
+
+}  // namespace axiomcc::recorder

@@ -1,0 +1,56 @@
+#ifndef AXIOMCC_RECORDER_POSTMORTEM_H_
+#define AXIOMCC_RECORDER_POSTMORTEM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "recorder/recorder.h"
+
+namespace axiomcc::recorder {
+
+inline constexpr std::string_view kPostMortemSchema = "axiomcc-postmortem";
+inline constexpr int kPostMortemVersion = 1;
+
+/// One run's contribution to a post-mortem: its fault classification (all
+/// empty/negative for a side that completed cleanly) and the tail of its
+/// recorded timeline.
+struct PostMortemSide {
+  std::string label;       ///< "fluid" | "packet" | free text
+  std::string fault_kind;  ///< stress::fault_kind_name, "" when clean
+  long fault_step = -1;
+  int fault_sender = -1;
+  std::string detail;
+  Recording recording;
+};
+
+/// A schema-versioned fault/divergence dump: the reproducer scenario text
+/// plus the last-k recorded events from each participating run. Written as
+/// JSONL next to the other ledger artifacts so CI can upload it wholesale.
+struct PostMortem {
+  int version = kPostMortemVersion;
+  std::string kind;   ///< "fault" | "divergence" | outcome-kind name
+  std::string title;  ///< free-form run identity (scenario name, cell, ...)
+  double divergence = 0.0;
+  std::string scenario_text;  ///< byte-exact .scn reproducer, "" if unknown
+  std::vector<PostMortemSide> sides;
+};
+
+/// Serializes as JSONL: one post-mortem header, then per side a side
+/// header followed by that side's last `last_k` events (tagged with the
+/// side label). `last_k < 0` keeps every event.
+[[nodiscard]] std::string postmortem_to_jsonl(const PostMortem& pm,
+                                              long last_k = 64);
+
+/// Inverse of `postmortem_to_jsonl`; throws std::runtime_error on
+/// malformed input or unknown schema versions.
+[[nodiscard]] PostMortem parse_postmortem_jsonl(std::string_view text);
+
+/// Writes `pm` to `<dir>/postmortem-<name>.jsonl` (directories created)
+/// and returns the path.
+std::string write_postmortem(const std::string& dir, const std::string& name,
+                             const PostMortem& pm, long last_k = 64);
+
+}  // namespace axiomcc::recorder
+
+#endif  // AXIOMCC_RECORDER_POSTMORTEM_H_

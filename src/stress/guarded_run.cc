@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "recorder/postmortem.h"
 #include "telemetry/telemetry.h"
 
 namespace axiomcc::stress {
@@ -27,25 +28,45 @@ namespace {
 /// The guard's step monitor: watches every step for invariant violations and
 /// records the first one in `fault` (which must outlive the run). Shared by
 /// the fluid-specific and the backend-generic runners — the monitor shape is
-/// identical on both sides of the engine.
+/// identical on both sides of the engine. When `sink` is non-null the
+/// monitor also narrates itself into the flight recorder: a sampled kCheck
+/// on the run lane (a = aggregate window) and a kTrip on the offending
+/// sender's lane (a = offending value, b = FaultKind) the moment it fires.
 engine::StepMonitor make_guard_monitor(FaultReport& fault,
                                        const GuardConfig& config,
-                                       double capacity) {
-  return [&fault, config, capacity](long step, std::span<const double> windows,
-                                    double /*rtt_seconds*/,
-                                    double /*congestion_loss*/) {
+                                       double capacity,
+                                       recorder::Recorder* sink) {
+  return [&fault, config, capacity, sink](long step,
+                                          std::span<const double> windows,
+                                          double /*rtt_seconds*/,
+                                          double /*congestion_loss*/) {
     ++fault.steps_observed;
-    const auto trip = [&](FaultKind kind, int sender, const std::string& why) {
+    const bool record = sink != nullptr &&
+                        sink->wants(recorder::EventClass::kGuard);
+    const auto trip = [&](FaultKind kind, int sender, double value,
+                          const std::string& why) {
       fault.kind = kind;
       fault.step = step;
       fault.sender = sender;
       fault.detail = why;
       TELEMETRY_COUNT("stress.invariant_trips", 1);
+      if (record) {
+        recorder::Event ev;
+        ev.step = step;
+        ev.cls = recorder::EventClass::kGuard;
+        ev.code = recorder::EventCode::kTrip;
+        ev.subject_kind = sender >= 0 ? recorder::Subject::kSender
+                                      : recorder::Subject::kRun;
+        ev.subject = sender;
+        ev.a = value;
+        ev.b = static_cast<double>(kind);
+        sink->emit(ev);
+      }
       return false;  // stop the run
     };
 
     if (step >= config.step_budget) {
-      return trip(FaultKind::kStepBudget, -1,
+      return trip(FaultKind::kStepBudget, -1, static_cast<double>(step),
                   "step budget " + std::to_string(config.step_budget) +
                       " exhausted");
     }
@@ -56,18 +77,18 @@ engine::StepMonitor make_guard_monitor(FaultReport& fault,
       if (!std::isfinite(w)) {
         std::ostringstream os;
         os << "window of sender " << i << " is " << w;
-        return trip(FaultKind::kNonFiniteWindow, i, os.str());
+        return trip(FaultKind::kNonFiniteWindow, i, w, os.str());
       }
       if (w < 0.0) {
         std::ostringstream os;
         os << "window of sender " << i << " is " << w;
-        return trip(FaultKind::kNegativeWindow, i, os.str());
+        return trip(FaultKind::kNegativeWindow, i, w, os.str());
       }
       if (w > config.max_window_mss) {
         std::ostringstream os;
         os << "window of sender " << i << " is " << w << " > bound "
            << config.max_window_mss;
-        return trip(FaultKind::kAggregateBlowup, i, os.str());
+        return trip(FaultKind::kAggregateBlowup, i, w, os.str());
       }
       total += w;
     }
@@ -75,16 +96,56 @@ engine::StepMonitor make_guard_monitor(FaultReport& fault,
       std::ostringstream os;
       os << "aggregate window " << total << " > bound "
          << config.max_aggregate_window_mss;
-      return trip(FaultKind::kAggregateBlowup, -1, os.str());
+      return trip(FaultKind::kAggregateBlowup, -1, total, os.str());
     }
     if (config.max_queue_mss > 0.0 && total - capacity > config.max_queue_mss) {
       std::ostringstream os;
       os << "standing queue " << (total - capacity) << " MSS > bound "
          << config.max_queue_mss;
-      return trip(FaultKind::kQueueGrowth, -1, os.str());
+      return trip(FaultKind::kQueueGrowth, -1, total - capacity, os.str());
+    }
+    if (record && sink->sample_due(step)) {
+      recorder::Event ev;
+      ev.step = step;
+      ev.cls = recorder::EventClass::kGuard;
+      ev.code = recorder::EventCode::kCheck;
+      ev.a = total;
+      sink->emit(ev);
     }
     return true;
   };
+}
+
+/// Dumps a fault post-mortem next to the other artifacts when the config
+/// asks for one and the spec carried a recorder. Dump failure (an I/O
+/// error) is swallowed — the guard's contract is to report the simulation
+/// fault, not to trade it for a filesystem one.
+std::string maybe_dump_postmortem(recorder::Recorder* sink,
+                                  const GuardConfig& config,
+                                  const FaultReport& fault) {
+  if (fault.ok() || config.postmortem_dir.empty() || sink == nullptr ||
+      !recorder::compiled_in()) {
+    return {};
+  }
+  recorder::PostMortem pm;
+  pm.kind = "fault";
+  pm.title = config.postmortem_label;
+  recorder::PostMortemSide side;
+  side.recording = sink->snapshot();
+  side.label =
+      side.recording.backend.empty() ? "run" : side.recording.backend;
+  side.fault_kind = fault_kind_name(fault.kind);
+  side.fault_step = fault.step;
+  side.fault_sender = fault.sender;
+  side.detail = fault.detail;
+  pm.sides.push_back(std::move(side));
+  try {
+    return recorder::write_postmortem(config.postmortem_dir,
+                                      config.postmortem_label, pm);
+  } catch (const std::exception&) {
+    TELEMETRY_COUNT("stress.postmortem_write_failures", 1);
+    return {};
+  }
 }
 
 void check_guard_config(const GuardConfig& config) {
@@ -100,16 +161,19 @@ GuardedResult run_guarded(fluid::FluidSimulation& sim,
   check_guard_config(config);
 
   FaultReport fault;
-  sim.set_step_monitor(
-      make_guard_monitor(fault, config, sim.link().capacity_mss()));
+  sim.set_step_monitor(make_guard_monitor(fault, config,
+                                          sim.link().capacity_mss(),
+                                          sim.options().record_sink));
 
   const int n = sim.num_senders() > 0 ? sim.num_senders() : 1;
+  recorder::Recorder* const sink = sim.options().record_sink;
   TELEMETRY_SPAN("stress", "guarded_run");
   TELEMETRY_COUNT("stress.guard_runs", 1);
   try {
     fluid::Trace trace = sim.run();
     TELEMETRY_COUNT("stress.guard_steps", fault.steps_observed);
-    return GuardedResult{std::move(trace), std::move(fault)};
+    std::string pm = maybe_dump_postmortem(sink, config, fault);
+    return GuardedResult{std::move(trace), std::move(fault), std::move(pm)};
   } catch (const ContractViolation& e) {
     fault.kind = FaultKind::kContractViolation;
     fault.detail = e.what();
@@ -121,10 +185,11 @@ GuardedResult run_guarded(fluid::FluidSimulation& sim,
   TELEMETRY_COUNT("stress.guard_steps", fault.steps_observed);
   // The in-progress trace died with the exception; return an empty stand-in
   // so downstream scoring sees zero steps rather than garbage.
+  std::string pm = maybe_dump_postmortem(sink, config, fault);
   return GuardedResult{
       fluid::Trace(n, sim.link().capacity_mss(),
                    sim.link().min_rtt().value()),
-      std::move(fault)};
+      std::move(fault), std::move(pm)};
 }
 
 GuardedResult run_guarded(const engine::SimBackend& backend,
@@ -136,7 +201,8 @@ GuardedResult run_guarded(const engine::SimBackend& backend,
 
   FaultReport fault;
   const fluid::FluidLink link(spec.link);
-  spec.step_monitor = make_guard_monitor(fault, config, link.capacity_mss());
+  spec.step_monitor =
+      make_guard_monitor(fault, config, link.capacity_mss(), spec.record_sink);
 
   const int n =
       spec.senders.empty() ? 1 : static_cast<int>(spec.senders.size());
@@ -145,7 +211,8 @@ GuardedResult run_guarded(const engine::SimBackend& backend,
   try {
     engine::RunTrace rt = backend.run(spec);
     TELEMETRY_COUNT("stress.guard_steps", fault.steps_observed);
-    return GuardedResult{std::move(rt.trace), std::move(fault)};
+    std::string pm = maybe_dump_postmortem(spec.record_sink, config, fault);
+    return GuardedResult{std::move(rt.trace), std::move(fault), std::move(pm)};
   } catch (const ContractViolation& e) {
     fault.kind = FaultKind::kContractViolation;
     fault.detail = e.what();
@@ -155,9 +222,10 @@ GuardedResult run_guarded(const engine::SimBackend& backend,
   }
   TELEMETRY_COUNT("stress.guard_exceptions", 1);
   TELEMETRY_COUNT("stress.guard_steps", fault.steps_observed);
+  std::string pm = maybe_dump_postmortem(spec.record_sink, config, fault);
   return GuardedResult{
       fluid::Trace(n, link.capacity_mss(), link.min_rtt().value()),
-      std::move(fault)};
+      std::move(fault), std::move(pm)};
 }
 
 }  // namespace axiomcc::stress

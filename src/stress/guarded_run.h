@@ -15,6 +15,7 @@
 #include "engine/backend.h"
 #include "fluid/sim.h"
 #include "fluid/trace.h"
+#include "recorder/recorder.h"
 #include "util/check.h"
 
 namespace axiomcc::stress {
@@ -58,12 +59,23 @@ struct GuardConfig {
   /// links where "queue" is meaningless).
   double max_queue_mss = 0.0;
   long step_budget = 2'000'000;           ///< watchdog on total steps.
+  /// When non-empty and the spec carries a flight-recorder sink, a guard
+  /// fault dumps a post-mortem JSONL (`postmortem-<label>.jsonl`) into this
+  /// directory: the fault classification plus the last recorded events.
+  /// Reproducer text is unknown at this layer — the fuzz runner attaches it
+  /// at its own. Empty (the default) disables dumping.
+  std::string postmortem_dir;
+  /// File-name stem and side title for the dump above.
+  std::string postmortem_label = "run";
 };
 
 /// A (possibly truncated) trace plus the fault that ended it, if any.
 struct GuardedResult {
   fluid::Trace trace;
   FaultReport fault;
+  /// Path of the post-mortem dumped for this fault, "" when none was
+  /// written (clean run, no recorder attached, or dumping disabled).
+  std::string postmortem_path;
 };
 
 /// Runs `sim` (fully configured: senders, injectors, schedules) under the

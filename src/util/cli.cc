@@ -112,6 +112,18 @@ std::optional<std::string> ArgParser::ledger_path() const {
   return value;
 }
 
+std::optional<std::string> ArgParser::record_dir() const {
+  std::optional<std::string> value = get("record");
+  if (!value) {
+    const char* env = std::getenv("AXIOMCC_RECORD");
+    if (env == nullptr) return std::nullopt;
+    value = std::string(env);
+    if (value->empty() || *value == "0") return std::nullopt;
+  }
+  if (value->empty() || *value == "1") return artifacts_dir();
+  return value;
+}
+
 std::optional<std::string> ArgParser::telemetry_dir() const {
   if (const auto flag = get("telemetry")) {
     return flag->empty() ? std::string(".") : *flag;

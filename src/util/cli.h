@@ -60,6 +60,15 @@ class ArgParser {
   /// else is a file path). nullopt means no ledger record is appended.
   [[nodiscard]] std::optional<std::string> ledger_path() const;
 
+  /// Flight-recorder output directory for the standard `--record[=dir]`
+  /// flag: `--record` alone records into `artifacts_dir()`, `--record=dir`
+  /// into `dir`. Without the flag, the AXIOMCC_RECORD environment variable
+  /// is consulted ("" and "0" mean off, "1" means `artifacts_dir()`,
+  /// anything else is a directory path). nullopt means recording stays off.
+  /// In builds with AXIOMCC_RECORDER=OFF the flag parses but runs record
+  /// nothing (the capture path is compiled out).
+  [[nodiscard]] std::optional<std::string> record_dir() const;
+
   /// Simulation backend for the standard `--backend=NAME` flag: an explicit
   /// flag wins; otherwise the AXIOMCC_BACKEND environment variable, else
   /// "fluid". The value is validated here ("fluid" or "packet"; anything

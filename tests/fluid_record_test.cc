@@ -1,0 +1,180 @@
+// Flight-recorder equivalence tests for the fluid engine's three tick
+// loops. The determinism contract the batch-path trace tests pin extends
+// to recordings: the same scenario yields byte-identical JSONL at any
+// --jobs, and the scalar / batch / uniform paths differ only in the
+// kCohort execution-mode metadata the aligner masks by default.
+#include "fluid/sim.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "cc/registry.h"
+#include "recorder/align.h"
+#include "recorder/io.h"
+#include "recorder/recorder.h"
+
+namespace axiomcc::fluid {
+namespace {
+
+using recorder::EventClass;
+using recorder::EventCode;
+using recorder::Recording;
+
+/// A scenario that exercises every event class: three AIMD cohorts (one
+/// joining late, one leaving early), a mid-run bandwidth drop, and a
+/// buffer small enough that congestion loss actually occurs.
+Recording record_scenario(bool batch, long jobs, TraceDetail detail,
+                          recorder::RecordOptions ropts) {
+  ropts.enabled = true;
+  recorder::Recorder sink(ropts);
+
+  SimOptions options;
+  options.steps = 96;
+  options.batch = batch;
+  options.jobs = jobs;
+  options.trace_detail = detail;
+  options.record_sink = &sink;
+  FluidSimulation sim(make_link_mbps(24.0, 40.0, 30.0), options);
+
+  const auto cohort = [](long start, long stop) {
+    SenderSpec spec;
+    spec.protocol = cc::make_protocol("aimd(1,0.5)");
+    spec.initial_window_mss = 2.0;
+    spec.start_step = start;
+    spec.stop_step = stop;
+    return spec;
+  };
+  sim.add_senders(cohort(0, -1), 16);
+  sim.add_senders(cohort(10, -1), 8);
+  sim.add_senders(cohort(0, 60), 8);
+  sim.set_bandwidth_schedule(
+      [](long step) { return step < 48 ? 1.0 : 0.5; });
+
+  (void)sim.run();
+  return sink.snapshot();
+}
+
+TEST(FluidRecord, BatchRecordingBytesIdenticalAcrossJobs) {
+  if (!recorder::compiled_in()) GTEST_SKIP() << "recorder compiled out";
+  const Recording serial =
+      record_scenario(/*batch=*/true, /*jobs=*/1, TraceDetail::kFull, {});
+  const Recording sharded =
+      record_scenario(/*batch=*/true, /*jobs=*/4, TraceDetail::kFull, {});
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(recording_to_jsonl(serial), recording_to_jsonl(sharded));
+}
+
+TEST(FluidRecord, ScalarAndBatchRecordIdenticallyModuloCohortMetadata) {
+  if (!recorder::compiled_in()) GTEST_SKIP() << "recorder compiled out";
+  // With the execution-mode class captured, the batch path stamps kernel
+  // events the scalar path has no reason to emit...
+  const Recording scalar =
+      record_scenario(/*batch=*/false, 1, TraceDetail::kFull, {});
+  const Recording batch =
+      record_scenario(/*batch=*/true, 2, TraceDetail::kFull, {});
+  bool batch_has_kernel = false;
+  for (const auto& e : batch.events) {
+    batch_has_kernel |= e.code == EventCode::kKernel;
+    EXPECT_NE(e.code, EventCode::kFallback) << "aimd has a batch kernel";
+  }
+  EXPECT_TRUE(batch_has_kernel);
+  for (const auto& e : scalar.events) {
+    EXPECT_NE(e.cls, EventClass::kCohort);
+  }
+  // ...so the aligner (which masks kCohort by default) still reports them
+  // as the same run...
+  const recorder::AlignResult aligned =
+      recorder::align_recordings(scalar, batch);
+  EXPECT_FALSE(aligned.diverged) << aligned.reason;
+  EXPECT_EQ(aligned.steps_compared, 96);
+
+  // ...and with kCohort excluded at capture time the two paths are
+  // byte-identical on the wire.
+  recorder::RecordOptions masked;
+  masked.classes = recorder::kAllClasses & ~class_bit(EventClass::kCohort);
+  const Recording scalar_masked =
+      record_scenario(false, 1, TraceDetail::kFull, masked);
+  const Recording batch_masked =
+      record_scenario(true, 4, TraceDetail::kFull, masked);
+  ASSERT_FALSE(scalar_masked.empty());
+  EXPECT_EQ(recording_to_jsonl(scalar_masked),
+            recording_to_jsonl(batch_masked));
+}
+
+TEST(FluidRecord, AggregateModeKeepsLanesBoundedAndAlignsWithScalar) {
+  if (!recorder::compiled_in()) GTEST_SKIP() << "recorder compiled out";
+  // Aggregate trace detail drives cohort-lane window samples (memory
+  // independent of the population) on both paths; the batch run's
+  // execution-mode stamps are again the only difference.
+  const Recording scalar =
+      record_scenario(false, 1, TraceDetail::kAggregate, {});
+  const Recording batch =
+      record_scenario(true, 4, TraceDetail::kAggregate, {});
+  for (const auto& e : scalar.events) {
+    EXPECT_NE(e.subject_kind, recorder::Subject::kSender)
+        << "aggregate mode must not materialize per-sender lanes";
+  }
+  const recorder::AlignResult aligned =
+      recorder::align_recordings(scalar, batch);
+  EXPECT_FALSE(aligned.diverged) << aligned.reason;
+
+  recorder::RecordOptions masked;
+  masked.classes = recorder::kAllClasses & ~class_bit(EventClass::kCohort);
+  EXPECT_EQ(recording_to_jsonl(
+                record_scenario(false, 1, TraceDetail::kAggregate, masked)),
+            recording_to_jsonl(
+                record_scenario(true, 2, TraceDetail::kAggregate, masked)));
+}
+
+TEST(FluidRecord, ChurnScheduleAndLossTransitionsLandAtTheirSteps) {
+  if (!recorder::compiled_in()) GTEST_SKIP() << "recorder compiled out";
+  const Recording rec =
+      record_scenario(false, 1, TraceDetail::kFull, {});
+  EXPECT_EQ(rec.backend, "fluid");
+  EXPECT_EQ(rec.senders, 32);
+  EXPECT_EQ(rec.steps, 96);
+
+  bool join_at_10 = false, leave_at_60 = false, bw_at_48 = false,
+       loss_onset = false, total_sampled = false;
+  for (const auto& e : rec.events) {
+    if (e.cls == EventClass::kChurn && e.code == EventCode::kJoin &&
+        e.step == 10 && e.subject == 1) {
+      join_at_10 = true;
+      EXPECT_DOUBLE_EQ(e.a, 8.0);  // cohort member count
+    }
+    if (e.cls == EventClass::kChurn && e.code == EventCode::kLeave &&
+        e.step == 60 && e.subject == 2) {
+      leave_at_60 = true;
+    }
+    if (e.cls == EventClass::kSchedule && e.code == EventCode::kBandwidth &&
+        e.step == 48) {
+      bw_at_48 = true;
+      EXPECT_DOUBLE_EQ(e.a, 0.5);
+      EXPECT_DOUBLE_EQ(e.b, 1.0);
+    }
+    loss_onset |= e.cls == EventClass::kLoss && e.code == EventCode::kOnset;
+    total_sampled |=
+        e.cls == EventClass::kWindow && e.code == EventCode::kTotal;
+  }
+  EXPECT_TRUE(join_at_10);
+  EXPECT_TRUE(leave_at_60);
+  EXPECT_TRUE(bw_at_48);
+  EXPECT_TRUE(loss_onset) << "30-MSS buffer under 32 AIMD senders must drop";
+  EXPECT_TRUE(total_sampled);
+}
+
+TEST(FluidRecord, DisabledBuildSnapshotsNothing) {
+  if (recorder::compiled_in()) {
+    GTEST_SKIP() << "covers the AXIOMCC_RECORDER=OFF stub";
+  }
+  const Recording rec =
+      record_scenario(false, 1, TraceDetail::kFull, {});
+  EXPECT_TRUE(rec.empty());
+  EXPECT_EQ(rec.backend, "");
+}
+
+}  // namespace
+}  // namespace axiomcc::fluid

@@ -65,6 +65,33 @@ TEST(LedgerReport, RendersGroupTableWithClassesAndDelta) {
       << out;
 }
 
+TEST(LedgerReport, RateRowsNormalizePerRecordNotPerReport) {
+  // A rate row's Median/Δ must compare per-core values using EACH record's
+  // own core count: an 80/s run on 8 cores (10 per core) followed by a
+  // 22/s run on 2 cores (11 per core) is a +10% improvement, not the
+  // -72.5% collapse a raw-rate comparison would claim.
+  LedgerRecord old_run = make_record("fuzz", "2026-08-08T00:00:00Z", 1.0, 80);
+  old_run.jobs = 8;
+  LedgerRecord new_run = make_record("fuzz", "2026-08-08T00:01:00Z", 1.0, 22);
+  new_run.jobs = 2;
+  const std::string out = render_ledger_report({old_run, new_run});
+  EXPECT_NE(out.find("| `cells_per_sec` | timing | 22 | 11 | 10 | +10.0% |"),
+            std::string::npos)
+      << out;
+}
+
+TEST(LedgerReport, RateRowsFallBackToRecordedHardwareJobs) {
+  // jobs=0 means "hardware"; the divisor must be the concurrency RECORDED
+  // in the run, never the reporting machine's detection.
+  LedgerRecord record = make_record("fuzz", "2026-08-08T00:00:00Z", 1.0, 32);
+  record.jobs = 0;
+  record.hardware_jobs = 16;
+  const std::string out = render_ledger_report({record});
+  EXPECT_NE(out.find("| `cells_per_sec` | timing | 32 | 2 | 2 | = |"),
+            std::string::npos)
+      << out;
+}
+
 TEST(LedgerReport, GroupsByBenchAndBackend) {
   LedgerRecord packet = make_record("fuzz", "2026-08-08T00:00:00Z", 1.0, 5);
   packet.backend = "packet";

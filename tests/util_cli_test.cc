@@ -168,6 +168,41 @@ TEST(ArgParser, LedgerEnvVariants) {
   unsetenv("AXIOMCC_LEDGER");
 }
 
+TEST(ArgParser, RecordOffByDefault) {
+  unsetenv("AXIOMCC_RECORD");
+  unsetenv("AXIOMCC_ARTIFACTS");
+  EXPECT_FALSE(parse({}).record_dir().has_value());
+}
+
+TEST(ArgParser, RecordFlagVariants) {
+  unsetenv("AXIOMCC_RECORD");
+  unsetenv("AXIOMCC_ARTIFACTS");
+  // Bare flag -> recordings land in the artifacts dir.
+  EXPECT_EQ(parse({"--record"}).record_dir().value_or(""), "artifacts");
+  // Explicit directory.
+  EXPECT_EQ(parse({"--record=/tmp/rec"}).record_dir().value_or(""),
+            "/tmp/rec");
+  // Bare flag follows --out.
+  EXPECT_EQ(parse({"--record", "--out=o"}).record_dir().value_or(""), "o");
+}
+
+TEST(ArgParser, RecordEnvVariants) {
+  unsetenv("AXIOMCC_ARTIFACTS");
+  ASSERT_EQ(setenv("AXIOMCC_RECORD", "1", 1), 0);
+  EXPECT_EQ(parse({}).record_dir().value_or(""), "artifacts");
+  ASSERT_EQ(setenv("AXIOMCC_RECORD", "/tmp/envrec", 1), 0);
+  EXPECT_EQ(parse({}).record_dir().value_or(""), "/tmp/envrec");
+  ASSERT_EQ(setenv("AXIOMCC_RECORD", "0", 1), 0);
+  EXPECT_FALSE(parse({}).record_dir().has_value());
+  ASSERT_EQ(setenv("AXIOMCC_RECORD", "", 1), 0);
+  EXPECT_FALSE(parse({}).record_dir().has_value());
+  // The flag wins over the environment.
+  ASSERT_EQ(setenv("AXIOMCC_RECORD", "/tmp/envrec", 1), 0);
+  EXPECT_EQ(parse({"--record=/tmp/flagrec"}).record_dir().value_or(""),
+            "/tmp/flagrec");
+  unsetenv("AXIOMCC_RECORD");
+}
+
 TEST(ArgParser, UnknownBackendThrows) {
   unsetenv("AXIOMCC_BACKEND");
   try {

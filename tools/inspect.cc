@@ -1,0 +1,206 @@
+// inspect.cc — axiomcc-inspect: flight-recording triage CLI.
+//
+// Reads back what the recorder wrote (recordings, post-mortems) or
+// re-executes a `.scn` reproducer on both backends, and renders the result
+// in the terminal. The headline mode is --align: step-align two timelines
+// (fluid vs packet, or any two recording files) and localize the first
+// divergence step with the surrounding events from each side.
+//
+// Usage:
+//   axiomcc-inspect <recording.jsonl>           render the timeline
+//   axiomcc-inspect <postmortem.jsonl>          render the post-mortem
+//   axiomcc-inspect <repro.scn>                 run fluid+packet, show both
+//   axiomcc-inspect --align <l.jsonl> <r.jsonl> align two recordings
+//   axiomcc-inspect --align <repro.scn>         run fluid vs packet + align
+//
+// Options: --tolerance=R (sampled-value gap, default 0.25), --context=N
+// (steps of events around the divergence), --with-cohort (compare batch
+// execution-mode events too), --stride=N / --depth=N (capture options for
+// .scn runs), --events=N (discrete-event lines rendered).
+//
+// Exit codes: 0 rendered / aligned, 2 aligned-and-diverged, 1 error.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "analysis/recorder_report.h"
+#include "fuzz/fuzzer.h"
+#include "fuzz/runner.h"
+#include "recorder/align.h"
+#include "recorder/io.h"
+#include "recorder/postmortem.h"
+#include "util/cli.h"
+
+namespace {
+
+using namespace axiomcc;
+
+enum class FileKind { kScenario, kRecording, kPostMortem };
+
+/// Sniffs a triage input by content, not extension: `.scn` reproducers
+/// declare themselves with an "axiomcc-scenario" line (comments allowed
+/// above it), recorder artifacts with a schema field in the JSONL header.
+FileKind sniff(const std::string& text, const std::string& path) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("axiomcc-scenario", 0) == 0) return FileKind::kScenario;
+    if (line.find("\"axiomcc-recording\"") != std::string::npos) {
+      return FileKind::kRecording;
+    }
+    if (line.find("\"axiomcc-postmortem\"") != std::string::npos) {
+      return FileKind::kPostMortem;
+    }
+    break;
+  }
+  throw std::runtime_error(path +
+                           ": not a scenario, recording, or post-mortem");
+}
+
+recorder::AlignOptions align_options(const ArgParser& args) {
+  recorder::AlignOptions options;
+  options.tolerance = args.get_double("tolerance", options.tolerance);
+  options.context = args.get_int("context", options.context);
+  if (args.has("with-cohort")) {
+    options.classes |= recorder::class_bit(recorder::EventClass::kCohort);
+  }
+  return options;
+}
+
+fuzz::RunnerConfig runner_config(const ArgParser& args) {
+  fuzz::RunnerConfig config;
+  config.record.enabled = true;
+  config.record.sample_stride = args.get_int("stride", 16);
+  config.record.ring_depth = args.get_int("depth", 256);
+  return config;
+}
+
+analysis::TimelineOptions timeline_options(const ArgParser& args) {
+  analysis::TimelineOptions options;
+  options.max_events = args.get_int("events", options.max_events);
+  return options;
+}
+
+/// Runs a reproducer on both backends with recording on. Prints the
+/// outcome line the fuzz oracle would classify it as.
+fuzz::RecordedScenario run_reproducer(const std::string& text,
+                                      const ArgParser& args) {
+  const fuzz::ScenarioDesc desc = fuzz::parse_scenario(text);
+  const fuzz::RecordedScenario rs =
+      fuzz::run_scenario_recorded(desc, runner_config(args));
+  std::printf("outcome: %s", fuzz::outcome_kind_name(rs.outcome.kind));
+  if (rs.outcome.divergence > 0.0) {
+    std::printf(" (metric divergence %.3f)", rs.outcome.divergence);
+  }
+  std::printf("\n");
+  return rs;
+}
+
+int align_and_render(const recorder::Recording& left,
+                     const recorder::Recording& right,
+                     const std::string& left_label,
+                     const std::string& right_label, const ArgParser& args) {
+  const recorder::AlignResult result =
+      recorder::align_recordings(left, right, align_options(args));
+  std::fputs(
+      analysis::render_alignment(result, left_label, right_label).c_str(),
+      stdout);
+  return result.diverged ? 2 : 0;
+}
+
+int run(const ArgParser& args) {
+  const auto& files = args.positional();
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: axiomcc-inspect [--align] <file> [<file>]\n"
+                 "       (see the header of tools/inspect.cc)\n");
+    return 1;
+  }
+
+  if (args.has("align")) {
+    if (files.size() == 2) {
+      const recorder::Recording left =
+          recorder::parse_recording_jsonl(recorder::read_text_file(files[0]));
+      const recorder::Recording right =
+          recorder::parse_recording_jsonl(recorder::read_text_file(files[1]));
+      return align_and_render(left, right, files[0], files[1], args);
+    }
+    if (files.size() == 1) {
+      const std::string text = recorder::read_text_file(files[0]);
+      if (sniff(text, files[0]) != FileKind::kScenario) {
+        std::fprintf(stderr,
+                     "--align with one file needs a .scn reproducer; "
+                     "pass two recording files to align artifacts\n");
+        return 1;
+      }
+      if (!recorder::compiled_in()) {
+        std::fprintf(stderr,
+                     "recorder compiled out (AXIOMCC_RECORDER=OFF); "
+                     "re-run against recording files instead\n");
+        return 1;
+      }
+      const fuzz::RecordedScenario rs = run_reproducer(text, args);
+      return align_and_render(rs.fluid, rs.packet, "fluid", "packet", args);
+    }
+    std::fprintf(stderr, "--align takes one .scn or two recording files\n");
+    return 1;
+  }
+
+  int status = 0;
+  for (const std::string& path : files) {
+    const std::string text = recorder::read_text_file(path);
+    switch (sniff(text, path)) {
+      case FileKind::kScenario: {
+        if (!recorder::compiled_in()) {
+          std::fprintf(stderr,
+                       "recorder compiled out (AXIOMCC_RECORDER=OFF); "
+                       "cannot record a reproducer run\n");
+          return 1;
+        }
+        const fuzz::RecordedScenario rs = run_reproducer(text, args);
+        std::fputs(
+            analysis::render_timeline(rs.fluid, timeline_options(args))
+                .c_str(),
+            stdout);
+        std::fputs(
+            analysis::render_timeline(rs.packet, timeline_options(args))
+                .c_str(),
+            stdout);
+        const int rc =
+            align_and_render(rs.fluid, rs.packet, "fluid", "packet", args);
+        status = rc != 0 ? rc : status;
+        break;
+      }
+      case FileKind::kRecording:
+        std::fputs(
+            analysis::render_timeline(recorder::parse_recording_jsonl(text),
+                                      timeline_options(args))
+                .c_str(),
+            stdout);
+        break;
+      case FileKind::kPostMortem:
+        std::fputs(
+            analysis::render_postmortem(recorder::parse_postmortem_jsonl(text),
+                                        timeline_options(args))
+                .c_str(),
+            stdout);
+        break;
+    }
+  }
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(ArgParser(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "axiomcc-inspect: %s\n", e.what());
+    return 1;
+  }
+}
