@@ -10,13 +10,17 @@
 // Usage: bench_crosscheck [--mbps=30] [--rtt-ms=42] [--buffer=100]
 //                         [--senders=2] [--steps=4000]
 //                         [--protocols=aimd(1,0.5),cubic(0.4,0.8)]
-//                         [--jobs=N] [--csv] [--markdown]
+//                         [--topology=K] [--jobs=N] [--csv] [--markdown]
 //
 // --jobs=N fans the protocol × backend matrix out over N workers (default:
 // AXIOMCC_JOBS env, else hardware concurrency; 1 = serial). Timing lands in
 // BENCH_crosscheck.json. The packet side runs under the EvalConfig
 // PacketLimits clamps (see docs/architecture.md); --steps bounds the fluid
 // side only once it exceeds them.
+// --topology=K appends a parking-lot cross-check: every protocol runs the
+// same K-bottleneck ScenarioSpec on both backends and the long flow's
+// multi-hop beat-down (its tail share vs the single-link fair share) must
+// land on the same side of fair on both substrates.
 #include <cstdio>
 #include <exception>
 #include <sstream>
@@ -84,13 +88,38 @@ int main(int argc, char** argv) {
           args.get_double("buffer", 100.0), cfg.base.num_senders, cfg.jobs);
     }
 
+    const int topology_bottlenecks =
+        static_cast<int>(args.get_int("topology", 0));
+
     WallTimer timer;
     const exp::CrosscheckResult result = exp::run_crosscheck(cfg);
     const double run_seconds = timer.seconds();
 
+    // --topology=K: the parking-lot structural check rides along after the
+    // single-link matrix, reusing the link and protocol flags.
+    exp::TopologyCheckResult topo_result;
+    double topo_seconds = 0.0;
+    if (topology_bottlenecks > 0) {
+      exp::TopologyCheckConfig topo_cfg;
+      topo_cfg.per_link = cfg.base.link;
+      topo_cfg.bottlenecks = topology_bottlenecks;
+      topo_cfg.protocol_specs = cfg.protocol_specs;
+      topo_cfg.jobs = cfg.jobs;
+      WallTimer topo_timer;
+      topo_result = exp::run_topology_crosscheck(topo_cfg);
+      topo_seconds = topo_timer.seconds();
+    }
+
     BenchReport bench("crosscheck");
     bench.set_jobs(cfg.jobs);
     bench.add_phase("run_crosscheck", run_seconds);
+    if (topology_bottlenecks > 0) {
+      bench.add_phase("run_topology_crosscheck", topo_seconds);
+      bench.add_counter("topology_entries",
+                        static_cast<double>(topo_result.entries.size()));
+      bench.add_counter("topology_agreeing",
+                        static_cast<double>(topo_result.agreeing_entries()));
+    }
     bench.add_counter("protocols",
                       static_cast<double>(result.entries.size()));
     bench.add_counter("metrics",
@@ -115,6 +144,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "Bench artifact: %s\n", artifact.c_str());
       std::ostringstream out;
       exp::write_crosscheck_csv(result, out);
+      if (topology_bottlenecks > 0) {
+        exp::write_topology_crosscheck_csv(topo_result, out);
+      }
       std::printf("%s", out.str().c_str());
       return 0;
     }
@@ -149,6 +181,23 @@ int main(int argc, char** argv) {
                          a.packet_order});
     }
     std::printf("%s\n", agreement.render(format).c_str());
+
+    if (topology_bottlenecks > 0) {
+      TextTable topo;
+      topo.set_header({"Protocol", "Bottlenecks", "FluidShare", "PacketShare",
+                       "FairShare", "BeatDown"});
+      for (const auto& e : topo_result.entries) {
+        topo.add_row({e.protocol, std::to_string(e.bottlenecks),
+                      fmt(e.fluid_long_share), fmt(e.packet_long_share),
+                      fmt(e.fair_share),
+                      e.beat_down_agrees ? "agree" : "DISAGREE"});
+      }
+      std::printf("%s\n", topo.render(format).c_str());
+      std::printf(
+          "Topology: %d of %zu parking-lot entries agree on the long flow's\n"
+          "multi-hop beat-down.\n",
+          topo_result.agreeing_entries(), topo_result.entries.size());
+    }
 
     std::printf(
         "Agreement: %d of %zu metrics, %.0f of %.0f hierarchy pairs "

@@ -31,6 +31,7 @@
 #include "analysis/telemetry_report.h"
 #include "fuzz/fuzzer.h"
 #include "ledger/ledger.h"
+#include "recorder/event.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
 #include "util/stats.h"
@@ -114,12 +115,17 @@ int main(int argc, char** argv) {
     cfg.minimize = !args.has("no-minimize");
     cfg.runner.divergence_threshold =
         args.get_double("divergence-threshold", 0.35);
-    // --record[=dir]: flight-record every oracle run and auto-dump a
-    // post-mortem (reproducer + both backends' recorded tails) for each
-    // finding next to the other artifacts.
-    if (const auto record = args.record_dir()) {
+    // --record[=dir[,classes=list]]: flight-record every oracle run and
+    // auto-dump a post-mortem (reproducer + both backends' recorded tails)
+    // for each finding next to the other artifacts. A classes list narrows
+    // capture to the named event lanes.
+    if (const auto record = args.record_spec()) {
       cfg.runner.record.enabled = true;
-      cfg.runner.postmortem_dir = *record;
+      cfg.runner.postmortem_dir = record->dir;
+      if (!record->classes.empty()) {
+        cfg.runner.record.classes =
+            recorder::parse_class_mask(record->classes.c_str());
+      }
     }
 
     const auto format = args.has("markdown") ? TextTable::Format::kMarkdown

@@ -9,8 +9,9 @@
 // Usage: bench_gauntlet [--mbps=30] [--rtt-ms=42] [--buffer=100]
 //                       [--senders=2] [--steps=900] [--seeds=3]
 //                       [--protocols=reno,cubic-linux] [--no-axioms]
-//                       [--backend=fluid|packet] [--jobs=N] [--cells]
-//                       [--csv] [--markdown]
+//                       [--backend=fluid|packet] [--topology=K] [--jobs=N]
+//                       [--cells] [--csv] [--markdown]
+//                       [--record=dir[,classes=window+loss]]
 //
 // --jobs=N fans the protocol × scenario × seed matrix out over N workers
 // (default: AXIOMCC_JOBS env, else hardware concurrency; 1 = serial). Timing
@@ -19,6 +20,9 @@
 // env, else fluid). The packet backend runs the same scenario matrix on the
 // dumbbell DES; RTT-step scenarios scale only the forward path there (see
 // docs/stress.md).
+// --topology=K runs every cell on a K-bottleneck parking lot (one long flow
+// over all hops plus senders-1 cross flows per link) instead of the single
+// shared link; 0 (the default) keeps the pre-topology gauntlet bit-identical.
 #include <cstdio>
 #include <exception>
 #include <sstream>
@@ -29,6 +33,7 @@
 #include "ledger/ledger.h"
 #include "engine/scenario.h"
 #include "exp/gauntlet.h"
+#include "recorder/event.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
 #include "util/stats.h"
@@ -83,12 +88,17 @@ int main(int argc, char** argv) {
     cfg.include_axiom_metrics = !args.has("no-axioms");
     // The gauntlet propagates the backend into axiom_cfg itself.
     cfg.backend = engine::parse_backend(args.get_backend());
+    cfg.topology_bottlenecks = static_cast<int>(args.get_int("topology", 0));
     cfg.jobs = args.get_jobs();
-    // --record[=dir]: flight-record every cell and dump a post-mortem for
-    // each faulting one next to the other artifacts.
-    if (const auto record = args.record_dir()) {
+    // --record[=dir[,classes=list]]: flight-record every cell and dump a
+    // post-mortem for each faulting one next to the other artifacts. A
+    // classes list narrows capture to the named event lanes.
+    if (const auto record = args.record_spec()) {
       cfg.record.enabled = true;
-      cfg.record_dir = *record;
+      cfg.record_dir = record->dir;
+      if (!record->classes.empty()) {
+        cfg.record.classes = recorder::parse_class_mask(record->classes.c_str());
+      }
     }
     // Trimmed axiom evaluation: the gauntlet's own scores carry the
     // stress story; the axiom columns are context.
@@ -108,6 +118,10 @@ int main(int argc, char** argv) {
           args.get_double("mbps", 30.0), args.get_double("rtt-ms", 42.0),
           args.get_double("buffer", 100.0), cfg.num_senders, cfg.steps,
           cfg.seeds.size(), specs.size(), cfg.jobs);
+      if (cfg.topology_bottlenecks > 0) {
+        std::printf("Topology: %d-bottleneck parking lot per cell\n\n",
+                    cfg.topology_bottlenecks);
+      }
     }
 
     WallTimer timer;

@@ -1,23 +1,77 @@
 // fluid_backend.cc — executes a ScenarioSpec on the fluid model.
 //
-// The construction sequence (options, senders in slot order, loss injector,
-// schedules, monitor) mirrors the pre-engine call sites exactly, so a
-// scenario run through this backend is bit-identical with the same scenario
-// built against fluid::FluidSimulation by hand.
+// Single-link scenarios run on fluid::FluidSimulation with a construction
+// sequence (options, senders in slot order, loss injector, schedules,
+// monitor) that mirrors the pre-engine call sites exactly, so a scenario run
+// through this backend is bit-identical with the same scenario built against
+// fluid::FluidSimulation by hand. Topology scenarios (spec.topology
+// non-empty) run on fluid::FluidNetwork instead, with sender slots flattened
+// to one routed flow per cohort member so cohort ids line up with the packet
+// backend's flow ids.
 #include <cmath>
 #include <utility>
 
 #include "engine/backend.h"
+#include "engine/topology.h"
+#include "engine/workload.h"
+#include "fluid/network.h"
 #include "fluid/sim.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 
 namespace axiomcc::engine {
+namespace {
+
+RunTrace run_topology(const ScenarioSpec& spec,
+                      const std::vector<SenderSlot>& slots) {
+  fluid::NetworkOptions options;
+  options.steps = spec.steps;
+  options.min_window_mss = spec.min_window_mss;
+  options.max_window_mss = spec.max_window_mss;
+  options.trace_detail = spec.trace_detail;
+  options.tracked_senders = spec.tracked_senders;
+  options.record_sink = spec.record_sink;
+
+  fluid::FluidNetwork net(options);
+  for (const fluid::LinkParams& params : spec.topology.links) {
+    net.add_link(params);
+  }
+  for (const SenderSlot& slot : slots) {
+    AXIOMCC_EXPECTS(slot.prototype != nullptr);
+    // Cohorts flatten to one flow per member so flow ids match the packet
+    // backend's (slot order, then member order).
+    for (long j = 0; j < slot.count; ++j) {
+      fluid::FluidNetwork::FlowSpec fs;
+      fs.protocol = slot.prototype->clone();
+      fs.route = slot.route;
+      fs.initial_window_mss = slot.initial_window_mss;
+      fs.start_step = std::lround(slot.start_step);
+      fs.stop_step = slot.stop_step < 0.0 ? -1 : std::lround(slot.stop_step);
+      net.add_flow(std::move(fs));
+    }
+  }
+  if (spec.loss) net.set_loss_injector(spec.loss(spec.seed));
+  if (spec.bandwidth_scale) net.set_bandwidth_schedule(spec.bandwidth_scale);
+  if (spec.rtt_scale) net.set_rtt_schedule(spec.rtt_scale);
+  if (spec.step_monitor) net.set_step_monitor(spec.step_monitor);
+
+  TELEMETRY_COUNT("engine.fluid_topology_runs", 1);
+  return RunTrace{net.run(), BackendKind::kFluid, {}, -1.0};
+}
+
+}  // namespace
 
 RunTrace FluidBackend::run(const ScenarioSpec& spec) const {
   AXIOMCC_EXPECTS_MSG(!spec.senders.empty(),
                       "scenario needs at least one sender");
   TELEMETRY_SPAN("engine", "fluid.run");
+
+  validate_scenario(spec);
+  const std::vector<SenderSlot> slots = expand_workload(spec);
+  if (slots.empty()) {
+    throw ScenarioError("workload expansion produced no senders");
+  }
+  if (!spec.topology.empty()) return run_topology(spec, slots);
 
   fluid::SimOptions options;
   options.steps = spec.steps;
@@ -30,7 +84,7 @@ RunTrace FluidBackend::run(const ScenarioSpec& spec) const {
   options.record_sink = spec.record_sink;
 
   fluid::FluidSimulation sim(spec.link, options);
-  for (const SenderSlot& slot : spec.senders) {
+  for (const SenderSlot& slot : slots) {
     AXIOMCC_EXPECTS(slot.prototype != nullptr);
     fluid::SenderSpec fs;
     fs.protocol = slot.prototype->clone();

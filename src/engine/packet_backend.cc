@@ -1,4 +1,4 @@
-// packet_backend.cc — executes a ScenarioSpec on the packet-level dumbbell.
+// packet_backend.cc — executes a ScenarioSpec on the packet-level simulator.
 //
 // The fluid model's step becomes one RTT of wall-clock time: a spec with S
 // steps runs for S·RTT seconds and samples the trace every RTT, giving a
@@ -6,30 +6,45 @@
 // they consume a fluid trace. Scenario elements map as follows:
 //  - injected loss: the fluid per-step loss *rate* becomes a per-packet
 //    Bernoulli drop at that step's rate (InjectedRateLoss below);
-//  - bandwidth schedule: the bottleneck's serialization rate is retargeted
-//    at each step boundary;
+//  - bandwidth schedule: each link's serialization rate is retargeted at
+//    each step boundary;
 //  - RTT schedule: the forward propagation delay is retargeted so the
-//    two-way delay matches scale·RTT (the reverse path is fixed at RTT/2,
-//    so the scaling is applied asymmetrically — see docs/stress.md);
+//    two-way delay matches scale·RTT (the reverse path is fixed, so the
+//    scaling is applied asymmetrically — see docs/stress.md);
 //  - step monitor: invoked at each trace sample; returning false stops the
 //    event loop at that sample.
+//
+// Single-link scenarios run on sim::DumbbellExperiment; topology scenarios
+// (spec.topology non-empty) run on sim::MultiHopNetwork with the step length
+// set to the smallest route RTT, sender slots flattened to one routed flow
+// per cohort member (matching the fluid backend's flow-id order).
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <span>
 #include <utility>
 #include <vector>
 
 #include "engine/backend.h"
+#include "engine/topology.h"
+#include "engine/workload.h"
 #include "recorder/recorder.h"
 #include "sim/dumbbell.h"
 #include "sim/loss.h"
+#include "sim/network.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace axiomcc::engine {
 namespace {
+
+long total_slot_senders(const std::vector<SenderSlot>& slots) {
+  long total = 0;
+  for (const SenderSlot& slot : slots) total += slot.count;
+  return total;
+}
 
 /// Adapts a fluid::LossInjector (a per-step, per-sender loss rate) to the
 /// packet world: each forward packet is dropped with the rate the injector
@@ -78,24 +93,36 @@ class InjectedRateLoss final : public sim::PacketFilter {
   Rng rng_;
 };
 
+/// Seeds the per-packet drop stream of InjectedRateLoss. The injector itself
+/// is seeded exactly like the fluid backend seeds it (spec.loss(spec.seed));
+/// the coin flips draw from a separate stream so the two stochastic
+/// processes stay independent. The first draw is skipped: it belongs to the
+/// simulator's own internal stream.
+std::uint64_t filter_seed_for(const ScenarioSpec& spec) {
+  std::uint64_t s = spec.seed;
+  (void)splitmix64_next(s);
+  return splitmix64_next(s);
+}
+
 /// Mirror of the fluid tick loop's StepRecorder: every event derives from
-/// the spec (churn intervals rounded exactly like the fluid backend rounds
-/// them, the shared schedule functions) or from the values each trace
-/// sample records, so both backends' recordings live on the same lanes and
-/// the aligner can step-match them. Invoked from the (serial) event loop
-/// via a wrapping step monitor. Cohort-lane injected-loss detail is not
-/// observable per-sample here and stays a fluid-only extra.
+/// the executed slot list (churn intervals rounded exactly like the fluid
+/// backend rounds them, the shared schedule functions) or from the values
+/// each trace sample records, so both backends' recordings live on the same
+/// lanes and the aligner can step-match them. Invoked from the (serial)
+/// event loop via a wrapping step monitor. Cohort-lane injected-loss detail
+/// is not observable per-sample here and stays a fluid-only extra.
 class PacketStepRecorder {
  public:
-  explicit PacketStepRecorder(const ScenarioSpec& spec)
+  PacketStepRecorder(const ScenarioSpec& spec,
+                     const std::vector<SenderSlot>& slots)
       : sink_(spec.record_sink),
         bw_(spec.bandwidth_scale),
         rtt_(spec.rtt_scale),
         aggregate_(spec.trace_detail == fluid::TraceDetail::kAggregate) {
     sink_->set_backend("packet");
-    sink_->set_senders(spec.total_senders());
+    sink_->set_senders(total_slot_senders(slots));
     long begin = 0;
-    for (const SenderSlot& slot : spec.senders) {
+    for (const SenderSlot& slot : slots) {
       CohortRef c;
       c.begin = begin;
       c.count = slot.count;
@@ -209,12 +236,153 @@ class PacketStepRecorder {
   double last_loss_ = 0.0;
 };
 
+/// Flattens cohort slots to one slot per member (the topology backends run
+/// per-flow, so recorder cohorts and flow ids coincide).
+std::vector<SenderSlot> flatten_slots(const std::vector<SenderSlot>& slots) {
+  std::vector<SenderSlot> flat;
+  flat.reserve(static_cast<std::size_t>(total_slot_senders(slots)));
+  for (const SenderSlot& slot : slots) {
+    SenderSlot one = slot;
+    one.count = 1;
+    for (long j = 0; j < slot.count; ++j) flat.push_back(one);
+  }
+  return flat;
+}
+
+RunTrace run_topology(const ScenarioSpec& spec,
+                      const std::vector<SenderSlot>& slots,
+                      const PacketBackend::Options& options) {
+  const std::vector<SenderSlot> flat = flatten_slots(slots);
+
+  // Per-link fluid units -> packet units, the same conversion as
+  // dumbbell_config_from_link applied link by link (Θ stays one-way here:
+  // a route's RTT is twice its summed one-way delay).
+  std::vector<double> link_mbps;
+  std::vector<double> link_delay_ms;
+  std::vector<std::size_t> link_buffer;
+  for (const fluid::LinkParams& params : spec.topology.links) {
+    link_mbps.push_back(params.bandwidth.mbps(options.mss_bytes));
+    link_delay_ms.push_back(params.propagation_delay.millis());
+    link_buffer.push_back(static_cast<std::size_t>(
+        std::max<long long>(1, std::llround(params.buffer_mss))));
+  }
+
+  // One trace step = the smallest route RTT, so the fastest control loop
+  // gets one sample per round trip (slower flows update less often, exactly
+  // as they would on real hardware).
+  double min_route_rtt_ms = std::numeric_limits<double>::infinity();
+  for (const SenderSlot& slot : flat) {
+    double one_way_ms = 0.0;
+    for (int l : slot.route) {
+      one_way_ms += link_delay_ms[static_cast<std::size_t>(l)];
+    }
+    min_route_rtt_ms = std::min(min_route_rtt_ms, 2.0 * one_way_ms);
+  }
+  min_route_rtt_ms = std::max(min_route_rtt_ms, 1.0);
+  const double step_seconds = min_route_rtt_ms / 1e3;
+
+  sim::MultiHopNetwork::Config config;
+  config.duration_seconds = step_seconds * static_cast<double>(spec.steps);
+  config.mss_bytes = options.mss_bytes;
+  config.sample_interval_ms = min_route_rtt_ms;
+  config.tail_fraction = spec.tail_fraction;
+  config.max_window_mss = std::min(spec.max_window_mss, options.max_window_mss);
+
+  sim::MultiHopNetwork net(config);
+  for (std::size_t l = 0; l < link_mbps.size(); ++l) {
+    net.add_link(link_mbps[l], link_delay_ms[l], link_buffer[l]);
+  }
+  for (const SenderSlot& slot : flat) {
+    AXIOMCC_EXPECTS(slot.prototype != nullptr);
+    const double initial =
+        std::clamp(slot.initial_window_mss, 1.0, config.max_window_mss);
+    const double start_s = slot.start_step * step_seconds;
+    const double stop_s =
+        slot.stop_step < 0.0 ? -1.0 : slot.stop_step * step_seconds;
+    net.add_flow(slot.prototype->clone(), slot.route, start_s, initial,
+                 stop_s);
+  }
+
+  if (spec.loss) {
+    net.set_forward_filter(std::make_unique<InjectedRateLoss>(
+        spec.loss(spec.seed), net.simulator(), step_seconds,
+        static_cast<int>(flat.size()), filter_seed_for(spec)));
+  }
+
+  if (spec.bandwidth_scale || spec.rtt_scale) {
+    sim::Simulator& simulator = net.simulator();
+    for (long k = 0; k < spec.steps; ++k) {
+      const auto t =
+          SimTime::from_seconds(static_cast<double>(k) * step_seconds);
+      if (spec.bandwidth_scale) {
+        const double scale = spec.bandwidth_scale(k);
+        AXIOMCC_EXPECTS_MSG(scale > 0.0, "bandwidth scale must be positive");
+        simulator.schedule_at(t, [&net, &link_mbps, scale] {
+          for (int l = 0; l < net.num_links(); ++l) {
+            net.mutable_link(l).set_rate_bps(
+                link_mbps[static_cast<std::size_t>(l)] * 1e6 * scale);
+          }
+        });
+      }
+      if (spec.rtt_scale) {
+        const double scale = spec.rtt_scale(k);
+        AXIOMCC_EXPECTS_MSG(scale > 0.0, "RTT scale must be positive");
+        // The reverse (ACK) path keeps its fixed one-way delay, so each
+        // forward link absorbs the whole change: delay' = (2·scale − 1)·Θ,
+        // floored at 2% of Θ so extreme shrink schedules cannot go
+        // non-positive (the dumbbell applies the same asymmetric scaling).
+        const double factor = std::max(2.0 * scale - 1.0, 0.02);
+        simulator.schedule_at(t, [&net, &link_delay_ms, factor] {
+          for (int l = 0; l < net.num_links(); ++l) {
+            net.mutable_link(l).set_propagation_delay(SimTime::from_millis(
+                link_delay_ms[static_cast<std::size_t>(l)] * factor));
+          }
+        });
+      }
+    }
+  }
+
+  if (spec.record_sink != nullptr) {
+    const auto prec = std::make_shared<PacketStepRecorder>(spec, flat);
+    const StepMonitor user = spec.step_monitor;
+    net.set_step_monitor([prec, user](long step,
+                                      std::span<const double> windows,
+                                      double rtt_seconds,
+                                      double congestion_loss) {
+      prec->on_step(step, windows, rtt_seconds, congestion_loss);
+      return user ? user(step, windows, rtt_seconds, congestion_loss) : true;
+    });
+  } else if (spec.step_monitor) {
+    net.set_step_monitor(spec.step_monitor);
+  }
+
+  net.run();
+
+  TELEMETRY_COUNT("engine.packet_topology_runs", 1);
+  fluid::Trace trace =
+      spec.trace_detail == fluid::TraceDetail::kAggregate
+          ? fluid::Trace::aggregated(
+                net.trace(),
+                fluid::default_tracked_senders(net.trace().num_senders(),
+                                               spec.tracked_senders))
+          : net.trace();
+  return RunTrace{std::move(trace), BackendKind::kPacket, net.flow_reports(),
+                  net.max_link_utilization()};
+}
+
 }  // namespace
 
 RunTrace PacketBackend::run(const ScenarioSpec& spec) const {
   AXIOMCC_EXPECTS_MSG(!spec.senders.empty(),
                       "scenario needs at least one sender");
   TELEMETRY_SPAN("engine", "packet.run");
+
+  validate_scenario(spec);
+  const std::vector<SenderSlot> slots = expand_workload(spec);
+  if (slots.empty()) {
+    throw ScenarioError("workload expansion produced no senders");
+  }
+  if (!spec.topology.empty()) return run_topology(spec, slots, options_);
 
   sim::DumbbellConfig dc =
       sim::dumbbell_config_from_link(spec.link, options_.mss_bytes);
@@ -226,7 +394,7 @@ RunTrace PacketBackend::run(const ScenarioSpec& spec) const {
 
   sim::DumbbellExperiment exp(dc);
 
-  for (const SenderSlot& slot : spec.senders) {
+  for (const SenderSlot& slot : slots) {
     AXIOMCC_EXPECTS(slot.prototype != nullptr);
     const double initial =
         std::clamp(slot.initial_window_mss, 1.0, dc.max_window_mss);
@@ -240,15 +408,9 @@ RunTrace PacketBackend::run(const ScenarioSpec& spec) const {
   }
 
   if (spec.loss) {
-    // The injector itself is seeded exactly like the fluid backend seeds it
-    // (spec.loss(spec.seed)); the per-packet coin flips draw from a separate
-    // stream so the two stochastic processes stay independent.
-    std::uint64_t s = spec.seed;
-    (void)splitmix64_next(s);  // the dumbbell's own internal stream
-    const std::uint64_t filter_seed = splitmix64_next(s);
     exp.set_forward_filter(std::make_unique<InjectedRateLoss>(
         spec.loss(spec.seed), exp.simulator(), step_seconds,
-        static_cast<int>(spec.total_senders()), filter_seed));
+        static_cast<int>(total_slot_senders(slots)), filter_seed_for(spec)));
   }
 
   if (spec.bandwidth_scale || spec.rtt_scale) {
@@ -282,7 +444,7 @@ RunTrace PacketBackend::run(const ScenarioSpec& spec) const {
   if (spec.record_sink != nullptr) {
     // Recording rides on the step-monitor hook: emit first, then chain the
     // caller's monitor (the guarded runner installs its checks there).
-    const auto prec = std::make_shared<PacketStepRecorder>(spec);
+    const auto prec = std::make_shared<PacketStepRecorder>(spec, slots);
     const StepMonitor user = spec.step_monitor;
     exp.set_step_monitor([prec, user](long step,
                                       std::span<const double> windows,

@@ -44,6 +44,58 @@ enum class BackendKind { kFluid, kPacket };
                               "' (expected fluid|packet)");
 }
 
+/// Typed error for an invalid ScenarioSpec (bad routes, topology/field
+/// mismatches). Thrown by engine::validate_scenario (topology.h) and by the
+/// backends before executing a topology scenario, so callers can distinguish
+/// a malformed spec from a programming-contract violation.
+class ScenarioError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// A multi-bottleneck topology: links addressed by index, traversed by the
+/// per-slot routes below. Empty (the default) selects the degenerate
+/// single-link mode in which `ScenarioSpec::link` is the whole network and
+/// routes must stay empty — every pre-topology caller is in this mode and
+/// produces byte-identical traces. Builders for the standard shapes
+/// (dumbbell, parking lot, leaf-spine fat-tree with ECMP) live in
+/// engine/topology.h.
+struct TopologySpec {
+  std::vector<fluid::LinkParams> links;
+
+  [[nodiscard]] bool empty() const { return links.empty(); }
+  [[nodiscard]] int num_links() const {
+    return static_cast<int>(links.size());
+  }
+};
+
+/// Workload generators: expand the sender slots into a concrete arrival
+/// pattern, deterministically seeded from the scenario seed (both backends
+/// run the SAME expansion, so the generated churn is backend-neutral).
+enum class WorkloadKind {
+  kNone,            ///< slots run exactly as written (the default).
+  kIncast,          ///< fan-in: each slot becomes `flows` arrivals spread
+                    ///< uniformly over [start, start + spread_steps).
+  kOnOffHeavyTail,  ///< each slot becomes `flows` on-off sources with
+                    ///< bounded-Pareto on-periods and exponential off-gaps.
+};
+
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kNone;
+  /// Generated flows per template slot.
+  long flows = 8;
+  /// Incast: arrival spread in steps (uniform over [0, spread)).
+  double spread_steps = 32.0;
+  /// On-off: mean on/off durations in steps. On-periods draw from a bounded
+  /// Pareto with shape `alpha` (heavy-tailed flow sizes); off-gaps are
+  /// exponential.
+  double mean_on_steps = 60.0;
+  double mean_off_steps = 60.0;
+  double alpha = 1.5;
+
+  [[nodiscard]] bool empty() const { return kind == WorkloadKind::kNone; }
+};
+
 /// One sender slot. The protocol prototype is NOT owned — it must outlive
 /// the backend run, which clones it (so one prototype can seed many slots,
 /// exactly like fluid::FluidSimulation::add_sender).
@@ -62,6 +114,11 @@ struct SenderSlot {
   /// O(1) allocations on the batch path; the packet backend adds `count`
   /// flows.
   long count = 1;
+  /// Topology mode only: the ordered link ids this slot's flows traverse.
+  /// Must be empty when `ScenarioSpec::topology` is empty (single-link
+  /// mode), non-empty — with every id in range and no repeats — otherwise;
+  /// engine::validate_scenario enforces this with a ScenarioError.
+  std::vector<int> route;
 };
 
 /// Multiplicative perturbation schedule: scale factor as a function of the
@@ -85,6 +142,15 @@ using StepMonitor = std::function<bool(
 /// Everything a backend needs to execute one run.
 struct ScenarioSpec {
   fluid::LinkParams link = fluid::make_link_mbps(30.0, 42.0, 100.0);
+  /// Multi-bottleneck topology (empty = single-link mode over `link`). When
+  /// non-empty, `link` is ignored and every sender slot must carry a route
+  /// over `topology.links`; both backends execute the routed network
+  /// (fluid::FluidNetwork / sim::MultiHopNetwork).
+  TopologySpec topology;
+  /// Workload generator applied to the sender slots before the backend runs
+  /// them (kNone = slots run verbatim). Seeded from `seed`; see
+  /// engine/workload.h.
+  WorkloadSpec workload;
   long steps = 2000;
   /// Window floor/cap. The floor is honoured only by the fluid model (the
   /// packet sender's floor is 1 packet); the cap applies to both, though the
@@ -127,7 +193,8 @@ struct ScenarioSpec {
     AXIOMCC_EXPECTS(initial_window_mss >= 0.0);
     AXIOMCC_EXPECTS(start_step >= 0.0);
     senders.push_back(
-        SenderSlot{&prototype, initial_window_mss, start_step, stop_step});
+        SenderSlot{&prototype, initial_window_mss, start_step, stop_step, 1,
+                   {}});
   }
 
   /// Convenience: appends a homogeneous cohort of `count` senders.
@@ -138,7 +205,17 @@ struct ScenarioSpec {
     AXIOMCC_EXPECTS(initial_window_mss >= 0.0);
     AXIOMCC_EXPECTS(start_step >= 0.0);
     senders.push_back(SenderSlot{&prototype, initial_window_mss, start_step,
-                                 stop_step, count});
+                                 stop_step, count, {}});
+  }
+
+  /// Convenience: appends a sender slot routed over `route` (topology mode).
+  void add_routed_sender(const cc::Protocol& prototype, std::vector<int> route,
+                         double initial_window_mss = 1.0,
+                         double start_step = 0.0, double stop_step = -1.0) {
+    AXIOMCC_EXPECTS(initial_window_mss >= 0.0);
+    AXIOMCC_EXPECTS(start_step >= 0.0);
+    senders.push_back(SenderSlot{&prototype, initial_window_mss, start_step,
+                                 stop_step, 1, std::move(route)});
   }
 
   /// Total senders across all slots (slots expand by their cohort count).

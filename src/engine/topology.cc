@@ -1,0 +1,160 @@
+#include "engine/topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace axiomcc::engine {
+
+void validate_scenario(const ScenarioSpec& spec) {
+  const int nl = spec.topology.num_links();
+  for (std::size_t si = 0; si < spec.senders.size(); ++si) {
+    const SenderSlot& slot = spec.senders[si];
+    const std::string label = "sender slot " + std::to_string(si);
+    if (spec.topology.empty()) {
+      if (!slot.route.empty()) {
+        throw ScenarioError(label +
+                            " carries a route but the scenario has no "
+                            "topology (single-link mode routes over the one "
+                            "implicit link)");
+      }
+      continue;
+    }
+    if (slot.route.empty()) {
+      throw ScenarioError(label +
+                          " has an empty route; topology scenarios must "
+                          "route every sender over at least one link");
+    }
+    std::vector<char> seen(static_cast<std::size_t>(nl), 0);
+    for (const int link_id : slot.route) {
+      if (link_id < 0 || link_id >= nl) {
+        throw ScenarioError(label + " routes over unknown link id " +
+                            std::to_string(link_id) + " (topology has " +
+                            std::to_string(nl) + " links)");
+      }
+      if (seen[static_cast<std::size_t>(link_id)]) {
+        throw ScenarioError(label + " repeats link id " +
+                            std::to_string(link_id) +
+                            " on its route; routes must be loop-free");
+      }
+      seen[static_cast<std::size_t>(link_id)] = 1;
+    }
+  }
+  if (!spec.workload.empty()) {
+    if (spec.workload.flows < 1) {
+      throw ScenarioError("workload needs at least one generated flow");
+    }
+    if (spec.workload.kind == WorkloadKind::kIncast &&
+        spec.workload.spread_steps < 0.0) {
+      throw ScenarioError("incast arrival spread must be non-negative");
+    }
+    if (spec.workload.kind == WorkloadKind::kOnOffHeavyTail &&
+        (spec.workload.mean_on_steps <= 0.0 ||
+         spec.workload.mean_off_steps <= 0.0 || spec.workload.alpha <= 0.0)) {
+      throw ScenarioError(
+          "on-off workload durations and Pareto shape must be positive");
+    }
+  }
+}
+
+TopologySpec dumbbell_topology(const fluid::LinkParams& link) {
+  TopologySpec topology;
+  topology.links.push_back(link);
+  return topology;
+}
+
+void apply_parking_lot(ScenarioSpec& spec, const fluid::LinkParams& per_link,
+                       int bottlenecks, const cc::Protocol& prototype,
+                       long cross_flows_per_link, double initial_window_mss) {
+  AXIOMCC_EXPECTS(bottlenecks >= 1);
+  AXIOMCC_EXPECTS(cross_flows_per_link >= 0);
+  AXIOMCC_EXPECTS(initial_window_mss >= 0.0);
+
+  spec.topology.links.assign(static_cast<std::size_t>(bottlenecks), per_link);
+  spec.senders.clear();
+
+  std::vector<int> long_route(static_cast<std::size_t>(bottlenecks));
+  for (int l = 0; l < bottlenecks; ++l) {
+    long_route[static_cast<std::size_t>(l)] = l;
+  }
+  spec.add_routed_sender(prototype, std::move(long_route), initial_window_mss);
+  for (int l = 0; l < bottlenecks; ++l) {
+    for (long j = 0; j < cross_flows_per_link; ++j) {
+      spec.add_routed_sender(prototype, {l}, initial_window_mss);
+    }
+  }
+}
+
+int FatTreeTopology::up_link(int leaf, int spine) const {
+  AXIOMCC_EXPECTS(leaf >= 0 && leaf < leaves);
+  AXIOMCC_EXPECTS(spine >= 0 && spine < spines);
+  return leaf * spines + spine;
+}
+
+int FatTreeTopology::down_link(int spine, int leaf) const {
+  AXIOMCC_EXPECTS(leaf >= 0 && leaf < leaves);
+  AXIOMCC_EXPECTS(spine >= 0 && spine < spines);
+  return leaves * spines + spine * leaves + leaf;
+}
+
+std::vector<int> FatTreeTopology::route(long flow_index, int src_leaf,
+                                        int dst_leaf,
+                                        std::uint64_t seed) const {
+  AXIOMCC_EXPECTS(src_leaf >= 0 && src_leaf < leaves);
+  AXIOMCC_EXPECTS(dst_leaf >= 0 && dst_leaf < leaves);
+  AXIOMCC_EXPECTS_MSG(src_leaf != dst_leaf,
+                      "intra-leaf flows never cross the fabric");
+  // ECMP: hash the flow identity into a spine choice. Each splitmix round
+  // mixes one component so (seed, flow, src, dst) permutations decorrelate.
+  std::uint64_t s = seed;
+  s ^= static_cast<std::uint64_t>(flow_index) + 0x9e3779b97f4a7c15ull;
+  (void)splitmix64_next(s);
+  s ^= static_cast<std::uint64_t>(src_leaf) * 0xff51afd7ed558ccdull;
+  (void)splitmix64_next(s);
+  s ^= static_cast<std::uint64_t>(dst_leaf) * 0xc4ceb9fe1a85ec53ull;
+  const std::uint64_t hash = splitmix64_next(s);
+  const int spine = static_cast<int>(hash % static_cast<std::uint64_t>(spines));
+  return {up_link(src_leaf, spine), down_link(spine, dst_leaf)};
+}
+
+FatTreeTopology make_fat_tree(int leaves, int spines,
+                              const fluid::LinkParams& per_link) {
+  AXIOMCC_EXPECTS(leaves >= 2);
+  AXIOMCC_EXPECTS(spines >= 1);
+  FatTreeTopology tree;
+  tree.leaves = leaves;
+  tree.spines = spines;
+  // Up links first (leaf-major), then down links (spine-major) — the layout
+  // up_link/down_link index into.
+  tree.topology.links.assign(static_cast<std::size_t>(2 * leaves * spines),
+                             per_link);
+  return tree;
+}
+
+double scenario_capacity_mss(const ScenarioSpec& spec) {
+  if (spec.topology.empty()) {
+    return fluid::FluidLink(spec.link).capacity_mss();
+  }
+  double min_capacity = std::numeric_limits<double>::infinity();
+  for (const fluid::LinkParams& params : spec.topology.links) {
+    min_capacity =
+        std::min(min_capacity, fluid::FluidLink(params).capacity_mss());
+  }
+  return min_capacity;
+}
+
+double scenario_min_rtt_seconds(const ScenarioSpec& spec) {
+  if (spec.topology.empty()) {
+    return fluid::FluidLink(spec.link).min_rtt().value();
+  }
+  double min_rtt = std::numeric_limits<double>::infinity();
+  for (const fluid::LinkParams& params : spec.topology.links) {
+    min_rtt = std::min(min_rtt, fluid::FluidLink(params).min_rtt().value());
+  }
+  return min_rtt;
+}
+
+}  // namespace axiomcc::engine

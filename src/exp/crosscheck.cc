@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "cc/registry.h"
+#include "engine/backend.h"
 #include "engine/scenario.h"
+#include "engine/topology.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/task_pool.h"
@@ -174,6 +176,93 @@ void write_crosscheck_csv(const CrosscheckResult& result, std::ostream& out) {
         << a.agreeing_pairs << ',' << (a.matches ? 1 : 0) << ',' << '"'
         << a.fluid_order << '"' << ',' << '"' << a.packet_order << '"'
         << '\n';
+  }
+}
+
+namespace {
+
+/// Tail-mean share of flow 0's window in the aggregate.
+double long_flow_tail_share(const fluid::Trace& trace, double tail_fraction) {
+  const std::size_t steps = trace.num_steps();
+  if (steps == 0) return 0.0;
+  const auto start = static_cast<std::size_t>(
+      static_cast<double>(steps) * tail_fraction);
+  double long_sum = 0.0;
+  double total_sum = 0.0;
+  for (std::size_t s = start; s < steps; ++s) {
+    long_sum += trace.windows(0)[s];
+    total_sum += trace.total_window()[s];
+  }
+  return total_sum > 0.0 ? long_sum / total_sum : 0.0;
+}
+
+}  // namespace
+
+TopologyCheckResult run_topology_crosscheck(const TopologyCheckConfig& cfg) {
+  AXIOMCC_EXPECTS(cfg.bottlenecks >= 1);
+  AXIOMCC_EXPECTS(cfg.steps > 0);
+  AXIOMCC_EXPECTS(cfg.tail_fraction >= 0.0 && cfg.tail_fraction < 1.0);
+  const std::vector<std::string> specs =
+      cfg.protocol_specs.empty()
+          ? std::vector<std::string>{"aimd(1,0.5)", "cubic(0.4,0.8)"}
+          : cfg.protocol_specs;
+  std::vector<std::string> names;
+  names.reserve(specs.size());
+  for (const std::string& spec : specs) {
+    names.push_back(cc::make_protocol(spec)->name());
+  }
+
+  // Cell i = (protocol i/2, backend i%2), as in run_crosscheck: each cell
+  // rebuilds its protocol, so results are bit-identical at any job count.
+  const std::vector<double> shares = parallel_map(
+      specs.size() * 2,
+      [&](std::size_t i) {
+        const std::string& spec = specs[i / 2];
+        const engine::BackendKind backend = (i % 2 == 0)
+                                                ? engine::BackendKind::kFluid
+                                                : engine::BackendKind::kPacket;
+        TELEMETRY_SPAN_DYN("exp.crosscheck.topology",
+                           std::string(engine::backend_name(backend)) + "/" +
+                               spec);
+        TELEMETRY_COUNT("exp.crosscheck.topology_cells", 1);
+        const auto proto = cc::make_protocol(spec);
+        engine::ScenarioSpec scenario;
+        scenario.steps = cfg.steps;
+        scenario.seed = cfg.seed;
+        engine::apply_parking_lot(scenario, cfg.per_link, cfg.bottlenecks,
+                                  *proto);
+        const engine::RunTrace rt =
+            engine::backend_for(backend).run(scenario);
+        return long_flow_tail_share(rt.trace, cfg.tail_fraction);
+      },
+      cfg.jobs);
+
+  TopologyCheckResult result;
+  result.entries.reserve(specs.size());
+  for (std::size_t p = 0; p < specs.size(); ++p) {
+    TopologyCheckEntry e;
+    e.protocol = names[p];
+    e.bottlenecks = cfg.bottlenecks;
+    e.fluid_long_share = shares[2 * p];
+    e.packet_long_share = shares[2 * p + 1];
+    // One long flow competes with one cross flow per link: fair is an even
+    // split of each bottleneck.
+    e.fair_share = 0.5;
+    e.beat_down_agrees = (e.fluid_long_share < e.fair_share) ==
+                         (e.packet_long_share < e.fair_share);
+    result.entries.push_back(std::move(e));
+  }
+  return result;
+}
+
+void write_topology_crosscheck_csv(const TopologyCheckResult& result,
+                                   std::ostream& out) {
+  out << "protocol,bottlenecks,fluid_long_share,packet_long_share,"
+         "fair_share,beat_down_agrees\n";
+  for (const TopologyCheckEntry& e : result.entries) {
+    out << e.protocol << ',' << e.bottlenecks << ',' << e.fluid_long_share
+        << ',' << e.packet_long_share << ',' << e.fair_share << ','
+        << (e.beat_down_agrees ? 1 : 0) << '\n';
   }
 }
 

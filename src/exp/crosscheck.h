@@ -10,12 +10,14 @@
 // claims are what must survive the substrate change.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "core/evaluator.h"
 #include "core/metric_point.h"
+#include "fluid/link.h"
 
 namespace axiomcc::exp {
 
@@ -86,5 +88,57 @@ struct CrosscheckResult {
 /// One CSV row per (protocol, backend) with all eight metric scores,
 /// followed by one row per metric with the agreement verdicts.
 void write_crosscheck_csv(const CrosscheckResult& result, std::ostream& out);
+
+/// Topology crosscheck: runs the same k-bottleneck parking-lot ScenarioSpec
+/// on both backends through engine::SimBackend and compares the structural
+/// outcome. Exact traces differ across substrates; what must survive is the
+/// multi-hop beat-down — the long flow (crossing every bottleneck) ends up
+/// on the same side of its single-link fair share on both backends.
+struct TopologyCheckConfig {
+  /// Per-bottleneck link (fluid units; Θ one-way). The defaults give the
+  /// paper's 30 Mbps / 42 ms dumbbell at every hop.
+  fluid::LinkParams per_link = fluid::make_link_mbps(30.0, 42.0, 100.0);
+  int bottlenecks = 3;
+  long steps = 400;
+  std::uint64_t seed = 42;
+  /// Tail fraction of steps used for the share estimate.
+  double tail_fraction = 0.5;
+  /// Protocol spec strings; empty selects {aimd(1,0.5), cubic(0.4,0.8)}.
+  std::vector<std::string> protocol_specs;
+  /// Worker threads for the protocol × backend matrix (as in
+  /// CrosscheckConfig::jobs).
+  long jobs = 0;
+};
+
+struct TopologyCheckEntry {
+  std::string protocol;
+  int bottlenecks = 0;
+  /// Long flow's tail-mean share of the aggregate window, per backend.
+  double fluid_long_share = 0.0;
+  double packet_long_share = 0.0;
+  /// The single-link fair share the long flow would get without multi-hop
+  /// beat-down (1 / flows-per-link).
+  double fair_share = 0.0;
+  /// Both backends put the long flow's share on the same side of fair.
+  bool beat_down_agrees = false;
+};
+
+struct TopologyCheckResult {
+  std::vector<TopologyCheckEntry> entries;
+
+  [[nodiscard]] int agreeing_entries() const {
+    int n = 0;
+    for (const TopologyCheckEntry& e : entries) n += e.beat_down_agrees;
+    return n;
+  }
+};
+
+[[nodiscard]] TopologyCheckResult run_topology_crosscheck(
+    const TopologyCheckConfig& cfg = {});
+
+/// One CSV row per protocol with both backends' long-flow shares and the
+/// agreement verdict.
+void write_topology_crosscheck_csv(const TopologyCheckResult& result,
+                                   std::ostream& out);
 
 }  // namespace axiomcc::exp

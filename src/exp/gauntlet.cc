@@ -9,6 +9,7 @@
 
 #include "cc/registry.h"
 #include "core/metrics.h"
+#include "engine/topology.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/task_pool.h"
@@ -104,6 +105,12 @@ engine::ScenarioSpec make_cell_spec(const cc::Protocol& proto,
   engine::ScenarioSpec spec;
   spec.link = cfg.link;
   spec.steps = cfg.steps;
+  if (cfg.topology_bottlenecks > 0) {
+    engine::apply_parking_lot(
+        spec, cfg.link, cfg.topology_bottlenecks, proto,
+        std::max<long>(1, static_cast<long>(cfg.num_senders) - 1));
+    return spec;
+  }
   const double capacity = fluid::FluidLink(cfg.link).capacity_mss();
   for (int i = 0; i < cfg.num_senders; ++i) {
     const double initial =

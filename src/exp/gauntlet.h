@@ -29,6 +29,11 @@ struct GauntletConfig {
   fluid::LinkParams link = fluid::make_link_mbps(30.0, 42.0, 100.0);
   int num_senders = 2;     ///< base (non-churned) flows per cell.
   long steps = 900;        ///< fluid steps per cell.
+  /// 0 = single shared link (the pre-topology gauntlet, bit-identical).
+  /// k >= 1 runs every cell on a k-bottleneck parking lot (`link` per hop):
+  /// one long flow over all hops plus num_senders−1 cross flows per link,
+  /// with churned flows joining on the long route.
+  int topology_bottlenecks = 0;
   /// Which simulator runs the cells (and, via axiom_cfg, the axiom metrics).
   /// The fluid default reproduces the pre-engine gauntlet bit-for-bit.
   engine::BackendKind backend = engine::BackendKind::kFluid;

@@ -2,15 +2,200 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "util/check.h"
 
 namespace axiomcc::fluid {
 
-FluidNetwork::FluidNetwork(Options options) : options_(options) {
+namespace {
+
+/// Flight-recorder emission for the routed network, mirroring the
+/// single-link StepRecorder: every event derives from the flow specs, the
+/// shared schedule functions, or the per-step values the trace records, so
+/// both topology backends' recordings live on the same lanes. Flows are
+/// their own cohorts here (one member each) — the engine's topology path
+/// flattens sender slots to per-flow order on both backends, so cohort id
+/// == flow id and the recordings step-align.
+class NetStepRecorder {
+ public:
+  NetStepRecorder(recorder::Recorder* sink,
+                  const std::vector<FluidNetwork::FlowSpec>& flows,
+                  const std::function<double(long)>& bw,
+                  const std::function<double(long)>& rtt, bool aggregate)
+      : sink_(sink), flows_(&flows), bw_(&bw), rtt_(&rtt),
+        aggregate_(aggregate) {
+    if (sink_ == nullptr) return;
+    sink_->set_backend("fluid");
+    sink_->set_senders(static_cast<long>(flows.size()));
+    churn_active_.assign(flows.size(), 0);
+    injected_visible_.assign(flows.size(), 0);
+  }
+
+  void on_step(long step, double total, double rtt_value,
+               double congestion_loss, std::span<const double> windows,
+               std::span<const double> observed) {
+    using recorder::EventClass;
+    using recorder::EventCode;
+    using recorder::Subject;
+    if (sink_ == nullptr) return;
+    sink_->note_step(step);
+
+    const auto active_at = [step](const FluidNetwork::FlowSpec& f) {
+      return step >= f.start_step &&
+             (f.stop_step < 0 || step < f.stop_step);
+    };
+
+    if (sink_->wants(EventClass::kChurn)) {
+      for (std::size_t fi = 0; fi < flows_->size(); ++fi) {
+        const bool active = active_at((*flows_)[fi]);
+        if (active != static_cast<bool>(churn_active_[fi])) {
+          sink_->emit({step, EventClass::kChurn,
+                       active ? EventCode::kJoin : EventCode::kLeave,
+                       Subject::kCohort, static_cast<int>(fi), 1.0, 0.0});
+          churn_active_[fi] = active ? 1 : 0;
+        }
+      }
+    }
+
+    if (sink_->wants(EventClass::kSchedule)) {
+      if (*bw_) {
+        const double scale = (*bw_)(step);
+        if (scale != last_bw_scale_) {
+          sink_->emit({step, EventClass::kSchedule, EventCode::kBandwidth,
+                       Subject::kRun, -1, scale, last_bw_scale_});
+          last_bw_scale_ = scale;
+        }
+      }
+      if (*rtt_) {
+        const double scale = (*rtt_)(step);
+        if (scale != last_rtt_scale_) {
+          sink_->emit({step, EventClass::kSchedule, EventCode::kRtt,
+                       Subject::kRun, -1, scale, last_rtt_scale_});
+          last_rtt_scale_ = scale;
+        }
+      }
+    }
+
+    if (sink_->wants(EventClass::kLoss)) {
+      const bool lossy = congestion_loss > 0.0;
+      if (lossy != loss_active_) {
+        sink_->emit({step, EventClass::kLoss,
+                     lossy ? EventCode::kOnset : EventCode::kClear,
+                     Subject::kRun, -1,
+                     lossy ? congestion_loss : last_loss_, 0.0});
+        loss_active_ = lossy;
+      }
+      if (lossy) last_loss_ = congestion_loss;
+      for (std::size_t fi = 0; fi < flows_->size(); ++fi) {
+        const bool active = active_at((*flows_)[fi]);
+        const double obs = active ? observed[fi] : 0.0;
+        // On a multi-hop route a flow's composed congestion loss can exceed
+        // the per-link maximum, so "injected visible" compares against the
+        // flow's own congestion-only composition, approximated by the
+        // recorded (max-link) rate — good enough for timeline triage.
+        const bool visible = active && obs > congestion_loss;
+        if (visible != static_cast<bool>(injected_visible_[fi])) {
+          sink_->emit({step, EventClass::kLoss,
+                       visible ? EventCode::kInjected : EventCode::kClear,
+                       Subject::kCohort, static_cast<int>(fi), obs,
+                       congestion_loss});
+          injected_visible_[fi] = visible ? 1 : 0;
+        }
+      }
+    }
+
+    if (sink_->wants(EventClass::kWindow) && sink_->sample_due(step)) {
+      sink_->emit({step, EventClass::kWindow, EventCode::kTotal, Subject::kRun,
+                   -1, total, rtt_value});
+      for (std::size_t fi = 0; fi < windows.size(); ++fi) {
+        if (windows[fi] > 0.0) {
+          sink_->emit({step, EventClass::kWindow, EventCode::kSample,
+                       aggregate_ ? Subject::kCohort : Subject::kSender,
+                       static_cast<int>(fi), windows[fi], 0.0});
+        }
+      }
+    }
+  }
+
+ private:
+  recorder::Recorder* sink_;
+  const std::vector<FluidNetwork::FlowSpec>* flows_;
+  const std::function<double(long)>* bw_;
+  const std::function<double(long)>* rtt_;
+  bool aggregate_;
+  std::vector<char> churn_active_;
+  std::vector<char> injected_visible_;
+  double last_bw_scale_ = 1.0;
+  double last_rtt_scale_ = 1.0;
+  bool loss_active_ = false;
+  double last_loss_ = 0.0;
+};
+
+/// The active link set under (possibly null) network-wide bandwidth/RTT
+/// schedules: the single-link ScheduledLink, vectorized. All links share the
+/// scale pair, so the rebuild is amortized across piecewise-constant
+/// schedules exactly like the single-link path.
+class ScheduledLinks {
+ public:
+  ScheduledLinks(const std::vector<FluidLink>& base,
+                 const std::function<double(long)>& bw,
+                 const std::function<double(long)>& rtt)
+      : base_(base), bw_(bw), rtt_(rtt) {}
+
+  const std::vector<FluidLink>& at(long step) {
+    if (!bw_ && !rtt_) return base_;
+    double bw_scale = 1.0;
+    double rtt_scale = 1.0;
+    if (bw_) {
+      bw_scale = bw_(step);
+      AXIOMCC_EXPECTS_MSG(bw_scale > 0.0, "bandwidth scale must be positive");
+    }
+    if (rtt_) {
+      rtt_scale = rtt_(step);
+      AXIOMCC_EXPECTS_MSG(rtt_scale > 0.0, "RTT scale must be positive");
+    }
+    if (!cached_ || bw_scale != last_bw_ || rtt_scale != last_rtt_) {
+      scaled_.clear();
+      scaled_.reserve(base_.size());
+      for (const FluidLink& link : base_) {
+        LinkParams params = link.params();
+        if (bw_) {
+          params.bandwidth = Bandwidth::from_mss_per_sec(
+              params.bandwidth.mss_per_sec() * bw_scale);
+        }
+        if (rtt_) {
+          params.propagation_delay = params.propagation_delay * rtt_scale;
+        }
+        scaled_.emplace_back(params);
+      }
+      cached_ = true;
+      last_bw_ = bw_scale;
+      last_rtt_ = rtt_scale;
+    }
+    return scaled_;
+  }
+
+ private:
+  const std::vector<FluidLink>& base_;
+  const std::function<double(long)>& bw_;
+  const std::function<double(long)>& rtt_;
+  std::vector<FluidLink> scaled_;
+  double last_bw_ = 1.0;
+  double last_rtt_ = 1.0;
+  bool cached_ = false;
+};
+
+}  // namespace
+
+FluidNetwork::FluidNetwork(Options options)
+    : options_(options), injector_(std::make_unique<NoLoss>()) {
   AXIOMCC_EXPECTS(options.steps > 0);
   AXIOMCC_EXPECTS(options.min_window_mss > 0.0);
   AXIOMCC_EXPECTS(options.max_window_mss > options.min_window_mss);
+  if (options.trace_detail == TraceDetail::kAggregate) {
+    AXIOMCC_EXPECTS(options.tracked_senders > 0);
+  }
 }
 
 int FluidNetwork::add_link(const LinkParams& params) {
@@ -21,16 +206,47 @@ int FluidNetwork::add_link(const LinkParams& params) {
 
 int FluidNetwork::add_flow(std::unique_ptr<cc::Protocol> protocol,
                            std::vector<int> route, double initial_window_mss) {
+  return add_flow(
+      FlowSpec{std::move(protocol), std::move(route), initial_window_mss});
+}
+
+int FluidNetwork::add_flow(FlowSpec spec) {
   AXIOMCC_EXPECTS_MSG(!ran_, "add_flow must precede run()");
-  AXIOMCC_EXPECTS(protocol != nullptr);
-  AXIOMCC_EXPECTS_MSG(!route.empty(), "a flow must traverse at least one link");
-  for (int link_id : route) {
+  AXIOMCC_EXPECTS(spec.protocol != nullptr);
+  AXIOMCC_EXPECTS_MSG(!spec.route.empty(),
+                      "a flow must traverse at least one link");
+  for (int link_id : spec.route) {
     AXIOMCC_EXPECTS(link_id >= 0 && link_id < num_links());
   }
-  AXIOMCC_EXPECTS(initial_window_mss >= 0.0);
-  flows_.push_back(Flow{std::move(protocol), std::move(route),
-                        initial_window_mss});
+  AXIOMCC_EXPECTS(spec.initial_window_mss >= 0.0);
+  AXIOMCC_EXPECTS(spec.start_step >= 0);
+  AXIOMCC_EXPECTS(spec.stop_step < 0 || spec.stop_step > spec.start_step);
+  flows_.push_back(std::move(spec));
   return num_flows() - 1;
+}
+
+void FluidNetwork::set_loss_injector(std::unique_ptr<LossInjector> injector) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "set_loss_injector must precede run()");
+  AXIOMCC_EXPECTS(injector != nullptr);
+  injector_ = std::move(injector);
+}
+
+void FluidNetwork::set_bandwidth_schedule(std::function<double(long)> scale) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "set_bandwidth_schedule must precede run()");
+  AXIOMCC_EXPECTS(scale != nullptr);
+  bandwidth_scale_ = std::move(scale);
+}
+
+void FluidNetwork::set_rtt_schedule(std::function<double(long)> scale) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "set_rtt_schedule must precede run()");
+  AXIOMCC_EXPECTS(scale != nullptr);
+  rtt_scale_ = std::move(scale);
+}
+
+void FluidNetwork::set_step_monitor(StepMonitor monitor) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "set_step_monitor must precede run()");
+  AXIOMCC_EXPECTS(monitor != nullptr);
+  step_monitor_ = std::move(monitor);
 }
 
 const FluidLink& FluidNetwork::link(int id) const {
@@ -50,7 +266,7 @@ Trace FluidNetwork::run() {
   // route; min-RTT = smallest route floor.
   double min_capacity = std::numeric_limits<double>::infinity();
   double min_route_rtt = std::numeric_limits<double>::infinity();
-  for (const Flow& f : flows_) {
+  for (const FlowSpec& f : flows_) {
     double route_rtt = 0.0;
     for (int l : f.route) {
       min_capacity = std::min(min_capacity, links_[l].capacity_mss());
@@ -59,26 +275,56 @@ Trace FluidNetwork::run() {
     min_route_rtt = std::min(min_route_rtt, route_rtt);
   }
 
-  Trace trace(nf, min_capacity, min_route_rtt);
+  const bool aggregate = options_.trace_detail == TraceDetail::kAggregate;
+  Trace trace = aggregate
+                    ? Trace(nf, min_capacity, min_route_rtt,
+                            TraceDetail::kAggregate,
+                            default_tracked_senders(nf,
+                                                    options_.tracked_senders))
+                    : Trace(nf, min_capacity, min_route_rtt);
   trace.reserve(static_cast<std::size_t>(options_.steps));
 
   const auto clamp_window = [&](double w) {
     return std::clamp(w, options_.min_window_mss, options_.max_window_mss);
   };
+  const auto active_at = [](const FlowSpec& f, long step) {
+    return step >= f.start_step && (f.stop_step < 0 || step < f.stop_step);
+  };
 
   std::vector<double> windows(nf);
   for (int f = 0; f < nf; ++f) {
-    windows[f] = clamp_window(flows_[f].initial_window);
+    windows[f] = active_at(flows_[f], 0)
+                     ? clamp_window(flows_[f].initial_window_mss)
+                     : 0.0;
   }
 
   std::vector<double> link_loss(nl, 0.0);
   std::vector<double> arrivals(nl, 0.0);
   std::vector<double> utilization_sum(nl, 0.0);
   std::vector<double> flow_loss(nf);
+  std::vector<double> observed_loss(nf);
   std::vector<double> flow_rtt(nf);
   std::vector<double> next_windows(nf);
 
+  ScheduledLinks sched(links_, bandwidth_scale_, rtt_scale_);
+  NetStepRecorder srec(options_.record_sink, flows_, bandwidth_scale_,
+                       rtt_scale_, aggregate);
+
+  long steps_run = 0;
   for (long step = 0; step < options_.steps; ++step) {
+    // Churn: flows joining at this step restart from their initial window;
+    // departed flows stop contributing immediately.
+    for (int f = 0; f < nf; ++f) {
+      const FlowSpec& spec = flows_[f];
+      if (!active_at(spec, step)) {
+        windows[f] = 0.0;
+      } else if (step == spec.start_step && step != 0) {
+        windows[f] = clamp_window(spec.initial_window_mss);
+      }
+    }
+
+    const std::vector<FluidLink>& active_links = sched.at(step);
+
     // Fixed-point iteration for consistent carried loads: upstream loss
     // thins downstream arrivals, and arrivals determine loss. A handful of
     // rounds converges because loss rates are small and monotone.
@@ -93,45 +339,75 @@ Trace FluidNetwork::run() {
         }
       }
       for (int l = 0; l < nl; ++l) {
-        link_loss[l] = links_[l].loss_rate(arrivals[l]);
+        link_loss[l] = active_links[l].loss_rate(arrivals[l]);
       }
     }
 
     for (int l = 0; l < nl; ++l) {
       utilization_sum[l] +=
-          std::min(1.0, arrivals[l] / links_[l].capacity_mss());
+          std::min(1.0, arrivals[l] / active_links[l].capacity_mss());
     }
+    ++steps_run;
 
-    // Per-flow observations: loss composes, delay adds, across the route.
+    // Per-flow observations: loss composes, delay adds, across the route;
+    // injected (non-congestion) loss composes on top, exactly like the
+    // single-link model.
     double max_link_loss = 0.0;
     for (double loss : link_loss) max_link_loss = std::max(max_link_loss, loss);
+    double total = 0.0;
+    for (double w : windows) total += w;
     double rtt_sum = 0.0;
+    int rtt_count = 0;
     for (int f = 0; f < nf; ++f) {
+      if (!active_at(flows_[f], step)) {
+        flow_loss[f] = 0.0;
+        observed_loss[f] = 0.0;
+        flow_rtt[f] = 0.0;
+        continue;
+      }
       double survive = 1.0;
       double rtt = 0.0;
       for (int l : flows_[f].route) {
         survive *= 1.0 - link_loss[l];
-        rtt += links_[l].rtt(arrivals[l]).value();
+        rtt += active_links[l].rtt(arrivals[l]).value();
       }
       flow_loss[f] = 1.0 - survive;
+      const double injected = injector_->sample(step, f);
+      observed_loss[f] = combine_loss(flow_loss[f], injected);
       flow_rtt[f] = rtt;
       rtt_sum += rtt;
+      ++rtt_count;
     }
+    const double mean_rtt = rtt_count > 0
+                                ? rtt_sum / static_cast<double>(rtt_count)
+                                : min_route_rtt;
 
-    trace.add_step(windows, rtt_sum / static_cast<double>(nf), max_link_loss,
-                   flow_loss);
+    trace.add_step(windows, mean_rtt, max_link_loss, observed_loss);
+    srec.on_step(step, total, mean_rtt, max_link_loss, windows, observed_loss);
 
     for (int f = 0; f < nf; ++f) {
-      const cc::Observation obs{windows[f], flow_loss[f], flow_rtt[f]};
+      if (!active_at(flows_[f], step)) {
+        next_windows[f] = 0.0;
+        continue;
+      }
+      const cc::Observation obs{windows[f], observed_loss[f], flow_rtt[f]};
       next_windows[f] = clamp_window(flows_[f].protocol->next_window(obs));
     }
     windows.swap(next_windows);
+
+    // The monitor sees the windows the flows just chose for the NEXT step,
+    // matching FluidSimulation — a diverging protocol is caught here rather
+    // than exploding inside a link's preconditions.
+    if (step_monitor_ &&
+        !step_monitor_(step, windows, mean_rtt, max_link_loss)) {
+      break;
+    }
   }
 
   link_mean_utilization_.assign(nl, 0.0);
   for (int l = 0; l < nl; ++l) {
     link_mean_utilization_[l] =
-        utilization_sum[l] / static_cast<double>(options_.steps);
+        utilization_sum[l] / static_cast<double>(std::max(steps_run, 1L));
   }
   return trace;
 }

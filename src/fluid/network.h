@@ -12,18 +12,29 @@
 //     L_f = 1 − Π_{l ∈ R(f)} (1 − L_l);
 //   * a flow's RTT adds propagation and queueing across its route.
 //
+// The network is a first-class engine substrate: it supports the same hooks
+// as FluidSimulation — flow churn ([start, stop) step intervals), an injected
+// (non-congestion) loss process composed into each flow's observation,
+// network-wide bandwidth/RTT perturbation schedules, a step monitor that can
+// stop the run early, aggregate-detail traces, and flight-recorder emission.
+// engine::FluidBackend routes topology scenarios here.
+//
 // The classic "parking lot" topology (one long flow crossing k bottlenecks,
 // k short cross-flows) is provided as a builder; it exposes the beat-down of
 // multi-hop flows that single-link analysis cannot see.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cc/protocol.h"
 #include "fluid/link.h"
+#include "fluid/loss_model.h"
 #include "fluid/trace.h"
+#include "recorder/recorder.h"
 
 namespace axiomcc::fluid {
 
@@ -32,11 +43,34 @@ struct NetworkOptions {
   long steps = 2000;
   double min_window_mss = 1.0;
   double max_window_mss = 1e9;
+  /// Trace retention, as in SimOptions: kAggregate keeps population stats
+  /// plus `tracked_senders` full series.
+  TraceDetail trace_detail = TraceDetail::kFull;
+  int tracked_senders = 8;
+  /// Non-owning flight-recorder sink (null = no recording).
+  recorder::Recorder* record_sink = nullptr;
 };
 
 class FluidNetwork {
  public:
   using Options = NetworkOptions;
+  /// Same shape as FluidSimulation::StepMonitor: sees the windows the flows
+  /// just chose for the NEXT step; returning false stops the run, keeping
+  /// the steps recorded so far.
+  using StepMonitor = std::function<bool(
+      long step, std::span<const double> windows, double rtt_seconds,
+      double congestion_loss)>;
+
+  /// A flow with churn: active on steps in [start_step, stop_step), with a
+  /// negative stop meaning "forever". Rejoining is not modeled (one interval
+  /// per flow, like fluid::SenderSpec).
+  struct FlowSpec {
+    std::unique_ptr<cc::Protocol> protocol;
+    std::vector<int> route;  ///< ordered link ids, loop-free.
+    double initial_window_mss = 1.0;
+    long start_step = 0;
+    long stop_step = -1;
+  };
 
   explicit FluidNetwork(Options options = {});
 
@@ -46,6 +80,17 @@ class FluidNetwork {
   /// Adds a flow with the given route (ordered link ids); returns its id.
   int add_flow(std::unique_ptr<cc::Protocol> protocol,
                std::vector<int> route, double initial_window_mss = 1.0);
+  /// Adds a flow with full churn control; returns its id.
+  int add_flow(FlowSpec spec);
+
+  /// Injected (non-congestion) loss, composed into every active flow's
+  /// observed loss exactly like FluidSimulation does. Default: none.
+  void set_loss_injector(std::unique_ptr<LossInjector> injector);
+  /// Network-wide multiplicative schedules: every link's bandwidth (or
+  /// propagation delay) is scaled by the returned factor at each step.
+  void set_bandwidth_schedule(std::function<double(long)> scale);
+  void set_rtt_schedule(std::function<double(long)> scale);
+  void set_step_monitor(StepMonitor monitor);
 
   [[nodiscard]] int num_links() const { return static_cast<int>(links_.size()); }
   [[nodiscard]] int num_flows() const { return static_cast<int>(flows_.size()); }
@@ -58,21 +103,22 @@ class FluidNetwork {
   /// any route, and its min-RTT is the smallest route RTT.
   [[nodiscard]] Trace run();
 
-  /// Per-link peak utilization over the tail of the last run (diagnostics).
+  /// Per-link MEAN utilization of the last run (diagnostics): the average of
+  /// min(1, arrivals/capacity) over EVERY executed step — the full horizon,
+  /// no tail window is applied. When a step monitor stops the run early,
+  /// the mean covers only the steps actually run.
   [[nodiscard]] const std::vector<double>& link_mean_utilization() const {
     return link_mean_utilization_;
   }
 
  private:
-  struct Flow {
-    std::unique_ptr<cc::Protocol> protocol;
-    std::vector<int> route;
-    double initial_window;
-  };
-
   Options options_;
   std::vector<FluidLink> links_;
-  std::vector<Flow> flows_;
+  std::vector<FlowSpec> flows_;
+  std::unique_ptr<LossInjector> injector_;
+  std::function<double(long)> bandwidth_scale_;
+  std::function<double(long)> rtt_scale_;
+  StepMonitor step_monitor_;
   std::vector<double> link_mean_utilization_;
   bool ran_ = false;
 };

@@ -142,7 +142,7 @@ ScenarioDesc Mutator::mutate(const ScenarioDesc& base, Rng& rng) const {
   const std::uint64_t edits = 1 + rng.uniform_index(3);
   for (std::uint64_t edit = 0; edit < edits; ++edit) {
     TELEMETRY_COUNT("fuzz.mutations", 1);
-    switch (rng.uniform_index(11)) {
+    switch (rng.uniform_index(13)) {
       case 0:
         out.bandwidth_mbps = rng.bernoulli(0.3)
                                  ? rng.uniform(limits_.min_mbps, limits_.max_mbps)
@@ -200,6 +200,37 @@ ScenarioDesc Mutator::mutate(const ScenarioDesc& base, Rng& rng) const {
           out.batch = !out.batch;
         }
         break;
+      case 11:
+        // Walk the topology axis: collapse to the single link, or pick a
+        // parking-lot depth (routes derive from slot order at compile time).
+        out.topology_bottlenecks =
+            rng.bernoulli(0.3)
+                ? 0
+                : 1 + static_cast<int>(rng.uniform_index(
+                          static_cast<std::uint64_t>(limits_.max_bottlenecks)));
+        break;
+      case 12:
+        // Walk the workload axis: none, incast fan-in, or heavy-tailed
+        // on-off trains; parameters perturbed when the kind survives.
+        if (rng.bernoulli(0.3)) {
+          out.workload = WorkloadDesc{};
+        } else {
+          if (out.workload.empty() || rng.bernoulli(0.4)) {
+            out.workload.kind = rng.bernoulli(0.5)
+                                    ? WorkloadDesc::Kind::kIncast
+                                    : WorkloadDesc::Kind::kOnOff;
+          }
+          out.workload.flows = 1 + static_cast<long>(rng.uniform_index(
+                                       static_cast<std::uint64_t>(
+                                           limits_.max_workload_flows)));
+          out.workload.spread_steps = perturb(out.workload.spread_steps, rng);
+          out.workload.mean_on_steps =
+              perturb(out.workload.mean_on_steps, rng);
+          out.workload.mean_off_steps =
+              perturb(out.workload.mean_off_steps, rng);
+          out.workload.alpha = rng.uniform(1.1, 2.5);
+        }
+        break;
     }
   }
   sanitize(out);
@@ -223,6 +254,8 @@ ScenarioDesc Mutator::splice(const ScenarioDesc& a, const ScenarioDesc& b,
   out.seed = (rng.bernoulli(0.5) ? x : y).seed;
   out.aggregate_trace = (rng.bernoulli(0.5) ? x : y).aggregate_trace;
   out.batch = (rng.bernoulli(0.5) ? x : y).batch;
+  out.topology_bottlenecks = (rng.bernoulli(0.5) ? x : y).topology_bottlenecks;
+  out.workload = (rng.bernoulli(0.5) ? x : y).workload;
   out.senders = (rng.bernoulli(0.5) ? x : y).senders;
   out.loss = (rng.bernoulli(0.5) ? x : y).loss;
 
@@ -259,6 +292,8 @@ void Mutator::sanitize(ScenarioDesc& desc) const {
   desc.max_window_mss = std::clamp(desc.max_window_mss, 100.0, 1e9);
   desc.tail_fraction = std::clamp(desc.tail_fraction, 0.1, 1.0);
   desc.expect = ExpectDesc{};  // mutants are untriaged by definition
+  desc.topology_bottlenecks =
+      std::clamp(desc.topology_bottlenecks, 0, limits_.max_bottlenecks);
 
   if (desc.senders.empty()) desc.senders.push_back(SenderDesc{});
   if (desc.senders.size() > limits_.max_senders) {
@@ -284,6 +319,39 @@ void Mutator::sanitize(ScenarioDesc& desc) const {
     } else {
       s.stop_step = -1.0;
     }
+  }
+
+  // Canonicalize the workload descriptor like the loss one below: only the
+  // active kind's parameters survive, so two descs that serialize
+  // identically compare equal. Generated flows multiply the slot
+  // population, so the per-slot flow count is additionally capped to keep
+  // the expanded population inside max_total_senders.
+  {
+    long population = 0;
+    for (const SenderDesc& s : desc.senders) population += s.count;
+    WorkloadDesc workload;
+    workload.kind = desc.workload.kind;
+    if (workload.kind != WorkloadDesc::Kind::kNone) {
+      const long flow_cap =
+          std::max<long>(1, limits_.max_total_senders /
+                                std::max<long>(population, 1));
+      workload.flows = std::clamp<long>(
+          desc.workload.flows, 1,
+          std::min(limits_.max_workload_flows, flow_cap));
+      if (workload.kind == WorkloadDesc::Kind::kIncast) {
+        workload.spread_steps =
+            std::clamp(desc.workload.spread_steps, 0.0, max_step);
+      } else {
+        // Bound the on/off means away from zero so a run spawns at most a
+        // handful of trains per flow (engine caps generated slots anyway).
+        workload.mean_on_steps =
+            std::clamp(desc.workload.mean_on_steps, 10.0, max_step);
+        workload.mean_off_steps =
+            std::clamp(desc.workload.mean_off_steps, 10.0, max_step);
+        workload.alpha = std::clamp(desc.workload.alpha, 1.05, 3.0);
+      }
+    }
+    desc.workload = workload;
   }
 
   // Canonicalize the loss descriptor: clamp the active fields and zero the
@@ -413,6 +481,23 @@ std::vector<ScenarioDesc> Mutator::seed_corpus() {
     d.loss.kind = LossDesc::Kind::kBernoulli;
     d.loss.prob = 0.1;
     d.loss.rate = 0.3;
+    seeds.push_back(d);
+  }
+  {  // Two-bottleneck parking lot: slot 0 is the long flow over both hops,
+    // the cross flows each pin one bottleneck.
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"reno", 1.0, 0.0, -1.0},
+                 SenderDesc{"reno", 1.0, 0.0, -1.0},
+                 SenderDesc{"reno", 1.0, 0.0, -1.0}};
+    d.topology_bottlenecks = 2;
+    seeds.push_back(d);
+  }
+  {  // Incast fan-in: one slot fanned out into near-simultaneous arrivals.
+    ScenarioDesc d;
+    d.senders = {SenderDesc{"cubic(0.4,0.8)", 1.0, 40.0, -1.0}};
+    d.workload.kind = WorkloadDesc::Kind::kIncast;
+    d.workload.flows = 4;
+    d.workload.spread_steps = 16.0;
     seeds.push_back(d);
   }
   {  // A homogeneous cohort on the batch path with an aggregate trace —

@@ -3,9 +3,11 @@
 // The mutator is where the fuzzer's search moves live. Each call applies a
 // small number of randomly chosen structural edits to a ScenarioDesc — link
 // and horizon perturbations, sender add/remove/retune, protocol swaps from
-// a dictionary covering every registered family, loss-model switches, and
+// a dictionary covering every registered family, loss-model switches,
 // schedule edits (add/remove/perturb breakpoints, install a canonical
-// outage/flap/sawtooth shape, splice two scenarios' schedules) — then
+// outage/flap/sawtooth shape, splice two scenarios' schedules), and walks
+// of the topology (parking-lot depth) and workload (incast / heavy-tailed
+// on-off) axes — then
 // clamps the result into the limits box so every mutant compiles and runs
 // in bounded time on the packet backend. All randomness draws from the
 // caller's Rng, so a fuzz round is a pure function of (corpus, seed).
@@ -46,6 +48,12 @@ struct MutatorLimits {
   double max_scale = 8.0;
   double max_initial_window_mss = 300.0;
   double max_loss_rate = 0.6;
+  /// Topology axis: parking-lot bottleneck count (0 = single link).
+  int max_bottlenecks = 4;
+  /// Workload axis: generated flows per sender slot. The expanded
+  /// population is additionally capped at max_total_senders in sanitize,
+  /// so workload mutants keep the packet backend's event count bounded.
+  long max_workload_flows = 4;
 };
 
 class Mutator {

@@ -113,6 +113,13 @@ std::uint64_t novelty_key_for(const RunOutcome& o, const ScenarioDesc& desc) {
   // through the scenario space.
   push(desc.aggregate_trace ? 1 : 0, 1);
   push(desc.batch ? 1 : 0, 1);
+  // The topology/workload axes: the same metric signature reached through a
+  // parking lot or a generated flow pattern is a different corner of the
+  // backend stack than its single-link static twin.
+  push(std::min<std::uint64_t>(
+           3, static_cast<std::uint64_t>(desc.topology_bottlenecks)),
+       2);
+  push(static_cast<std::uint64_t>(desc.workload.kind), 2);
   return key;
 }
 

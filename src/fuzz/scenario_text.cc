@@ -1,5 +1,6 @@
 #include "fuzz/scenario_text.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 #include <utility>
 
 #include "cc/registry.h"
+#include "engine/workload.h"
 #include "fluid/loss_model.h"
 #include "stress/perturbation.h"
 
@@ -166,6 +168,24 @@ std::string serialize_scenario(const ScenarioDesc& desc) {
   // corpus file still round-trips byte-identically.
   if (desc.aggregate_trace) out += "trace aggregate\n";
   if (desc.batch) out += "exec batch\n";
+  if (desc.topology_bottlenecks > 0) {
+    out += "topology parking-lot " + std::to_string(desc.topology_bottlenecks) +
+           '\n';
+  }
+  switch (desc.workload.kind) {
+    case WorkloadDesc::Kind::kNone:
+      break;
+    case WorkloadDesc::Kind::kIncast:
+      out += "workload incast " + std::to_string(desc.workload.flows) + ' ' +
+             format_double(desc.workload.spread_steps) + '\n';
+      break;
+    case WorkloadDesc::Kind::kOnOff:
+      out += "workload onoff " + std::to_string(desc.workload.flows) + ' ' +
+             format_double(desc.workload.mean_on_steps) + ' ' +
+             format_double(desc.workload.mean_off_steps) + ' ' +
+             format_double(desc.workload.alpha) + '\n';
+      break;
+  }
   for (const SenderDesc& s : desc.senders) {
     if (s.count > 1) {
       out += "senders " + std::to_string(s.count) + ' ';
@@ -322,6 +342,34 @@ ScenarioDesc parse_scenario(const std::string& text) {
         fail(line_no,
              "unknown exec mode '" + tok[1] + "' (expected scalar|batch)");
       }
+    } else if (directive == "topology") {
+      once("topology");
+      require_argc(2);
+      if (tok[1] != "parking-lot") {
+        fail(line_no,
+             "unknown topology kind '" + tok[1] + "' (expected parking-lot)");
+      }
+      desc.topology_bottlenecks =
+          static_cast<int>(parse_long(tok[2], line_no));
+    } else if (directive == "workload") {
+      once("workload");
+      if (tok.size() < 2) fail(line_no, "'workload' expects a kind");
+      if (tok[1] == "incast") {
+        require_argc(3);
+        desc.workload.kind = WorkloadDesc::Kind::kIncast;
+        desc.workload.flows = parse_long(tok[2], line_no);
+        desc.workload.spread_steps = parse_num(tok[3], line_no);
+      } else if (tok[1] == "onoff") {
+        require_argc(5);
+        desc.workload.kind = WorkloadDesc::Kind::kOnOff;
+        desc.workload.flows = parse_long(tok[2], line_no);
+        desc.workload.mean_on_steps = parse_num(tok[3], line_no);
+        desc.workload.mean_off_steps = parse_num(tok[4], line_no);
+        desc.workload.alpha = parse_num(tok[5], line_no);
+      } else {
+        fail(line_no,
+             "unknown workload kind '" + tok[1] + "' (expected incast|onoff)");
+      }
     } else if (directive == "loss") {
       once("loss");
       if (tok.size() < 2) fail(line_no, "'loss' expects a kind");
@@ -415,6 +463,34 @@ void validate_scenario(const ScenarioDesc& desc) {
   if (desc.senders.empty()) {
     throw std::invalid_argument("scenario needs at least one sender");
   }
+  if (desc.topology_bottlenecks < 0 || desc.topology_bottlenecks > 16) {
+    throw std::invalid_argument(
+        "topology bottleneck count must be in [0, 16], got " +
+        std::to_string(desc.topology_bottlenecks));
+  }
+  if (desc.workload.kind != WorkloadDesc::Kind::kNone) {
+    if (desc.workload.flows < 1 || desc.workload.flows > 256) {
+      throw std::invalid_argument(
+          "workload flow count must be in [1, 256], got " +
+          std::to_string(desc.workload.flows));
+    }
+    if (desc.workload.kind == WorkloadDesc::Kind::kIncast &&
+        (desc.workload.spread_steps < 0.0 ||
+         !std::isfinite(desc.workload.spread_steps))) {
+      throw std::invalid_argument("incast arrival spread must be >= 0, got " +
+                                  format_double(desc.workload.spread_steps));
+    }
+    if (desc.workload.kind == WorkloadDesc::Kind::kOnOff &&
+        (!(desc.workload.mean_on_steps > 0.0) ||
+         !(desc.workload.mean_off_steps > 0.0) ||
+         !(desc.workload.alpha > 0.0) ||
+         !std::isfinite(desc.workload.mean_on_steps) ||
+         !std::isfinite(desc.workload.mean_off_steps) ||
+         !std::isfinite(desc.workload.alpha))) {
+      throw std::invalid_argument(
+          "on-off workload durations and Pareto shape must be positive");
+    }
+  }
   for (const SenderDesc& s : desc.senders) {
     if (s.initial_window_mss < 0.0 || !std::isfinite(s.initial_window_mss)) {
       throw std::invalid_argument("sender initial window must be >= 0");
@@ -468,12 +544,50 @@ CompiledScenario compile_scenario(const ScenarioDesc& desc) {
   out.spec.tail_fraction = desc.tail_fraction;
   out.spec.seed = desc.seed;
 
+  const int bottlenecks = desc.topology_bottlenecks;
+  if (bottlenecks > 0) {
+    out.spec.topology.links.assign(static_cast<std::size_t>(bottlenecks),
+                                   out.spec.link);
+  }
+
   out.prototypes.reserve(desc.senders.size());
-  for (const SenderDesc& s : desc.senders) {
+  for (std::size_t i = 0; i < desc.senders.size(); ++i) {
+    const SenderDesc& s = desc.senders[i];
     out.prototypes.push_back(cc::make_protocol(s.protocol));
+    // Parking-lot routes are derived from the slot index: the first slot is
+    // the long flow over every bottleneck, later slots cross one each.
+    std::vector<int> route;
+    if (bottlenecks > 0) {
+      if (i == 0) {
+        route.resize(static_cast<std::size_t>(bottlenecks));
+        for (int l = 0; l < bottlenecks; ++l) {
+          route[static_cast<std::size_t>(l)] = l;
+        }
+      } else {
+        route = {static_cast<int>((i - 1) % static_cast<std::size_t>(
+                                                bottlenecks))};
+      }
+    }
     out.spec.senders.push_back(engine::SenderSlot{
         out.prototypes.back().get(), s.initial_window_mss, s.start_step,
-        s.stop_step, s.count});
+        s.stop_step, s.count, std::move(route)});
+  }
+
+  switch (desc.workload.kind) {
+    case WorkloadDesc::Kind::kNone:
+      break;
+    case WorkloadDesc::Kind::kIncast:
+      out.spec.workload.kind = engine::WorkloadKind::kIncast;
+      out.spec.workload.flows = desc.workload.flows;
+      out.spec.workload.spread_steps = desc.workload.spread_steps;
+      break;
+    case WorkloadDesc::Kind::kOnOff:
+      out.spec.workload.kind = engine::WorkloadKind::kOnOffHeavyTail;
+      out.spec.workload.flows = desc.workload.flows;
+      out.spec.workload.mean_on_steps = desc.workload.mean_on_steps;
+      out.spec.workload.mean_off_steps = desc.workload.mean_off_steps;
+      out.spec.workload.alpha = desc.workload.alpha;
+      break;
   }
 
   // The execution axes must not change what the oracle can see: an
@@ -484,7 +598,13 @@ CompiledScenario compile_scenario(const ScenarioDesc& desc) {
   // pure for the fuzz loop's own fan-out.
   if (desc.aggregate_trace) {
     out.spec.trace_detail = fluid::TraceDetail::kAggregate;
-    out.spec.tracked_senders = static_cast<int>(out.spec.total_senders());
+    // Workload generators change the run's population; track the expanded
+    // count so the oracle still reads every sender's series.
+    long total = 0;
+    for (const engine::SenderSlot& slot : engine::expand_workload(out.spec)) {
+      total += slot.count;
+    }
+    out.spec.tracked_senders = static_cast<int>(std::max<long>(total, 1));
   }
   out.spec.batch = desc.batch;
   out.spec.jobs = 1;

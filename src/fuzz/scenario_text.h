@@ -83,6 +83,28 @@ struct SenderDesc {
   friend bool operator==(const SenderDesc&, const SenderDesc&) = default;
 };
 
+/// Workload-generator axis (mirrors engine::WorkloadSpec). Non-none kinds
+/// expand every sender slot into generated flows seeded from the scenario
+/// seed before the run (see engine::expand_workload).
+struct WorkloadDesc {
+  enum class Kind : int {
+    kNone = 0,
+    kIncast,  ///< flows copies per slot, arrivals spread over spread_steps.
+    kOnOff,   ///< flows on-off trains per slot: bounded-Pareto on, exp off.
+  };
+
+  Kind kind = Kind::kNone;
+  long flows = 8;
+  double spread_steps = 32.0;   ///< incast arrival spread.
+  double mean_on_steps = 60.0;  ///< on-off mean burst length.
+  double mean_off_steps = 60.0;
+  double alpha = 1.5;  ///< Pareto shape for on-period lengths.
+
+  [[nodiscard]] bool empty() const { return kind == Kind::kNone; }
+
+  friend bool operator==(const WorkloadDesc&, const WorkloadDesc&) = default;
+};
+
 /// A finding classification carried by triaged corpus entries: replaying
 /// the scenario must reproduce this outcome, so a behavior change surfaces
 /// as a test failure instead of silently passing.
@@ -113,6 +135,13 @@ struct ScenarioDesc {
   /// batch/aggregate machinery through the fuzzer's scenario space.
   bool aggregate_trace = false;
   bool batch = false;
+  /// 0 = the classic single shared link (`link` directive only). k >= 1
+  /// compiles to a k-bottleneck parking lot (`link` replicated per hop):
+  /// sender slot 0 routes over every bottleneck, slot i >= 1 crosses
+  /// bottleneck (i-1) mod k. Routes are derived, not stored, so the text
+  /// format stays one scalar axis the mutator can walk.
+  int topology_bottlenecks = 0;
+  WorkloadDesc workload;
   std::vector<SenderDesc> senders{SenderDesc{}};
   LossDesc loss;
   ScheduleDesc bandwidth_scale;

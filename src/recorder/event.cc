@@ -1,6 +1,8 @@
 #include "recorder/event.h"
 
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace axiomcc::recorder {
 
@@ -65,6 +67,41 @@ bool event_code_from_name(const char* name, EventCode& out) {
     }
   }
   return false;
+}
+
+unsigned parse_class_mask(const char* names) {
+  const std::string list = names == nullptr ? "" : names;
+  unsigned mask = 0;
+  bool any = false;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t sep = list.find_first_of(",+", pos);
+    const std::size_t end = sep == std::string::npos ? list.size() : sep;
+    const std::string token = list.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) {
+      if (sep == std::string::npos) break;  // trailing separator handled below
+      throw std::invalid_argument(
+          "empty event-class name in list '" + list + "'");
+    }
+    any = true;
+    if (token == "all") {
+      mask |= kAllClasses;
+      continue;
+    }
+    EventClass cls;
+    if (!event_class_from_name(token.c_str(), cls)) {
+      throw std::invalid_argument(
+          "unknown event class '" + token +
+          "' (expected window|loss|schedule|churn|cohort|guard|all)");
+    }
+    mask |= class_bit(cls);
+  }
+  if (!any) {
+    throw std::invalid_argument(
+        "empty event-class list (expected e.g. 'window+loss')");
+  }
+  return mask;
 }
 
 bool subject_from_name(const char* name, Subject& out) {

@@ -84,6 +84,13 @@ struct Event {
 [[nodiscard]] bool event_code_from_name(const char* name, EventCode& out);
 [[nodiscard]] bool subject_from_name(const char* name, Subject& out);
 
+/// Parses a `','` or `'+'` separated list of event-class names ("window",
+/// "loss", ...; "all" selects every class) into a `RecordOptions::classes`
+/// bitmask — the conversion behind the CLI's `--record=dir,classes=<list>`
+/// syntax. Throws std::invalid_argument naming the offending token on an
+/// unknown class or an empty list.
+[[nodiscard]] unsigned parse_class_mask(const char* names);
+
 }  // namespace axiomcc::recorder
 
 #endif  // AXIOMCC_RECORDER_EVENT_H_

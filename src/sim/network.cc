@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "sim/queue.h"
 #include "util/check.h"
@@ -12,6 +13,7 @@ MultiHopNetwork::MultiHopNetwork(const Config& config) : config_(config) {
   AXIOMCC_EXPECTS(config.duration_seconds > 0.0);
   AXIOMCC_EXPECTS(config.mss_bytes > 0);
   AXIOMCC_EXPECTS(config.tail_fraction >= 0.0 && config.tail_fraction < 1.0);
+  AXIOMCC_EXPECTS(config.max_window_mss > 0.0);
 }
 
 int MultiHopNetwork::add_link(double mbps, double one_way_delay_ms,
@@ -34,17 +36,19 @@ int MultiHopNetwork::add_link(double mbps, double one_way_delay_ms,
 
 int MultiHopNetwork::add_flow(std::unique_ptr<cc::Protocol> protocol,
                               std::vector<int> route, double start_seconds,
-                              double initial_window) {
+                              double initial_window, double stop_seconds) {
   AXIOMCC_EXPECTS_MSG(!ran_, "add_flow must precede run()");
   AXIOMCC_EXPECTS(protocol != nullptr);
   AXIOMCC_EXPECTS(!route.empty());
   AXIOMCC_EXPECTS(start_seconds >= 0.0);
+  AXIOMCC_EXPECTS(stop_seconds < 0.0 || stop_seconds > start_seconds);
 
   const int flow_id = num_flows();
 
   FlowInfo flow;
   flow.route = route;
   flow.start_seconds = start_seconds;
+  flow.stop_seconds = stop_seconds;
   double one_way_ms = 0.0;
   for (std::size_t hop = 0; hop < route.size(); ++hop) {
     const int link_id = route[hop];
@@ -70,6 +74,7 @@ int MultiHopNetwork::add_flow(std::unique_ptr<cc::Protocol> protocol,
   sc.flow_id = flow_id;
   sc.mss_bytes = config_.mss_bytes;
   sc.initial_window = initial_window;
+  sc.max_window = config_.max_window_mss;
   sc.initial_mi = SimTime::from_millis(std::max(flows_.back().route_rtt_ms, 1.0));
 
   const int first_link = route.front();
@@ -80,6 +85,18 @@ int MultiHopNetwork::add_flow(std::unique_ptr<cc::Protocol> protocol,
   return flow_id;
 }
 
+void MultiHopNetwork::set_step_monitor(StepMonitorFn monitor) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "set_step_monitor must precede run()");
+  AXIOMCC_EXPECTS(monitor != nullptr);
+  step_monitor_ = std::move(monitor);
+}
+
+void MultiHopNetwork::set_forward_filter(std::unique_ptr<PacketFilter> filter) {
+  AXIOMCC_EXPECTS_MSG(!ran_, "set_forward_filter must precede run()");
+  AXIOMCC_EXPECTS(filter != nullptr);
+  forward_filter_ = std::move(filter);
+}
+
 void MultiHopNetwork::deliver_from_link(int link_id, const Packet& p) {
   AXIOMCC_EXPECTS(p.flow_id >= 0 && p.flow_id < num_flows());
   const FlowInfo& flow = flows_[p.flow_id];
@@ -88,6 +105,10 @@ void MultiHopNetwork::deliver_from_link(int link_id, const Packet& p) {
                       "packet delivered by a link not on its flow's route");
   const std::size_t next = it->second;
   if (next >= flow.route.size()) {
+    // Injected loss on final delivery, as in the dumbbell: the packet
+    // crossed every queue (consuming capacity) but never reaches the
+    // receiver, so the sender observes it as loss.
+    if (forward_filter_ && forward_filter_->drop(p)) return;
     receivers_[p.flow_id]->on_packet(p);
   } else {
     links_[flow.route[next]].link->send(p);
@@ -117,6 +138,9 @@ void MultiHopNetwork::run() {
 
   for (int f = 0; f < num_flows(); ++f) {
     senders_[f]->start(SimTime::from_seconds(flows_[f].start_seconds));
+    if (flows_[f].stop_seconds >= 0.0) {
+      senders_[f]->stop_at(SimTime::from_seconds(flows_[f].stop_seconds));
+    }
   }
 
   const double interval_ms = config_.sample_interval_ms > 0.0
@@ -138,7 +162,9 @@ void MultiHopNetwork::sample_trace() {
   int rtt_count = 0;
   for (int i = 0; i < n; ++i) {
     const Sender& s = *senders_[i];
-    windows[i] = s.cwnd();
+    // Churned-away (or not-yet-started) flows contribute no window,
+    // matching the fluid network's churn semantics.
+    windows[i] = s.active() ? s.cwnd() : 0.0;
     const auto& records = s.history();
     std::size_t& frontier = eval_frontier_[i];
     while (frontier < records.size() && records[frontier].evaluated) {
@@ -150,14 +176,39 @@ void MultiHopNetwork::sample_trace() {
       ++rtt_count;
     }
   }
-  const double max_loss =
-      observed_loss.empty()
-          ? 0.0
-          : *std::max_element(observed_loss.begin(), observed_loss.end());
+
+  // Congestion loss over the sampling window: the binding (max) per-link
+  // drop rate, from queue counter deltas — the packet analogue of the fluid
+  // network's max-link-loss series.
+  double congestion_loss = 0.0;
+  for (LinkInfo& info : links_) {
+    const std::size_t drops = info.link->packets_dropped();
+    const std::size_t accepted = info.link->packets_accepted();
+    const std::size_t d_drops = drops - info.drops_at_last_sample;
+    const std::size_t d_offered =
+        (accepted - info.accepted_at_last_sample) + d_drops;
+    info.drops_at_last_sample = drops;
+    info.accepted_at_last_sample = accepted;
+    if (d_offered > 0) {
+      congestion_loss = std::max(
+          congestion_loss,
+          static_cast<double>(d_drops) / static_cast<double>(d_offered));
+    }
+  }
+
   const double rtt = rtt_count > 0
                          ? rtt_sum / static_cast<double>(rtt_count)
                          : trace_->min_rtt_seconds();
-  trace_->add_step(windows, rtt, max_loss, observed_loss);
+  trace_->add_step(windows, rtt, congestion_loss, observed_loss);
+
+  if (step_monitor_ && !monitor_stopped_) {
+    const long step = static_cast<long>(trace_->num_steps()) - 1;
+    if (!step_monitor_(step, std::span<const double>(windows), rtt,
+                       congestion_loss)) {
+      monitor_stopped_ = true;
+      simulator_.request_stop();
+    }
+  }
 }
 
 const Sender& MultiHopNetwork::sender(int flow) const {
@@ -166,8 +217,23 @@ const Sender& MultiHopNetwork::sender(int flow) const {
 }
 
 const SimLink& MultiHopNetwork::link(int id) const {
-  AXIOMCC_EXPECTS(id >= 0 && id < static_cast<int>(links_.size()));
+  AXIOMCC_EXPECTS(id >= 0 && id < num_links());
   return *links_[id].link;
+}
+
+SimLink& MultiHopNetwork::mutable_link(int id) {
+  AXIOMCC_EXPECTS(id >= 0 && id < num_links());
+  return *links_[id].link;
+}
+
+double MultiHopNetwork::link_mbps(int id) const {
+  AXIOMCC_EXPECTS(id >= 0 && id < num_links());
+  return links_[id].mbps;
+}
+
+double MultiHopNetwork::link_delay_ms(int id) const {
+  AXIOMCC_EXPECTS(id >= 0 && id < num_links());
+  return links_[id].one_way_delay_ms;
 }
 
 const fluid::Trace& MultiHopNetwork::trace() const {
@@ -189,6 +255,60 @@ double MultiHopNetwork::flow_throughput_mbps(int flow) const {
   const double tail_seconds = config_.duration_seconds - tail_start;
   return static_cast<double>(acked) *
          static_cast<double>(config_.mss_bytes) * 8.0 / tail_seconds / 1e6;
+}
+
+std::vector<FlowReport> MultiHopNetwork::flow_reports() const {
+  AXIOMCC_EXPECTS_MSG(ran_, "flow_reports() requires run() first");
+  std::vector<FlowReport> reports;
+  reports.reserve(senders_.size());
+
+  const double tail_start_s = config_.duration_seconds * config_.tail_fraction;
+
+  for (const auto& sender : senders_) {
+    FlowReport r;
+    r.protocol_name = sender->protocol().name();
+
+    double window_sum = 0.0;
+    double rtt_sum = 0.0;
+    std::uint64_t sent = 0;
+    std::uint64_t acked = 0;
+    std::size_t count = 0;
+    for (const MonitorRecord& rec : sender->history()) {
+      if (!rec.evaluated) continue;
+      if (rec.start.seconds() < tail_start_s) continue;
+      window_sum += rec.window;
+      rtt_sum += rec.rtt_seconds;
+      sent += rec.sent;
+      acked += rec.acked;
+      ++count;
+    }
+    if (count > 0) {
+      r.avg_window_mss = window_sum / static_cast<double>(count);
+      r.avg_rtt_ms = rtt_sum / static_cast<double>(count) * 1e3;
+      r.loss_rate = sent > 0 ? 1.0 - static_cast<double>(acked) /
+                                         static_cast<double>(sent)
+                             : 0.0;
+      const double tail_seconds = config_.duration_seconds - tail_start_s;
+      r.throughput_mbps = static_cast<double>(acked) *
+                          static_cast<double>(config_.mss_bytes) * 8.0 /
+                          tail_seconds / 1e6;
+    }
+    reports.push_back(std::move(r));
+  }
+  return reports;
+}
+
+double MultiHopNetwork::max_link_utilization() const {
+  AXIOMCC_EXPECTS_MSG(ran_, "max_link_utilization() requires run() first");
+  double max_util = 0.0;
+  for (const LinkInfo& info : links_) {
+    const double delivered_bits =
+        static_cast<double>(info.link->bytes_delivered()) * 8.0;
+    const double capacity_bits =
+        info.mbps * 1e6 * config_.duration_seconds;
+    max_util = std::max(max_util, delivered_bits / capacity_bits);
+  }
+  return max_util;
 }
 
 PacketParkingLot make_packet_parking_lot(double mbps, double per_link_delay_ms,

@@ -6,17 +6,27 @@
 // reverse propagation delay. This is the packet-level counterpart of
 // fluid/network.h (the paper's "network-wide interaction" future work) and
 // ships the same parking-lot builder.
+//
+// The network carries the full engine-substrate hook set the dumbbell has:
+// flow churn (start/stop times), a forward-path packet filter for injected
+// loss, a step monitor that can stop the run at a trace sample, per-flow tail
+// reports, and mutable link access for mid-run rate/delay schedules —
+// engine::PacketBackend routes topology scenarios here.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "cc/protocol.h"
 #include "fluid/trace.h"
+#include "sim/dumbbell.h"
 #include "sim/event.h"
 #include "sim/link.h"
+#include "sim/loss.h"
 #include "sim/receiver.h"
 #include "sim/sender.h"
 
@@ -31,6 +41,9 @@ class MultiHopNetwork {
     /// route round-trip.
     double sample_interval_ms = 0.0;
     double tail_fraction = 0.5;
+    /// Hard cwnd cap passed to every sender (see DumbbellConfig: runaway
+    /// windows scale the event count, so they must be capped).
+    double max_window_mss = 1e7;
   };
 
   explicit MultiHopNetwork(const Config& config);
@@ -44,25 +57,56 @@ class MultiHopNetwork {
 
   /// Adds a flow routed over `route` (ordered link ids). The reverse path is
   /// modeled as a fixed delay equal to the route's total one-way propagation.
+  /// A non-negative `stop_seconds` removes the flow at that time (churn).
   int add_flow(std::unique_ptr<cc::Protocol> protocol, std::vector<int> route,
-               double start_seconds = 0.0, double initial_window = 2.0);
+               double start_seconds = 0.0, double initial_window = 2.0,
+               double stop_seconds = -1.0);
+
+  /// Same shape as DumbbellExperiment's monitor: called after every trace
+  /// sample with (step, windows, rtt_seconds, congestion_loss); returning
+  /// false stops the simulation at that sample. Must be set before run().
+  using StepMonitorFn = std::function<bool(
+      long step, std::span<const double> windows, double rtt_seconds,
+      double congestion_loss)>;
+  void set_step_monitor(StepMonitorFn monitor);
+
+  /// Injected (non-congestion) loss applied to forward data packets on final
+  /// delivery, as in the dumbbell. Default: none. Must be set before run().
+  void set_forward_filter(std::unique_ptr<PacketFilter> filter);
 
   void run();
 
   [[nodiscard]] int num_flows() const {
     return static_cast<int>(senders_.size());
   }
+  [[nodiscard]] int num_links() const {
+    return static_cast<int>(links_.size());
+  }
   [[nodiscard]] const Sender& sender(int flow) const;
   [[nodiscard]] const SimLink& link(int id) const;
+  /// Mutable link access for mid-run perturbation (rate or delay schedules
+  /// installed by the engine backend).
+  [[nodiscard]] SimLink& mutable_link(int id);
+  [[nodiscard]] double link_mbps(int id) const;
+  [[nodiscard]] double link_delay_ms(int id) const;
   [[nodiscard]] Simulator& simulator() { return simulator_; }
 
   /// Sampled per-flow window trace (valid after run()); capacity is the
   /// minimum link capacity (in MSS) over any route, min-RTT the smallest
-  /// route round-trip.
+  /// route round-trip. The congestion series records the binding (maximum)
+  /// per-link drop rate over each sampling window.
   [[nodiscard]] const fluid::Trace& trace() const;
 
   /// Tail-average goodput of a flow in Mbps (valid after run()).
   [[nodiscard]] double flow_throughput_mbps(int flow) const;
+
+  /// Per-flow tail summaries, as in DumbbellExperiment (valid after run()).
+  [[nodiscard]] std::vector<FlowReport> flow_reports() const;
+
+  /// Delivered bits over capacity·duration of the MOST utilized link — the
+  /// network-wide analogue of the dumbbell's bottleneck utilization (valid
+  /// after run()).
+  [[nodiscard]] double max_link_utilization() const;
 
  private:
   void sample_trace();
@@ -74,12 +118,15 @@ class MultiHopNetwork {
     std::unique_ptr<SimLink> link;
     double one_way_delay_ms = 0.0;
     double mbps = 0.0;
+    std::size_t drops_at_last_sample = 0;
+    std::size_t accepted_at_last_sample = 0;
   };
   struct FlowInfo {
     std::vector<int> route;
     /// next_hop[link_id] = index into route of the hop AFTER link_id.
     std::unordered_map<int, std::size_t> next_hop;
     double start_seconds = 0.0;
+    double stop_seconds = -1.0;
     double route_rtt_ms = 0.0;
   };
 
@@ -89,6 +136,10 @@ class MultiHopNetwork {
   std::vector<FlowInfo> flows_;
   std::vector<std::unique_ptr<Sender>> senders_;
   std::vector<std::unique_ptr<Receiver>> receivers_;
+
+  std::unique_ptr<PacketFilter> forward_filter_;
+  StepMonitorFn step_monitor_;
+  bool monitor_stopped_ = false;
 
   std::unique_ptr<fluid::Trace> trace_;
   std::vector<std::size_t> eval_frontier_;

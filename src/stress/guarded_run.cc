@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "engine/topology.h"
+#include "engine/workload.h"
 #include "recorder/postmortem.h"
 #include "telemetry/telemetry.h"
 
@@ -200,12 +202,28 @@ GuardedResult run_guarded(const engine::SimBackend& backend,
                       "the guard owns the spec's step monitor");
 
   FaultReport fault;
-  const fluid::FluidLink link(spec.link);
+  // Topology-aware capacity: the binding (minimum) link capacity, the same
+  // convention the routed substrates use for their traces.
+  const double capacity_mss = engine::scenario_capacity_mss(spec);
+  const double min_rtt_s = engine::scenario_min_rtt_seconds(spec);
   spec.step_monitor =
-      make_guard_monitor(fault, config, link.capacity_mss(), spec.record_sink);
+      make_guard_monitor(fault, config, capacity_mss, spec.record_sink);
 
-  const int n =
-      spec.senders.empty() ? 1 : static_cast<int>(spec.senders.size());
+  // The exception-fallback trace must match the sender population the
+  // backend would have produced (workloads expand the slot list).
+  long n = 0;
+  if (spec.workload.empty()) {
+    n = spec.total_senders();
+  } else {
+    try {
+      for (const engine::SenderSlot& s : engine::expand_workload(spec)) {
+        n += s.count;
+      }
+    } catch (const std::exception&) {
+      n = spec.total_senders();
+    }
+  }
+  if (n <= 0) n = 1;
   TELEMETRY_SPAN("stress", "guarded_run");
   TELEMETRY_COUNT("stress.guard_runs", 1);
   try {
@@ -224,7 +242,7 @@ GuardedResult run_guarded(const engine::SimBackend& backend,
   TELEMETRY_COUNT("stress.guard_steps", fault.steps_observed);
   std::string pm = maybe_dump_postmortem(spec.record_sink, config, fault);
   return GuardedResult{
-      fluid::Trace(n, link.capacity_mss(), link.min_rtt().value()),
+      fluid::Trace(static_cast<int>(n), capacity_mss, min_rtt_s),
       std::move(fault), std::move(pm)};
 }
 

@@ -105,9 +105,22 @@ void apply_scenario(const Scenario& s, engine::ScenarioSpec& spec,
   if (s.loss_factory) spec.loss = s.loss_factory;
   spec.seed = seed;
   for (const ChurnSlot& slot : s.churn.slots) {
-    spec.add_sender(churn_prototype, slot.initial_window_mss,
-                    static_cast<double>(slot.start_step),
-                    static_cast<double>(slot.stop_step));
+    if (spec.topology.empty()) {
+      spec.add_sender(churn_prototype, slot.initial_window_mss,
+                      static_cast<double>(slot.start_step),
+                      static_cast<double>(slot.stop_step));
+    } else {
+      // Topology mode: churned flows join on the first slot's route (the
+      // long path in the parking-lot builder), so the perturbation stresses
+      // every bottleneck the resident flows cross.
+      std::vector<int> route = spec.senders.empty()
+                                   ? std::vector<int>{0}
+                                   : spec.senders.front().route;
+      spec.add_routed_sender(churn_prototype, std::move(route),
+                             slot.initial_window_mss,
+                             static_cast<double>(slot.start_step),
+                             static_cast<double>(slot.stop_step));
+    }
   }
 }
 

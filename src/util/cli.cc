@@ -112,7 +112,7 @@ std::optional<std::string> ArgParser::ledger_path() const {
   return value;
 }
 
-std::optional<std::string> ArgParser::record_dir() const {
+std::optional<ArgParser::RecordSpec> ArgParser::record_spec() const {
   std::optional<std::string> value = get("record");
   if (!value) {
     const char* env = std::getenv("AXIOMCC_RECORD");
@@ -120,8 +120,29 @@ std::optional<std::string> ArgParser::record_dir() const {
     value = std::string(env);
     if (value->empty() || *value == "0") return std::nullopt;
   }
-  if (value->empty() || *value == "1") return artifacts_dir();
-  return value;
+  RecordSpec spec;
+  // Everything after a ",classes=" suffix is the class list (the list may
+  // itself be comma-separated, so this split looks for the marker, not the
+  // first comma).
+  static constexpr const char* kClassesMarker = ",classes=";
+  const auto marker = value->find(kClassesMarker);
+  if (marker != std::string::npos) {
+    spec.classes = value->substr(marker + std::string(kClassesMarker).size());
+    if (spec.classes.empty()) {
+      throw std::invalid_argument(
+          "empty class list for --record (expected e.g. "
+          "--record=dir,classes=window+loss)");
+    }
+    value = value->substr(0, marker);
+  }
+  spec.dir = (value->empty() || *value == "1") ? artifacts_dir() : *value;
+  return spec;
+}
+
+std::optional<std::string> ArgParser::record_dir() const {
+  const auto spec = record_spec();
+  if (!spec) return std::nullopt;
+  return spec->dir;
 }
 
 std::optional<std::string> ArgParser::telemetry_dir() const {

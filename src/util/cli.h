@@ -60,13 +60,30 @@ class ArgParser {
   /// else is a file path). nullopt means no ledger record is appended.
   [[nodiscard]] std::optional<std::string> ledger_path() const;
 
-  /// Flight-recorder output directory for the standard `--record[=dir]`
-  /// flag: `--record` alone records into `artifacts_dir()`, `--record=dir`
-  /// into `dir`. Without the flag, the AXIOMCC_RECORD environment variable
-  /// is consulted ("" and "0" mean off, "1" means `artifacts_dir()`,
-  /// anything else is a directory path). nullopt means recording stays off.
-  /// In builds with AXIOMCC_RECORDER=OFF the flag parses but runs record
-  /// nothing (the capture path is compiled out).
+  /// Parsed form of the standard `--record[=<dir>[,classes=<list>]]` flag.
+  struct RecordSpec {
+    std::string dir;
+    /// Raw event-class list ("window+loss" or "window,loss") following a
+    /// `,classes=` suffix; empty means "record every class". util cannot
+    /// depend on the recorder layer, so the names stay strings here —
+    /// callers convert with recorder::parse_class_mask.
+    std::string classes;
+  };
+
+  /// Flight-recorder capture spec for the standard
+  /// `--record[=<dir>[,classes=<list>]]` flag: `--record` alone records all
+  /// event classes into `artifacts_dir()`, `--record=dir` into `dir`, and a
+  /// `,classes=<list>` suffix restricts capture to the named event classes
+  /// (everything after `,classes=` is the list, so both `+` and `,`
+  /// separated lists work). Without the flag, the AXIOMCC_RECORD
+  /// environment variable is consulted ("" and "0" mean off, "1" means
+  /// `artifacts_dir()`, anything else is parsed the same way). nullopt
+  /// means recording stays off. In builds with AXIOMCC_RECORDER=OFF the
+  /// flag parses but runs record nothing (the capture path is compiled
+  /// out).
+  [[nodiscard]] std::optional<RecordSpec> record_spec() const;
+
+  /// The directory of record_spec(), for callers that ignore class filters.
   [[nodiscard]] std::optional<std::string> record_dir() const;
 
   /// Simulation backend for the standard `--backend=NAME` flag: an explicit

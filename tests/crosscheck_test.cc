@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <exception>
+#include <sstream>
 
 namespace axiomcc::exp {
 namespace {
@@ -91,6 +92,64 @@ TEST(Crosscheck, BitIdenticalAcrossJobCounts) {
           << a.entries[i].protocol << " packet " << core::metric_name(metric);
     }
   }
+}
+
+TEST(TopologyCrosscheck, ParkingLotSharesComputedOnBothBackends) {
+  TopologyCheckConfig cfg;
+  cfg.bottlenecks = 2;
+  cfg.steps = 300;
+  cfg.protocol_specs = {"aimd(1,0.5)"};
+  cfg.jobs = 1;
+  const TopologyCheckResult result = run_topology_crosscheck(cfg);
+
+  ASSERT_EQ(result.entries.size(), 1u);
+  const TopologyCheckEntry& e = result.entries.front();
+  EXPECT_EQ(e.protocol, "AIMD(1,0.5)");
+  EXPECT_EQ(e.bottlenecks, 2);
+  // Two flows contend on each link, so fair share is one half.
+  EXPECT_DOUBLE_EQ(e.fair_share, 0.5);
+  EXPECT_GT(e.fluid_long_share, 0.0);
+  EXPECT_LT(e.fluid_long_share, 1.0);
+  EXPECT_GT(e.packet_long_share, 0.0);
+  EXPECT_LT(e.packet_long_share, 1.0);
+  EXPECT_EQ(result.agreeing_entries(), e.beat_down_agrees ? 1 : 0);
+}
+
+TEST(TopologyCrosscheck, DeterministicAcrossJobCounts) {
+  TopologyCheckConfig serial;
+  serial.bottlenecks = 2;
+  serial.steps = 250;
+  serial.protocol_specs = {"aimd(1,0.5)", "cubic(0.4,0.8)"};
+  serial.jobs = 1;
+  TopologyCheckConfig threaded = serial;
+  threaded.jobs = 4;
+  const TopologyCheckResult a = run_topology_crosscheck(serial);
+  const TopologyCheckResult b = run_topology_crosscheck(threaded);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].fluid_long_share, b.entries[i].fluid_long_share);
+    EXPECT_EQ(a.entries[i].packet_long_share, b.entries[i].packet_long_share);
+  }
+}
+
+TEST(TopologyCrosscheck, CsvWriterEmitsOneRowPerEntry) {
+  TopologyCheckResult result;
+  TopologyCheckEntry e;
+  e.protocol = "AIMD(1,0.5)";
+  e.bottlenecks = 3;
+  e.fluid_long_share = 0.25;
+  e.packet_long_share = 0.125;
+  e.fair_share = 0.5;
+  e.beat_down_agrees = true;
+  result.entries.push_back(e);
+  std::ostringstream out;
+  write_topology_crosscheck_csv(result, out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("protocol,bottlenecks,fluid_long_share,"
+                     "packet_long_share,fair_share,beat_down_agrees"),
+            std::string::npos);
+  EXPECT_NE(csv.find("AIMD(1,0.5),3,"), std::string::npos);
+  EXPECT_NE(csv.find(",1\n"), std::string::npos);  // agreement flag
 }
 
 TEST(Crosscheck, AgreementLogicCountsInversions) {

@@ -10,6 +10,8 @@
 #include <stdexcept>
 
 #include "cc/aimd.h"
+#include "engine/topology.h"
+#include "engine/workload.h"
 #include "fluid/link.h"
 #include "fluid/loss_model.h"
 #include "fluid/sim.h"
@@ -215,6 +217,205 @@ TEST(PacketBackend, StopStepRemovesFlowFromTail) {
   for (std::size_t t = 45; t < churned.size(); ++t) {
     ASSERT_EQ(churned[t], 0.0) << "step " << t;
   }
+}
+
+TEST(ScenarioValidation, RejectsRouteWithoutTopology) {
+  const cc::Aimd aimd(1.0, 0.5);
+  ScenarioSpec spec = small_spec();
+  spec.add_routed_sender(aimd, {0});
+  try {
+    validate_scenario(spec);
+    FAIL() << "route without topology should throw";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("no topology"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioValidation, RejectsEmptyRouteInTopologyMode) {
+  const cc::Aimd aimd(1.0, 0.5);
+  ScenarioSpec spec = small_spec();
+  spec.topology.links = {spec.link, spec.link};
+  spec.add_sender(aimd, 1.0);  // no route
+  EXPECT_THROW(validate_scenario(spec), ScenarioError);
+}
+
+TEST(ScenarioValidation, RejectsUnknownAndRepeatedLinkIds) {
+  const cc::Aimd aimd(1.0, 0.5);
+  ScenarioSpec spec = small_spec();
+  spec.topology.links = {spec.link, spec.link};
+  spec.add_routed_sender(aimd, {0, 2});
+  try {
+    validate_scenario(spec);
+    FAIL() << "unknown link id should throw";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown link id 2"),
+              std::string::npos)
+        << e.what();
+    // ScenarioError is an invalid_argument, so generic catch sites work.
+    EXPECT_NE(dynamic_cast<const std::invalid_argument*>(&e), nullptr);
+  }
+  spec.senders.clear();
+  spec.add_routed_sender(aimd, {1, 1});
+  EXPECT_THROW(validate_scenario(spec), ScenarioError);
+}
+
+TEST(ScenarioValidation, BackendsRejectInvalidRoutesBeforeRunning) {
+  const cc::Aimd aimd(1.0, 0.5);
+  ScenarioSpec spec = small_spec();
+  spec.topology.links = {spec.link};
+  spec.add_routed_sender(aimd, {3});
+  EXPECT_THROW((void)backend_for(BackendKind::kFluid).run(spec),
+               ScenarioError);
+  EXPECT_THROW((void)backend_for(BackendKind::kPacket).run(spec),
+               ScenarioError);
+}
+
+TEST(Topology, ParkingLotRunsOnBothBackends) {
+  const cc::Aimd aimd(1.0, 0.5);
+  ScenarioSpec spec = small_spec(120);
+  apply_parking_lot(spec, spec.link, /*bottlenecks=*/3, aimd,
+                    /*cross_flows_per_link=*/1);
+  ASSERT_EQ(spec.topology.num_links(), 3);
+  ASSERT_EQ(spec.senders.size(), 4u);  // long flow + one cross per link
+
+  const RunTrace fluid_rt = backend_for(BackendKind::kFluid).run(spec);
+  EXPECT_EQ(fluid_rt.backend, BackendKind::kFluid);
+  EXPECT_EQ(fluid_rt.trace.num_senders(), 4);
+  EXPECT_GT(fluid_rt.trace.num_steps(), 100u);
+
+  const RunTrace packet_rt = backend_for(BackendKind::kPacket).run(spec);
+  EXPECT_EQ(packet_rt.backend, BackendKind::kPacket);
+  EXPECT_EQ(packet_rt.trace.num_senders(), 4);
+  ASSERT_EQ(packet_rt.flows.size(), 4u);
+  EXPECT_GT(packet_rt.bottleneck_utilization, 0.05);
+
+  // The long flow traverses every bottleneck while each cross flow fights
+  // on one; on both substrates the long flow gets window.
+  double fluid_long = 0.0;
+  for (const double w : fluid_rt.trace.windows(0)) fluid_long += w;
+  EXPECT_GT(fluid_long, 0.0);
+  double packet_long = 0.0;
+  for (const double w : packet_rt.trace.windows(0)) packet_long += w;
+  EXPECT_GT(packet_long, 0.0);
+}
+
+TEST(Topology, SingleLinkSpecIgnoresTopologyMachineryByteForByte) {
+  // The degenerate one-link ScenarioSpec must flow through the refactored
+  // backend (validate + workload expansion + topology branch) and still
+  // reproduce the direct FluidSimulation run exactly — the guarantee every
+  // pre-topology caller relies on. MatchesDirectSimulationExactly covers
+  // the same path; this variant pins it with churn + loss in play.
+  const cc::Aimd aimd(1.0, 0.5);
+  ScenarioSpec spec = small_spec(150);
+  spec.add_sender(aimd, 1.0);
+  spec.add_sender(aimd, 4.0, /*start_step=*/30.0, /*stop_step=*/120.0);
+  spec.loss = [](std::uint64_t seed) {
+    return std::make_unique<fluid::BernoulliLoss>(0.1, 0.03, seed);
+  };
+  spec.seed = 11;
+  const RunTrace rt = backend_for(BackendKind::kFluid).run(spec);
+
+  fluid::SimOptions opt;
+  opt.steps = spec.steps;
+  fluid::FluidSimulation sim(spec.link, opt);
+  sim.add_sender(aimd, 1.0);
+  {
+    fluid::SenderSpec churned;
+    churned.protocol = aimd.clone();
+    churned.initial_window_mss = 4.0;
+    churned.start_step = 30;
+    churned.stop_step = 120;
+    sim.add_sender(std::move(churned));
+  }
+  sim.set_loss_injector(
+      std::make_unique<fluid::BernoulliLoss>(0.1, 0.03, spec.seed));
+  const fluid::Trace direct = sim.run();
+
+  ASSERT_EQ(rt.trace.num_steps(), direct.num_steps());
+  for (int i = 0; i < direct.num_senders(); ++i) {
+    const auto a = rt.trace.windows(i);
+    const auto b = direct.windows(i);
+    for (std::size_t t = 0; t < b.size(); ++t) {
+      ASSERT_EQ(a[t], b[t]) << "sender " << i << " step " << t;
+    }
+  }
+}
+
+TEST(Workload, IncastExpansionIsSeededAndDeterministic) {
+  const cc::Aimd aimd(1.0, 0.5);
+  ScenarioSpec spec = small_spec(100);
+  spec.add_sender(aimd, 1.0);
+  spec.workload.kind = WorkloadKind::kIncast;
+  spec.workload.flows = 6;
+  spec.workload.spread_steps = 20.0;
+  spec.seed = 3;
+
+  const std::vector<SenderSlot> a = expand_workload(spec);
+  const std::vector<SenderSlot> b = expand_workload(spec);
+  ASSERT_EQ(a.size(), 6u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_step, b[i].start_step) << i;
+    EXPECT_GE(a[i].start_step, 0.0);
+    EXPECT_LE(a[i].start_step, 20.0);
+  }
+  // A different seed draws a different arrival pattern.
+  ScenarioSpec other = spec;
+  other.seed = 4;
+  const std::vector<SenderSlot> c = expand_workload(other);
+  bool any_differ = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_differ = any_differ || a[i].start_step != c[i].start_step;
+  }
+  EXPECT_TRUE(any_differ);
+
+  // And the expanded population is what both backends run.
+  const RunTrace rt = backend_for(BackendKind::kFluid).run(spec);
+  EXPECT_EQ(rt.trace.num_senders(), 6);
+}
+
+TEST(Workload, OnOffTrainsStayInsideTheHorizon) {
+  const cc::Aimd aimd(1.0, 0.5);
+  ScenarioSpec spec = small_spec(200);
+  spec.add_sender(aimd, 1.0);
+  spec.workload.kind = WorkloadKind::kOnOffHeavyTail;
+  spec.workload.flows = 3;
+  spec.workload.mean_on_steps = 30.0;
+  spec.workload.mean_off_steps = 20.0;
+  spec.workload.alpha = 1.5;
+  const std::vector<SenderSlot> slots = expand_workload(spec);
+  ASSERT_FALSE(slots.empty());
+  for (const SenderSlot& slot : slots) {
+    EXPECT_GE(slot.start_step, 0.0);
+    ASSERT_GE(slot.stop_step, 0.0);  // every train has a finite stop
+    EXPECT_GT(slot.stop_step, slot.start_step);
+    EXPECT_LE(slot.stop_step, 200.0);
+  }
+}
+
+TEST(Topology, FatTreeRoutesAreDeterministicEcmp) {
+  const FatTreeTopology tree = make_fat_tree(4, 2, small_spec().link);
+  EXPECT_EQ(tree.topology.num_links(), 2 * 4 * 2);
+  const std::vector<int> r1 = tree.route(0, 1, 3, /*seed=*/9);
+  const std::vector<int> r2 = tree.route(0, 1, 3, /*seed=*/9);
+  EXPECT_EQ(r1, r2);
+  ASSERT_EQ(r1.size(), 2u);
+  // Up link belongs to the source leaf's uplink block, down link to the
+  // spine's downlink block.
+  EXPECT_GE(r1[0], 1 * 2);
+  EXPECT_LT(r1[0], 2 * 2);
+  EXPECT_GE(r1[1], 4 * 2);
+  // Different flows can hash to different spines; the route always passes
+  // validation when attached to a spec over this topology.
+  const cc::Aimd aimd(1.0, 0.5);
+  ScenarioSpec spec = small_spec(80);
+  spec.topology = tree.topology;
+  for (long f = 0; f < 6; ++f) {
+    spec.add_routed_sender(aimd,
+                           tree.route(f, static_cast<int>(f % 4),
+                                      static_cast<int>((f + 1) % 4), 9));
+  }
+  EXPECT_NO_THROW(validate_scenario(spec));
 }
 
 }  // namespace

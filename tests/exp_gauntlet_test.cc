@@ -222,6 +222,32 @@ TEST(Gauntlet, DefaultSpecsAllParse) {
   }
 }
 
+TEST(Gauntlet, TopologyModeRunsEveryCellOnTheParkingLot) {
+  const cc::Aimd aimd(1.0, 0.5);
+  GauntletConfig cfg = small_config();
+  cfg.seeds = {1};
+  cfg.topology_bottlenecks = 2;
+
+  const GauntletResult result =
+      run_gauntlet_prototypes(std::vector<const cc::Protocol*>{&aimd}, cfg);
+
+  ASSERT_EQ(result.cells.size(), 2u);  // 1 protocol × 2 scenarios × 1 seed
+  for (const GauntletCell& cell : result.cells) {
+    EXPECT_TRUE(cell.fault.ok()) << cell.scenario;
+    EXPECT_GT(cell.utilization, 0.0);
+    EXPECT_GT(cell.throughput_retention, 0.0);
+  }
+  // Same matrix again must reproduce byte-identically (the parking-lot
+  // path shares the gauntlet's determinism contract).
+  const GauntletResult again =
+      run_gauntlet_prototypes(std::vector<const cc::Protocol*>{&aimd}, cfg);
+  std::ostringstream a;
+  std::ostringstream b;
+  write_gauntlet_csv(result.cells, a);
+  write_gauntlet_csv(again.cells, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
 TEST(Gauntlet, EmptyScenarioListSelectsTheStandardGauntlet) {
   const cc::Aimd aimd(1.0, 0.5);
   GauntletConfig cfg;

@@ -100,6 +100,49 @@ TEST(FuzzMutator, MutationReachesExecutionAxesAndCohorts) {
   EXPECT_TRUE(saw_cohort);
 }
 
+TEST(FuzzMutator, MutationReachesTopologyAndWorkloadAxes) {
+  const Mutator mutator;
+  Rng rng(47);
+  ScenarioDesc current;
+  bool saw_topology = false;
+  bool saw_incast = false;
+  bool saw_onoff = false;
+  for (int i = 0; i < 400; ++i) {
+    current = mutator.mutate(current, rng);
+    saw_topology = saw_topology || current.topology_bottlenecks > 0;
+    saw_incast =
+        saw_incast || current.workload.kind == WorkloadDesc::Kind::kIncast;
+    saw_onoff =
+        saw_onoff || current.workload.kind == WorkloadDesc::Kind::kOnOff;
+    EXPECT_LE(current.topology_bottlenecks, mutator.limits().max_bottlenecks);
+    if (!current.workload.empty()) {
+      EXPECT_LE(current.workload.flows, mutator.limits().max_workload_flows);
+    }
+  }
+  EXPECT_TRUE(saw_topology);
+  EXPECT_TRUE(saw_incast);
+  EXPECT_TRUE(saw_onoff);
+}
+
+TEST(FuzzMutator, SanitizeCanonicalizesWorkload) {
+  const Mutator mutator;
+  ScenarioDesc desc;
+  // Inactive-kind fields must reset to defaults so two descs serializing
+  // identically compare equal (the text format only carries active params).
+  desc.workload.kind = WorkloadDesc::Kind::kIncast;
+  desc.workload.flows = 999;
+  desc.workload.mean_on_steps = 7.0;  // onoff-only field, not serialized
+  mutator.sanitize(desc);
+  EXPECT_EQ(desc.workload.kind, WorkloadDesc::Kind::kIncast);
+  EXPECT_LE(desc.workload.flows, mutator.limits().max_workload_flows);
+  EXPECT_DOUBLE_EQ(desc.workload.mean_on_steps, WorkloadDesc{}.mean_on_steps);
+  // And a none-kind workload collapses fully to the default.
+  desc.workload = WorkloadDesc{};
+  desc.workload.flows = 3;
+  mutator.sanitize(desc);
+  EXPECT_EQ(desc.workload, WorkloadDesc{});
+}
+
 TEST(FuzzMutator, SanitizeTrimsCohortBudgetKeepingOnePerSlot) {
   MutatorLimits limits;
   limits.max_cohort_count = 8;

@@ -7,6 +7,9 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
+
+#include "engine/topology.h"
 
 namespace axiomcc::fuzz {
 namespace {
@@ -138,6 +141,95 @@ TEST(FuzzScenarioText, BadAxisValuesRejected) {
   // Cohort counts below one are a domain violation.
   EXPECT_THROW(parse_scenario("axiomcc-scenario v1\nsenders 0 1 0 -1 reno\n"),
                std::invalid_argument);
+}
+
+TEST(FuzzScenarioText, TopologyAndWorkloadAxesRoundTripByteIdentical) {
+  // Default: no topology/workload directives, so pre-axis corpus files keep
+  // round-tripping byte-identically.
+  const std::string plain = serialize_scenario(ScenarioDesc{});
+  EXPECT_EQ(plain.find("topology "), std::string::npos) << plain;
+  EXPECT_EQ(plain.find("workload "), std::string::npos) << plain;
+
+  ScenarioDesc desc;
+  desc.topology_bottlenecks = 3;
+  desc.workload.kind = WorkloadDesc::Kind::kIncast;
+  desc.workload.flows = 4;
+  desc.workload.spread_steps = 16.0;
+  desc.senders = {SenderDesc{"reno", 1.0, 0.0, -1.0},
+                  SenderDesc{"reno", 1.0, 0.0, -1.0}};
+  const std::string text = serialize_scenario(desc);
+  EXPECT_NE(text.find("topology parking-lot 3\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("workload incast 4 16\n"), std::string::npos) << text;
+  const ScenarioDesc parsed = parse_scenario(text);
+  EXPECT_EQ(parsed, desc);
+  EXPECT_EQ(serialize_scenario(parsed), text);
+
+  ScenarioDesc onoff;
+  onoff.workload.kind = WorkloadDesc::Kind::kOnOff;
+  onoff.workload.flows = 2;
+  onoff.workload.mean_on_steps = 40.0;
+  onoff.workload.mean_off_steps = 25.0;
+  onoff.workload.alpha = 1.5;
+  const std::string onoff_text = serialize_scenario(onoff);
+  // 40 renders as 4e+01: the shortest-exact writer prefers the lowest
+  // precision that round-trips, as for the link line's 3e+01.
+  EXPECT_NE(onoff_text.find("workload onoff 2 4e+01 25 1.5\n"),
+            std::string::npos)
+      << onoff_text;
+  EXPECT_EQ(parse_scenario(onoff_text), onoff);
+  EXPECT_EQ(serialize_scenario(parse_scenario(onoff_text)), onoff_text);
+}
+
+TEST(FuzzScenarioText, BadTopologyAndWorkloadRejected) {
+  EXPECT_THROW(parse_scenario("axiomcc-scenario v1\ntopology fat-tree 2\n"
+                              "sender 1 0 -1 reno\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("axiomcc-scenario v1\ntopology parking-lot -1\n"
+                              "sender 1 0 -1 reno\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("axiomcc-scenario v1\nworkload incast 0 16\n"
+                              "sender 1 0 -1 reno\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("axiomcc-scenario v1\nworkload onoff 2 0 25 1.5\n"
+                              "sender 1 0 -1 reno\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("axiomcc-scenario v1\nworkload poisson 3\n"
+                              "sender 1 0 -1 reno\n"),
+               std::invalid_argument);
+}
+
+TEST(FuzzScenarioText, ParkingLotCompilesDerivedRoutes) {
+  ScenarioDesc desc;
+  desc.topology_bottlenecks = 2;
+  desc.senders = {SenderDesc{"reno", 1.0, 0.0, -1.0},
+                  SenderDesc{"reno", 1.0, 0.0, -1.0},
+                  SenderDesc{"reno", 1.0, 0.0, -1.0},
+                  SenderDesc{"reno", 1.0, 0.0, -1.0}};
+  const CompiledScenario compiled = compile_scenario(desc);
+  ASSERT_EQ(compiled.spec.topology.num_links(), 2);
+  ASSERT_EQ(compiled.spec.senders.size(), 4u);
+  // Slot 0 is the long flow over every bottleneck; slot i >= 1 crosses
+  // bottleneck (i-1) mod k.
+  EXPECT_EQ(compiled.spec.senders[0].route, (std::vector<int>{0, 1}));
+  EXPECT_EQ(compiled.spec.senders[1].route, (std::vector<int>{0}));
+  EXPECT_EQ(compiled.spec.senders[2].route, (std::vector<int>{1}));
+  EXPECT_EQ(compiled.spec.senders[3].route, (std::vector<int>{0}));
+  // The compiled spec passes the engine's route validation.
+  EXPECT_NO_THROW(engine::validate_scenario(compiled.spec));
+}
+
+TEST(FuzzScenarioText, WorkloadCompilesToEngineSpec) {
+  ScenarioDesc desc;
+  desc.workload.kind = WorkloadDesc::Kind::kIncast;
+  desc.workload.flows = 4;
+  desc.workload.spread_steps = 16.0;
+  desc.aggregate_trace = true;
+  const CompiledScenario compiled = compile_scenario(desc);
+  EXPECT_EQ(compiled.spec.workload.kind, engine::WorkloadKind::kIncast);
+  EXPECT_EQ(compiled.spec.workload.flows, 4);
+  // The aggregate trace tracks the EXPANDED population (4 incast arrivals
+  // from the one template slot), not the template count.
+  EXPECT_EQ(compiled.spec.tracked_senders, 4);
 }
 
 TEST(FuzzScenarioText, LeadingCommentsBeforeHeaderAccepted) {

@@ -346,5 +346,35 @@ TEST(RecorderAlign, CohortExecutionDetailIsMaskedByDefault) {
   EXPECT_FALSE(result.diverged) << result.reason;
 }
 
+
+TEST(RecorderEvent, ParseClassMaskNamesAndSeparators) {
+  EXPECT_EQ(parse_class_mask("window"), class_bit(EventClass::kWindow));
+  EXPECT_EQ(parse_class_mask("window+loss"),
+            class_bit(EventClass::kWindow) | class_bit(EventClass::kLoss));
+  // ',' and '+' separators are interchangeable (the CLI hands the list over
+  // verbatim from --record=dir,classes=...).
+  EXPECT_EQ(parse_class_mask("schedule,churn+guard"),
+            class_bit(EventClass::kSchedule) | class_bit(EventClass::kChurn) |
+                class_bit(EventClass::kGuard));
+  EXPECT_EQ(parse_class_mask("all"), kAllClasses);
+  EXPECT_EQ(parse_class_mask("cohort,all"), kAllClasses);
+}
+
+TEST(RecorderEvent, ParseClassMaskRejectsUnknownAndEmpty) {
+  EXPECT_THROW((void)parse_class_mask("windows"), std::invalid_argument);
+  EXPECT_THROW((void)parse_class_mask(""), std::invalid_argument);
+  EXPECT_THROW((void)parse_class_mask("window,,loss"), std::invalid_argument);
+  try {
+    (void)parse_class_mask("window+lossy");
+    FAIL() << "unknown class should throw";
+  } catch (const std::invalid_argument& e) {
+    // The message names the offending token and the accepted values.
+    EXPECT_NE(std::string(e.what()).find("lossy"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("guard"), std::string::npos)
+        << e.what();
+  }
+}
+
 }  // namespace
 }  // namespace axiomcc::recorder

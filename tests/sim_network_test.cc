@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <span>
+
 #include "cc/presets.h"
+#include "sim/loss.h"
 #include "util/check.h"
 
 namespace axiomcc::sim {
@@ -86,6 +90,104 @@ TEST(MultiHopNetwork, TraceIsSampled) {
   net.run();
   EXPECT_GT(net.trace().num_steps(), 100u);
   EXPECT_EQ(net.trace().num_senders(), 1);
+}
+
+TEST(MultiHopNetwork, ChurnedFlowStopsSendingAtItsStopTime) {
+  MultiHopNetwork::Config cfg = quick_config();
+  cfg.duration_seconds = 20.0;
+  MultiHopNetwork net(cfg);
+  const int l = net.add_link(10.0, 20.0, 25);
+  const int stayer = net.add_flow(cc::presets::reno(), {l});
+  const int leaver = net.add_flow(cc::presets::reno(), {l},
+                                  /*start_seconds=*/0.0,
+                                  /*initial_window=*/2.0,
+                                  /*stop_seconds=*/8.0);
+  net.run();
+
+  // After the leaver departs, the stayer reclaims the link; its traced
+  // window is zero in the tail while the stayer's stays positive.
+  const fluid::Trace& trace = net.trace();
+  const std::size_t last = trace.num_steps() - 1;
+  EXPECT_EQ(trace.windows(leaver)[last], 0.0);
+  EXPECT_GT(trace.windows(stayer)[last], 0.0);
+  EXPECT_GT(net.flow_throughput_mbps(stayer),
+            net.flow_throughput_mbps(leaver));
+}
+
+TEST(MultiHopNetwork, StepMonitorStopsTheRunEarly) {
+  MultiHopNetwork net(quick_config());
+  const int l = net.add_link(10.0, 20.0, 25);
+  net.add_flow(cc::presets::reno(), {l});
+  long last_seen = -1;
+  net.set_step_monitor([&last_seen](long step, std::span<const double>,
+                                    double, double) {
+    last_seen = step;
+    return step < 50;
+  });
+  net.run();
+  EXPECT_EQ(last_seen, 50);
+  // ~51 samples kept instead of the ~500 a full run would take.
+  EXPECT_LE(net.trace().num_steps(), 52u);
+}
+
+TEST(MultiHopNetwork, ForwardFilterThinsDeliveredPackets) {
+  const auto run_tput = [](double rate) {
+    MultiHopNetwork::Config cfg = quick_config();
+    MultiHopNetwork net(cfg);
+    const int l0 = net.add_link(10.0, 10.0, 25);
+    const int l1 = net.add_link(10.0, 10.0, 25);
+    const int f = net.add_flow(cc::presets::reno(), {l0, l1});
+    if (rate > 0.0) {
+      net.set_forward_filter(
+          std::make_unique<BernoulliPacketLoss>(rate, /*seed=*/5));
+    }
+    net.run();
+    return net.flow_throughput_mbps(f);
+  };
+  const double clean = run_tput(0.0);
+  const double lossy = run_tput(0.05);
+  EXPECT_GT(clean, 7.0);
+  // 5% random loss on a multi-hop path decimates Reno's throughput.
+  EXPECT_LT(lossy, clean * 0.5);
+  EXPECT_GT(lossy, 0.0);
+}
+
+TEST(MultiHopNetwork, FlowReportsAndUtilizationSummarizeTheRun) {
+  MultiHopNetwork::Config cfg = quick_config();
+  cfg.duration_seconds = 30.0;
+  PacketParkingLot lot = make_packet_parking_lot(
+      10.0, 10.0, 25, 2, *cc::presets::reno(), cfg);
+  lot.network->run();
+
+  const std::vector<FlowReport> reports = lot.network->flow_reports();
+  ASSERT_EQ(reports.size(), 3u);  // long flow + 2 cross flows
+  for (const FlowReport& r : reports) {
+    EXPECT_EQ(r.protocol_name, "AIMD(1,0.5)");  // reno's self-reported name
+    EXPECT_GT(r.avg_window_mss, 0.0);
+    EXPECT_GT(r.throughput_mbps, 0.0);
+    EXPECT_GT(r.avg_rtt_ms, 0.0);
+  }
+  const double util = lot.network->max_link_utilization();
+  EXPECT_GT(util, 0.6);
+  EXPECT_LE(util, 1.0);
+}
+
+TEST(MultiHopNetwork, MutableLinkRetargetsRateMidRun) {
+  MultiHopNetwork::Config cfg = quick_config();
+  cfg.duration_seconds = 24.0;
+  MultiHopNetwork net(cfg);
+  const int l = net.add_link(10.0, 20.0, 25);
+  const int f = net.add_flow(cc::presets::reno(), {l});
+  // Halve the bottleneck halfway through, the way the engine backend
+  // installs bandwidth schedules.
+  net.simulator().schedule_at(SimTime::from_seconds(12.0), [&net, l] {
+    net.mutable_link(l).set_rate_bps(5e6);
+  });
+  net.run();
+  // Tail throughput reflects the tightened link (tail window spans the
+  // throttled half), staying well under the unthrottled 10 Mbps fill.
+  EXPECT_LT(net.flow_throughput_mbps(f), 7.0);
+  EXPECT_GT(net.flow_throughput_mbps(f), 2.0);
 }
 
 TEST(MultiHopNetwork, ContractChecks) {

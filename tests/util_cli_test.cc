@@ -203,6 +203,54 @@ TEST(ArgParser, RecordEnvVariants) {
   unsetenv("AXIOMCC_RECORD");
 }
 
+TEST(ArgParser, RecordClassesSuffixSplitsOffLaneList) {
+  unsetenv("AXIOMCC_RECORD");
+  unsetenv("AXIOMCC_ARTIFACTS");
+  // Directory + classes list.
+  const auto spec =
+      parse({"--record=/tmp/rec,classes=window+loss"}).record_spec();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->dir, "/tmp/rec");
+  EXPECT_EQ(spec->classes, "window+loss");
+  // The list may itself be comma-separated: everything after ",classes="
+  // belongs to the list, not the directory.
+  const auto commas =
+      parse({"--record=/tmp/rec,classes=window,loss,churn"}).record_spec();
+  ASSERT_TRUE(commas.has_value());
+  EXPECT_EQ(commas->dir, "/tmp/rec");
+  EXPECT_EQ(commas->classes, "window,loss,churn");
+  // record_dir() keeps ignoring the suffix.
+  EXPECT_EQ(
+      parse({"--record=/tmp/rec,classes=guard"}).record_dir().value_or(""),
+      "/tmp/rec");
+}
+
+TEST(ArgParser, RecordClassesWithoutDirUsesArtifactsDir) {
+  unsetenv("AXIOMCC_RECORD");
+  unsetenv("AXIOMCC_ARTIFACTS");
+  const auto spec = parse({"--record=,classes=loss", "--out=o"}).record_spec();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->dir, "o");
+  EXPECT_EQ(spec->classes, "loss");
+  // No classes suffix -> empty list means "record everything".
+  const auto plain = parse({"--record=/tmp/rec"}).record_spec();
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_TRUE(plain->classes.empty());
+}
+
+TEST(ArgParser, RecordClassesViaEnvAndEmptyListRejected) {
+  unsetenv("AXIOMCC_ARTIFACTS");
+  ASSERT_EQ(setenv("AXIOMCC_RECORD", "/tmp/envrec,classes=churn", 1), 0);
+  const auto spec = parse({}).record_spec();
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->dir, "/tmp/envrec");
+  EXPECT_EQ(spec->classes, "churn");
+  unsetenv("AXIOMCC_RECORD");
+  // A dangling ",classes=" is a usage error, not "all classes".
+  EXPECT_THROW((void)parse({"--record=/tmp/rec,classes="}).record_spec(),
+               std::invalid_argument);
+}
+
 TEST(ArgParser, UnknownBackendThrows) {
   unsetenv("AXIOMCC_BACKEND");
   try {
