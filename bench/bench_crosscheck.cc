@@ -10,7 +10,8 @@
 // Usage: bench_crosscheck [--mbps=30] [--rtt-ms=42] [--buffer=100]
 //                         [--senders=2] [--steps=4000]
 //                         [--protocols=aimd(1,0.5),cubic(0.4,0.8)]
-//                         [--topology=K] [--jobs=N] [--csv] [--markdown]
+//                         [--topology=K] [--record[=dir,classes=mask]]
+//                         [--scope-window=W] [--jobs=N] [--csv] [--markdown]
 //
 // --jobs=N fans the protocol × backend matrix out over N workers (default:
 // AXIOMCC_JOBS env, else hardware concurrency; 1 = serial). Timing lands in
@@ -20,7 +21,17 @@
 // --topology=K appends a parking-lot cross-check: every protocol runs the
 // same K-bottleneck ScenarioSpec on both backends and the long flow's
 // multi-hop beat-down (its tail share vs the single-link fair share) must
-// land on the same side of fair on both substrates.
+// land on the same side of fair on both substrates. The topology leg also
+// runs a streaming MetricScope per cell and exports its run-level axiom
+// estimates as bench counters (scope_fluid_*/scope_packet_*, worst case
+// across protocols), so benchdiff can trend the metric view. --scope-window
+// sets the scope window in steps (default 0 = one full-horizon window).
+// --record[=dir,classes=mask] additionally flight-records every topology
+// cell into dir as crosscheck-<protocol>-<backend>.jsonl (lane filtering
+// via the classes mask, e.g. classes=window+metric), provenance-stamped
+// with the current git SHA for cross-SHA alignment in axiomcc-inspect.
+// --record implies --topology=3 when --topology is absent.
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <sstream>
@@ -30,6 +41,8 @@
 #include "analysis/telemetry_report.h"
 #include "ledger/ledger.h"
 #include "exp/crosscheck.h"
+#include "recorder/event.h"
+#include "scope/scope.h"
 #include "util/bench_json.h"
 #include "util/cli.h"
 #include "util/stats.h"
@@ -88,15 +101,20 @@ int main(int argc, char** argv) {
           args.get_double("buffer", 100.0), cfg.base.num_senders, cfg.jobs);
     }
 
-    const int topology_bottlenecks =
-        static_cast<int>(args.get_int("topology", 0));
+    // --record rides the topology leg (per-cell recordings), so asking for
+    // it without --topology implies the default 3-bottleneck parking lot.
+    const auto record = args.record_spec();
+    int topology_bottlenecks = static_cast<int>(args.get_int("topology", 0));
+    if (record && topology_bottlenecks == 0) topology_bottlenecks = 3;
 
     WallTimer timer;
     const exp::CrosscheckResult result = exp::run_crosscheck(cfg);
     const double run_seconds = timer.seconds();
 
     // --topology=K: the parking-lot structural check rides along after the
-    // single-link matrix, reusing the link and protocol flags.
+    // single-link matrix, reusing the link and protocol flags. The streaming
+    // scope is always on here — its run-channel estimates feed the bench
+    // counters below.
     exp::TopologyCheckResult topo_result;
     double topo_seconds = 0.0;
     if (topology_bottlenecks > 0) {
@@ -105,6 +123,16 @@ int main(int argc, char** argv) {
       topo_cfg.bottlenecks = topology_bottlenecks;
       topo_cfg.protocol_specs = cfg.protocol_specs;
       topo_cfg.jobs = cfg.jobs;
+      topo_cfg.scope.enabled = true;
+      topo_cfg.scope.window_steps = args.get_int("scope-window", 0);
+      if (record) {
+        topo_cfg.record.enabled = true;
+        topo_cfg.record_dir = record->dir;
+        if (!record->classes.empty()) {
+          topo_cfg.record.classes =
+              recorder::parse_class_mask(record->classes.c_str());
+        }
+      }
       WallTimer topo_timer;
       topo_result = exp::run_topology_crosscheck(topo_cfg);
       topo_seconds = topo_timer.seconds();
@@ -119,6 +147,30 @@ int main(int argc, char** argv) {
                         static_cast<double>(topo_result.entries.size()));
       bench.add_counter("topology_agreeing",
                         static_cast<double>(topo_result.agreeing_entries()));
+      // Worst-case run-channel scope estimates across protocols, per
+      // backend: the floor of the good-is-high axes and the ceiling of
+      // loss avoidance (lower is better), so benchdiff trends the weakest
+      // metric view rather than an average that hides regressions.
+      for (const auto* side : {"fluid", "packet"}) {
+        const bool is_fluid = side == std::string("fluid");
+        double eff = 1.0;
+        double fair = 1.0;
+        double loss = 0.0;
+        for (const auto& e : topo_result.entries) {
+          const scope::ScopeSeries& s =
+              is_fluid ? e.fluid_scope : e.packet_scope;
+          eff = std::min(eff, s.last(scope::SubjectKind::kRun, -1,
+                                     scope::Axis::kEfficiency, 1.0));
+          fair = std::min(fair, s.last(scope::SubjectKind::kRun, -1,
+                                       scope::Axis::kFairness, 1.0));
+          loss = std::max(loss, s.last(scope::SubjectKind::kRun, -1,
+                                       scope::Axis::kLossAvoidance, 0.0));
+        }
+        const std::string prefix = std::string("scope_") + side + "_";
+        bench.add_counter(prefix + "efficiency", eff);
+        bench.add_counter(prefix + "fairness", fair);
+        bench.add_counter(prefix + "loss", loss);
+      }
     }
     bench.add_counter("protocols",
                       static_cast<double>(result.entries.size()));

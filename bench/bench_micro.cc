@@ -13,7 +13,11 @@
 // batch population-scaling bench (default maxN 100000; =1000000 adds the
 // million-sender batch-only point), --telemetry[=path] and
 // --backend=fluid|packet (AXIOMCC_BACKEND env; drives the EvalConfig-based
-// benches) work as in the other benches.
+// benches) work as in the other benches. --record[=dir,classes=mask]
+// flight-records one representative parking-lot run per backend into dir
+// as micro-<backend>.jsonl (lane filtering via the classes mask,
+// provenance-stamped with the git SHA, streaming metric windows included
+// as kMetric events) before the suite runs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -26,12 +30,16 @@
 
 #include "analysis/telemetry_report.h"
 #include "ledger/ledger.h"
+#include "ledger/provenance.h"
 #include "cc/aimd.h"
 #include "cc/presets.h"
 #include "core/evaluator.h"
 #include "core/metrics.h"
+#include "engine/backend.h"
 #include "engine/scenario.h"
+#include "engine/topology.h"
 #include "fluid/sim.h"
+#include "recorder/io.h"
 #include "sim/dumbbell.h"
 #include "fluid/network.h"
 #include "sim/event.h"
@@ -356,6 +364,44 @@ void run_telemetry_overhead_bench(BenchReport& bench) {
   bench.add_counter("telemetry_overhead_pct", overhead_pct);
 }
 
+/// --record[=dir,classes=mask]: flight-records one representative
+/// 3-bottleneck parking-lot run per backend, with the streaming metric
+/// scope attached so kMetric windows land in the capture. Recordings are
+/// provenance-stamped so axiomcc-inspect --align can compare captures from
+/// two checkouts.
+void run_recorded_probe(const ArgParser::RecordSpec& spec) {
+  recorder::RecordOptions ropts;
+  ropts.enabled = true;
+  if (!spec.classes.empty()) {
+    ropts.classes = recorder::parse_class_mask(spec.classes.c_str());
+  }
+  for (const engine::BackendKind backend :
+       {engine::BackendKind::kFluid, engine::BackendKind::kPacket}) {
+    const cc::Aimd aimd(1.0, 0.5);
+    engine::ScenarioSpec scenario;
+    scenario.steps = 400;
+    engine::apply_parking_lot(scenario,
+                              fluid::make_link_mbps(30.0, 42.0, 100.0), 3,
+                              aimd);
+    scenario.record = ropts;
+    const auto rec = engine::make_recorder(scenario);
+    scenario.record_sink = rec.get();
+    scenario.scope.enabled = true;
+    const auto sc = engine::make_scope(scenario);
+    scenario.scope_sink = sc.get();
+    benchmark::DoNotOptimize(engine::backend_for(backend).run(scenario));
+    if (rec == nullptr) continue;  // recorder compiled out
+    recorder::Recording snap = rec->snapshot();
+    snap.git_sha = ledger::current_provenance().git_sha;
+    const std::string path = spec.dir + "/micro-" +
+                             engine::backend_name(backend) + ".jsonl";
+    recorder::write_text_file(path, recorder::recording_to_jsonl(snap));
+    std::printf("Recording: %s (%zu events)\n", path.c_str(),
+                snap.events.size());
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -391,11 +437,13 @@ int main(int argc, char** argv) {
     if (i > 0 && std::strncmp(argv[i], "--ledger", 8) == 0) continue;
     if (i > 0 && std::strncmp(argv[i], "--out", 5) == 0) continue;
     if (i > 0 && std::strncmp(argv[i], "--jobs", 6) == 0) continue;
+    if (i > 0 && std::strncmp(argv[i], "--record", 8) == 0) continue;
     filtered.push_back(argv[i]);
   }
 
   BenchReport bench("micro");
   bench.set_jobs(hardware_jobs());
+  if (const auto record = args.record_spec()) run_recorded_probe(*record);
   if (!skip_pool) run_pool_throughput_bench(bench);
   if (senders_scaling_max > 0) {
     // Its own ledger group: the scaling runs' workload (and therefore any

@@ -1,6 +1,8 @@
 #include "analysis/recorder_report.h"
 
 #include <cstdio>
+#include <map>
+#include <tuple>
 #include <vector>
 
 #include "analysis/ascii_plot.h"
@@ -27,11 +29,12 @@ std::string subject_tag(const recorder::Event& event) {
 
 bool is_sampled(const recorder::Event& event) {
   return (event.cls == recorder::EventClass::kWindow) ||
+         (event.cls == recorder::EventClass::kMetric) ||
          (event.cls == recorder::EventClass::kGuard &&
           event.code == recorder::EventCode::kCheck);
 }
 
-void append_spark(std::string& out, const char* label,
+void append_spark(std::string& out, const std::string& label,
                   const std::vector<double>& values, int width) {
   if (values.empty()) return;
   double lo = values.front();
@@ -73,6 +76,9 @@ std::string render_timeline(const recorder::Recording& recording,
                             const TimelineOptions& options) {
   std::string out = "recording";
   if (!recording.backend.empty()) out += " backend=" + recording.backend;
+  if (!recording.git_sha.empty() && recording.git_sha != "unknown") {
+    out += " sha=" + recording.git_sha.substr(0, 12);
+  }
   out += " senders=" + std::to_string(recording.senders);
   out += " steps=" + std::to_string(recording.steps);
   out += " events=" + std::to_string(recording.events.size());
@@ -91,6 +97,10 @@ std::string render_timeline(const recorder::Recording& recording,
   // guarded runner drove the recording.
   std::vector<double> totals;
   std::vector<double> checks;
+  // Metric-scope channels, keyed (subject kind, subject, axis code) so the
+  // run channels render first, then per-cohort, then per-link — the scope's
+  // own deterministic channel order.
+  std::map<std::tuple<int, int, int>, std::vector<double>> metrics;
   std::vector<long> class_counts(recorder::kNumEventClasses, 0);
   long discrete = 0;
   for (const recorder::Event& event : recording.events) {
@@ -101,11 +111,31 @@ std::string render_timeline(const recorder::Recording& recording,
     } else if (event.cls == recorder::EventClass::kGuard &&
                event.code == recorder::EventCode::kCheck) {
       checks.push_back(event.a);
+    } else if (event.cls == recorder::EventClass::kMetric) {
+      metrics[{static_cast<int>(event.subject_kind), event.subject,
+               static_cast<int>(event.code)}]
+          .push_back(event.a);
     }
     if (!is_sampled(event)) ++discrete;
   }
   append_spark(out, "total window", totals, options.spark_width);
   append_spark(out, "guard check ", checks, options.spark_width);
+
+  if (!metrics.empty()) {
+    out += "metric timelines (one value per closed scope window):\n";
+    for (const auto& [key, values] : metrics) {
+      const auto& [kind, subject, code] = key;
+      std::string subj = recorder::subject_name(
+          static_cast<recorder::Subject>(kind));
+      if (subject >= 0) subj += '[' + std::to_string(subject) + ']';
+      char label[64];
+      std::snprintf(label, sizeof(label), "%-16s %-10s",
+                    recorder::event_code_name(
+                        static_cast<recorder::EventCode>(code)),
+                    subj.c_str());
+      append_spark(out, label, values, options.spark_width);
+    }
+  }
 
   std::vector<Bar> bars;
   for (int c = 0; c < recorder::kNumEventClasses; ++c) {

@@ -31,6 +31,7 @@ RunTrace run_topology(const ScenarioSpec& spec,
   options.trace_detail = spec.trace_detail;
   options.tracked_senders = spec.tracked_senders;
   options.record_sink = spec.record_sink;
+  options.scope_sink = spec.scope_sink;
 
   fluid::FluidNetwork net(options);
   for (const fluid::LinkParams& params : spec.topology.links) {
@@ -71,6 +72,13 @@ RunTrace FluidBackend::run(const ScenarioSpec& spec) const {
   if (slots.empty()) {
     throw ScenarioError("workload expansion produced no senders");
   }
+  // Resolve the scope's warmup from the scenario's tail fraction (the fluid
+  // layer does not know it) and chain the recorder so closed windows emit as
+  // kMetric events. Link-derived fields are filled by the fluid layer.
+  if (spec.scope_sink != nullptr) {
+    spec.scope_sink->resolve(spec.steps, spec.tail_fraction, 0.0, 0.0, 0.0);
+    spec.scope_sink->set_recorder(spec.record_sink);
+  }
   if (!spec.topology.empty()) return run_topology(spec, slots);
 
   fluid::SimOptions options;
@@ -82,6 +90,7 @@ RunTrace FluidBackend::run(const ScenarioSpec& spec) const {
   options.batch = spec.batch;
   options.jobs = spec.jobs;
   options.record_sink = spec.record_sink;
+  options.scope_sink = spec.scope_sink;
 
   fluid::FluidSimulation sim(spec.link, options);
   for (const SenderSlot& slot : slots) {

@@ -342,14 +342,46 @@ RunTrace run_topology(const ScenarioSpec& spec,
     }
   }
 
-  if (spec.record_sink != nullptr) {
-    const auto prec = std::make_shared<PacketStepRecorder>(spec, flat);
+  // The scope rides the same step-monitor hook as the recorder: the monitor
+  // delivers exactly the samples the trace records. Class ids are flow ids
+  // (the slots are flattened), matching the fluid topology path; per-link
+  // channels stay a fluid-network extra — the packet monitor carries no
+  // per-link view.
+  scope::MetricScope* const scope = spec.scope_sink;
+  if (scope != nullptr) {
+    double min_capacity = std::numeric_limits<double>::infinity();
+    for (const fluid::LinkParams& params : spec.topology.links) {
+      min_capacity =
+          std::min(min_capacity, fluid::FluidLink(params).capacity_mss());
+    }
+    scope->resolve(spec.steps, spec.tail_fraction, min_capacity, step_seconds,
+                   config.max_window_mss);
+    scope->set_recorder(spec.record_sink);
+    scope->begin_run(static_cast<int>(flat.size()), /*num_links=*/0);
+  }
+
+  if (spec.record_sink != nullptr || scope != nullptr) {
+    const auto prec = spec.record_sink != nullptr
+                          ? std::make_shared<PacketStepRecorder>(spec, flat)
+                          : nullptr;
     const StepMonitor user = spec.step_monitor;
-    net.set_step_monitor([prec, user](long step,
-                                      std::span<const double> windows,
-                                      double rtt_seconds,
-                                      double congestion_loss) {
-      prec->on_step(step, windows, rtt_seconds, congestion_loss);
+    net.set_step_monitor([prec, scope, user](long step,
+                                             std::span<const double> windows,
+                                             double rtt_seconds,
+                                             double congestion_loss) {
+      if (prec != nullptr) {
+        prec->on_step(step, windows, rtt_seconds, congestion_loss);
+      }
+      if (scope != nullptr) {
+        double total = 0.0;
+        for (const double w : windows) total += w;
+        scope->step_begin(step, total, rtt_seconds, congestion_loss);
+        for (std::size_t i = 0; i < windows.size(); ++i) {
+          scope->observe_class(static_cast<int>(i), windows[i],
+                               congestion_loss);
+        }
+        scope->step_end();
+      }
       return user ? user(step, windows, rtt_seconds, congestion_loss) : true;
     });
   } else if (spec.step_monitor) {
@@ -357,6 +389,7 @@ RunTrace run_topology(const ScenarioSpec& spec,
   }
 
   net.run();
+  if (scope != nullptr) scope->finish();
 
   TELEMETRY_COUNT("engine.packet_topology_runs", 1);
   fluid::Trace trace =
@@ -441,16 +474,48 @@ RunTrace PacketBackend::run(const ScenarioSpec& spec) const {
     }
   }
 
-  if (spec.record_sink != nullptr) {
+  // Scope classes are sender slots (cohorts), mirroring the fluid backend's
+  // group order: member i of slot g observes into class g, so per-class
+  // channels line up across backends. The per-flow observed loss is the
+  // bottleneck's congestion loss — every dumbbell flow shares it.
+  scope::MetricScope* const scope = spec.scope_sink;
+  std::vector<int> scope_class;
+  if (scope != nullptr) {
+    const fluid::FluidLink link(spec.link);
+    scope->resolve(spec.steps, spec.tail_fraction, link.capacity_mss(),
+                   link.min_rtt().value(), dc.max_window_mss);
+    scope->set_recorder(spec.record_sink);
+    scope_class.reserve(static_cast<std::size_t>(total_slot_senders(slots)));
+    for (std::size_t g = 0; g < slots.size(); ++g) {
+      for (long j = 0; j < slots[g].count; ++j) {
+        scope_class.push_back(static_cast<int>(g));
+      }
+    }
+    scope->begin_run(static_cast<int>(slots.size()), /*num_links=*/0);
+  }
+
+  if (spec.record_sink != nullptr || scope != nullptr) {
     // Recording rides on the step-monitor hook: emit first, then chain the
     // caller's monitor (the guarded runner installs its checks there).
-    const auto prec = std::make_shared<PacketStepRecorder>(spec, slots);
+    const auto prec = spec.record_sink != nullptr
+                          ? std::make_shared<PacketStepRecorder>(spec, slots)
+                          : nullptr;
     const StepMonitor user = spec.step_monitor;
-    exp.set_step_monitor([prec, user](long step,
-                                      std::span<const double> windows,
-                                      double rtt_seconds,
-                                      double congestion_loss) {
-      prec->on_step(step, windows, rtt_seconds, congestion_loss);
+    exp.set_step_monitor([prec, scope, scope_class,
+                          user](long step, std::span<const double> windows,
+                                double rtt_seconds, double congestion_loss) {
+      if (prec != nullptr) {
+        prec->on_step(step, windows, rtt_seconds, congestion_loss);
+      }
+      if (scope != nullptr) {
+        double total = 0.0;
+        for (const double w : windows) total += w;
+        scope->step_begin(step, total, rtt_seconds, congestion_loss);
+        for (std::size_t i = 0; i < windows.size(); ++i) {
+          scope->observe_class(scope_class[i], windows[i], congestion_loss);
+        }
+        scope->step_end();
+      }
       return user ? user(step, windows, rtt_seconds, congestion_loss) : true;
     });
   } else if (spec.step_monitor) {
@@ -458,6 +523,7 @@ RunTrace PacketBackend::run(const ScenarioSpec& spec) const {
   }
 
   exp.run();
+  if (scope != nullptr) scope->finish();
 
   TELEMETRY_COUNT("engine.packet_runs", 1);
   // The dumbbell experiment records full per-flow series internally; an

@@ -23,6 +23,7 @@
 #include "fluid/loss_model.h"
 #include "fluid/trace.h"
 #include "recorder/recorder.h"
+#include "scope/scope.h"
 #include "sim/dumbbell.h"
 #include "util/check.h"
 
@@ -186,6 +187,17 @@ struct ScenarioSpec {
   /// happens from the serial sections of the backend loops). Callers build
   /// one with `make_recorder(spec)` and attach it here.
   recorder::Recorder* record_sink = nullptr;
+  /// Streaming axiom-scope options (windowed online metric estimates; see
+  /// scope/scope.h). `scope.enabled` is the master switch; the sink below
+  /// must also be installed. Backends fill the link-derived normalization
+  /// fields the caller left unset (capacity, min RTT, warmup, window cap).
+  scope::ScopeConfig scope;
+  /// Non-owning metric-scope sink for this run (one MetricScope per run,
+  /// fed from the same serial sections as the recorder). Callers build one
+  /// with `make_scope(spec)` and attach it here; when `record_sink` is also
+  /// installed, the backend forwards closed windows to it as kMetric
+  /// events.
+  scope::MetricScope* scope_sink = nullptr;
 
   /// Convenience: appends a sender slot.
   void add_sender(const cc::Protocol& prototype, double initial_window_mss,
@@ -234,6 +246,15 @@ struct ScenarioSpec {
   if (!spec.record.enabled || !recorder::compiled_in()) return nullptr;
   recorder::RecordOptions options = spec.record;
   return std::make_unique<recorder::Recorder>(options);
+}
+
+/// Builds the metric scope a spec asks for, or null when the scope is off.
+/// The caller owns the scope and attaches it:
+///   `auto scope = make_scope(spec); spec.scope_sink = scope.get();`
+[[nodiscard]] inline std::unique_ptr<scope::MetricScope> make_scope(
+    const ScenarioSpec& spec) {
+  if (!spec.scope.enabled) return nullptr;
+  return std::make_unique<scope::MetricScope>(spec.scope);
 }
 
 /// What a backend run produces. The Trace is the common currency the metric

@@ -10,6 +10,8 @@
 #include "engine/backend.h"
 #include "engine/scenario.h"
 #include "engine/topology.h"
+#include "ledger/provenance.h"
+#include "recorder/io.h"
 #include "telemetry/telemetry.h"
 #include "util/check.h"
 #include "util/task_pool.h"
@@ -181,6 +183,19 @@ void write_crosscheck_csv(const CrosscheckResult& result, std::ostream& out) {
 
 namespace {
 
+/// File-name-safe protocol label: spec punctuation becomes '-'.
+std::string sanitize_label(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_';
+    out.push_back(keep ? c : '-');
+  }
+  while (!out.empty() && out.back() == '-') out.pop_back();
+  return out;
+}
+
 /// Tail-mean share of flow 0's window in the aggregate.
 double long_flow_tail_share(const fluid::Trace& trace, double tail_fraction) {
   const std::size_t steps = trace.num_steps();
@@ -214,7 +229,11 @@ TopologyCheckResult run_topology_crosscheck(const TopologyCheckConfig& cfg) {
 
   // Cell i = (protocol i/2, backend i%2), as in run_crosscheck: each cell
   // rebuilds its protocol, so results are bit-identical at any job count.
-  const std::vector<double> shares = parallel_map(
+  struct Cell {
+    double share = 0.0;
+    scope::ScopeSeries scope;
+  };
+  const std::vector<Cell> cells = parallel_map(
       specs.size() * 2,
       [&](std::size_t i) {
         const std::string& spec = specs[i / 2];
@@ -229,11 +248,29 @@ TopologyCheckResult run_topology_crosscheck(const TopologyCheckConfig& cfg) {
         engine::ScenarioSpec scenario;
         scenario.steps = cfg.steps;
         scenario.seed = cfg.seed;
+        scenario.tail_fraction = cfg.tail_fraction;
         engine::apply_parking_lot(scenario, cfg.per_link, cfg.bottlenecks,
                                   *proto);
+        scenario.record = cfg.record;
+        const auto rec = engine::make_recorder(scenario);
+        scenario.record_sink = rec.get();
+        scenario.scope = cfg.scope;
+        const auto sc = engine::make_scope(scenario);
+        scenario.scope_sink = sc.get();
         const engine::RunTrace rt =
             engine::backend_for(backend).run(scenario);
-        return long_flow_tail_share(rt.trace, cfg.tail_fraction);
+        if (rec != nullptr && !cfg.record_dir.empty()) {
+          recorder::Recording snap = rec->snapshot();
+          snap.git_sha = ledger::current_provenance().git_sha;
+          recorder::write_text_file(
+              cfg.record_dir + "/crosscheck-" + sanitize_label(names[i / 2]) +
+                  "-" + engine::backend_name(backend) + ".jsonl",
+              recorder::recording_to_jsonl(snap));
+        }
+        Cell cell;
+        cell.share = long_flow_tail_share(rt.trace, cfg.tail_fraction);
+        if (sc != nullptr) cell.scope = sc->series();
+        return cell;
       },
       cfg.jobs);
 
@@ -243,8 +280,10 @@ TopologyCheckResult run_topology_crosscheck(const TopologyCheckConfig& cfg) {
     TopologyCheckEntry e;
     e.protocol = names[p];
     e.bottlenecks = cfg.bottlenecks;
-    e.fluid_long_share = shares[2 * p];
-    e.packet_long_share = shares[2 * p + 1];
+    e.fluid_long_share = cells[2 * p].share;
+    e.packet_long_share = cells[2 * p + 1].share;
+    e.fluid_scope = cells[2 * p].scope;
+    e.packet_scope = cells[2 * p + 1].scope;
     // One long flow competes with one cross flow per link: fair is an even
     // split of each bottleneck.
     e.fair_share = 0.5;

@@ -18,6 +18,8 @@
 #include "core/evaluator.h"
 #include "core/metric_point.h"
 #include "fluid/link.h"
+#include "recorder/recorder.h"
+#include "scope/scope.h"
 
 namespace axiomcc::exp {
 
@@ -108,6 +110,19 @@ struct TopologyCheckConfig {
   /// Worker threads for the protocol × backend matrix (as in
   /// CrosscheckConfig::jobs).
   long jobs = 0;
+  /// Flight-recorder capture for every cell (lane filtering via
+  /// `record.classes`). When `record.enabled` and `record_dir` is non-empty
+  /// each cell writes `crosscheck-<protocol>-<backend>.jsonl` into the
+  /// directory, provenance-stamped with the current git SHA. No-op when the
+  /// recorder is compiled out.
+  recorder::RecordOptions record;
+  std::string record_dir;
+  /// Streaming-scope capture: when `scope.enabled` every cell runs with a
+  /// MetricScope attached and the entry carries both backends' series
+  /// (window size per `scope.window_steps`; 0 = one full-horizon window).
+  /// When recording too, closed windows also land in the recording as
+  /// kMetric events.
+  scope::ScopeConfig scope;
 };
 
 struct TopologyCheckEntry {
@@ -121,6 +136,9 @@ struct TopologyCheckEntry {
   double fair_share = 0.0;
   /// Both backends put the long flow's share on the same side of fair.
   bool beat_down_agrees = false;
+  /// Streaming-scope series per backend (empty unless cfg.scope.enabled).
+  scope::ScopeSeries fluid_scope;
+  scope::ScopeSeries packet_scope;
 };
 
 struct TopologyCheckResult {

@@ -309,6 +309,12 @@ Trace FluidNetwork::run() {
   ScheduledLinks sched(links_, bandwidth_scale_, rtt_scale_);
   NetStepRecorder srec(options_.record_sink, flows_, bandwidth_scale_,
                        rtt_scale_, aggregate);
+  scope::MetricScope* scope = options_.scope_sink;
+  if (scope != nullptr) {
+    scope->resolve(options_.steps, 0.0, min_capacity, min_route_rtt,
+                   options_.max_window_mss);
+    scope->begin_run(nf, nl);
+  }
 
   long steps_run = 0;
   for (long step = 0; step < options_.steps; ++step) {
@@ -384,6 +390,27 @@ Trace FluidNetwork::run() {
 
     trace.add_step(windows, mean_rtt, max_link_loss, observed_loss);
     srec.on_step(step, total, mean_rtt, max_link_loss, windows, observed_loss);
+    if (scope != nullptr) {
+      scope->step_begin(step, total, mean_rtt, max_link_loss);
+      for (int f = 0; f < nf; ++f) {
+        scope->observe_class(f, windows[f], observed_loss[f]);
+      }
+      for (int l = 0; l < nl; ++l) {
+        // Per-link view: utilization against the step's (scheduled)
+        // capacity, the link's own droptail loss, and the loaded/zero-load
+        // RTT ratio against the CONFIGURED link so RTT schedules register
+        // as latency inflation.
+        const double base_rtt = links_[l].min_rtt().value();
+        const double rtt_ratio =
+            base_rtt > 0.0
+                ? active_links[l].rtt(arrivals[l]).value() / base_rtt
+                : 1.0;
+        scope->observe_link(
+            l, std::min(1.0, arrivals[l] / active_links[l].capacity_mss()),
+            link_loss[l], rtt_ratio);
+      }
+      scope->step_end();
+    }
 
     for (int f = 0; f < nf; ++f) {
       if (!active_at(flows_[f], step)) {
@@ -403,6 +430,8 @@ Trace FluidNetwork::run() {
       break;
     }
   }
+
+  if (scope != nullptr) scope->finish();
 
   link_mean_utilization_.assign(nl, 0.0);
   for (int l = 0; l < nl; ++l) {

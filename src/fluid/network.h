@@ -35,6 +35,7 @@
 #include "fluid/loss_model.h"
 #include "fluid/trace.h"
 #include "recorder/recorder.h"
+#include "scope/scope.h"
 
 namespace axiomcc::fluid {
 
@@ -49,6 +50,10 @@ struct NetworkOptions {
   int tracked_senders = 8;
   /// Non-owning flight-recorder sink (null = no recording).
   recorder::Recorder* record_sink = nullptr;
+  /// Non-owning streaming-metric scope (null = no scope). Observes every
+  /// flow (as a scope class) AND every link per step — the per-link
+  /// channels are what single-link scopes cannot provide.
+  scope::MetricScope* scope_sink = nullptr;
 };
 
 class FluidNetwork {

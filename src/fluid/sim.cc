@@ -309,7 +309,20 @@ Trace FluidSimulation::run() {
   AXIOMCC_EXPECTS_MSG(!ran_, "FluidSimulation::run may be called only once");
   ran_ = true;
   TELEMETRY_SPAN("fluid", "sim.run");
-  return options_.batch ? run_batch() : run_scalar();
+  // The scope observes each step from the serial section of whichever tick
+  // loop runs, in ascending (cohort, member) order — the same fold order at
+  // any path or job count. resolve() only adopts fields the caller left
+  // unset, so an engine-layer resolve (which knows the tail fraction) wins.
+  if (options_.scope_sink != nullptr) {
+    options_.scope_sink->resolve(options_.steps, 0.0, link_.capacity_mss(),
+                                 link_.min_rtt().value(),
+                                 options_.max_window_mss);
+    options_.scope_sink->begin_run(static_cast<int>(groups_.size()),
+                                   /*num_links=*/0);
+  }
+  Trace trace = options_.batch ? run_batch() : run_scalar();
+  if (options_.scope_sink != nullptr) options_.scope_sink->finish();
+  return trace;
 }
 
 Trace FluidSimulation::run_scalar() {
@@ -426,6 +439,17 @@ Trace FluidSimulation::run_scalar() {
         [&](std::size_t, long begin) { return windows[begin]; },
         [&](std::size_t, long begin) { return observed_loss[begin]; },
         [&](long i) { return windows[i]; }, n);
+    if (scope::MetricScope* scope = options_.scope_sink; scope != nullptr) {
+      scope->step_begin(step, total, rtt.value(), congestion_loss);
+      long idx = 0;
+      for (std::size_t g = 0; g < groups_.size(); ++g) {
+        for (long j = 0; j < groups_[g].count; ++j, ++idx) {
+          scope->observe_class(static_cast<int>(g), windows[idx],
+                               observed_loss[idx]);
+        }
+      }
+      scope->step_end();
+    }
 
     for (long i = 0; i < n; ++i) {
       const SenderSpec& spec = *senders[i].spec;
@@ -705,6 +729,16 @@ Trace FluidSimulation::run_batch() {
         [&](std::size_t, long begin) { return windows[begin]; },
         [&](std::size_t, long begin) { return observed[begin]; },
         [&](long i) { return windows[i]; }, n);
+    if (scope::MetricScope* scope = options_.scope_sink; scope != nullptr) {
+      scope->step_begin(step, total, rtt_value, congestion_loss);
+      for (std::size_t ci = 0; ci < cohorts.size(); ++ci) {
+        const Cohort& c = cohorts[ci];
+        for (long i = c.begin; i < c.end; ++i) {
+          scope->observe_class(static_cast<int>(ci), windows[i], observed[i]);
+        }
+      }
+      scope->step_end();
+    }
 
     // Window update, cohort by cohort.
     for (Cohort& c : cohorts) {
@@ -976,6 +1010,19 @@ Trace FluidSimulation::run_batch_uniform() {
         [&](std::size_t ci, long) { return cohorts[ci].w; },
         [&](std::size_t ci, long) { return cohorts[ci].obs; },
         [](long) { return 0.0; }, total_senders_);
+    if (scope::MetricScope* scope = options_.scope_sink; scope != nullptr) {
+      // One observe per cohort with the member count: the scope folds it as
+      // `count` repeated serial adds of the representative's (bitwise
+      // shared) values, reproducing the materialized paths' member-by-member
+      // fold exactly.
+      scope->step_begin(step, total, rtt_value, congestion_loss);
+      for (std::size_t ci = 0; ci < cohorts.size(); ++ci) {
+        const UniformCohort& c = cohorts[ci];
+        scope->observe_class(static_cast<int>(ci), c.active ? c.w : 0.0,
+                             c.active ? c.obs : 0.0, c.count);
+      }
+      scope->step_end();
+    }
 
     for (UniformCohort& c : cohorts) {
       if (!c.active) continue;

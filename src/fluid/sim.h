@@ -28,6 +28,7 @@
 #include "fluid/loss_model.h"
 #include "fluid/trace.h"
 #include "recorder/recorder.h"
+#include "scope/scope.h"
 
 namespace axiomcc::fluid {
 
@@ -75,6 +76,13 @@ struct SimOptions {
   /// loss transitions plus stride-sampled windows — so recordings are
   /// byte-identical across execution paths and job counts.
   recorder::Recorder* record_sink = nullptr;
+  /// Non-owning streaming-metric scope (null = no scope). Fed from the same
+  /// serial sections as the recorder — one step_begin/observe/step_end
+  /// sweep per step, with per-cohort repeated-add folds on the uniform
+  /// path — so its series is byte-identical across execution paths and job
+  /// counts. When `record_sink` is also installed, closed metric windows
+  /// are forwarded to it as kMetric events.
+  scope::MetricScope* scope_sink = nullptr;
 };
 
 /// Runs the fluid model and records a Trace.

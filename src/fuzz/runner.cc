@@ -160,6 +160,9 @@ RecordedScenario run_scenario_recorded(const ScenarioDesc& desc,
     fluid.spec.record = ropts;
     const auto rec = engine::make_recorder(fluid.spec);
     fluid.spec.record_sink = rec.get();
+    fluid.spec.scope = config.scope;
+    const auto sc = engine::make_scope(fluid.spec);
+    fluid.spec.scope_sink = sc.get();
     const stress::GuardedResult result = stress::run_guarded(
         engine::backend_for(engine::BackendKind::kFluid), fluid.spec,
         config.guard);
@@ -174,6 +177,9 @@ RecordedScenario run_scenario_recorded(const ScenarioDesc& desc,
     packet.spec.record = ropts;
     const auto rec = engine::make_recorder(packet.spec);
     packet.spec.record_sink = rec.get();
+    packet.spec.scope = config.scope;
+    const auto sc = engine::make_scope(packet.spec);
+    packet.spec.scope_sink = sc.get();
     const engine::PacketBackend backend(engine::PacketBackend::Options{
         1500, config.packet_max_window_mss});
     const stress::GuardedResult result =

@@ -27,6 +27,7 @@
 
 #include "fuzz/scenario_text.h"
 #include "recorder/recorder.h"
+#include "scope/scope.h"
 #include "stress/guarded_run.h"
 
 namespace axiomcc::fuzz {
@@ -87,6 +88,11 @@ struct RunnerConfig {
   /// needs a timeline to dump); otherwise the runner attaches no recorder
   /// and costs exactly what it did before the recorder existed.
   recorder::RecordOptions record;
+  /// Streaming metric-scope options for both backends. When `scope.enabled`
+  /// each guarded run carries a MetricScope; with capture on, the closed
+  /// windows land in the recordings as kMetric events, so `--align` can
+  /// localize the first divergent metric window alongside the raw lanes.
+  scope::ScopeConfig scope;
   /// When non-empty, every finding (fault or divergence) dumps a
   /// schema-versioned post-mortem — the byte-exact `.scn` reproducer plus
   /// the last recorded events from each backend — into this directory as

@@ -28,6 +28,7 @@ bool is_discrete(const Event& e) {
       return e.subject_kind == Subject::kRun;
     case EventClass::kWindow:
     case EventClass::kCohort:
+    case EventClass::kMetric:
       return false;
   }
   return false;
@@ -35,6 +36,11 @@ bool is_discrete(const Event& e) {
 
 bool is_sampled_value(const Event& e) {
   if (e.cls == EventClass::kWindow) return true;
+  // Metric windows compare by magnitude. The denominator below is floored
+  // at 1, so a 0-valued window (a fairness collapse both sides agree on)
+  // compares at absolute scale and never reads as divergence against
+  // another near-zero value.
+  if (e.cls == EventClass::kMetric) return true;
   return e.cls == EventClass::kGuard && e.code == EventCode::kCheck;
 }
 

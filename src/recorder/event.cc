@@ -14,6 +14,7 @@ const char* event_class_name(EventClass cls) {
     case EventClass::kChurn: return "churn";
     case EventClass::kCohort: return "cohort";
     case EventClass::kGuard: return "guard";
+    case EventClass::kMetric: return "metric";
   }
   return "window";
 }
@@ -34,6 +35,14 @@ const char* event_code_name(EventCode code) {
     case EventCode::kUniform: return "uniform";
     case EventCode::kCheck: return "check";
     case EventCode::kTrip: return "trip";
+    case EventCode::kEfficiency: return "efficiency";
+    case EventCode::kFastUtilization: return "fast_utilization";
+    case EventCode::kLossAvoidance: return "loss_avoidance";
+    case EventCode::kFairness: return "fairness";
+    case EventCode::kConvergence: return "convergence";
+    case EventCode::kRobustness: return "robustness";
+    case EventCode::kFriendliness: return "friendliness";
+    case EventCode::kLatency: return "latency";
   }
   return "sample";
 }
@@ -43,6 +52,7 @@ const char* subject_name(Subject subject) {
     case Subject::kRun: return "run";
     case Subject::kCohort: return "cohort";
     case Subject::kSender: return "sender";
+    case Subject::kLink: return "link";
   }
   return "run";
 }
@@ -59,7 +69,7 @@ bool event_class_from_name(const char* name, EventClass& out) {
 }
 
 bool event_code_from_name(const char* name, EventCode& out) {
-  for (int i = 0; i <= static_cast<int>(EventCode::kTrip); ++i) {
+  for (int i = 0; i <= static_cast<int>(EventCode::kLatency); ++i) {
     const auto code = static_cast<EventCode>(i);
     if (std::strcmp(name, event_code_name(code)) == 0) {
       out = code;
@@ -93,7 +103,7 @@ unsigned parse_class_mask(const char* names) {
     if (!event_class_from_name(token.c_str(), cls)) {
       throw std::invalid_argument(
           "unknown event class '" + token +
-          "' (expected window|loss|schedule|churn|cohort|guard|all)");
+          "' (expected window|loss|schedule|churn|cohort|guard|metric|all)");
     }
     mask |= class_bit(cls);
   }
@@ -105,7 +115,7 @@ unsigned parse_class_mask(const char* names) {
 }
 
 bool subject_from_name(const char* name, Subject& out) {
-  for (int i = 0; i <= static_cast<int>(Subject::kSender); ++i) {
+  for (int i = 0; i < kNumSubjects; ++i) {
     const auto subject = static_cast<Subject>(i);
     if (std::strcmp(name, subject_name(subject)) == 0) {
       out = subject;

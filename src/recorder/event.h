@@ -15,9 +15,10 @@ enum class EventClass : unsigned char {
   kChurn,        ///< sender-cohort arrivals and departures
   kCohort,       ///< batch-path execution decisions (kernel/fallback/uniform)
   kGuard,        ///< guarded-runner invariant checks and trips
+  kMetric,       ///< streaming axiom-scope windows (one value per axis)
 };
 
-inline constexpr int kNumEventClasses = 6;
+inline constexpr int kNumEventClasses = 7;
 
 [[nodiscard]] constexpr unsigned class_bit(EventClass cls) {
   return 1u << static_cast<unsigned>(cls);
@@ -48,6 +49,16 @@ enum class EventCode : unsigned char {
   // kGuard
   kCheck,  ///< sampled invariant check passed (a = aggregate window)
   kTrip,   ///< invariant tripped (a = offending value, b = FaultKind)
+  // kMetric — one closed scope window per axis (a = value, b = the window's
+  // first step; `step` is its last). Codes follow scope::Axis order.
+  kEfficiency,       ///< Metric I
+  kFastUtilization,  ///< Metric II
+  kLossAvoidance,    ///< Metric III (lower is better)
+  kFairness,         ///< Metric IV
+  kConvergence,      ///< Metric V
+  kRobustness,       ///< Metric VI (online escape-fraction proxy)
+  kFriendliness,     ///< Metric VII
+  kLatency,          ///< Metric VIII (lower is better)
 };
 
 /// Which timeline lane an event belongs to. Lanes bound memory: every lane
@@ -58,7 +69,10 @@ enum class Subject : unsigned char {
   kRun = 0,  ///< whole-run lane (subject id is -1)
   kCohort,   ///< one homogeneous sender group (subject id = cohort index)
   kSender,   ///< one individual sender (subject id = sender index)
+  kLink,     ///< one bottleneck of a routed topology (subject id = link id)
 };
+
+inline constexpr int kNumSubjects = 4;
 
 /// A single timeline entry. Plain data; meaning of `a`/`b` is per-code
 /// (documented on `EventCode`). `step` is the simulation step (fluid: one

@@ -17,6 +17,8 @@ void append_header_json(std::string& out, const Recording& r) {
   out += ",\"version\":" + std::to_string(r.version);
   out += ",\"backend\":";
   append_json_string(out, r.backend);
+  out += ",\"git_sha\":";
+  append_json_string(out, r.git_sha);
   out += ",\"senders\":" + std::to_string(r.senders);
   out += ",\"steps\":" + std::to_string(r.steps);
   out += ",\"classes\":" + std::to_string(r.options.classes);
@@ -111,11 +113,17 @@ Recording parse_recording_jsonl(std::string_view text) {
         throw std::runtime_error("recording: unexpected schema");
       }
       out.version = static_cast<int>(number_field(value, "version"));
-      if (out.version != kRecordingVersion) {
+      if (out.version < kMinRecordingVersion ||
+          out.version > kRecordingVersion) {
         throw std::runtime_error("recording: unknown schema version " +
                                  std::to_string(out.version));
       }
       out.backend = string_field(value, "backend");
+      // v1 headers predate provenance; leave git_sha empty for them.
+      if (const JsonValue* sha = value.find("git_sha");
+          sha != nullptr && sha->kind == JsonValue::Kind::kString) {
+        out.git_sha = sha->string;
+      }
       out.senders = static_cast<long>(number_field(value, "senders"));
       out.steps = static_cast<long>(number_field(value, "steps"));
       out.options.enabled = true;

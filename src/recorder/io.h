@@ -11,9 +11,12 @@ namespace axiomcc::recorder {
 
 /// Schema stamped into every recording header line. Bump `version` (in
 /// `Recording`) on any incompatible field change; the reader rejects
-/// versions it does not know.
+/// versions it does not know. Version history:
+///   1 — PR 8 initial layout.
+///   2 — adds the `git_sha` provenance field (absent = v1, reads as "").
 inline constexpr std::string_view kRecordingSchema = "axiomcc-recording";
-inline constexpr int kRecordingVersion = 1;
+inline constexpr int kRecordingVersion = 2;
+inline constexpr int kMinRecordingVersion = 1;
 
 /// Serializes a recording as JSONL: one header object (schema, version,
 /// backend, run metadata, capture options, drop count) followed by one

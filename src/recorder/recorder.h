@@ -11,7 +11,7 @@
 namespace axiomcc::recorder {
 
 /// Capture configuration, carried on `engine::ScenarioSpec::record`.
-/// Defaults keep a recording small and cheap: six lanes of 256 events and
+/// Defaults keep a recording small and cheap: a few lanes of 256 events and
 /// window samples every 16 steps cost well under a percent of tick-loop
 /// time at bench scale.
 struct RecordOptions {
@@ -31,8 +31,13 @@ struct RecordOptions {
 /// the JSONL reader, the aligner, and `axiomcc-inspect` work even in
 /// builds where the recorder is compiled out.
 struct Recording {
-  int version = 1;
+  int version = 2;
   std::string backend;  ///< "fluid" | "packet" | "" (unknown)
+  /// Commit SHA of the binary that captured the timeline ("unknown" when
+  /// provenance was unavailable, "" for schema-v1 files that predate the
+  /// field). Stamped by the writer, not the Recorder — the recorder layer
+  /// sits below the ledger's provenance resolver.
+  std::string git_sha;
   long senders = 0;
   long steps = 0;  ///< steps observed by the run (0 if never set)
   RecordOptions options;
@@ -109,8 +114,8 @@ class Recorder {
   /// table only reaches ids that actually emit, so aggregate-mode runs
   /// never pay for the sender population. Negative subject ids (the run
   /// lane) get one scalar slot per kind.
-  std::array<std::vector<std::uint32_t>, 3> lane_slots_;
-  std::array<std::uint32_t, 3> neg_lane_slots_{0, 0, 0};
+  std::array<std::vector<std::uint32_t>, kNumSubjects> lane_slots_;
+  std::array<std::uint32_t, kNumSubjects> neg_lane_slots_{};
 };
 
 #else  // AXIOMCC_RECORDER_DISABLED

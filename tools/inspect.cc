@@ -15,8 +15,19 @@
 //
 // Options: --tolerance=R (sampled-value gap, default 0.25), --context=N
 // (steps of events around the divergence), --with-cohort (compare batch
-// execution-mode events too), --stride=N / --depth=N (capture options for
-// .scn runs), --events=N (discrete-event lines rendered).
+// execution-mode events too), --classes=<list> (restrict alignment to the
+// named event classes — `--classes=metric` localizes the first divergent
+// metric window instead of the first raw-lane gap), --stride=N / --depth=N
+// (capture options for .scn runs), --scope-window=W (metric-scope window
+// in steps for .scn runs; 0 disables the scope, default 64), --events=N
+// (discrete-event lines rendered).
+//
+// Reproducer runs attach a streaming MetricScope, so timelines include the
+// per-window axiom estimates (kMetric lanes) and --align localizes the
+// first divergent metric window. Recordings carry the git SHA they were
+// captured under; when two aligned recordings come from different SHAs the
+// report is annotated with both, so captures from two checkouts of the
+// repo can be diffed directly.
 //
 // Exit codes: 0 rendered / aligned, 2 aligned-and-diverged, 1 error.
 #include <cstdio>
@@ -26,6 +37,7 @@
 #include "analysis/recorder_report.h"
 #include "fuzz/fuzzer.h"
 #include "fuzz/runner.h"
+#include "ledger/provenance.h"
 #include "recorder/align.h"
 #include "recorder/io.h"
 #include "recorder/postmortem.h"
@@ -68,6 +80,11 @@ recorder::AlignOptions align_options(const ArgParser& args) {
   if (args.has("with-cohort")) {
     options.classes |= recorder::class_bit(recorder::EventClass::kCohort);
   }
+  // --classes=metric asks the metric-view question alone: "where do the
+  // backends' axiom estimates first disagree", skipping raw-lane gaps.
+  if (const auto classes = args.get("classes")) {
+    options.classes = recorder::parse_class_mask(classes->c_str());
+  }
   return options;
 }
 
@@ -76,6 +93,11 @@ fuzz::RunnerConfig runner_config(const ArgParser& args) {
   config.record.enabled = true;
   config.record.sample_stride = args.get_int("stride", 16);
   config.record.ring_depth = args.get_int("depth", 256);
+  // Metric windows ride the recording as kMetric events; 0 turns the
+  // scope off (e.g. to reproduce a pre-scope capture byte-for-byte).
+  const long window = args.get_int("scope-window", 64);
+  config.scope.enabled = window > 0;
+  config.scope.window_steps = window;
   return config;
 }
 
@@ -90,8 +112,13 @@ analysis::TimelineOptions timeline_options(const ArgParser& args) {
 fuzz::RecordedScenario run_reproducer(const std::string& text,
                                       const ArgParser& args) {
   const fuzz::ScenarioDesc desc = fuzz::parse_scenario(text);
-  const fuzz::RecordedScenario rs =
+  fuzz::RecordedScenario rs =
       fuzz::run_scenario_recorded(desc, runner_config(args));
+  // Stamp provenance so a saved capture of this run can later be aligned
+  // against one from another checkout.
+  const std::string sha = ledger::current_provenance().git_sha;
+  rs.fluid.git_sha = sha;
+  rs.packet.git_sha = sha;
   std::printf("outcome: %s", fuzz::outcome_kind_name(rs.outcome.kind));
   if (rs.outcome.divergence > 0.0) {
     std::printf(" (metric divergence %.3f)", rs.outcome.divergence);
@@ -100,15 +127,32 @@ fuzz::RecordedScenario run_reproducer(const std::string& text,
   return rs;
 }
 
+/// A recording's SHA when it carries a usable one ("" otherwise).
+std::string recorded_sha(const recorder::Recording& r) {
+  if (r.git_sha.empty() || r.git_sha == "unknown") return "";
+  return r.git_sha.substr(0, 12);
+}
+
 int align_and_render(const recorder::Recording& left,
                      const recorder::Recording& right,
                      const std::string& left_label,
                      const std::string& right_label, const ArgParser& args) {
+  // Cross-SHA alignment: when the two recordings were captured under
+  // different checkouts, say so up front and tag the side labels, so the
+  // divergence report reads as "old code vs new code", not fluid-vs-packet.
+  const std::string left_sha = recorded_sha(left);
+  const std::string right_sha = recorded_sha(right);
+  std::string ll = left_label;
+  std::string rl = right_label;
+  if (!left_sha.empty() && !right_sha.empty() && left_sha != right_sha) {
+    std::printf("cross-SHA alignment: %s @%s vs %s @%s\n", left_label.c_str(),
+                left_sha.c_str(), right_label.c_str(), right_sha.c_str());
+    ll += "@" + left_sha;
+    rl += "@" + right_sha;
+  }
   const recorder::AlignResult result =
       recorder::align_recordings(left, right, align_options(args));
-  std::fputs(
-      analysis::render_alignment(result, left_label, right_label).c_str(),
-      stdout);
+  std::fputs(analysis::render_alignment(result, ll, rl).c_str(), stdout);
   return result.diverged ? 2 : 0;
 }
 
